@@ -1,0 +1,14 @@
+//! Regenerates Figure 3 (middle): SCOOP vs LOCAL vs HASH vs BASE over the
+//! REAL light trace.
+
+use scoop_bench::{bench_setup, run_and_print};
+use scoop_sim::experiments::fig3_middle;
+use scoop_sim::report;
+
+fn main() {
+    let (base, trials) = bench_setup();
+    run_and_print("Figure 3 (middle): storage policies on the REAL trace", || {
+        let rows = fig3_middle(&base, trials).expect("fig3 middle");
+        report::fig3_table("policy/source breakdown", &rows)
+    });
+}

@@ -1,0 +1,81 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every figure/table of the paper has a `cargo bench` target in this crate.
+//! Most of them are *experiment regenerators*: plain binaries (with
+//! `harness = false`) that run the corresponding experiment from
+//! [`scoop_sim::experiments`] and print the same rows the paper plots,
+//! because what matters is the *shape* of the result, not nanosecond timing.
+//! The `index_build` target is a conventional Criterion micro-benchmark of
+//! the `O(V · n²)` index-construction algorithm.
+//!
+//! Scale is controlled with environment variables so CI can stay fast:
+//!
+//! * `SCOOP_BENCH_QUICK=1` — run the 16-node / 12-minute configuration
+//!   instead of the paper's 62-node / 40-minute one.
+//! * `SCOOP_BENCH_TRIALS=n` — number of trials to average (default 3 at
+//!   paper scale, 1 in quick mode).
+
+#![warn(missing_docs)]
+
+use scoop_sim::experiments;
+use scoop_types::ExperimentConfig;
+use std::time::Instant;
+
+/// Returns the base configuration and trial count selected by the
+/// environment (see crate docs).
+pub fn bench_setup() -> (ExperimentConfig, usize) {
+    let quick = std::env::var("SCOOP_BENCH_QUICK")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
+    let base = if quick {
+        experiments::quick_base()
+    } else {
+        experiments::paper_base()
+    };
+    let default_trials = if quick { 1 } else { 3 };
+    let trials = std::env::var("SCOOP_BENCH_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_trials);
+    (base, trials)
+}
+
+/// Runs `f`, prints its output together with wall-clock timing, and a header
+/// naming the experiment.
+pub fn run_and_print<F>(name: &str, f: F)
+where
+    F: FnOnce() -> String,
+{
+    println!("==== {name} ====");
+    let start = Instant::now();
+    let table = f();
+    let elapsed = start.elapsed();
+    println!("{table}");
+    println!("({name} regenerated in {:.1} s)\n", elapsed.as_secs_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_setup_respects_env() {
+        std::env::set_var("SCOOP_BENCH_QUICK", "1");
+        std::env::set_var("SCOOP_BENCH_TRIALS", "2");
+        let (cfg, trials) = bench_setup();
+        assert_eq!(cfg.num_nodes, 16);
+        assert_eq!(trials, 2);
+        std::env::remove_var("SCOOP_BENCH_QUICK");
+        std::env::remove_var("SCOOP_BENCH_TRIALS");
+    }
+
+    #[test]
+    fn run_and_print_executes_closure() {
+        let mut ran = false;
+        run_and_print("noop", || {
+            ran = true;
+            "ok".to_string()
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,276 @@
+//! The expected-message cost model behind the indexing algorithm (Figure 2).
+//!
+//! ```text
+//! for all values v:
+//!   for all sensors o:                      [potential owner]
+//!     for all sensors p:                    [producer]
+//!       cost(o,v) += P(p produces v) × rate_p × xmits(p → o)
+//!     cost(o,v)   += P(user queries v) × query_rate × xmits(base → o → base)
+//!   storage_index[v] = argmin_o cost(o,v)
+//! ```
+//!
+//! Costs are expressed in expected transmissions per second. The model also
+//! prices the "store-local" alternative policy so the basestation can fall
+//! back to it when that is cheaper (Section 4).
+
+use crate::stats_store::StatsStore;
+use scoop_types::{NodeId, Value};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one cost evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Queries per second the user is issuing. Usually
+    /// [`StatsStore::query_rate_hz`], but experiments override it to study
+    /// hypothetical workloads.
+    pub query_rate_hz: f64,
+    /// Messages of query dissemination charged per node involved when
+    /// pricing the store-local policy (Trickle makes this roughly one
+    /// broadcast per node).
+    pub local_query_flood_factor: f64,
+}
+
+impl CostParams {
+    /// Parameters using the store's measured query rate.
+    pub fn from_stats(stats: &StatsStore) -> Self {
+        CostParams {
+            query_rate_hz: stats.query_rate_hz(),
+            local_query_flood_factor: 1.0,
+        }
+    }
+
+    /// Parameters with an explicit query rate.
+    pub fn with_query_rate(query_rate_hz: f64) -> Self {
+        CostParams {
+            query_rate_hz,
+            local_query_flood_factor: 1.0,
+        }
+    }
+}
+
+/// Evaluates expected-message costs against a [`StatsStore`].
+pub struct CostModel<'a> {
+    stats: &'a StatsStore,
+    params: CostParams,
+    /// Cached `(producer, rate, owner-independent)` list: producers with a
+    /// non-zero data rate, so the inner loop skips silent nodes.
+    producers: Vec<(NodeId, f64)>,
+    /// Cached xmits matrix lookups go through a RefCell-free copy of the
+    /// stats store because `xmits` needs `&mut` for its lazy cache; we force
+    /// the cache eagerly instead.
+    xmits: Vec<Vec<f64>>,
+}
+
+impl<'a> CostModel<'a> {
+    /// Builds a cost model. Forces the all-pairs xmits cache once so that the
+    /// `O(V · n²)` main loop performs only table lookups.
+    pub fn new(stats: &'a StatsStore, params: CostParams) -> Self {
+        let n = stats.total_nodes();
+        // Clone the store once to drive its lazy cache; cheaper than
+        // recomputing Dijkstra per query and keeps the public API immutable.
+        let mut warm = stats.clone();
+        let mut xmits = vec![vec![0.0; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                xmits[a][b] = warm.xmits(NodeId(a as u16), NodeId(b as u16));
+            }
+        }
+        let producers = (0..n)
+            .map(|i| NodeId(i as u16))
+            .map(|p| (p, stats.data_rate(p)))
+            .filter(|&(_, r)| r > 0.0)
+            .collect();
+        CostModel {
+            stats,
+            params,
+            producers,
+            xmits,
+        }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> CostParams {
+        self.params
+    }
+
+    /// Expected transmissions to get one packet from `a` to `b`.
+    pub fn xmits(&self, a: NodeId, b: NodeId) -> f64 {
+        self.xmits[a.index()][b.index()]
+    }
+
+    /// The paper's `cost(o, v)`: expected messages per second if value `v` is
+    /// owned by node `o`.
+    pub fn placement_cost(&self, owner: NodeId, v: Value) -> f64 {
+        let mut cost = 0.0;
+        for &(p, rate) in &self.producers {
+            let prob = self.stats.p_produces(p, v);
+            if prob > 0.0 {
+                cost += prob * rate * self.xmits(p, owner);
+            }
+        }
+        cost += self.stats.p_queries(v)
+            * self.params.query_rate_hz
+            * (2.0 * self.xmits(NodeId::BASESTATION, owner));
+        cost
+    }
+
+    /// The best owner for value `v` among `candidates` and its cost. Ties are
+    /// broken towards the lower node id (which prefers the basestation), so
+    /// values nobody produces or queries do not thrash between epochs.
+    pub fn best_owner(&self, v: Value, candidates: &[NodeId]) -> (NodeId, f64) {
+        let mut best = (NodeId::BASESTATION, f64::INFINITY);
+        for &o in candidates {
+            let c = self.placement_cost(o, v);
+            if c + 1e-12 < best.1 {
+                best = (o, c);
+            }
+        }
+        if best.1.is_infinite() {
+            (NodeId::BASESTATION, 0.0)
+        } else {
+            best
+        }
+    }
+
+    /// Expected messages per second of the whole index described by a
+    /// per-value owner assignment.
+    pub fn assignment_cost(&self, owners: &[(Value, NodeId)]) -> f64 {
+        owners
+            .iter()
+            .map(|&(v, o)| self.placement_cost(o, v))
+            .sum()
+    }
+
+    /// Expected messages per second of the store-local policy: every query is
+    /// flooded to all nodes and every node sends a reply up the tree, "even
+    /// if no tuples matched the query" (Section 5.5); data storage itself is
+    /// free.
+    pub fn store_local_cost(&self) -> f64 {
+        let n = self.stats.total_nodes();
+        let flood = self.params.local_query_flood_factor * (n.saturating_sub(1)) as f64;
+        let replies: f64 = (1..n)
+            .map(|i| self.xmits(NodeId(i as u16), NodeId::BASESTATION))
+            .sum();
+        self.params.query_rate_hz * (flood + replies)
+    }
+
+    /// Expected messages per second of the send-to-base policy: every reading
+    /// travels from its producer to the basestation; queries are free.
+    pub fn send_to_base_cost(&self) -> f64 {
+        self.producers
+            .iter()
+            .map(|&(p, rate)| rate * self.xmits(p, NodeId::BASESTATION))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::SummaryHistogram;
+    use crate::summary::{ReportedNeighbor, SummaryMessage};
+    use scoop_types::{SimTime, StorageIndexId, ValueRange};
+
+    /// Builds a 5-node chain 0 — 1 — 2 — 3 — 4 with perfect links where node
+    /// i (i ≥ 1) produces values near 10·i.
+    fn chain_store() -> StatsStore {
+        let domain = ValueRange::new(0, 99);
+        let mut st = StatsStore::new(5, domain);
+        for i in 1..5u16 {
+            let values: Vec<Value> = vec![(10 * i) as Value; 20];
+            let mut neighbors = vec![ReportedNeighbor { node: NodeId(i - 1), quality: 1.0 }];
+            if i < 4 {
+                neighbors.push(ReportedNeighbor { node: NodeId(i + 1), quality: 1.0 });
+            }
+            st.record_summary(SummaryMessage {
+                node: NodeId(i),
+                histogram: SummaryHistogram::build(&values, 10),
+                min: values.iter().min().copied(),
+                max: values.iter().max().copied(),
+                sum: values.iter().map(|&v| v as i64).sum(),
+                count: values.len() as u32,
+                data_rate_hz: 1.0 / 15.0,
+                neighbors,
+                parent: Some(NodeId(i - 1)),
+                newest_complete_index: StorageIndexId(1),
+                generated_at: SimTime::from_secs(100),
+            });
+        }
+        st
+    }
+
+    #[test]
+    fn producers_prefer_owning_their_own_values_when_queries_are_rare() {
+        let st = chain_store();
+        let model = CostModel::new(&st, CostParams::with_query_rate(0.0));
+        let candidates = st.candidate_owners();
+        // Node 3 produces value 30; with no queries it should own it (P1/P3).
+        let (owner, cost) = model.best_owner(30, &candidates);
+        assert_eq!(owner, NodeId(3));
+        assert!(cost.abs() < 1e-9, "producing node stores at zero cost");
+    }
+
+    #[test]
+    fn high_query_rate_pulls_values_to_the_basestation() {
+        let st = chain_store();
+        // Make queries far more frequent than data production (P2).
+        let model = CostModel::new(&st, CostParams::with_query_rate(10.0));
+        let candidates = st.candidate_owners();
+        let (owner, _) = model.best_owner(40, &candidates);
+        assert!(
+            owner.index() < 4,
+            "the deep producer should no longer own its value, got {owner}"
+        );
+        // With truly enormous query rates everything lands on the root.
+        let model = CostModel::new(&st, CostParams::with_query_rate(1000.0));
+        let (owner, _) = model.best_owner(40, &candidates);
+        assert_eq!(owner, NodeId::BASESTATION);
+    }
+
+    #[test]
+    fn placement_cost_increases_with_distance_from_producer() {
+        let st = chain_store();
+        let model = CostModel::new(&st, CostParams::with_query_rate(0.0));
+        // Value 40 is produced by node 4 at the end of the chain.
+        let c4 = model.placement_cost(NodeId(4), 40);
+        let c2 = model.placement_cost(NodeId(2), 40);
+        let c0 = model.placement_cost(NodeId(0), 40);
+        assert!(c4 < c2 && c2 < c0, "{c4} < {c2} < {c0}");
+    }
+
+    #[test]
+    fn unproduced_unqueried_values_default_to_the_basestation() {
+        let st = chain_store();
+        let mut st = st;
+        // Observe queries that never touch value 77 so the prior is replaced
+        // by a measured distribution with P(77) = 0.
+        st.record_query(&ValueRange::new(10, 15), SimTime::from_secs(600));
+        st.record_query(&ValueRange::new(20, 25), SimTime::from_secs(615));
+        let model = CostModel::new(&st, CostParams::from_stats(&st));
+        let (owner, cost) = model.best_owner(77, &st.candidate_owners());
+        assert_eq!(owner, NodeId::BASESTATION);
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn store_local_vs_send_to_base_crossover_with_query_rate() {
+        let st = chain_store();
+        // No queries at all: store-local costs nothing, send-to-base is
+        // positive.
+        let quiet = CostModel::new(&st, CostParams::with_query_rate(0.0));
+        assert_eq!(quiet.store_local_cost(), 0.0);
+        assert!(quiet.send_to_base_cost() > 0.0);
+        // Very chatty queries: store-local becomes much more expensive.
+        let busy = CostModel::new(&st, CostParams::with_query_rate(1.0));
+        assert!(busy.store_local_cost() > busy.send_to_base_cost());
+    }
+
+    #[test]
+    fn assignment_cost_sums_per_value_costs() {
+        let st = chain_store();
+        let model = CostModel::new(&st, CostParams::with_query_rate(0.0));
+        let a = model.assignment_cost(&[(10, NodeId(1)), (20, NodeId(2))]);
+        let b = model.placement_cost(NodeId(1), 10) + model.placement_cost(NodeId(2), 20);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

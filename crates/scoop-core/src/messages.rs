@@ -1,0 +1,163 @@
+//! Application-level wire messages.
+//!
+//! The network simulator ([`scoop_net`]) is generic over its payload type;
+//! the simulation harness instantiates it with [`ScoopPayload`], which covers
+//! every message the Scoop, LOCAL, BASE, and HASH policies exchange.
+
+use crate::index::IndexEntry;
+use crate::summary::SummaryMessage;
+use scoop_routing::Beacon;
+use scoop_trickle::Chunk;
+use scoop_types::{NodeBitmap, NodeId, Reading, SimTime, StorageIndexId, ValueRange};
+use serde::{Deserialize, Serialize};
+
+/// A data message carrying one or more readings towards their owner.
+///
+/// "a data message contains three fields: the data item itself (v), an owner
+/// node (o), and a storage index ID (sid), all three of which are initialized
+/// by v's producer ... However, o and sid may be overwritten by nodes with a
+/// newer storage index." (Section 5.4). Readings destined for the same owner
+/// may be batched, up to 5 per packet by default.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DataMessage {
+    /// The readings being shipped (all map to the same owner under `sid`).
+    pub readings: Vec<Reading>,
+    /// The owner the producer (or a rerouting intermediate) selected.
+    pub owner: NodeId,
+    /// The storage index that determined `owner`.
+    pub sid: StorageIndexId,
+}
+
+impl DataMessage {
+    /// The value used for (re-)routing decisions: the first reading's value.
+    /// Batches only ever contain readings that mapped to the same owner.
+    pub fn routing_value(&self) -> Option<scoop_types::Value> {
+        self.readings.first().map(|r| r.value)
+    }
+}
+
+/// One chunk of a disseminated storage index, plus the metadata a node needs
+/// to start using the index once all chunks have arrived.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MappingChunk {
+    /// The chunked entries. The chunk's `version` is the storage index id.
+    pub chunk: Chunk<IndexEntry>,
+    /// The attribute domain the index covers.
+    pub domain: ValueRange,
+    /// When the basestation created the index.
+    pub created_at: SimTime,
+}
+
+impl MappingChunk {
+    /// The storage index id this chunk belongs to.
+    pub fn index_id(&self) -> StorageIndexId {
+        StorageIndexId(self.chunk.version as u32)
+    }
+}
+
+/// A query disseminated from the basestation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryMessage {
+    /// Monotonically increasing query identifier.
+    pub query_id: u32,
+    /// Value range of interest.
+    pub values: ValueRange,
+    /// Earliest sample timestamp of interest.
+    pub time_lo: SimTime,
+    /// Latest sample timestamp of interest.
+    pub time_hi: SimTime,
+    /// Which nodes must answer (one bit per node, Section 5.5).
+    pub targets: NodeBitmap,
+}
+
+/// A reply from one queried node back to the basestation. Sent even when no
+/// tuples matched, exactly as in the paper.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReplyMessage {
+    /// The query being answered.
+    pub query_id: u32,
+    /// The answering node.
+    pub node: NodeId,
+    /// The matching readings found in the node's data buffer.
+    pub readings: Vec<Reading>,
+}
+
+/// Every application payload exchanged in a simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ScoopPayload {
+    /// Routing-tree heartbeat / tree-join beacon.
+    Beacon(Beacon),
+    /// Periodic per-node statistics report.
+    Summary(SummaryMessage),
+    /// A chunk of a storage index.
+    Mapping(MappingChunk),
+    /// Sensor readings being routed to their owner.
+    Data(DataMessage),
+    /// A query being disseminated.
+    Query(QueryMessage),
+    /// A query reply being routed back to the basestation.
+    Reply(ReplyMessage),
+}
+
+impl ScoopPayload {
+    /// A short name for logging and debugging.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScoopPayload::Beacon(_) => "beacon",
+            ScoopPayload::Summary(_) => "summary",
+            ScoopPayload::Mapping(_) => "mapping",
+            ScoopPayload::Data(_) => "data",
+            ScoopPayload::Query(_) => "query",
+            ScoopPayload::Reply(_) => "reply",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_types::{Attribute, Value};
+
+    fn reading(v: Value) -> Reading {
+        Reading::new(NodeId(3), Attribute::Light, v, SimTime::from_secs(1))
+    }
+
+    #[test]
+    fn data_message_routing_value() {
+        let msg = DataMessage {
+            readings: vec![reading(7), reading(7)],
+            owner: NodeId(2),
+            sid: StorageIndexId(1),
+        };
+        assert_eq!(msg.routing_value(), Some(7));
+        let empty = DataMessage { readings: vec![], owner: NodeId(2), sid: StorageIndexId(1) };
+        assert_eq!(empty.routing_value(), None);
+    }
+
+    #[test]
+    fn mapping_chunk_index_id() {
+        let mc = MappingChunk {
+            chunk: Chunk { version: 9, index: 0, total: 1, items: vec![] },
+            domain: ValueRange::new(0, 99),
+            created_at: SimTime::from_secs(240),
+        };
+        assert_eq!(mc.index_id(), StorageIndexId(9));
+    }
+
+    #[test]
+    fn payload_names_are_distinct() {
+        let payloads = [
+            ScoopPayload::Data(DataMessage { readings: vec![], owner: NodeId(0), sid: StorageIndexId(0) }),
+            ScoopPayload::Reply(ReplyMessage { query_id: 0, node: NodeId(1), readings: vec![] }),
+            ScoopPayload::Query(QueryMessage {
+                query_id: 0,
+                values: ValueRange::new(0, 1),
+                time_lo: SimTime::ZERO,
+                time_hi: SimTime::ZERO,
+                targets: NodeBitmap::empty(),
+            }),
+        ];
+        let names: std::collections::HashSet<_> = payloads.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), payloads.len());
+    }
+}

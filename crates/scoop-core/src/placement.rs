@@ -1,0 +1,264 @@
+//! Placement extensions sketched in Section 4: owner sets and
+//! range-granularity placement.
+//!
+//! * **Owner sets** — "pick multiple owners, i.e., an owner set, per value,
+//!   thus allowing nodes to pick one nearby node from multiple owner
+//!   candidates to store their data. ... Naively considering all possible
+//!   owner sets makes the algorithm's time-complexity exponential in n.
+//!   Hence, a more feasible approach is to consider only small owner sets."
+//!   We implement the feasible variant: a greedy algorithm that keeps adding
+//!   owners to a value's set while doing so lowers expected cost, up to a
+//!   caller-supplied bound.
+//! * **Range placement** — "modify the outer loop of the placement algorithm
+//!   to consider a fixed set of ranges rather than a fixed set of values",
+//!   trading index size and per-range query fan-out against per-value
+//!   optimality.
+
+use crate::cost::CostModel;
+use crate::index::{IndexEntry, StorageIndex};
+use crate::stats_store::StatsStore;
+use scoop_types::{NodeId, SimTime, StorageIndexId, Value, ValueRange};
+use serde::{Deserialize, Serialize};
+
+/// A storage index in which each value range may have several owners;
+/// producers send their data to the cheapest owner in the set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MultiOwnerIndex {
+    /// The index epoch.
+    pub id: StorageIndexId,
+    /// The covered domain.
+    pub domain: ValueRange,
+    /// Per-value owner sets: entry `i` owns value `domain.lo + i`.
+    pub owner_sets: Vec<Vec<NodeId>>,
+}
+
+impl MultiOwnerIndex {
+    /// The owner set for value `v`.
+    pub fn owners_of(&self, v: Value) -> &[NodeId] {
+        let idx = (v - self.domain.lo) as usize;
+        self.owner_sets
+            .get(idx)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total number of `(value, owner)` pairs — proportional to the size of
+    /// the disseminated representation.
+    pub fn total_entries(&self) -> usize {
+        self.owner_sets.iter().map(Vec::len).sum()
+    }
+
+    /// Number of nodes a query over `range` would have to contact.
+    pub fn query_fanout(&self, range: &ValueRange) -> usize {
+        let mut owners: Vec<NodeId> = range
+            .values()
+            .flat_map(|v| self.owners_of(v).iter().copied())
+            .collect();
+        owners.sort();
+        owners.dedup();
+        owners.len()
+    }
+}
+
+/// Greedy owner-set construction: for every value, start from the single best
+/// owner and keep adding the owner that most reduces the producers' expected
+/// shipping cost, stopping when no addition helps or `max_owners` is reached.
+///
+/// The cost of a set is: every producer ships to its *cheapest* member, and
+/// the basestation must query *every* member.
+pub fn build_owner_sets(
+    stats: &StatsStore,
+    cost: &CostModel<'_>,
+    id: StorageIndexId,
+    max_owners: usize,
+) -> MultiOwnerIndex {
+    let domain = stats.domain();
+    let candidates = stats.candidate_owners();
+    let producers: Vec<(NodeId, f64)> = candidates
+        .iter()
+        .map(|&p| (p, stats.data_rate(p)))
+        .filter(|&(_, r)| r > 0.0)
+        .collect();
+    let query_rate = cost.params().query_rate_hz;
+
+    let set_cost = |v: Value, set: &[NodeId]| -> f64 {
+        if set.is_empty() {
+            return f64::INFINITY;
+        }
+        let mut total = 0.0;
+        for &(p, rate) in &producers {
+            let prob = stats.p_produces(p, v);
+            if prob <= 0.0 {
+                continue;
+            }
+            let cheapest = set
+                .iter()
+                .map(|&o| cost.xmits(p, o))
+                .fold(f64::INFINITY, f64::min);
+            total += prob * rate * cheapest;
+        }
+        let query_cost: f64 = set
+            .iter()
+            .map(|&o| 2.0 * cost.xmits(NodeId::BASESTATION, o))
+            .sum();
+        total + stats.p_queries(v) * query_rate * query_cost
+    };
+
+    let mut owner_sets = Vec::with_capacity(domain.width() as usize);
+    for v in domain.values() {
+        let (first, _) = cost.best_owner(v, &candidates);
+        let mut set = vec![first];
+        let mut current = set_cost(v, &set);
+        while set.len() < max_owners.max(1) {
+            let mut best_addition: Option<(NodeId, f64)> = None;
+            for &cand in &candidates {
+                if set.contains(&cand) {
+                    continue;
+                }
+                let mut trial = set.clone();
+                trial.push(cand);
+                let c = set_cost(v, &trial);
+                if c + 1e-9 < current
+                    && best_addition.map(|(_, bc)| c < bc).unwrap_or(true)
+                {
+                    best_addition = Some((cand, c));
+                }
+            }
+            match best_addition {
+                Some((cand, c)) => {
+                    set.push(cand);
+                    current = c;
+                }
+                None => break,
+            }
+        }
+        set.sort();
+        owner_sets.push(set);
+    }
+    MultiOwnerIndex { id, domain, owner_sets }
+}
+
+/// Range-granularity placement: the domain is cut into fixed segments of
+/// `segment_width` values and each whole segment is assigned the owner that
+/// minimizes the summed per-value cost.
+pub fn build_range_index(
+    stats: &StatsStore,
+    cost: &CostModel<'_>,
+    id: StorageIndexId,
+    segment_width: u32,
+    now: SimTime,
+) -> StorageIndex {
+    let domain = stats.domain();
+    let candidates = stats.candidate_owners();
+    let width = segment_width.max(1) as Value;
+    let mut entries = Vec::new();
+    let mut lo = domain.lo;
+    while lo <= domain.hi {
+        let hi = (lo + width - 1).min(domain.hi);
+        let segment = ValueRange::new(lo, hi);
+        let mut best = (NodeId::BASESTATION, f64::INFINITY);
+        for &o in &candidates {
+            let c: f64 = segment.values().map(|v| cost.placement_cost(o, v)).sum();
+            if c + 1e-12 < best.1 {
+                best = (o, c);
+            }
+        }
+        entries.push(IndexEntry { range: segment, owner: best.0 });
+        lo = hi + 1;
+    }
+    StorageIndex::from_entries(id, domain, entries, now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostParams;
+    use crate::histogram::SummaryHistogram;
+    use crate::summary::{ReportedNeighbor, SummaryMessage};
+
+    /// Two clusters: nodes 1-2 produce low values, nodes 3-4 produce high
+    /// values; 1-2 and 3-4 are far from each other (chain 0-1-2-3-4).
+    fn clustered_store() -> StatsStore {
+        let domain = ValueRange::new(0, 39);
+        let mut st = StatsStore::new(5, domain);
+        for i in 1..5u16 {
+            let center: Value = if i <= 2 { 10 } else { 30 };
+            let values: Vec<Value> = (0..20).map(|k| center + (k % 3) - 1).collect();
+            let mut neighbors = vec![ReportedNeighbor { node: NodeId(i - 1), quality: 1.0 }];
+            if i < 4 {
+                neighbors.push(ReportedNeighbor { node: NodeId(i + 1), quality: 1.0 });
+            }
+            st.record_summary(SummaryMessage {
+                node: NodeId(i),
+                histogram: SummaryHistogram::build(&values, 10),
+                min: values.iter().min().copied(),
+                max: values.iter().max().copied(),
+                sum: values.iter().map(|&v| v as i64).sum(),
+                count: values.len() as u32,
+                data_rate_hz: 1.0 / 15.0,
+                neighbors,
+                parent: Some(NodeId(i - 1)),
+                newest_complete_index: StorageIndexId(1),
+                generated_at: SimTime::from_secs(100),
+            });
+        }
+        st
+    }
+
+    #[test]
+    fn owner_sets_never_exceed_the_bound_and_cover_the_domain() {
+        let st = clustered_store();
+        let cost = CostModel::new(&st, CostParams::with_query_rate(1.0 / 60.0));
+        let multi = build_owner_sets(&st, &cost, StorageIndexId(2), 2);
+        assert_eq!(multi.owner_sets.len(), st.domain().width() as usize);
+        assert!(multi.owner_sets.iter().all(|s| !s.is_empty() && s.len() <= 2));
+        assert!(multi.total_entries() >= st.domain().width() as usize);
+    }
+
+    #[test]
+    fn owner_sets_with_bound_one_match_single_owner_choice() {
+        let st = clustered_store();
+        let cost = CostModel::new(&st, CostParams::with_query_rate(1.0 / 60.0));
+        let multi = build_owner_sets(&st, &cost, StorageIndexId(2), 1);
+        for (i, set) in multi.owner_sets.iter().enumerate() {
+            let v = st.domain().lo + i as Value;
+            let (single, _) = cost.best_owner(v, &st.candidate_owners());
+            assert_eq!(set.as_slice(), &[single], "value {v}");
+        }
+    }
+
+    #[test]
+    fn query_fanout_grows_with_owner_set_size() {
+        let st = clustered_store();
+        let cost = CostModel::new(&st, CostParams::with_query_rate(1.0 / 600.0));
+        let single = build_owner_sets(&st, &cost, StorageIndexId(2), 1);
+        let multi = build_owner_sets(&st, &cost, StorageIndexId(2), 3);
+        let range = st.domain();
+        assert!(multi.query_fanout(&range) >= single.query_fanout(&range));
+    }
+
+    #[test]
+    fn range_index_covers_domain_and_respects_segments() {
+        let st = clustered_store();
+        let cost = CostModel::new(&st, CostParams::with_query_rate(1.0 / 60.0));
+        let idx = build_range_index(&st, &cost, StorageIndexId(3), 10, SimTime::ZERO);
+        assert!(idx.is_complete());
+        // 40-value domain in 10-value segments → at most 4 entries.
+        assert!(idx.entries().len() <= 4);
+        // Low segment should live near the low-value cluster, high segment
+        // near the high-value cluster.
+        let low_owner = idx.lookup(10).unwrap();
+        let high_owner = idx.lookup(30).unwrap();
+        assert!(low_owner.index() <= 2, "low values owned near nodes 1-2, got {low_owner}");
+        assert!(high_owner.index() >= 3, "high values owned near nodes 3-4, got {high_owner}");
+    }
+
+    #[test]
+    fn range_index_with_huge_segment_is_single_entry() {
+        let st = clustered_store();
+        let cost = CostModel::new(&st, CostParams::with_query_rate(1.0 / 60.0));
+        let idx = build_range_index(&st, &cost, StorageIndexId(3), 1000, SimTime::ZERO);
+        assert_eq!(idx.entries().len(), 1);
+        assert!(idx.is_complete());
+    }
+}

@@ -1,0 +1,289 @@
+//! The basestation's query planner.
+//!
+//! "The basestation determines the set of nodes to be contacted for this
+//! query by consulting the storage index(es) for the specified attribute(s)
+//! and time-range(s). (Unlike nodes, the basestation never discards old
+//! storage indices.) ... Since different storage indices may have been active
+//! at the query time on different nodes, a particular value may be stored at
+//! different network locations, rather than just one. For that reason, the
+//! basestation examines all storage indices active at that time ... to
+//! establish the overlapping set of all possible nodes that may have the
+//! queried values." (Section 5.5)
+
+use crate::index::StorageIndex;
+use scoop_types::{NodeBitmap, NodeId, SimTime, StorageIndexId, ValueRange};
+
+/// The outcome of planning one query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryPlan {
+    /// Every node that may hold matching readings and must be contacted.
+    pub targets: NodeBitmap,
+    /// The storage indices consulted to build the target set.
+    pub indices_consulted: Vec<StorageIndexId>,
+    /// `true` if the basestation itself may hold matching readings (it always
+    /// checks its own buffer for free, and data that could not be routed ends
+    /// up there).
+    pub check_basestation: bool,
+}
+
+impl QueryPlan {
+    /// Number of sensor nodes that must be contacted over the network.
+    pub fn network_targets(&self) -> usize {
+        self.targets
+            .iter()
+            .filter(|n| !n.is_basestation())
+            .count()
+    }
+}
+
+/// Keeps every storage index ever created and plans queries against them.
+#[derive(Clone, Debug, Default)]
+pub struct QueryPlanner {
+    /// Indices in creation order (ids strictly increasing).
+    history: Vec<StorageIndex>,
+}
+
+impl QueryPlanner {
+    /// An empty planner.
+    pub fn new() -> Self {
+        QueryPlanner { history: Vec::new() }
+    }
+
+    /// Records a newly created storage index. Ignores ids that do not move
+    /// forward (the basestation only ever creates increasing ids).
+    pub fn record_index(&mut self, index: StorageIndex) {
+        if self
+            .history
+            .last()
+            .map(|last| index.id() > last.id())
+            .unwrap_or(true)
+        {
+            self.history.push(index);
+        }
+    }
+
+    /// Number of indices recorded.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True if no index has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The most recent index, if any.
+    pub fn latest(&self) -> Option<&StorageIndex> {
+        self.history.last()
+    }
+
+    /// The index with a specific id.
+    pub fn get(&self, id: StorageIndexId) -> Option<&StorageIndex> {
+        self.history.iter().find(|i| i.id() == id)
+    }
+
+    /// Plans a query over `values` for samples taken in `[time_lo, time_hi]`.
+    ///
+    /// `min_live_index` is the oldest index that may still be in use by some
+    /// node (the minimum "newest complete index" across the latest summaries,
+    /// [`crate::StatsStore::min_live_index`]): even if that index was not
+    /// active during the queried time window, data produced *recently* by a
+    /// lagging node may have been placed according to it, so its owners are
+    /// included too.
+    pub fn plan(
+        &self,
+        values: &ValueRange,
+        time_lo: SimTime,
+        time_hi: SimTime,
+        min_live_index: StorageIndexId,
+    ) -> QueryPlan {
+        let mut targets = NodeBitmap::empty();
+        let mut consulted = Vec::new();
+
+        if self.history.is_empty() {
+            // No index has ever been disseminated: every node stores locally,
+            // so every node must be asked. The caller knows the node count;
+            // we signal "flood" by returning an empty target set with
+            // `check_basestation` and no consulted indices — the harness
+            // treats an empty plan with no indices as "ask everyone".
+            return QueryPlan {
+                targets,
+                indices_consulted: consulted,
+                check_basestation: true,
+            };
+        }
+
+        for (pos, index) in self.history.iter().enumerate() {
+            let active_from = index.created_at();
+            let active_until = self
+                .history
+                .get(pos + 1)
+                .map(|next| next.created_at())
+                .unwrap_or(SimTime(u64::MAX));
+            // Relevant if the index was the active one during any part of the
+            // queried time window, or if some lagging node may still be
+            // placing data according to it (its id is at or above the oldest
+            // "newest complete index" reported in summaries) and the window
+            // extends past its creation.
+            let was_active = active_from <= time_hi && time_lo < active_until;
+            let may_still_be_used = (index.id() >= min_live_index
+                || min_live_index == StorageIndexId::NONE)
+                && time_hi >= active_from;
+            if !(was_active || may_still_be_used) {
+                continue;
+            }
+            consulted.push(index.id());
+            for owner in index.owners_for_range(values) {
+                targets.insert(owner);
+            }
+        }
+
+        let check_basestation = targets.contains(NodeId::BASESTATION) || !consulted.is_empty();
+        targets.remove(NodeId::BASESTATION);
+        QueryPlan {
+            targets,
+            indices_consulted: consulted,
+            check_basestation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_types::Value;
+
+    fn index(id: u32, created_secs: u64, owner_low: NodeId, owner_high: NodeId) -> StorageIndex {
+        // Values 0..=49 owned by `owner_low`, 50..=99 by `owner_high`.
+        let domain = ValueRange::new(0, 99);
+        let owners: Vec<NodeId> = (0..100)
+            .map(|v| if v < 50 { owner_low } else { owner_high })
+            .collect();
+        StorageIndex::from_owners(
+            StorageIndexId(id),
+            domain,
+            &owners,
+            SimTime::from_secs(created_secs),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_planner_floods() {
+        let p = QueryPlanner::new();
+        let plan = p.plan(&ValueRange::new(0, 9), SimTime::ZERO, SimTime::from_secs(100), StorageIndexId::NONE);
+        assert!(plan.targets.is_empty());
+        assert!(plan.indices_consulted.is_empty());
+        assert!(plan.check_basestation);
+    }
+
+    #[test]
+    fn single_index_selects_owner_of_value_range() {
+        let mut p = QueryPlanner::new();
+        p.record_index(index(1, 600, NodeId(3), NodeId(7)));
+        let plan = p.plan(
+            &ValueRange::new(10, 20),
+            SimTime::from_secs(700),
+            SimTime::from_secs(800),
+            StorageIndexId(1),
+        );
+        assert_eq!(plan.targets.iter().collect::<Vec<_>>(), vec![NodeId(3)]);
+        assert_eq!(plan.indices_consulted, vec![StorageIndexId(1)]);
+        // A range straddling both halves needs both owners.
+        let plan = p.plan(
+            &ValueRange::new(40, 60),
+            SimTime::from_secs(700),
+            SimTime::from_secs(800),
+            StorageIndexId(1),
+        );
+        assert_eq!(plan.network_targets(), 2);
+    }
+
+    #[test]
+    fn time_range_spanning_two_epochs_consults_both() {
+        let mut p = QueryPlanner::new();
+        p.record_index(index(1, 600, NodeId(3), NodeId(7)));
+        p.record_index(index(2, 840, NodeId(4), NodeId(7)));
+        // Query window covers both epochs; all nodes report index 2 as their
+        // newest so only epoch overlap matters — both owners 3 and 4 appear.
+        let plan = p.plan(
+            &ValueRange::new(0, 9),
+            SimTime::from_secs(700),
+            SimTime::from_secs(900),
+            StorageIndexId(2),
+        );
+        let targets: Vec<NodeId> = plan.targets.iter().collect();
+        assert!(targets.contains(&NodeId(3)));
+        assert!(targets.contains(&NodeId(4)));
+        assert_eq!(plan.indices_consulted.len(), 2);
+    }
+
+    #[test]
+    fn lagging_nodes_keep_old_indices_alive() {
+        let mut p = QueryPlanner::new();
+        p.record_index(index(1, 600, NodeId(3), NodeId(7)));
+        p.record_index(index(2, 840, NodeId(4), NodeId(7)));
+        // The query only covers the *newest* epoch's activation window, but
+        // some node still reports index 1 as its newest complete index, so
+        // owner 3 must also be contacted.
+        let plan = p.plan(
+            &ValueRange::new(0, 9),
+            SimTime::from_secs(850),
+            SimTime::from_secs(900),
+            StorageIndexId(1),
+        );
+        let targets: Vec<NodeId> = plan.targets.iter().collect();
+        assert!(targets.contains(&NodeId(3)), "old index still live somewhere");
+        assert!(targets.contains(&NodeId(4)));
+    }
+
+    #[test]
+    fn basestation_owner_is_not_a_network_target() {
+        let mut p = QueryPlanner::new();
+        p.record_index(index(1, 600, NodeId::BASESTATION, NodeId(7)));
+        let plan = p.plan(
+            &ValueRange::new(0, 9),
+            SimTime::from_secs(700),
+            SimTime::from_secs(800),
+            StorageIndexId(1),
+        );
+        assert_eq!(plan.network_targets(), 0);
+        assert!(plan.check_basestation);
+    }
+
+    #[test]
+    fn out_of_order_index_ids_are_rejected() {
+        let mut p = QueryPlanner::new();
+        p.record_index(index(5, 600, NodeId(1), NodeId(2)));
+        p.record_index(index(3, 700, NodeId(8), NodeId(9)));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.latest().unwrap().id(), StorageIndexId(5));
+        assert!(p.get(StorageIndexId(3)).is_none());
+    }
+
+    #[test]
+    fn narrow_value_query_touches_few_nodes() {
+        // Mimics the paper's observation that small query widths touch a
+        // small subset of nodes: with one owner per 10-value stripe, a
+        // 5-value query touches at most two owners.
+        let domain = ValueRange::new(0, 99);
+        let owners: Vec<NodeId> = (0..100).map(|v: Value| NodeId((v / 10 + 1) as u16)).collect();
+        let idx = StorageIndex::from_owners(StorageIndexId(1), domain, &owners, SimTime::from_secs(600)).unwrap();
+        let mut p = QueryPlanner::new();
+        p.record_index(idx);
+        let plan = p.plan(
+            &ValueRange::new(42, 46),
+            SimTime::from_secs(700),
+            SimTime::from_secs(710),
+            StorageIndexId(1),
+        );
+        assert_eq!(plan.network_targets(), 1);
+        let plan = p.plan(
+            &ValueRange::new(0, 99),
+            SimTime::from_secs(700),
+            SimTime::from_secs(710),
+            StorageIndexId(1),
+        );
+        assert_eq!(plan.network_targets(), 10, "a full-domain query touches every owner");
+    }
+}

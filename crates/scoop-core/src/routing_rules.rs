@@ -1,0 +1,263 @@
+//! The six data-routing rules of Section 5.4.
+//!
+//! "On receiving or producing a data item, a node n applies the following
+//! routing rules (in order):
+//!
+//! 1. If n's storage index is newer than sid, look up v in n's storage index
+//!    and update o and sid in the packet header.
+//! 2. If o == n, store data locally on n.
+//! 3. If o is in n's neighbor list, send the packet directly to that
+//!    neighbor, irrespective of the routing tree.
+//! 4. If n is the base station, store it locally.
+//! 5. If o is a node in n's descendants list, send the packet down the
+//!    appropriate child branch.
+//! 6. Otherwise, send data item to n's parent."
+
+use crate::index::StorageIndex;
+use crate::messages::DataMessage;
+use scoop_routing::RoutingState;
+use scoop_types::NodeId;
+
+/// The slice of a node's state the routing rules need.
+pub struct LocalNodeView<'a> {
+    /// This node's id.
+    pub id: NodeId,
+    /// The newest *complete* storage index this node holds, if any.
+    pub index: Option<&'a StorageIndex>,
+    /// The node's routing state (neighbor list, descendants list, parent).
+    pub routing: &'a RoutingState,
+    /// Whether routing rule 3 (direct-to-neighbor shortcut) is enabled.
+    pub neighbor_shortcut: bool,
+}
+
+/// The decision produced by the routing rules.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DataRoutingAction {
+    /// Store the readings locally (rules 2 and 4, or the "never received any
+    /// index" default).
+    StoreLocal(DataMessage),
+    /// Forward the (possibly re-addressed) message to the given next hop.
+    Forward {
+        /// The neighbor to transmit to.
+        next_hop: NodeId,
+        /// The message to transmit (owner / sid may have been updated by
+        /// rule 1).
+        message: DataMessage,
+    },
+    /// The node is not attached to the tree and has no way to make progress;
+    /// store locally rather than lose the data.
+    StrandedStoreLocal(DataMessage),
+}
+
+/// Applies the routing rules of Section 5.4 to a data message that was just
+/// produced by or received at the node described by `view`.
+pub fn route_data(view: &LocalNodeView<'_>, mut msg: DataMessage) -> DataRoutingAction {
+    // Rule 1: a newer local index re-addresses the packet.
+    if let Some(index) = view.index {
+        if index.id() > msg.sid {
+            if let Some(v) = msg.routing_value() {
+                if let Some(new_owner) = index.lookup(v) {
+                    msg.owner = new_owner;
+                    msg.sid = index.id();
+                }
+            }
+        }
+    } else if msg.sid == scoop_types::StorageIndexId::NONE && msg.owner == view.id {
+        // A node that has never received a complete storage index stores all
+        // its data locally (Section 5.3). Producers encode this by setting
+        // themselves as owner with the NONE sid; rule 2 below handles it.
+    }
+
+    // Rule 2: we are the owner.
+    if msg.owner == view.id {
+        return DataRoutingAction::StoreLocal(msg);
+    }
+
+    // Rule 3: the owner is a direct neighbor — shortcut through the tree.
+    if view.neighbor_shortcut && view.routing.is_neighbor(msg.owner) {
+        return DataRoutingAction::Forward {
+            next_hop: msg.owner,
+            message: msg,
+        };
+    }
+
+    // Rule 4: the basestation never routes data back down the tree.
+    if view.id.is_basestation() {
+        return DataRoutingAction::StoreLocal(msg);
+    }
+
+    // Rule 5: the owner is one of our descendants — route down that branch.
+    if let Some(child) = view.routing.descendants().next_hop(msg.owner) {
+        return DataRoutingAction::Forward {
+            next_hop: child,
+            message: msg,
+        };
+    }
+
+    // Rule 6: send towards the basestation via our parent.
+    match view.routing.parent() {
+        Some(parent) => DataRoutingAction::Forward {
+            next_hop: parent,
+            message: msg,
+        },
+        None => DataRoutingAction::StrandedStoreLocal(msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::StorageIndex;
+    use scoop_net::{LinkDst, PacketMeta};
+    use scoop_routing::RoutingConfig;
+    use scoop_types::{
+        Attribute, MessageKind, Reading, SeqNo, SimTime, StorageIndexId, Value, ValueRange,
+    };
+
+    fn msg(value: Value, owner: NodeId, sid: u32) -> DataMessage {
+        DataMessage {
+            readings: vec![Reading::new(NodeId(7), Attribute::Light, value, SimTime::from_secs(1))],
+            owner,
+            sid: StorageIndexId(sid),
+        }
+    }
+
+    /// Routing state for node 5 with: parent 1, neighbor 2, descendant 9 via
+    /// child 3.
+    fn routing_for_node5() -> RoutingState {
+        let mut rs = RoutingState::new(NodeId(5), RoutingConfig::default());
+        let hear = |rs: &mut RoutingState, from: NodeId| {
+            for i in 0..10u32 {
+                rs.observe_packet(
+                    &PacketMeta {
+                        link_src: from,
+                        link_dst: LinkDst::Broadcast,
+                        origin: from,
+                        origin_parent: None,
+                        seqno: SeqNo(i),
+                        kind: MessageKind::Data,
+                        hops: 0,
+                    },
+                    SimTime::from_secs(i as u64),
+                );
+            }
+        };
+        hear(&mut rs, NodeId(1));
+        hear(&mut rs, NodeId(2));
+        hear(&mut rs, NodeId(3));
+        rs.on_beacon(
+            NodeId(1),
+            &scoop_routing::Beacon { hops: 0, path_etx: 0.0, parent: None },
+            SimTime::from_secs(20),
+        );
+        rs.note_routed_up(NodeId(9), NodeId(3), SimTime::from_secs(21));
+        rs
+    }
+
+    fn index_v2(domain: ValueRange, owner_of_everything: NodeId) -> StorageIndex {
+        let owners = vec![owner_of_everything; domain.width() as usize];
+        StorageIndex::from_owners(StorageIndexId(2), domain, &owners, SimTime::ZERO).unwrap()
+    }
+
+    #[test]
+    fn rule_2_owner_stores_locally() {
+        let rs = routing_for_node5();
+        let view = LocalNodeView { id: NodeId(5), index: None, routing: &rs, neighbor_shortcut: true };
+        let action = route_data(&view, msg(10, NodeId(5), 1));
+        assert!(matches!(action, DataRoutingAction::StoreLocal(_)));
+    }
+
+    #[test]
+    fn rule_1_newer_index_rewrites_owner() {
+        let rs = routing_for_node5();
+        let domain = ValueRange::new(0, 99);
+        let idx = index_v2(domain, NodeId(5));
+        let view = LocalNodeView { id: NodeId(5), index: Some(&idx), routing: &rs, neighbor_shortcut: true };
+        // The producer addressed the packet to node 2 under the older index 1,
+        // but our index 2 says we own everything, so we keep it.
+        let action = route_data(&view, msg(10, NodeId(2), 1));
+        match action {
+            DataRoutingAction::StoreLocal(m) => {
+                assert_eq!(m.owner, NodeId(5));
+                assert_eq!(m.sid, StorageIndexId(2));
+            }
+            other => panic!("expected StoreLocal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rule_1_does_not_rewrite_for_older_or_equal_index() {
+        let rs = routing_for_node5();
+        let domain = ValueRange::new(0, 99);
+        let idx = index_v2(domain, NodeId(5));
+        let view = LocalNodeView { id: NodeId(5), index: Some(&idx), routing: &rs, neighbor_shortcut: true };
+        // The packet already carries sid 3 (newer than our index 2): keep its
+        // owner and forward normally.
+        let action = route_data(&view, msg(10, NodeId(2), 3));
+        match action {
+            DataRoutingAction::Forward { next_hop, message } => {
+                assert_eq!(next_hop, NodeId(2), "rule 3 shortcut to the neighbor owner");
+                assert_eq!(message.owner, NodeId(2));
+                assert_eq!(message.sid, StorageIndexId(3));
+            }
+            other => panic!("expected Forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rule_3_neighbor_shortcut_and_its_ablation() {
+        let rs = routing_for_node5();
+        let view = LocalNodeView { id: NodeId(5), index: None, routing: &rs, neighbor_shortcut: true };
+        let action = route_data(&view, msg(10, NodeId(2), 1));
+        assert_eq!(
+            action,
+            DataRoutingAction::Forward { next_hop: NodeId(2), message: msg(10, NodeId(2), 1) }
+        );
+        // With the shortcut disabled the same packet goes up to the parent.
+        let view = LocalNodeView { id: NodeId(5), index: None, routing: &rs, neighbor_shortcut: false };
+        let action = route_data(&view, msg(10, NodeId(2), 1));
+        assert_eq!(
+            action,
+            DataRoutingAction::Forward { next_hop: NodeId(1), message: msg(10, NodeId(2), 1) }
+        );
+    }
+
+    #[test]
+    fn rule_4_basestation_stores_unroutable_data() {
+        let rs = RoutingState::new(NodeId::BASESTATION, RoutingConfig::default());
+        let view = LocalNodeView { id: NodeId::BASESTATION, index: None, routing: &rs, neighbor_shortcut: true };
+        let action = route_data(&view, msg(10, NodeId(31), 1));
+        assert!(matches!(action, DataRoutingAction::StoreLocal(_)));
+    }
+
+    #[test]
+    fn rule_5_descendant_goes_down_the_right_branch() {
+        let rs = routing_for_node5();
+        let view = LocalNodeView { id: NodeId(5), index: None, routing: &rs, neighbor_shortcut: true };
+        let action = route_data(&view, msg(10, NodeId(9), 1));
+        assert_eq!(
+            action,
+            DataRoutingAction::Forward { next_hop: NodeId(3), message: msg(10, NodeId(9), 1) }
+        );
+    }
+
+    #[test]
+    fn rule_6_default_is_the_parent() {
+        let rs = routing_for_node5();
+        let view = LocalNodeView { id: NodeId(5), index: None, routing: &rs, neighbor_shortcut: true };
+        // Owner 40 is not us, not a neighbor, not a descendant.
+        let action = route_data(&view, msg(10, NodeId(40), 1));
+        assert_eq!(
+            action,
+            DataRoutingAction::Forward { next_hop: NodeId(1), message: msg(10, NodeId(40), 1) }
+        );
+    }
+
+    #[test]
+    fn detached_node_stores_rather_than_losing_data() {
+        let rs = RoutingState::new(NodeId(5), RoutingConfig::default());
+        let view = LocalNodeView { id: NodeId(5), index: None, routing: &rs, neighbor_shortcut: true };
+        let action = route_data(&view, msg(10, NodeId(40), 1));
+        assert!(matches!(action, DataRoutingAction::StrandedStoreLocal(_)));
+    }
+}

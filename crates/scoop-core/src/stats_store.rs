@@ -1,0 +1,473 @@
+//! The basestation's statistics store.
+//!
+//! The basestation "always saves the last histogram it receives from each
+//! node, thus allowing it to reason about a node even if newer summary
+//! messages are lost" (Section 5.2); it also never discards *any* summary so
+//! that historical and aggregate queries can be answered from summaries alone
+//! (Section 5.5). Topology knowledge comes from two places: the neighbor
+//! lists in summaries and the `origin → origin's parent` pairs carried in
+//! every Scoop packet header. From these the store can estimate the expected
+//! number of transmissions between any two nodes (`xmits(x → y)` in Figure 2)
+//! and the probabilities the indexing algorithm needs.
+
+use crate::summary::SummaryMessage;
+use scoop_types::{NodeId, SimTime, StorageIndexId, Value, ValueRange};
+use std::collections::BinaryHeap;
+
+/// Expected transmissions charged when the store has no topology information
+/// connecting two nodes (e.g. right after startup). Large enough to steer the
+/// optimizer away from unknown placements, small enough to stay finite.
+const UNKNOWN_PATH_XMITS: f64 = 25.0;
+
+/// Prior probability that a user query covers any particular value, used
+/// before any query has been observed (the paper's default workload queries
+/// 1–5 % of the domain, so ~3 % is a neutral prior).
+const QUERY_PRIOR: f64 = 0.03;
+
+/// The basestation-side statistics store.
+#[derive(Clone, Debug)]
+pub struct StatsStore {
+    n: usize,
+    domain: ValueRange,
+    /// Last summary per node (index = node id).
+    latest: Vec<Option<SummaryMessage>>,
+    /// Every summary ever received (never discarded).
+    history: Vec<SummaryMessage>,
+    /// Routing-tree parent learned from packet headers.
+    parent_of: Vec<Option<NodeId>>,
+    /// Directed link quality knowledge: `quality[a][b]` is the best known
+    /// delivery probability for a transmission from `a` heard by `b`.
+    quality: Vec<Vec<f64>>,
+    /// Per-value count of observed queries covering that value.
+    query_value_counts: Vec<u64>,
+    /// Total queries observed.
+    query_count: u64,
+    /// When the first / last query was observed.
+    first_query: Option<SimTime>,
+    last_query: Option<SimTime>,
+    /// Cached all-pairs xmits estimates, invalidated when topology knowledge
+    /// changes.
+    xmits_cache: Option<Vec<Vec<f64>>>,
+}
+
+impl StatsStore {
+    /// Creates a store for a network of `total_nodes` nodes (including the
+    /// basestation) over the given attribute domain.
+    pub fn new(total_nodes: usize, domain: ValueRange) -> Self {
+        StatsStore {
+            n: total_nodes,
+            domain,
+            latest: vec![None; total_nodes],
+            history: Vec::new(),
+            parent_of: vec![None; total_nodes],
+            quality: vec![vec![0.0; total_nodes]; total_nodes],
+            query_value_counts: vec![0; domain.width() as usize],
+            query_count: 0,
+            first_query: None,
+            last_query: None,
+            xmits_cache: None,
+        }
+    }
+
+    /// Number of nodes (including the basestation).
+    pub fn total_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The attribute domain.
+    pub fn domain(&self) -> ValueRange {
+        self.domain
+    }
+
+    // ---------------------------------------------------------------------
+    // Ingest
+    // ---------------------------------------------------------------------
+
+    /// Records a summary message received from a node.
+    pub fn record_summary(&mut self, summary: SummaryMessage) {
+        let idx = summary.node.index();
+        if idx >= self.n {
+            return;
+        }
+        // Topology: the reporter hears each listed neighbor with the given
+        // quality, i.e. a directed link neighbor → reporter.
+        for nb in &summary.neighbors {
+            if nb.node.index() < self.n {
+                let q = nb.quality.clamp(0.0, 1.0);
+                let slot = &mut self.quality[nb.node.index()][idx];
+                if q > *slot {
+                    *slot = q;
+                }
+            }
+        }
+        if let Some(parent) = summary.parent {
+            self.note_parent(summary.node, parent);
+        }
+        self.latest[idx] = Some(summary.clone());
+        self.history.push(summary);
+        self.xmits_cache = None;
+    }
+
+    /// Records the `origin → origin's parent` pair carried in a Scoop packet
+    /// header.
+    pub fn note_parent(&mut self, origin: NodeId, parent: NodeId) {
+        if origin.index() >= self.n || parent.index() >= self.n || origin == parent {
+            return;
+        }
+        if self.parent_of[origin.index()] != Some(parent) {
+            self.parent_of[origin.index()] = Some(parent);
+            self.xmits_cache = None;
+        }
+        // A tree edge implies a usable link in both directions; assume a
+        // conservative quality if we have nothing better from summaries.
+        for (a, b) in [(origin, parent), (parent, origin)] {
+            let slot = &mut self.quality[a.index()][b.index()];
+            if *slot < 0.5 {
+                *slot = 0.5;
+            }
+        }
+    }
+
+    /// Records a user query over `values` issued at `now` (used to estimate
+    /// `P(user queries v)` and the query rate).
+    pub fn record_query(&mut self, values: &ValueRange, now: SimTime) {
+        self.query_count += 1;
+        if self.first_query.is_none() {
+            self.first_query = Some(now);
+        }
+        self.last_query = Some(now);
+        for v in values.values() {
+            if let Some(slot) = self
+                .query_value_counts
+                .get_mut((v - self.domain.lo) as usize)
+            {
+                *slot += 1;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Estimates used by the indexing algorithm
+    // ---------------------------------------------------------------------
+
+    /// All nodes the algorithm should consider as potential owners: every
+    /// node id, basestation first.
+    pub fn candidate_owners(&self) -> Vec<NodeId> {
+        (0..self.n).map(|i| NodeId(i as u16)).collect()
+    }
+
+    /// The paper's `P(p produces v)` for node `p`, from its latest histogram.
+    pub fn p_produces(&self, p: NodeId, v: Value) -> f64 {
+        self.latest
+            .get(p.index())
+            .and_then(|s| s.as_ref())
+            .map(|s| s.probability_of(v))
+            .unwrap_or(0.0)
+    }
+
+    /// The data production rate of node `p` in readings per second.
+    pub fn data_rate(&self, p: NodeId) -> f64 {
+        self.latest
+            .get(p.index())
+            .and_then(|s| s.as_ref())
+            .map(|s| s.data_rate_hz)
+            .unwrap_or(0.0)
+    }
+
+    /// `P(user queries v)`: the fraction of observed queries whose value range
+    /// contains `v`, or a neutral prior before any query has been seen.
+    pub fn p_queries(&self, v: Value) -> f64 {
+        if self.query_count == 0 {
+            return QUERY_PRIOR;
+        }
+        let idx = (v - self.domain.lo) as usize;
+        self.query_value_counts
+            .get(idx)
+            .map(|&c| c as f64 / self.query_count as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// The observed query rate in queries per second, measured over the span
+    /// between the first and last query (plus one nominal interval so a
+    /// single query does not imply an infinite rate). Zero if no query has
+    /// been observed.
+    pub fn query_rate_hz(&self) -> f64 {
+        match (self.first_query, self.last_query) {
+            (Some(first), Some(last)) if self.query_count > 0 => {
+                let span = (last - first).as_secs_f64();
+                if span <= 0.0 {
+                    // A single query (or several in one instant): assume one
+                    // per paper-default interval.
+                    1.0 / 15.0
+                } else {
+                    // `query_count` queries over `span` seconds; the open
+                    // interval after the last query is not yet known.
+                    (self.query_count.saturating_sub(1)) as f64 / span
+                }
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Latest reported "newest complete storage index" across all sensor
+    /// nodes; the minimum such id is the oldest index that may still be in
+    /// active use somewhere in the network.
+    pub fn min_live_index(&self) -> StorageIndexId {
+        self.latest
+            .iter()
+            .skip(1) // the basestation itself
+            .filter_map(|s| s.as_ref())
+            .map(|s| s.newest_complete_index)
+            .min()
+            .unwrap_or(StorageIndexId::NONE)
+    }
+
+    /// The newest complete index reported by a specific node.
+    pub fn newest_complete_index(&self, node: NodeId) -> StorageIndexId {
+        self.latest
+            .get(node.index())
+            .and_then(|s| s.as_ref())
+            .map(|s| s.newest_complete_index)
+            .unwrap_or(StorageIndexId::NONE)
+    }
+
+    /// The latest summary from `node`, if any.
+    pub fn latest_summary(&self, node: NodeId) -> Option<&SummaryMessage> {
+        self.latest.get(node.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Every summary ever received (the basestation never discards them).
+    pub fn summary_history(&self) -> &[SummaryMessage] {
+        &self.history
+    }
+
+    /// Number of sensor nodes that have reported at least one summary.
+    pub fn nodes_reporting(&self) -> usize {
+        self.latest.iter().skip(1).filter(|s| s.is_some()).count()
+    }
+
+    /// The maximum value reported by any node's summary — the "answer MAX
+    /// from summaries without touching the network" shortcut (Section 5.5).
+    pub fn max_from_summaries(&self) -> Option<Value> {
+        self.latest
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .filter_map(|s| s.max)
+            .max()
+    }
+
+    /// The minimum value reported by any node's summary.
+    pub fn min_from_summaries(&self) -> Option<Value> {
+        self.latest
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .filter_map(|s| s.min)
+            .min()
+    }
+
+    // ---------------------------------------------------------------------
+    // xmits(x → y)
+    // ---------------------------------------------------------------------
+
+    /// The expected number of transmissions to move a packet from `a` to `b`,
+    /// estimated from the link-quality graph assembled out of summaries and
+    /// packet headers. Symmetric by construction (the underlying graph is
+    /// made undirected by taking the better direction of each link). Nodes
+    /// with no known connectivity get a large finite penalty.
+    pub fn xmits(&mut self, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        if a.index() >= self.n || b.index() >= self.n {
+            return UNKNOWN_PATH_XMITS;
+        }
+        self.ensure_xmits_cache();
+        self.xmits_cache.as_ref().expect("cache just built")[a.index()][b.index()]
+    }
+
+    /// Round-trip estimate `xmits(base → o → base)` from Figure 2.
+    pub fn xmits_roundtrip_base(&mut self, o: NodeId) -> f64 {
+        2.0 * self.xmits(NodeId::BASESTATION, o)
+    }
+
+    fn ensure_xmits_cache(&mut self) {
+        if self.xmits_cache.is_some() {
+            return;
+        }
+        // Undirected ETX graph: weight = 1 / max(quality in either direction).
+        let n = self.n;
+        let mut weight = vec![vec![f64::INFINITY; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let q = self.quality[a][b].max(self.quality[b][a]);
+                if q > 0.0 {
+                    weight[a][b] = 1.0 / q;
+                }
+            }
+        }
+        // Dijkstra from every source.
+        let mut all = vec![vec![UNKNOWN_PATH_XMITS; n]; n];
+        for src in 0..n {
+            let dist = dijkstra(&weight, src);
+            for (dst, d) in dist.into_iter().enumerate() {
+                all[src][dst] = if d.is_finite() { d } else { UNKNOWN_PATH_XMITS };
+            }
+        }
+        self.xmits_cache = Some(all);
+    }
+}
+
+/// Simple binary-heap Dijkstra over a dense weight matrix.
+fn dijkstra(weight: &[Vec<f64>], src: usize) -> Vec<f64> {
+    let n = weight.len();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src] = 0.0;
+    // BinaryHeap is a max-heap over ordered keys; store negated distances as
+    // sortable integers (micro-units) to avoid a float Ord wrapper.
+    let mut heap: BinaryHeap<(i64, usize)> = BinaryHeap::new();
+    heap.push((0, src));
+    while let Some((neg_d, u)) = heap.pop() {
+        let d = -(neg_d as f64) / 1e6;
+        if d > dist[u] + 1e-9 {
+            continue;
+        }
+        for v in 0..n {
+            let w = weight[u][v];
+            if !w.is_finite() {
+                continue;
+            }
+            let nd = dist[u] + w;
+            if nd + 1e-12 < dist[v] {
+                dist[v] = nd;
+                heap.push((-(nd * 1e6) as i64, v));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::SummaryHistogram;
+    use crate::summary::ReportedNeighbor;
+
+    fn summary(node: u16, values: &[Value], neighbors: &[(u16, f64)], parent: Option<u16>) -> SummaryMessage {
+        SummaryMessage {
+            node: NodeId(node),
+            histogram: SummaryHistogram::build(values, 10),
+            min: values.iter().min().copied(),
+            max: values.iter().max().copied(),
+            sum: values.iter().map(|&v| v as i64).sum(),
+            count: values.len() as u32,
+            data_rate_hz: 1.0 / 15.0,
+            neighbors: neighbors
+                .iter()
+                .map(|&(n, q)| ReportedNeighbor { node: NodeId(n), quality: q })
+                .collect(),
+            parent: parent.map(NodeId),
+            newest_complete_index: StorageIndexId(1),
+            generated_at: SimTime::from_secs(60),
+        }
+    }
+
+    fn domain() -> ValueRange {
+        ValueRange::new(0, 99)
+    }
+
+    #[test]
+    fn summaries_drive_probabilities_and_rates() {
+        let mut st = StatsStore::new(4, domain());
+        st.record_summary(summary(1, &[10, 10, 10, 50], &[(0, 0.9)], Some(0)));
+        assert!(st.p_produces(NodeId(1), 10) > st.p_produces(NodeId(1), 50));
+        assert_eq!(st.p_produces(NodeId(2), 10), 0.0);
+        assert!((st.data_rate(NodeId(1)) - 1.0 / 15.0).abs() < 1e-9);
+        assert_eq!(st.data_rate(NodeId(3)), 0.0);
+        assert_eq!(st.nodes_reporting(), 1);
+        assert_eq!(st.summary_history().len(), 1);
+    }
+
+    #[test]
+    fn latest_summary_wins_but_history_is_kept() {
+        let mut st = StatsStore::new(3, domain());
+        st.record_summary(summary(1, &[10; 5], &[], Some(0)));
+        st.record_summary(summary(1, &[90; 5], &[], Some(0)));
+        assert!(st.p_produces(NodeId(1), 90) > 0.0);
+        assert_eq!(st.p_produces(NodeId(1), 10), 0.0);
+        assert_eq!(st.summary_history().len(), 2);
+    }
+
+    #[test]
+    fn query_statistics() {
+        let mut st = StatsStore::new(3, domain());
+        // Before any query: neutral prior.
+        assert!((st.p_queries(50) - QUERY_PRIOR).abs() < 1e-12);
+        assert_eq!(st.query_rate_hz(), 0.0);
+        st.record_query(&ValueRange::new(10, 19), SimTime::from_secs(600));
+        st.record_query(&ValueRange::new(10, 14), SimTime::from_secs(615));
+        st.record_query(&ValueRange::new(80, 84), SimTime::from_secs(630));
+        assert!((st.p_queries(12) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((st.p_queries(82) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(st.p_queries(50), 0.0);
+        let rate = st.query_rate_hz();
+        assert!((rate - 2.0 / 30.0).abs() < 1e-6, "rate {rate}");
+    }
+
+    #[test]
+    fn xmits_uses_link_graph() {
+        let mut st = StatsStore::new(4, domain());
+        // 0 - 1 - 2 chain with perfect links, node 3 unknown.
+        st.record_summary(summary(1, &[5], &[(0, 1.0), (2, 1.0)], Some(0)));
+        st.record_summary(summary(2, &[5], &[(1, 1.0)], Some(1)));
+        assert!((st.xmits(NodeId(0), NodeId(1)) - 1.0).abs() < 1e-6);
+        assert!((st.xmits(NodeId(0), NodeId(2)) - 2.0).abs() < 1e-6);
+        assert_eq!(st.xmits(NodeId(1), NodeId(1)), 0.0);
+        assert!(st.xmits(NodeId(0), NodeId(3)) >= UNKNOWN_PATH_XMITS - 1e-9);
+        assert!((st.xmits_roundtrip_base(NodeId(2)) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lossier_links_cost_more_xmits() {
+        let mut st = StatsStore::new(3, domain());
+        st.record_summary(summary(1, &[5], &[(0, 0.5)], Some(0)));
+        st.record_summary(summary(2, &[5], &[(0, 1.0)], Some(0)));
+        assert!(st.xmits(NodeId(0), NodeId(1)) > st.xmits(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn packet_headers_reveal_tree_edges() {
+        let mut st = StatsStore::new(3, domain());
+        st.note_parent(NodeId(2), NodeId(1));
+        st.note_parent(NodeId(1), NodeId(0));
+        // Even with no summaries, the tree edges give finite path estimates.
+        assert!(st.xmits(NodeId(0), NodeId(2)) < UNKNOWN_PATH_XMITS);
+    }
+
+    #[test]
+    fn min_live_index_and_aggregates() {
+        let mut st = StatsStore::new(4, domain());
+        assert_eq!(st.min_live_index(), StorageIndexId::NONE);
+        let mut s1 = summary(1, &[10, 20], &[], Some(0));
+        s1.newest_complete_index = StorageIndexId(3);
+        let mut s2 = summary(2, &[70, 80], &[], Some(0));
+        s2.newest_complete_index = StorageIndexId(5);
+        st.record_summary(s1);
+        st.record_summary(s2);
+        assert_eq!(st.min_live_index(), StorageIndexId(3));
+        assert_eq!(st.newest_complete_index(NodeId(2)), StorageIndexId(5));
+        assert_eq!(st.max_from_summaries(), Some(80));
+        assert_eq!(st.min_from_summaries(), Some(10));
+    }
+
+    #[test]
+    fn ignores_out_of_range_nodes() {
+        let mut st = StatsStore::new(3, domain());
+        st.record_summary(summary(99, &[5], &[], None));
+        assert_eq!(st.nodes_reporting(), 0);
+        st.note_parent(NodeId(50), NodeId(0));
+        assert_eq!(st.xmits(NodeId(0), NodeId(50)), UNKNOWN_PATH_XMITS);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the Scoop core: the statistics store's path
+//! estimates, the cost model's structural properties (P1-P3 from Section 4),
+//! and the index builder's output invariants.
+
+use proptest::prelude::*;
+use scoop_core::histogram::SummaryHistogram;
+use scoop_core::index::{IndexBuilder, IndexBuilderConfig, IndexDecision};
+use scoop_core::summary::{ReportedNeighbor, SummaryMessage};
+use scoop_core::{CostModel, CostParams, StatsStore};
+use scoop_types::{NodeId, SimTime, StorageIndexId, Value, ValueRange};
+
+/// Builds a stats store for `n` sensors arranged in a chain with the given
+/// per-node value centres.
+fn chain_store(centres: &[Value], domain: ValueRange) -> StatsStore {
+    let n = centres.len();
+    let mut st = StatsStore::new(n + 1, domain);
+    for (i, &centre) in centres.iter().enumerate() {
+        let id = i + 1;
+        let values: Vec<Value> = (0..20)
+            .map(|k| (centre + (k % 3) - 1).clamp(domain.lo, domain.hi))
+            .collect();
+        let mut neighbors = vec![ReportedNeighbor {
+            node: NodeId((id - 1) as u16),
+            quality: 0.9,
+        }];
+        if id < n {
+            neighbors.push(ReportedNeighbor {
+                node: NodeId((id + 1) as u16),
+                quality: 0.9,
+            });
+        }
+        st.record_summary(SummaryMessage {
+            node: NodeId(id as u16),
+            histogram: SummaryHistogram::build(&values, 10),
+            min: values.iter().min().copied(),
+            max: values.iter().max().copied(),
+            sum: values.iter().map(|&v| v as i64).sum(),
+            count: values.len() as u32,
+            data_rate_hz: 1.0 / 15.0,
+            neighbors,
+            parent: Some(NodeId((id - 1) as u16)),
+            newest_complete_index: StorageIndexId(1),
+            generated_at: SimTime::from_secs(60),
+        });
+    }
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// xmits() is a pseudometric on the known part of the network: zero on
+    /// the diagonal, symmetric, and satisfying the triangle inequality.
+    #[test]
+    fn xmits_is_a_pseudometric(
+        centres in proptest::collection::vec(0i32..100, 2..10),
+    ) {
+        let domain = ValueRange::new(0, 99);
+        let mut st = chain_store(&centres, domain);
+        let n = st.total_nodes();
+        for a in 0..n {
+            for b in 0..n {
+                let ab = st.xmits(NodeId(a as u16), NodeId(b as u16));
+                let ba = st.xmits(NodeId(b as u16), NodeId(a as u16));
+                prop_assert!((ab - ba).abs() < 1e-9, "xmits not symmetric: {ab} vs {ba}");
+                if a == b {
+                    prop_assert_eq!(ab, 0.0);
+                } else {
+                    prop_assert!(ab >= 1.0, "one hop costs at least one transmission, got {ab}");
+                }
+                for c in 0..n {
+                    let ac = st.xmits(NodeId(a as u16), NodeId(c as u16));
+                    let cb = st.xmits(NodeId(c as u16), NodeId(b as u16));
+                    prop_assert!(ab <= ac + cb + 1e-9, "triangle violated");
+                }
+            }
+        }
+    }
+
+    /// The cost model's placement cost is non-negative and monotone in the
+    /// query rate (P2): raising the query rate never makes a far-from-root
+    /// placement cheaper relative to the root.
+    #[test]
+    fn query_rate_monotonically_penalizes_distant_owners(
+        centres in proptest::collection::vec(0i32..100, 3..8),
+        value in 0i32..100,
+        rate_a in 0.0f64..0.2,
+        rate_extra in 0.001f64..2.0,
+    ) {
+        let domain = ValueRange::new(0, 99);
+        let st = chain_store(&centres, domain);
+        let far = NodeId(centres.len() as u16); // end of the chain
+        let slow = CostModel::new(&st, CostParams::with_query_rate(rate_a));
+        let fast = CostModel::new(&st, CostParams::with_query_rate(rate_a + rate_extra));
+        let margin_slow = slow.placement_cost(far, value) - slow.placement_cost(NodeId::BASESTATION, value);
+        let margin_fast = fast.placement_cost(far, value) - fast.placement_cost(NodeId::BASESTATION, value);
+        prop_assert!(slow.placement_cost(far, value) >= 0.0);
+        prop_assert!(
+            margin_fast >= margin_slow - 1e-9,
+            "more querying should penalize the distant owner at least as much"
+        );
+    }
+
+    /// The index builder always produces a complete index over the domain
+    /// whose owners are valid node ids, regardless of the data distribution
+    /// or query rate.
+    #[test]
+    fn index_builder_output_is_well_formed(
+        centres in proptest::collection::vec(0i32..100, 2..10),
+        query_rate in 0.0f64..2.0,
+    ) {
+        let domain = ValueRange::new(0, 99);
+        let st = chain_store(&centres, domain);
+        let builder = IndexBuilder::new(IndexBuilderConfig::default());
+        let decision = builder.build(
+            &st,
+            CostParams::with_query_rate(query_rate),
+            StorageIndexId(7),
+            SimTime::from_secs(300),
+        );
+        let index = match decision {
+            IndexDecision::UseIndex(i) => i,
+            IndexDecision::StoreLocal { index, .. } => index,
+        };
+        prop_assert!(index.is_complete());
+        prop_assert_eq!(index.id(), StorageIndexId(7));
+        let n = st.total_nodes();
+        for entry in index.entries() {
+            prop_assert!(entry.owner.index() < n, "owner {} out of range", entry.owner);
+            prop_assert!(domain.covers(&entry.range));
+        }
+        // Entries are sorted and contiguous.
+        prop_assert_eq!(index.entries().first().map(|e| e.range.lo), Some(domain.lo));
+        prop_assert_eq!(index.entries().last().map(|e| e.range.hi), Some(domain.hi));
+    }
+
+    /// With zero query rate, placing a value at a node that produces it is
+    /// never more expensive than placing it anywhere else (P1/P3).
+    #[test]
+    fn producers_are_optimal_owners_without_queries(
+        centres in proptest::collection::vec(5i32..95, 2..8),
+        which in 0usize..8,
+    ) {
+        let domain = ValueRange::new(0, 99);
+        let st = chain_store(&centres, domain);
+        let model = CostModel::new(&st, CostParams::with_query_rate(0.0));
+        let idx = which % centres.len();
+        let producer = NodeId((idx + 1) as u16);
+        let value = centres[idx];
+        let at_producer = model.placement_cost(producer, value);
+        for candidate in st.candidate_owners() {
+            prop_assert!(
+                at_producer <= model.placement_cost(candidate, value) + 1e-9,
+                "placing {value} away from its producer should not be cheaper"
+            );
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Energy accounting.
+//!
+//! Section 2.1 of the paper gives the calibration points this model uses:
+//! writing a bit to flash costs about 28 nJ, while transmitting a bit over
+//! the radio costs about 700 nJ — two orders of magnitude more. Reception is
+//! comparable in cost to transmission on mote-class radios because the
+//! receiver must be powered the whole time; the paper's root-skew discussion
+//! counts the root's receptions for exactly this reason.
+
+use crate::stats::{NetworkStats, NodeStats};
+use scoop_types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Energy cost parameters.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Nanojoules per bit transmitted over the radio (paper: ~700 nJ/bit).
+    pub radio_tx_nj_per_bit: f64,
+    /// Nanojoules per bit received over the radio.
+    pub radio_rx_nj_per_bit: f64,
+    /// Nanojoules per bit written to flash (paper: ~28 nJ/bit).
+    pub flash_write_nj_per_bit: f64,
+    /// Nanojoules per bit read from flash ("reads are substantially cheaper").
+    pub flash_read_nj_per_bit: f64,
+    /// Payload size assumed per message, in bits (a TinyOS packet carries
+    /// roughly 29 bytes of payload plus header; we charge 36 bytes on air).
+    pub bits_per_message: f64,
+    /// Battery capacity in joules (a pair of AA cells is roughly 10 kJ usable;
+    /// used only for the lifetime estimates in the root-skew experiment).
+    pub battery_joules: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            radio_tx_nj_per_bit: 700.0,
+            radio_rx_nj_per_bit: 700.0,
+            flash_write_nj_per_bit: 28.0,
+            flash_read_nj_per_bit: 7.0,
+            bits_per_message: 36.0 * 8.0,
+            battery_joules: 10_000.0,
+        }
+    }
+}
+
+/// Energy spent by one node, in joules, split by activity.
+#[derive(Clone, Copy, Default, PartialEq, Debug, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Radio transmission energy.
+    pub tx_joules: f64,
+    /// Radio reception energy (addressed packets only).
+    pub rx_joules: f64,
+    /// Flash write energy.
+    pub flash_joules: f64,
+}
+
+impl EnergyReport {
+    /// Total energy across all activities.
+    pub fn total(&self) -> f64 {
+        self.tx_joules + self.rx_joules + self.flash_joules
+    }
+}
+
+impl EnergyModel {
+    /// Energy report for a single node given its counters and the number of
+    /// readings it wrote to flash.
+    pub fn node_energy(&self, stats: &NodeStats, flash_writes: u64, reading_bits: f64) -> EnergyReport {
+        let nj_to_j = 1e-9;
+        EnergyReport {
+            tx_joules: stats.total_tx() as f64 * self.bits_per_message * self.radio_tx_nj_per_bit
+                * nj_to_j,
+            rx_joules: stats.total_rx() as f64 * self.bits_per_message * self.radio_rx_nj_per_bit
+                * nj_to_j,
+            flash_joules: flash_writes as f64 * reading_bits * self.flash_write_nj_per_bit * nj_to_j,
+        }
+    }
+
+    /// Expected node lifetime in days given an energy spend over a measured
+    /// window of `window_secs` seconds of simulated operation.
+    ///
+    /// This only accounts for communication/storage energy (the paper's
+    /// argument is that communication dominates); idle listening and CPU are
+    /// excluded, so the *ratios* between policies are meaningful rather than
+    /// the absolute values.
+    pub fn lifetime_days(&self, report: &EnergyReport, window_secs: f64) -> f64 {
+        if report.total() <= 0.0 {
+            return f64::INFINITY;
+        }
+        let joules_per_sec = report.total() / window_secs;
+        self.battery_joules / joules_per_sec / 86_400.0
+    }
+
+    /// Ratio of per-bit radio cost to per-bit flash write cost (the paper
+    /// quotes roughly two orders of magnitude).
+    pub fn radio_to_flash_ratio(&self) -> f64 {
+        self.radio_tx_nj_per_bit / self.flash_write_nj_per_bit
+    }
+
+    /// Network-wide energy, one report per node.
+    pub fn network_energy(
+        &self,
+        stats: &NetworkStats,
+        flash_writes_per_node: &[u64],
+        reading_bits: f64,
+    ) -> Vec<(NodeId, EnergyReport)> {
+        stats
+            .iter()
+            .map(|(node, s)| {
+                let writes = flash_writes_per_node.get(node.index()).copied().unwrap_or(0);
+                (node, self.node_energy(s, writes, reading_bits))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_types::MessageKind;
+
+    #[test]
+    fn radio_dominates_flash_by_two_orders_of_magnitude() {
+        let m = EnergyModel::default();
+        assert!(m.radio_to_flash_ratio() > 20.0);
+        assert!(m.radio_to_flash_ratio() < 100.0 * 10.0);
+    }
+
+    #[test]
+    fn node_energy_scales_with_traffic() {
+        let m = EnergyModel::default();
+        let mut a = NodeStats::default();
+        a.tx.record_n(MessageKind::Data, 100);
+        let mut b = NodeStats::default();
+        b.tx.record_n(MessageKind::Data, 200);
+        let ea = m.node_energy(&a, 0, 12.0);
+        let eb = m.node_energy(&b, 0, 12.0);
+        assert!(eb.tx_joules > ea.tx_joules * 1.99);
+        assert_eq!(ea.flash_joules, 0.0);
+    }
+
+    #[test]
+    fn storing_locally_is_cheaper_than_transmitting() {
+        let m = EnergyModel::default();
+        // One reading stored to flash...
+        let stored = m.node_energy(&NodeStats::default(), 1, 12.0);
+        // ...versus one message transmitted one hop.
+        let mut s = NodeStats::default();
+        s.tx.record(MessageKind::Data);
+        let sent = m.node_energy(&s, 0, 12.0);
+        assert!(sent.total() > stored.total() * 10.0);
+    }
+
+    #[test]
+    fn lifetime_decreases_with_load() {
+        let m = EnergyModel::default();
+        let mut light = NodeStats::default();
+        light.tx.record_n(MessageKind::Data, 100);
+        let mut heavy = NodeStats::default();
+        heavy.tx.record_n(MessageKind::Data, 10_000);
+        let window = 1800.0;
+        let l1 = m.lifetime_days(&m.node_energy(&light, 0, 12.0), window);
+        let l2 = m.lifetime_days(&m.node_energy(&heavy, 0, 12.0), window);
+        assert!(l1 > l2 * 50.0);
+        // Zero activity means (formally) unbounded lifetime.
+        assert!(m
+            .lifetime_days(&m.node_energy(&NodeStats::default(), 0, 12.0), window)
+            .is_infinite());
+    }
+
+    #[test]
+    fn network_energy_covers_every_node() {
+        let m = EnergyModel::default();
+        let mut stats = NetworkStats::new(4);
+        stats.record_tx(NodeId(2), MessageKind::Data);
+        let reports = m.network_energy(&stats, &[0, 0, 5, 0], 12.0);
+        assert_eq!(reports.len(), 4);
+        assert!(reports[2].1.total() > 0.0);
+        assert_eq!(reports[1].1.total(), 0.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Per-directed-pair link quality and loss model.
+//!
+//! Section 6 of the paper describes the simulated radio environment: among
+//! pairs that can hear each other, "loss rates vary from twenty-five percent
+//! to about ninety percent" and "connections are slightly asymmetric, as in
+//! most real wireless networks". The [`LinkModel`] reproduces that: every
+//! directed link within radio range gets a delivery probability that decays
+//! with distance, plus per-direction random noise.
+
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scoop_types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Quality of one directed link.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LinkQuality {
+    /// Probability that a single transmission on this link is received.
+    pub delivery_prob: f64,
+}
+
+impl LinkQuality {
+    /// A link that never delivers anything (out of range).
+    pub const DEAD: LinkQuality = LinkQuality { delivery_prob: 0.0 };
+
+    /// Loss probability (complement of delivery).
+    pub fn loss_prob(&self) -> f64 {
+        1.0 - self.delivery_prob
+    }
+
+    /// Expected number of transmissions needed for one successful delivery
+    /// (the ETX metric used by Woo et al. and De Couto et al.). Dead links
+    /// report `f64::INFINITY`.
+    pub fn etx(&self) -> f64 {
+        if self.delivery_prob <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.delivery_prob
+        }
+    }
+
+    /// Returns `true` if the link can deliver packets at all.
+    pub fn is_usable(&self) -> bool {
+        self.delivery_prob > 0.0
+    }
+}
+
+/// Parameters controlling how link quality is derived from the topology.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LinkModelParams {
+    /// Delivery probability of a link at (near-)zero distance.
+    pub max_delivery: f64,
+    /// Delivery probability of a link right at the edge of radio range.
+    pub min_delivery: f64,
+    /// Standard deviation of the per-direction noise added to delivery
+    /// probability (produces asymmetry).
+    pub asymmetry_noise: f64,
+}
+
+impl Default for LinkModelParams {
+    fn default() -> Self {
+        // Calibrated so connected pairs land in the paper's 25–90 % loss band.
+        LinkModelParams {
+            max_delivery: 0.78,
+            min_delivery: 0.10,
+            asymmetry_noise: 0.06,
+        }
+    }
+}
+
+/// Delivery probabilities for every directed pair of nodes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinkModel {
+    n: usize,
+    /// Row-major `n × n` matrix of delivery probabilities. Entry `(i, j)` is
+    /// the probability that a packet transmitted by `i` is received by `j`.
+    delivery: Vec<f64>,
+    params: LinkModelParams,
+}
+
+impl LinkModel {
+    /// Derives a link model from a topology with the default parameters.
+    pub fn from_topology(topo: &Topology, seed: u64) -> Self {
+        Self::with_params(topo, seed, LinkModelParams::default())
+    }
+
+    /// Derives a link model from a topology with explicit parameters.
+    pub fn with_params(topo: &Topology, seed: u64, params: LinkModelParams) -> Self {
+        let n = topo.len();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11d4_11d4);
+        let mut delivery = vec![0.0; n * n];
+        for i in 0..n {
+            let a = NodeId(i as u16);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let b = NodeId(j as u16);
+                if !topo.in_range(a, b) {
+                    continue;
+                }
+                let d = topo.distance(a, b).unwrap_or(f64::INFINITY);
+                let frac = (d / topo.radio_range()).clamp(0.0, 1.0);
+                // Linear decay from max_delivery at distance 0 to min_delivery
+                // at the edge of range, plus per-direction Gaussian-ish noise
+                // (two uniform draws averaged keeps the dependency set small).
+                let base = params.max_delivery - frac * (params.max_delivery - params.min_delivery);
+                let noise: f64 = (rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0)) / 2.0
+                    * params.asymmetry_noise
+                    * 2.0;
+                delivery[i * n + j] =
+                    (base + noise).clamp(params.min_delivery * 0.5, params.max_delivery);
+            }
+        }
+        LinkModel {
+            n,
+            delivery,
+            params,
+        }
+    }
+
+    /// A loss-free link model over a topology: every in-range directed link
+    /// delivers with probability 1. Useful for tests isolating protocol
+    /// logic from loss.
+    pub fn perfect(topo: &Topology) -> Self {
+        let n = topo.len();
+        let mut delivery = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && topo.in_range(NodeId(i as u16), NodeId(j as u16)) {
+                    delivery[i * n + j] = 1.0;
+                }
+            }
+        }
+        LinkModel {
+            n,
+            delivery,
+            params: LinkModelParams {
+                max_delivery: 1.0,
+                min_delivery: 1.0,
+                asymmetry_noise: 0.0,
+            },
+        }
+    }
+
+    /// Number of nodes covered by the model.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false for a constructed model.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The parameters the model was built with.
+    pub fn params(&self) -> LinkModelParams {
+        self.params
+    }
+
+    /// Quality of the directed link `from → to`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkQuality {
+        if from.index() >= self.n || to.index() >= self.n || from == to {
+            return LinkQuality::DEAD;
+        }
+        LinkQuality {
+            delivery_prob: self.delivery[from.index() * self.n + to.index()],
+        }
+    }
+
+    /// Overrides the delivery probability of one directed link (used by tests
+    /// and by failure-injection experiments).
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, delivery_prob: f64) {
+        if from.index() < self.n && to.index() < self.n && from != to {
+            self.delivery[from.index() * self.n + to.index()] = delivery_prob.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Nodes with a usable link *from* `node` (i.e. nodes that can hear it).
+    pub fn listeners(&self, node: NodeId) -> Vec<NodeId> {
+        (0..self.n)
+            .map(|i| NodeId(i as u16))
+            .filter(|&m| m != node && self.link(node, m).is_usable())
+            .collect()
+    }
+
+    /// Mean loss probability over all usable directed links.
+    pub fn mean_loss(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let p = self.delivery[i * self.n + j];
+                if i != j && p > 0.0 {
+                    total += 1.0 - p;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Fraction of usable link pairs whose two directions differ by more than
+    /// `threshold` in delivery probability — a measure of asymmetry.
+    pub fn asymmetric_fraction(&self, threshold: f64) -> f64 {
+        let mut asym = 0usize;
+        let mut count = 0usize;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let a = self.delivery[i * self.n + j];
+                let b = self.delivery[j * self.n + i];
+                if a > 0.0 || b > 0.0 {
+                    count += 1;
+                    if (a - b).abs() > threshold {
+                        asym += 1;
+                    }
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            asym as f64 / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn testbed() -> (Topology, LinkModel) {
+        let topo = Topology::office_floor(62, 11).unwrap();
+        let links = LinkModel::from_topology(&topo, 11);
+        (topo, links)
+    }
+
+    #[test]
+    fn loss_rates_match_paper_band() {
+        let (topo, links) = testbed();
+        let mut losses = Vec::new();
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a != b && topo.in_range(a, b) {
+                    losses.push(links.link(a, b).loss_prob());
+                }
+            }
+        }
+        assert!(!losses.is_empty());
+        let min = losses.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = losses.iter().cloned().fold(0.0, f64::max);
+        // Paper: loss rates vary from ~25 % to ~90 % among connected pairs.
+        assert!(min < 0.35, "best links should lose < 35 %, got {min}");
+        assert!(max > 0.70, "worst links should lose > 70 %, got {max}");
+        assert!(max <= 0.97, "even the worst link should sometimes deliver");
+    }
+
+    #[test]
+    fn out_of_range_links_are_dead() {
+        let (topo, links) = testbed();
+        let mut checked = 0;
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a != b && !topo.in_range(a, b) {
+                    assert!(!links.link(a, b).is_usable());
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn links_are_asymmetric() {
+        let (_, links) = testbed();
+        assert!(
+            links.asymmetric_fraction(0.02) > 0.3,
+            "a substantial fraction of links should differ between directions"
+        );
+    }
+
+    #[test]
+    fn self_links_and_unknown_nodes_are_dead() {
+        let (_, links) = testbed();
+        assert!(!links.link(NodeId(4), NodeId(4)).is_usable());
+        assert!(!links.link(NodeId(4), NodeId(120)).is_usable());
+    }
+
+    #[test]
+    fn etx_is_inverse_delivery() {
+        let q = LinkQuality { delivery_prob: 0.5 };
+        assert!((q.etx() - 2.0).abs() < 1e-9);
+        assert!(LinkQuality::DEAD.etx().is_infinite());
+    }
+
+    #[test]
+    fn perfect_model_has_no_loss() {
+        let topo = Topology::grid(4, 10.0).unwrap();
+        let links = LinkModel::perfect(&topo);
+        assert_eq!(links.mean_loss(), 0.0);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a != b && topo.in_range(a, b) {
+                    assert_eq!(links.link(a, b).delivery_prob, 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_link_overrides_and_clamps() {
+        let topo = Topology::grid(3, 10.0).unwrap();
+        let mut links = LinkModel::perfect(&topo);
+        links.set_link(NodeId(0), NodeId(1), 0.25);
+        assert!((links.link(NodeId(0), NodeId(1)).delivery_prob - 0.25).abs() < 1e-12);
+        links.set_link(NodeId(0), NodeId(1), 7.0);
+        assert_eq!(links.link(NodeId(0), NodeId(1)).delivery_prob, 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let topo = Topology::office_floor(20, 5).unwrap();
+        let a = LinkModel::from_topology(&topo, 9);
+        let b = LinkModel::from_topology(&topo, 9);
+        let c = LinkModel::from_topology(&topo, 10);
+        assert_eq!(
+            a.link(NodeId(1), NodeId(2)).delivery_prob,
+            b.link(NodeId(1), NodeId(2)).delivery_prob
+        );
+        // A different seed should perturb at least some link.
+        let differs = topo.nodes().any(|x| {
+            topo.nodes().any(|y| {
+                a.link(x, y).delivery_prob != c.link(x, y).delivery_prob
+            })
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn listeners_match_topology_neighbors() {
+        let topo = Topology::grid(3, 10.0).unwrap();
+        let links = LinkModel::perfect(&topo);
+        for n in topo.nodes() {
+            let mut a = links.listeners(n);
+            let mut b: Vec<NodeId> = topo.neighbors(n).to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+}

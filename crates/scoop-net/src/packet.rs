@@ -1,0 +1,116 @@
+//! Packets and their headers.
+//!
+//! The simulator is generic over the application payload `P`; the simulation
+//! harness instantiates it with an enum covering Scoop's summary, mapping,
+//! data, query, and reply messages. The header mirrors Scoop's custom packet
+//! header (Section 5.2): every packet carries its *origin* and the origin's
+//! current routing-tree parent, which is how the basestation learns the
+//! parent/child structure of the tree.
+
+use scoop_types::{MessageKind, NodeId, SeqNo};
+use serde::{Deserialize, Serialize};
+
+/// Link-layer destination of a transmission.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum LinkDst {
+    /// Addressed to a specific neighbor; acknowledged and retransmitted.
+    Unicast(NodeId),
+    /// Local broadcast; received best-effort by every node in range.
+    Broadcast,
+}
+
+impl LinkDst {
+    /// Returns the target node for a unicast, `None` for a broadcast.
+    pub fn unicast_target(self) -> Option<NodeId> {
+        match self {
+            LinkDst::Unicast(n) => Some(n),
+            LinkDst::Broadcast => None,
+        }
+    }
+}
+
+/// The link- and network-layer header of a packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PacketMeta {
+    /// The node whose radio transmitted this copy of the packet.
+    pub link_src: NodeId,
+    /// Link-layer destination of this transmission.
+    pub link_dst: LinkDst,
+    /// The node that originally created the application message.
+    pub origin: NodeId,
+    /// The origin's routing-tree parent at creation time (or `None` if it has
+    /// no parent yet). Part of Scoop's custom header; the basestation uses it
+    /// to reconstruct the routing tree.
+    pub origin_parent: Option<NodeId>,
+    /// Link-layer sequence number of the transmitting node. Neighbors snoop
+    /// these to estimate link quality.
+    pub seqno: SeqNo,
+    /// Application message classification, used for cost accounting.
+    pub kind: MessageKind,
+    /// Number of times this application message has been forwarded since it
+    /// was created. Nodes use it as a TTL so that transient routing loops
+    /// (stale descendants entries, tree churn) cannot forward a packet
+    /// forever.
+    pub hops: u8,
+}
+
+/// A packet: header plus application payload.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Packet<P> {
+    /// Header fields.
+    pub meta: PacketMeta,
+    /// Application payload.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Rewrites the link-layer fields for a retransmission/forward by `src`
+    /// towards `dst`, keeping origin information and payload intact. The hop
+    /// counter is incremented (saturating).
+    pub fn forwarded(mut self, src: NodeId, dst: LinkDst, seqno: SeqNo) -> Self {
+        self.meta.link_src = src;
+        self.meta.link_dst = dst;
+        self.meta.seqno = seqno;
+        self.meta.hops = self.meta.hops.saturating_add(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> PacketMeta {
+        PacketMeta {
+            link_src: NodeId(3),
+            link_dst: LinkDst::Unicast(NodeId(2)),
+            origin: NodeId(3),
+            origin_parent: Some(NodeId(2)),
+            seqno: SeqNo(7),
+            kind: MessageKind::Data,
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn unicast_target() {
+        assert_eq!(LinkDst::Unicast(NodeId(5)).unicast_target(), Some(NodeId(5)));
+        assert_eq!(LinkDst::Broadcast.unicast_target(), None);
+    }
+
+    #[test]
+    fn forwarding_preserves_origin_and_payload() {
+        let p = Packet {
+            meta: meta(),
+            payload: 42u32,
+        };
+        let f = p.clone().forwarded(NodeId(2), LinkDst::Unicast(NodeId(0)), SeqNo(99));
+        assert_eq!(f.meta.link_src, NodeId(2));
+        assert_eq!(f.meta.link_dst, LinkDst::Unicast(NodeId(0)));
+        assert_eq!(f.meta.seqno, SeqNo(99));
+        assert_eq!(f.meta.origin, NodeId(3));
+        assert_eq!(f.meta.origin_parent, Some(NodeId(2)));
+        assert_eq!(f.meta.hops, 1, "forwarding increments the hop count");
+        assert_eq!(f.payload, 42);
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-node and network-wide transmission / reception accounting.
+//!
+//! The paper's headline metric is the number of messages the nodes
+//! collectively *send* (Figure 3); its root-skew analysis additionally counts
+//! what the root *receives*. Both are tracked here, per message kind.
+
+use scoop_types::{MessageKind, MessageStats, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Counters for a single node.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Transmissions, by message kind. Includes link-layer retransmissions,
+    /// since each costs radio energy.
+    pub tx: MessageStats,
+    /// Receptions of packets addressed to this node, by message kind.
+    pub rx: MessageStats,
+    /// Packets overheard (snooped) that were not addressed to this node.
+    pub snooped: u64,
+    /// Unicast sends that exhausted their retry budget without an ack.
+    pub send_failures: u64,
+}
+
+impl NodeStats {
+    /// Total radio transmissions (all kinds, including heartbeats).
+    pub fn total_tx(&self) -> u64 {
+        self.tx.total()
+    }
+
+    /// Total addressed receptions (all kinds).
+    pub fn total_rx(&self) -> u64 {
+        self.rx.total()
+    }
+}
+
+/// Counters for the whole network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetworkStats {
+    nodes: Vec<NodeStats>,
+}
+
+impl NetworkStats {
+    /// Zeroed counters for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        NetworkStats {
+            nodes: vec![NodeStats::default(); n],
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Counters for one node.
+    pub fn node(&self, node: NodeId) -> NodeStats {
+        self.nodes.get(node.index()).copied().unwrap_or_default()
+    }
+
+    /// Records a transmission by `node`.
+    pub fn record_tx(&mut self, node: NodeId, kind: MessageKind) {
+        if let Some(s) = self.nodes.get_mut(node.index()) {
+            s.tx.record(kind);
+        }
+    }
+
+    /// Records an addressed reception at `node`.
+    pub fn record_rx(&mut self, node: NodeId, kind: MessageKind) {
+        if let Some(s) = self.nodes.get_mut(node.index()) {
+            s.rx.record(kind);
+        }
+    }
+
+    /// Records an overheard (snooped) packet at `node`.
+    pub fn record_snoop(&mut self, node: NodeId) {
+        if let Some(s) = self.nodes.get_mut(node.index()) {
+            s.snooped += 1;
+        }
+    }
+
+    /// Records a failed unicast send at `node`.
+    pub fn record_send_failure(&mut self, node: NodeId) {
+        if let Some(s) = self.nodes.get_mut(node.index()) {
+            s.send_failures += 1;
+        }
+    }
+
+    /// Network-wide transmission counters (sum over all nodes).
+    pub fn total_tx(&self) -> MessageStats {
+        self.nodes.iter().map(|n| n.tx).sum()
+    }
+
+    /// Network-wide reception counters (sum over all nodes).
+    pub fn total_rx(&self) -> MessageStats {
+        self.nodes.iter().map(|n| n.rx).sum()
+    }
+
+    /// The paper's cost metric: total transmissions excluding heartbeats.
+    pub fn cost(&self) -> u64 {
+        self.total_tx().cost()
+    }
+
+    /// The node with the largest number of transmissions (usually the root or
+    /// a node near it) and its count — the "skew" analysis from Section 6.
+    pub fn busiest_node(&self) -> Option<(NodeId, u64)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NodeId(i as u16), s.total_tx()))
+            .max_by_key(|&(_, tx)| tx)
+    }
+
+    /// Iterates over `(node, stats)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeStats)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NodeId(i as u16), s))
+    }
+
+    /// Merges another stats object into this one (element-wise sum). Both must
+    /// track the same number of nodes.
+    pub fn merge(&mut self, other: &NetworkStats) {
+        assert_eq!(self.len(), other.len(), "cannot merge mismatched stats");
+        for (a, b) in self.nodes.iter_mut().zip(other.nodes.iter()) {
+            a.tx += b.tx;
+            a.rx += b.rx;
+            a.snooped += b.snooped;
+            a.send_failures += b.send_failures;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = NetworkStats::new(3);
+        s.record_tx(NodeId(1), MessageKind::Data);
+        s.record_tx(NodeId(1), MessageKind::Data);
+        s.record_tx(NodeId(2), MessageKind::Query);
+        s.record_rx(NodeId(0), MessageKind::Data);
+        s.record_snoop(NodeId(2));
+        s.record_send_failure(NodeId(1));
+        assert_eq!(s.node(NodeId(1)).tx.data, 2);
+        assert_eq!(s.node(NodeId(1)).send_failures, 1);
+        assert_eq!(s.node(NodeId(2)).snooped, 1);
+        assert_eq!(s.total_tx().data, 2);
+        assert_eq!(s.total_tx().query, 1);
+        assert_eq!(s.total_rx().data, 1);
+        assert_eq!(s.cost(), 3);
+    }
+
+    #[test]
+    fn heartbeats_excluded_from_cost() {
+        let mut s = NetworkStats::new(2);
+        s.record_tx(NodeId(1), MessageKind::Heartbeat);
+        s.record_tx(NodeId(1), MessageKind::Data);
+        assert_eq!(s.cost(), 1);
+        assert_eq!(s.total_tx().total(), 2);
+    }
+
+    #[test]
+    fn busiest_node() {
+        let mut s = NetworkStats::new(3);
+        for _ in 0..5 {
+            s.record_tx(NodeId(2), MessageKind::Data);
+        }
+        s.record_tx(NodeId(1), MessageKind::Data);
+        assert_eq!(s.busiest_node(), Some((NodeId(2), 5)));
+    }
+
+    #[test]
+    fn unknown_node_is_ignored() {
+        let mut s = NetworkStats::new(2);
+        s.record_tx(NodeId(50), MessageKind::Data);
+        assert_eq!(s.cost(), 0);
+        assert_eq!(s.node(NodeId(50)), NodeStats::default());
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = NetworkStats::new(2);
+        a.record_tx(NodeId(0), MessageKind::Summary);
+        let mut b = NetworkStats::new(2);
+        b.record_tx(NodeId(0), MessageKind::Summary);
+        b.record_rx(NodeId(1), MessageKind::Mapping);
+        a.merge(&b);
+        assert_eq!(a.node(NodeId(0)).tx.summary, 2);
+        assert_eq!(a.node(NodeId(1)).rx.mapping, 1);
+    }
+}

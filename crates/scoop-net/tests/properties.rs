@@ -1,0 +1,84 @@
+//! Property-based tests for the network substrate: topology generators and
+//! the link model must uphold their structural invariants for any size and
+//! seed.
+
+use proptest::prelude::*;
+use scoop_net::{LinkModel, Topology};
+use scoop_types::NodeId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Office-floor topologies of any supported size are connected, have
+    /// symmetric radio-range adjacency, and keep every sensor within a
+    /// bounded number of hops of the basestation.
+    #[test]
+    fn office_floor_structural_invariants(nodes in 4usize..100, seed in 0u64..500) {
+        let topo = Topology::office_floor(nodes, seed).expect("within limits");
+        prop_assert_eq!(topo.len(), nodes + 1);
+        prop_assert!(topo.is_connected());
+        // Adjacency is symmetric because range is distance-based.
+        for a in topo.nodes() {
+            for &b in topo.neighbors(a) {
+                prop_assert!(topo.in_range(b, a), "asymmetric adjacency {a} {b}");
+            }
+        }
+        // Depth stays moderate: the generator aims for a multi-hop but not
+        // degenerate network.
+        prop_assert!(topo.network_depth() >= 1);
+        prop_assert!(topo.network_depth() <= 16, "depth {}", topo.network_depth());
+    }
+
+    /// Hop distances satisfy the triangle inequality over the radio graph.
+    #[test]
+    fn hop_distance_triangle_inequality(seed in 0u64..100) {
+        let topo = Topology::office_floor(20, seed).expect("topology");
+        let nodes: Vec<NodeId> = topo.nodes().collect();
+        for &a in nodes.iter().step_by(3) {
+            for &b in nodes.iter().step_by(4) {
+                for &c in nodes.iter().step_by(5) {
+                    if let (Some(ab), Some(bc), Some(ac)) = (
+                        topo.hop_distance(a, b),
+                        topo.hop_distance(b, c),
+                        topo.hop_distance(a, c),
+                    ) {
+                        prop_assert!(ac <= ab + bc, "{a}->{c} {ac} > {a}->{b} {ab} + {b}->{c} {bc}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Link delivery probabilities are always within [0, 1], dead outside
+    /// radio range, and usable (eventually deliverable) within range.
+    #[test]
+    fn link_model_probability_bounds(nodes in 4usize..60, seed in 0u64..300) {
+        let topo = Topology::office_floor(nodes, seed).expect("topology");
+        let links = LinkModel::from_topology(&topo, seed);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                let q = links.link(a, b);
+                prop_assert!((0.0..=1.0).contains(&q.delivery_prob));
+                if a == b {
+                    prop_assert!(!q.is_usable());
+                } else if topo.in_range(a, b) {
+                    prop_assert!(q.is_usable(), "in-range link {a}->{b} must be usable");
+                    prop_assert!(q.etx() >= 1.0);
+                } else {
+                    prop_assert!(!q.is_usable(), "out-of-range link {a}->{b} must be dead");
+                }
+            }
+        }
+    }
+
+    /// Grid topologies have the expected regular structure regardless of
+    /// spacing.
+    #[test]
+    fn grid_structure(side in 2usize..8, spacing in 1.0f64..50.0) {
+        let topo = Topology::grid(side, spacing).expect("grid");
+        prop_assert_eq!(topo.len(), side * side);
+        prop_assert!(topo.is_connected());
+        // Corner nodes always have exactly 3 neighbors.
+        prop_assert_eq!(topo.neighbors(NodeId(0)).len(), 3);
+    }
+}

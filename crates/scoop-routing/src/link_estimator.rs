@@ -1,0 +1,247 @@
+//! Passive link-quality estimation by snooping sequence numbers.
+//!
+//! "A node establishes link-quality from its neighbors by snooping the
+//! network and, per neighbor, counting the number of packets it did not
+//! receive using a monotonically increasing number that all nodes put in the
+//! header of all their outgoing packets." (Section 5.2)
+
+use scoop_types::{NodeId, SeqNo, SimTime};
+use std::collections::HashMap;
+
+/// Per-neighbor reception bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct LinkRecord {
+    last_seqno: SeqNo,
+    received: u64,
+    missed: u64,
+    /// Exponentially weighted reception ratio in `[0, 1]`.
+    ewma: f64,
+    last_heard: SimTime,
+}
+
+/// Sequence-number gaps larger than this are treated as packet reordering
+/// (or a neighbor reboot) rather than loss: with wrapping arithmetic a packet
+/// that arrives *out of order* would otherwise look like billions of missed
+/// packets. Radios reorder over at most a handful of in-flight packets.
+const REORDER_WINDOW: u32 = 128;
+
+/// Estimates inbound link quality (the fraction of a neighbor's transmissions
+/// this node actually hears) for every neighbor it has ever overheard.
+#[derive(Clone, Debug, Default)]
+pub struct LinkEstimator {
+    records: HashMap<NodeId, LinkRecord>,
+    /// EWMA smoothing factor applied per observation.
+    alpha: f64,
+}
+
+impl LinkEstimator {
+    /// Creates an estimator with the default smoothing factor.
+    pub fn new() -> Self {
+        LinkEstimator {
+            records: HashMap::new(),
+            alpha: 0.1,
+        }
+    }
+
+    /// Creates an estimator with an explicit EWMA smoothing factor in
+    /// `(0, 1]`; larger values react faster to changes.
+    pub fn with_alpha(alpha: f64) -> Self {
+        LinkEstimator {
+            records: HashMap::new(),
+            alpha: alpha.clamp(0.001, 1.0),
+        }
+    }
+
+    /// Records that a packet from `src` carrying sequence number `seqno` was
+    /// heard (whether addressed to us or snooped) at time `now`.
+    pub fn observe(&mut self, src: NodeId, seqno: SeqNo, now: SimTime) {
+        match self.records.get_mut(&src) {
+            None => {
+                self.records.insert(
+                    src,
+                    LinkRecord {
+                        last_seqno: seqno,
+                        received: 1,
+                        missed: 0,
+                        ewma: 1.0,
+                        last_heard: now,
+                    },
+                );
+            }
+            Some(rec) => {
+                let gap = seqno.distance_from(rec.last_seqno);
+                // gap == 0 is a duplicate; gaps beyond the reorder window are
+                // out-of-order arrivals (e.g. a retransmitted packet overtaken
+                // by a newer one). Both count as a reception with no misses
+                // and do not move the high-water sequence number backwards.
+                let reordered = gap == 0 || gap > REORDER_WINDOW;
+                let missed_now = if reordered { 0 } else { (gap - 1) as u64 };
+                rec.received += 1;
+                rec.missed += missed_now;
+                if !reordered {
+                    rec.last_seqno = seqno;
+                }
+                rec.last_heard = now;
+                // Decay the EWMA once per missed packet (closed form) so
+                // bursts of loss push the estimate down, then credit the
+                // received packet.
+                rec.ewma *= (1.0 - self.alpha).powi(missed_now.min(1_000) as i32);
+                rec.ewma = (1.0 - self.alpha) * rec.ewma + self.alpha;
+            }
+        }
+    }
+
+    /// The estimated probability of hearing a transmission from `src`, or
+    /// `None` if `src` has never been heard.
+    pub fn quality(&self, src: NodeId) -> Option<f64> {
+        self.records.get(&src).map(|r| r.ewma)
+    }
+
+    /// Long-run reception ratio (received / (received + missed)) for `src`.
+    pub fn reception_ratio(&self, src: NodeId) -> Option<f64> {
+        self.records.get(&src).map(|r| {
+            let total = r.received + r.missed;
+            if total == 0 {
+                0.0
+            } else {
+                r.received as f64 / total as f64
+            }
+        })
+    }
+
+    /// Expected number of transmissions for `src` to get one packet through
+    /// to us (inverse of quality).
+    pub fn etx(&self, src: NodeId) -> Option<f64> {
+        self.quality(src).map(|q| if q > 0.0 { 1.0 / q } else { f64::INFINITY })
+    }
+
+    /// When `src` was last heard.
+    pub fn last_heard(&self, src: NodeId) -> Option<SimTime> {
+        self.records.get(&src).map(|r| r.last_heard)
+    }
+
+    /// Forgets every neighbor not heard since `cutoff`. Returns the ids that
+    /// were evicted.
+    pub fn evict_silent_since(&mut self, cutoff: SimTime) -> Vec<NodeId> {
+        let stale: Vec<NodeId> = self
+            .records
+            .iter()
+            .filter(|(_, r)| r.last_heard < cutoff)
+            .map(|(&n, _)| n)
+            .collect();
+        for n in &stale {
+            self.records.remove(n);
+        }
+        stale
+    }
+
+    /// Every neighbor currently tracked.
+    pub fn tracked(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.records.keys().copied()
+    }
+
+    /// Number of neighbors tracked.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no neighbor has ever been heard.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_link_has_quality_one() {
+        let mut est = LinkEstimator::new();
+        for i in 0..50u32 {
+            est.observe(NodeId(3), SeqNo(i), SimTime::from_secs(i as u64));
+        }
+        let q = est.quality(NodeId(3)).unwrap();
+        assert!(q > 0.99, "quality {q}");
+        assert_eq!(est.reception_ratio(NodeId(3)), Some(1.0));
+        assert!((est.etx(NodeId(3)).unwrap() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn gaps_reduce_quality() {
+        let mut est = LinkEstimator::with_alpha(0.2);
+        // Hear every other packet: seqnos 0, 2, 4, ...
+        for i in 0..100u32 {
+            est.observe(NodeId(7), SeqNo(i * 2), SimTime::from_secs(i as u64));
+        }
+        let q = est.quality(NodeId(7)).unwrap();
+        assert!((0.3..0.7).contains(&q), "expected ~0.5, got {q}");
+        let rr = est.reception_ratio(NodeId(7)).unwrap();
+        assert!((rr - 0.5).abs() < 0.02, "reception ratio {rr}");
+    }
+
+    #[test]
+    fn unknown_neighbor_is_none() {
+        let est = LinkEstimator::new();
+        assert_eq!(est.quality(NodeId(1)), None);
+        assert_eq!(est.etx(NodeId(1)), None);
+        assert!(est.is_empty());
+    }
+
+    #[test]
+    fn duplicate_seqno_does_not_count_as_loss() {
+        let mut est = LinkEstimator::new();
+        est.observe(NodeId(1), SeqNo(5), SimTime::from_secs(1));
+        est.observe(NodeId(1), SeqNo(5), SimTime::from_secs(2));
+        assert_eq!(est.reception_ratio(NodeId(1)), Some(1.0));
+    }
+
+    #[test]
+    fn out_of_order_arrival_is_not_a_giant_loss_burst() {
+        let mut est = LinkEstimator::new();
+        // Seqno 20 arrives, then an older retransmission (seq 17) overtaken by
+        // it. With naive wrapping arithmetic this would look like ~4 billion
+        // missed packets.
+        est.observe(NodeId(1), SeqNo(20), SimTime::from_secs(1));
+        est.observe(NodeId(1), SeqNo(17), SimTime::from_secs(2));
+        let q = est.quality(NodeId(1)).unwrap();
+        assert!(q > 0.9, "reordering must not crater the estimate, got {q}");
+        assert_eq!(est.reception_ratio(NodeId(1)), Some(1.0));
+        // Subsequent in-order packets keep working off the high-water mark.
+        est.observe(NodeId(1), SeqNo(21), SimTime::from_secs(3));
+        assert_eq!(est.reception_ratio(NodeId(1)), Some(1.0));
+    }
+
+    #[test]
+    fn neighbor_reboot_resets_cleanly() {
+        let mut est = LinkEstimator::new();
+        est.observe(NodeId(1), SeqNo(1_000_000), SimTime::from_secs(1));
+        // The neighbor reboots and starts from zero: far outside the reorder
+        // window, so it must not be treated as a billion lost packets.
+        est.observe(NodeId(1), SeqNo(0), SimTime::from_secs(2));
+        assert_eq!(est.reception_ratio(NodeId(1)), Some(1.0));
+        assert!(est.quality(NodeId(1)).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn eviction_removes_silent_neighbors() {
+        let mut est = LinkEstimator::new();
+        est.observe(NodeId(1), SeqNo(0), SimTime::from_secs(10));
+        est.observe(NodeId(2), SeqNo(0), SimTime::from_secs(100));
+        let evicted = est.evict_silent_since(SimTime::from_secs(50));
+        assert_eq!(evicted, vec![NodeId(1)]);
+        assert_eq!(est.len(), 1);
+        assert!(est.quality(NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn worse_links_have_higher_etx() {
+        let mut good = LinkEstimator::with_alpha(0.3);
+        let mut bad = LinkEstimator::with_alpha(0.3);
+        for i in 0..60u32 {
+            good.observe(NodeId(1), SeqNo(i), SimTime::from_secs(i as u64));
+            bad.observe(NodeId(1), SeqNo(i * 4), SimTime::from_secs(i as u64));
+        }
+        assert!(bad.etx(NodeId(1)).unwrap() > good.etx(NodeId(1)).unwrap() * 1.5);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the routing layer: link estimation, neighbor
+//! table, and tree state invariants under arbitrary observation sequences.
+
+use proptest::prelude::*;
+use scoop_routing::{Beacon, LinkEstimator, NeighborTable, TreeState};
+use scoop_types::{NodeId, SeqNo, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever sequence numbers arrive (including duplicates, reordering,
+    /// and giant jumps), the quality estimate stays a probability and the
+    /// reception ratio stays in [0, 1].
+    #[test]
+    fn estimator_outputs_stay_bounded(
+        seqnos in proptest::collection::vec(0u32..10_000, 1..200),
+    ) {
+        let mut est = LinkEstimator::new();
+        for (i, &s) in seqnos.iter().enumerate() {
+            est.observe(NodeId(7), SeqNo(s), SimTime::from_secs(i as u64));
+        }
+        let q = est.quality(NodeId(7)).unwrap();
+        prop_assert!((0.0..=1.0).contains(&q), "quality {q}");
+        let rr = est.reception_ratio(NodeId(7)).unwrap();
+        prop_assert!((0.0..=1.0).contains(&rr), "reception ratio {rr}");
+        prop_assert!(est.etx(NodeId(7)).unwrap() >= 1.0);
+    }
+
+    /// The neighbor table never exceeds its capacity and never evicts a
+    /// better neighbor to admit a worse one.
+    #[test]
+    fn neighbor_table_capacity_and_quality_invariant(
+        capacity in 1usize..16,
+        observations in proptest::collection::vec((0u16..40, 0.0f64..1.0), 1..200),
+    ) {
+        let mut table = NeighborTable::new(capacity);
+        for (t, &(node, quality)) in observations.iter().enumerate() {
+            table.observe(NodeId(node), quality, SimTime::from_secs(t as u64));
+        }
+        prop_assert!(table.len() <= capacity);
+        // best(k) is sorted by descending quality.
+        let best = table.best(capacity);
+        for pair in best.windows(2) {
+            prop_assert!(pair[0].quality >= pair[1].quality);
+        }
+    }
+
+    /// A node never selects itself or an unusable link as parent, and its hop
+    /// count is always one more than the advertised hop count of its parent
+    /// beacon at selection time.
+    #[test]
+    fn tree_state_parent_invariants(
+        beacons in proptest::collection::vec(
+            (1u16..20, 0u16..10, 0.0f64..1.0, 0.0f64..20.0),
+            1..100,
+        ),
+    ) {
+        let me = NodeId(0xAA);
+        let mut tree = TreeState::new(me);
+        for (t, &(from, hops, quality, path_etx)) in beacons.iter().enumerate() {
+            let beacon = Beacon { hops, path_etx, parent: None };
+            tree.on_beacon(NodeId(from), &beacon, quality, SimTime::from_secs(t as u64 * 10));
+            if let Some(parent) = tree.parent() {
+                prop_assert_ne!(parent, me);
+            }
+            if tree.is_attached() {
+                prop_assert!(tree.hops() >= 1);
+                prop_assert!(tree.path_etx().is_finite());
+                prop_assert!(tree.path_etx() >= 1.0, "path etx {}", tree.path_etx());
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Diagnostic tool: runs one experiment in 30-second simulated steps and
+//! prints the cumulative per-kind transmission counters after each step.
+//!
+//! ```bash
+//! cargo run -p scoop-sim --bin trace [-- policy] [source] [nodes]
+//! ```
+
+use scoop_sim::build_engine;
+use scoop_types::{DataSourceKind, ExperimentConfig, SimDuration, SimTime, StoragePolicy};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExperimentConfig::small_test();
+    cfg.policy = match args.first().map(String::as_str) {
+        Some("local") => StoragePolicy::Local,
+        Some("base") => StoragePolicy::Base,
+        Some("hash") => StoragePolicy::Hash,
+        _ => StoragePolicy::Scoop,
+    };
+    cfg.data_source = match args.get(1).map(String::as_str) {
+        Some("unique") => DataSourceKind::Unique,
+        Some("equal") => DataSourceKind::Equal,
+        Some("random") => DataSourceKind::Random,
+        Some("gaussian") => DataSourceKind::Gaussian,
+        _ => DataSourceKind::Real,
+    };
+    if let Some(n) = args.get(2).and_then(|s| s.parse().ok()) {
+        cfg.num_nodes = n;
+    }
+
+    let mut engine = build_engine(&cfg).expect("valid config");
+    println!(
+        "policy={} source={} nodes={} duration={}",
+        cfg.policy, cfg.data_source, cfg.num_nodes, cfg.duration
+    );
+    let start = Instant::now();
+    let step = SimDuration::from_secs(5);
+    let mut now = SimTime::ZERO;
+    while now < SimTime::ZERO + cfg.duration {
+        now += step;
+        engine.run_until(now);
+        let tx = engine.stats().total_tx();
+        println!(
+            "t={:>6}s wall={:>7.1}s events={:<9} pending={:<7} data={:<7} summary={:<6} mapping={:<6} query={:<6} reply={:<6} hb={:<6}",
+            now.as_secs(),
+            start.elapsed().as_secs_f64(),
+            engine.events_processed(),
+            engine.pending_events(),
+            tx.data,
+            tx.summary,
+            tx.mapping,
+            tx.query,
+            tx.reply,
+            tx.heartbeat
+        );
+    }
+    println!("done in {:.1}s wall", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,94 @@
+//! Ablations of the design choices DESIGN.md calls out: batching, index
+//! suppression, the neighbor-shortcut routing rule, and the store-local
+//! fallback.
+//!
+//! These are not figures from the paper, but they isolate the mechanisms the
+//! paper credits for parts of its results (e.g. batching is why EQUAL beats
+//! RANDOM in Figure 3 right).
+
+use crate::runner::{average_results, run_trials};
+use scoop_types::{DataSourceKind, ExperimentConfig, ScoopError, StoragePolicy};
+use serde::{Deserialize, Serialize};
+
+/// One ablation configuration and its cost.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Human-readable name of the variant.
+    pub variant: String,
+    /// The data source used.
+    pub source: DataSourceKind,
+    /// Total messages over the measured window.
+    pub total_messages: u64,
+    /// Data messages only.
+    pub data_messages: u64,
+    /// Mapping messages only.
+    pub mapping_messages: u64,
+}
+
+fn run_variant(
+    name: &str,
+    cfg: &ExperimentConfig,
+    trials: usize,
+) -> Result<AblationRow, ScoopError> {
+    let results = run_trials(cfg, trials)?;
+    let avg = average_results(&results).expect("at least one trial");
+    Ok(AblationRow {
+        variant: name.to_string(),
+        source: cfg.data_source,
+        total_messages: avg.total_messages(),
+        data_messages: avg.messages.data,
+        mapping_messages: avg.messages.mapping,
+    })
+}
+
+/// Runs the full ablation suite for SCOOP on the given data source.
+pub fn ablation_rows(
+    base: &ExperimentConfig,
+    source: DataSourceKind,
+    trials: usize,
+) -> Result<Vec<AblationRow>, ScoopError> {
+    let mut cfg = base.clone();
+    cfg.policy = StoragePolicy::Scoop;
+    cfg.data_source = source;
+
+    let mut rows = Vec::new();
+    rows.push(run_variant("baseline", &cfg, trials)?);
+
+    let mut no_batch = cfg.clone();
+    no_batch.scoop.batch_size = 1;
+    rows.push(run_variant("no-batching", &no_batch, trials)?);
+
+    let mut no_suppress = cfg.clone();
+    no_suppress.scoop.suppress_unchanged_index = false;
+    rows.push(run_variant("no-index-suppression", &no_suppress, trials)?);
+
+    let mut no_shortcut = cfg.clone();
+    no_shortcut.scoop.neighbor_shortcut = false;
+    rows.push(run_variant("no-neighbor-shortcut", &no_shortcut, trials)?);
+
+    let mut fallback = cfg.clone();
+    fallback.scoop.allow_store_local_fallback = true;
+    rows.push(run_variant("store-local-fallback", &fallback, trials)?);
+
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::quick_base;
+
+    #[test]
+    fn ablation_suite_produces_all_variants() {
+        let rows = ablation_rows(&quick_base(), DataSourceKind::Equal, 1).unwrap();
+        assert_eq!(rows.len(), 5);
+        let names: Vec<&str> = rows.iter().map(|r| r.variant.as_str()).collect();
+        assert!(names.contains(&"baseline"));
+        assert!(names.contains(&"no-batching"));
+        // On EQUAL data everything maps to one owner; disabling batching must
+        // send at least as many data messages as the batched baseline.
+        let baseline = rows.iter().find(|r| r.variant == "baseline").unwrap();
+        let no_batch = rows.iter().find(|r| r.variant == "no-batching").unwrap();
+        assert!(no_batch.data_messages >= baseline.data_messages);
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 3: message-count breakdowns.
+//!
+//! * **Left** — testbed comparison: SCOOP/UNIQUE, SCOOP/GAUSSIAN,
+//!   LOCAL/GAUSSIAN, BASE/GAUSSIAN.
+//! * **Middle** — simulation over the REAL trace: SCOOP, LOCAL, HASH, BASE.
+//! * **Right** — SCOOP over every data source: UNIQUE, EQUAL, REAL,
+//!   GAUSSIAN, RANDOM.
+//!
+//! Each bar in the paper is a stacked breakdown into query/reply, mapping,
+//! summary, and data messages; each [`Fig3Row`] carries the same four
+//! numbers.
+
+use crate::metrics::MessageBreakdown;
+use crate::runner::{average_results, run_trials};
+use scoop_types::{DataSourceKind, ExperimentConfig, ScoopError, StoragePolicy};
+use serde::{Deserialize, Serialize};
+
+/// One bar of Figure 3.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// The storage policy.
+    pub policy: StoragePolicy,
+    /// The data source.
+    pub source: DataSourceKind,
+    /// The stacked message breakdown.
+    pub messages: MessageBreakdown,
+    /// Total messages (the bar height).
+    pub total: u64,
+}
+
+fn run_row(
+    base: &ExperimentConfig,
+    policy: StoragePolicy,
+    source: DataSourceKind,
+    trials: usize,
+) -> Result<Fig3Row, ScoopError> {
+    let mut cfg = base.clone();
+    cfg.policy = policy;
+    cfg.data_source = source;
+    let results = run_trials(&cfg, trials)?;
+    let avg = average_results(&results).expect("at least one trial");
+    Ok(Fig3Row {
+        policy,
+        source,
+        messages: avg.messages,
+        total: avg.messages.total(),
+    })
+}
+
+/// Figure 3 (left): the testbed bars.
+pub fn fig3_left(base: &ExperimentConfig, trials: usize) -> Result<Vec<Fig3Row>, ScoopError> {
+    let combos = [
+        (StoragePolicy::Scoop, DataSourceKind::Unique),
+        (StoragePolicy::Scoop, DataSourceKind::Gaussian),
+        (StoragePolicy::Local, DataSourceKind::Gaussian),
+        (StoragePolicy::Base, DataSourceKind::Gaussian),
+    ];
+    combos
+        .into_iter()
+        .map(|(p, s)| run_row(base, p, s, trials))
+        .collect()
+}
+
+/// Figure 3 (middle): all four policies over the REAL trace.
+pub fn fig3_middle(base: &ExperimentConfig, trials: usize) -> Result<Vec<Fig3Row>, ScoopError> {
+    StoragePolicy::ALL
+        .into_iter()
+        .map(|p| run_row(base, p, DataSourceKind::Real, trials))
+        .collect()
+}
+
+/// Figure 3 (right): SCOOP over every data source.
+pub fn fig3_right(base: &ExperimentConfig, trials: usize) -> Result<Vec<Fig3Row>, ScoopError> {
+    DataSourceKind::ALL
+        .into_iter()
+        .map(|s| run_row(base, StoragePolicy::Scoop, s, trials))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::quick_base;
+
+    #[test]
+    fn fig3_left_shape_scoop_beats_local_and_base_on_gaussian() {
+        let rows = fig3_left(&quick_base(), 1).unwrap();
+        assert_eq!(rows.len(), 4);
+        let get = |p: StoragePolicy, s: DataSourceKind| {
+            rows.iter()
+                .find(|r| r.policy == p && r.source == s)
+                .unwrap()
+                .total
+        };
+        let scoop_unique = get(StoragePolicy::Scoop, DataSourceKind::Unique);
+        let scoop_gauss = get(StoragePolicy::Scoop, DataSourceKind::Gaussian);
+        let local_gauss = get(StoragePolicy::Local, DataSourceKind::Gaussian);
+        let base_gauss = get(StoragePolicy::Base, DataSourceKind::Gaussian);
+        // The paper's ordering: SCOOP/UNIQUE is cheapest; SCOOP/GAUSSIAN
+        // beats both LOCAL and BASE on the same source.
+        assert!(scoop_unique <= scoop_gauss, "{scoop_unique} vs {scoop_gauss}");
+        assert!(scoop_gauss < local_gauss, "{scoop_gauss} vs {local_gauss}");
+        assert!(scoop_gauss < base_gauss, "{scoop_gauss} vs {base_gauss}");
+    }
+
+    #[test]
+    fn fig3_right_random_is_worst_for_scoop() {
+        let rows = fig3_right(&quick_base(), 1).unwrap();
+        assert_eq!(rows.len(), 5);
+        let total = |s: DataSourceKind| rows.iter().find(|r| r.source == s).unwrap().total;
+        // RANDOM has no structure to exploit; UNIQUE has the most.
+        assert!(total(DataSourceKind::Unique) < total(DataSourceKind::Random));
+        assert!(total(DataSourceKind::Real) <= total(DataSourceKind::Random));
+    }
+}

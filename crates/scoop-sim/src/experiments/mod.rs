@@ -1,0 +1,38 @@
+//! One module per experiment in the paper's evaluation (Section 6).
+//!
+//! Every function takes a *base* configuration — [`paper_base`] for the real
+//! thing, or [`ExperimentConfig::small_test`](scoop_types::ExperimentConfig::small_test)
+//! for quick checks — plus a trial count, and returns the rows of the
+//! corresponding figure or table. The benchmark harness in `scoop-bench`
+//! calls these and prints the rows; `EXPERIMENTS.md` records the measured
+//! numbers next to the paper's.
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod prose;
+
+use scoop_types::ExperimentConfig;
+
+/// The paper's default configuration (Section 6): 62 nodes, 40 minutes,
+/// 15-second sample and query intervals, REAL data.
+pub fn paper_base() -> ExperimentConfig {
+    ExperimentConfig::paper_defaults()
+}
+
+/// A scaled-down configuration for fast sanity runs of every experiment
+/// (16 nodes, 12 minutes). The shapes of the results hold; absolute numbers
+/// are smaller.
+pub fn quick_base() -> ExperimentConfig {
+    ExperimentConfig::small_test()
+}
+
+pub use ablations::{ablation_rows, AblationRow};
+pub use fig3::{fig3_left, fig3_middle, fig3_right, Fig3Row};
+pub use fig4::{fig4_selectivity, Fig4Row};
+pub use fig5::{fig5_query_interval, Fig5Row};
+pub use prose::{
+    reliability, root_skew, sample_interval_sweep, scaling, ReliabilityRow, RootSkewRow,
+    SampleIntervalRow, ScalingRow,
+};

@@ -1,0 +1,31 @@
+//! Whole-network simulation harness.
+//!
+//! This crate wires the substrates (network simulator, routing tree, Trickle
+//! dissemination, node storage, workload generators) and the Scoop core
+//! (statistics, index construction, routing rules, query planning) into a
+//! runnable system, and reproduces every experiment in the paper's
+//! evaluation:
+//!
+//! * [`node`] — the per-node protocol state machine. One type implements all
+//!   four storage policies (SCOOP, LOCAL, BASE, HASH) plus the basestation
+//!   role, driven entirely by simulator events.
+//! * [`metrics`] — per-run metrics: the Figure 3 message breakdown, storage
+//!   and query success rates, destination accuracy, and per-node skew.
+//! * [`runner`] — builds a topology + engine from an
+//!   [`ExperimentConfig`](scoop_types::ExperimentConfig), runs it, and
+//!   extracts a [`metrics::RunResult`]; multi-trial averaging included.
+//! * [`experiments`] — one module per paper figure/table, each returning the
+//!   rows the paper plots.
+//! * [`report`] — plain-text and JSON rendering of experiment rows.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod node;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{MessageBreakdown, QueryMetrics, RootSkew, RunResult, StorageMetrics};
+pub use node::SimNode;
+pub use runner::{average_results, build_engine, run_experiment, run_trials};

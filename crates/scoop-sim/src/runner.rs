@@ -1,0 +1,278 @@
+//! Builds and runs whole-network simulations from an [`ExperimentConfig`].
+
+use crate::metrics::{MessageBreakdown, QueryMetrics, RunResult, StorageMetrics};
+use crate::node::SimNode;
+use scoop_net::{Engine, EngineConfig, LinkModel, Topology};
+use scoop_types::{ExperimentConfig, MessageStats, NodeId, ScoopError, SimTime};
+use scoop_workload::make_source;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Builds the topology, link model, node state machines, and engine for one
+/// experiment run. The topology is the office-floor testbed layout sized to
+/// `config.num_nodes`.
+pub fn build_engine(config: &ExperimentConfig) -> Result<Engine<SimNode>, ScoopError> {
+    config.validate()?;
+    let topology = Topology::office_floor(config.num_nodes, config.seed)?;
+    let links = LinkModel::from_topology(&topology, config.seed);
+    build_engine_with(config, topology, links)
+}
+
+/// Builds an engine over an explicit topology and link model (used by tests
+/// and by ablation experiments that perturb the network).
+pub fn build_engine_with(
+    config: &ExperimentConfig,
+    topology: Topology,
+    links: LinkModel,
+) -> Result<Engine<SimNode>, ScoopError> {
+    let cfg = Arc::new(config.clone());
+    let source = Rc::new(RefCell::new(make_source(
+        config.data_source,
+        config.value_domain,
+        config.num_nodes,
+        config.seed,
+    )));
+    let nodes: Vec<SimNode> = topology
+        .nodes()
+        .map(|id| SimNode::new(id, Arc::clone(&cfg), Rc::clone(&source)))
+        .collect();
+    let engine_cfg = EngineConfig {
+        seed: config.seed,
+        ..EngineConfig::default()
+    };
+    Engine::new(topology, links, nodes, engine_cfg)
+}
+
+fn stats_diff(after: &MessageStats, before: &MessageStats) -> MessageStats {
+    MessageStats {
+        data: after.data - before.data,
+        summary: after.summary - before.summary,
+        mapping: after.mapping - before.mapping,
+        query: after.query - before.query,
+        reply: after.reply - before.reply,
+        heartbeat: after.heartbeat - before.heartbeat,
+    }
+}
+
+/// Runs one experiment to completion and extracts its metrics.
+///
+/// Messages are counted over the *measured* window (after the stabilization
+/// warmup), matching the paper's methodology.
+pub fn run_experiment(config: &ExperimentConfig) -> Result<RunResult, ScoopError> {
+    let mut engine = build_engine(config)?;
+    let warmup_end = SimTime::ZERO + config.warmup;
+    engine.run_until(warmup_end);
+
+    // Snapshot per-node counters at the end of warmup.
+    let n = engine.topology().len();
+    let warm_tx: Vec<MessageStats> = (0..n)
+        .map(|i| engine.stats().node(NodeId(i as u16)).tx)
+        .collect();
+    let warm_rx: Vec<MessageStats> = (0..n)
+        .map(|i| engine.stats().node(NodeId(i as u16)).rx)
+        .collect();
+
+    engine.run_until(SimTime::ZERO + config.duration);
+
+    let mut network = MessageStats::default();
+    let mut per_node_tx = Vec::with_capacity(n);
+    let mut per_node_rx = Vec::with_capacity(n);
+    for i in 0..n {
+        let id = NodeId(i as u16);
+        let tx = stats_diff(&engine.stats().node(id).tx, &warm_tx[i]);
+        let rx = stats_diff(&engine.stats().node(id).rx, &warm_rx[i]);
+        network += tx;
+        per_node_tx.push(tx.cost());
+        per_node_rx.push(rx.cost());
+    }
+
+    // Storage metrics from every node's local counters.
+    let mut storage = StorageMetrics::default();
+    for (_, node) in engine.iter_nodes() {
+        let m = node.metrics;
+        storage.sampled += m.sampled;
+        storage.stored += m.stored;
+        storage.stored_at_owner += m.stored_as_owner;
+        storage.stored_at_base_fallback += m.stored_base_fallback;
+        storage.stored_local_default += m.stored_local_default;
+    }
+
+    // Query metrics from the basestation.
+    let base = engine.node(NodeId::BASESTATION);
+    let (issued, targets, replies, readings, local) = base.query_outcomes();
+    let queries = QueryMetrics {
+        issued,
+        targets_total: targets,
+        replies_received: replies,
+        readings_returned: readings,
+        answered_locally: local,
+    };
+
+    Ok(RunResult {
+        config: config.clone(),
+        messages: MessageBreakdown::from_stats(&network),
+        per_node_tx,
+        per_node_rx,
+        storage,
+        queries,
+        indices_disseminated: base.indices_disseminated(),
+        remaps_suppressed: base.remaps_suppressed(),
+    })
+}
+
+/// Runs `trials` runs of the same configuration with different seeds
+/// (`config.seed`, `+1`, `+2`, ...) and returns every result.
+pub fn run_trials(config: &ExperimentConfig, trials: usize) -> Result<Vec<RunResult>, ScoopError> {
+    let mut results = Vec::with_capacity(trials);
+    for t in 0..trials.max(1) {
+        let mut cfg = config.clone();
+        cfg.seed = config.seed + t as u64;
+        results.push(run_experiment(&cfg)?);
+    }
+    Ok(results)
+}
+
+/// Element-wise average of several runs of the same configuration (the paper
+/// averages three trials). Per-node vectors are averaged pairwise; counters
+/// are averaged as floating point and rounded.
+pub fn average_results(results: &[RunResult]) -> Option<RunResult> {
+    let first = results.first()?;
+    let k = results.len() as f64;
+    let avg_u64 = |f: &dyn Fn(&RunResult) -> u64| -> u64 {
+        (results.iter().map(|r| f(r) as f64).sum::<f64>() / k).round() as u64
+    };
+    let n = first.per_node_tx.len();
+    let mut per_node_tx = vec![0u64; n];
+    let mut per_node_rx = vec![0u64; n];
+    for i in 0..n {
+        per_node_tx[i] = (results
+            .iter()
+            .map(|r| *r.per_node_tx.get(i).unwrap_or(&0) as f64)
+            .sum::<f64>()
+            / k)
+            .round() as u64;
+        per_node_rx[i] = (results
+            .iter()
+            .map(|r| *r.per_node_rx.get(i).unwrap_or(&0) as f64)
+            .sum::<f64>()
+            / k)
+            .round() as u64;
+    }
+    Some(RunResult {
+        config: first.config.clone(),
+        messages: MessageBreakdown {
+            data: avg_u64(&|r| r.messages.data),
+            summary: avg_u64(&|r| r.messages.summary),
+            mapping: avg_u64(&|r| r.messages.mapping),
+            query_reply: avg_u64(&|r| r.messages.query_reply),
+        },
+        per_node_tx,
+        per_node_rx,
+        storage: StorageMetrics {
+            sampled: avg_u64(&|r| r.storage.sampled),
+            stored: avg_u64(&|r| r.storage.stored),
+            stored_at_owner: avg_u64(&|r| r.storage.stored_at_owner),
+            stored_at_base_fallback: avg_u64(&|r| r.storage.stored_at_base_fallback),
+            stored_local_default: avg_u64(&|r| r.storage.stored_local_default),
+        },
+        queries: QueryMetrics {
+            issued: avg_u64(&|r| r.queries.issued),
+            targets_total: avg_u64(&|r| r.queries.targets_total),
+            replies_received: avg_u64(&|r| r.queries.replies_received),
+            readings_returned: avg_u64(&|r| r.queries.readings_returned),
+            answered_locally: avg_u64(&|r| r.queries.answered_locally),
+        },
+        indices_disseminated: avg_u64(&|r| r.indices_disseminated),
+        remaps_suppressed: avg_u64(&|r| r.remaps_suppressed),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_types::{DataSourceKind, StoragePolicy};
+
+    fn small(policy: StoragePolicy, source: DataSourceKind) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.policy = policy;
+        cfg.data_source = source;
+        cfg
+    }
+
+    #[test]
+    fn base_policy_ships_data_and_nothing_else() {
+        let r = run_experiment(&small(StoragePolicy::Base, DataSourceKind::Gaussian)).unwrap();
+        assert!(r.messages.data > 0, "BASE must send data messages");
+        assert_eq!(r.messages.summary, 0);
+        assert_eq!(r.messages.mapping, 0);
+        assert_eq!(r.messages.query_reply, 0, "BASE answers queries for free");
+        assert!(r.storage.sampled > 0);
+    }
+
+    #[test]
+    fn local_policy_sends_only_query_traffic() {
+        let r = run_experiment(&small(StoragePolicy::Local, DataSourceKind::Gaussian)).unwrap();
+        assert_eq!(r.messages.data, 0, "LOCAL stores everything at the producer");
+        assert_eq!(r.messages.summary, 0);
+        assert_eq!(r.messages.mapping, 0);
+        assert!(r.messages.query_reply > 0, "LOCAL floods queries and replies");
+        // Every sampled reading is stored (locally), so storage never fails.
+        assert_eq!(r.storage.sampled, r.storage.stored);
+    }
+
+    #[test]
+    fn scoop_policy_builds_and_disseminates_indices() {
+        let r = run_experiment(&small(StoragePolicy::Scoop, DataSourceKind::Gaussian)).unwrap();
+        assert!(r.messages.summary > 0, "SCOOP sends summaries");
+        assert!(
+            r.indices_disseminated >= 1,
+            "at least one storage index should be disseminated"
+        );
+        assert!(r.messages.mapping > 0, "mapping chunks must be sent");
+        assert!(r.storage.storage_success() > 0.5);
+    }
+
+    #[test]
+    fn unique_source_lets_scoop_store_mostly_at_producers() {
+        let r = run_experiment(&small(StoragePolicy::Scoop, DataSourceKind::Unique)).unwrap();
+        // After the first index is disseminated, every node owns its own
+        // value, so data messages should be rare compared to samples.
+        assert!(
+            (r.messages.data as f64) < r.storage.sampled as f64 * 0.9,
+            "UNIQUE should not ship most readings: {} data msgs for {} samples",
+            r.messages.data,
+            r.storage.sampled
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let cfg = small(StoragePolicy::Scoop, DataSourceKind::Real);
+        let a = run_experiment(&cfg).unwrap();
+        let b = run_experiment(&cfg).unwrap();
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.storage, b.storage);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn trials_use_distinct_seeds_and_average() {
+        let cfg = small(StoragePolicy::Base, DataSourceKind::Gaussian);
+        let results = run_trials(&cfg, 2).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].config.seed + 1, results[1].config.seed);
+        let avg = average_results(&results).unwrap();
+        let lo = results.iter().map(|r| r.total_messages()).min().unwrap();
+        let hi = results.iter().map(|r| r.total_messages()).max().unwrap();
+        assert!(avg.total_messages() >= lo && avg.total_messages() <= hi);
+        assert!(average_results(&[]).is_none());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = ExperimentConfig::small_test();
+        cfg.num_nodes = 0;
+        assert!(run_experiment(&cfg).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! The circular flash data buffer holding readings a node owns.
+//!
+//! "If o == n, store data locally on n: write data to the circular data
+//! buffer. (Notice that the data buffer is separate from the recent readings
+//! buffer...)" (Section 5.4). Queries scan this buffer linearly for tuples
+//! matching a time range and value range (Section 5.5).
+
+use scoop_types::{Reading, SimTime, StorageIndexId, Value, ValueRange};
+use serde::{Deserialize, Serialize};
+
+/// A reading as stored in the owner's flash, tagged with the storage-index
+/// epoch under which it was stored (used when answering historical queries
+/// that span multiple index epochs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredReading {
+    /// The reading itself (producer, attribute, value, sample timestamp).
+    pub reading: Reading,
+    /// When the owner stored it.
+    pub stored_at: SimTime,
+    /// The storage index epoch that routed the reading here.
+    pub index_epoch: StorageIndexId,
+}
+
+/// A circular buffer of stored readings with flash-style semantics: when it
+/// fills up, the oldest readings are overwritten.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DataBuffer {
+    capacity: usize,
+    slots: Vec<StoredReading>,
+    next: usize,
+    /// Total number of readings ever written (monotone, used for flash energy
+    /// accounting and the storage-success metric).
+    writes: u64,
+    /// Number of writes that overwrote a still-live older reading.
+    overwrites: u64,
+}
+
+impl DataBuffer {
+    /// Creates a buffer holding at most `capacity` readings.
+    pub fn new(capacity: usize) -> Self {
+        DataBuffer {
+            capacity: capacity.max(1),
+            slots: Vec::new(),
+            next: 0,
+            writes: 0,
+            overwrites: 0,
+        }
+    }
+
+    /// Capacity in readings.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of readings currently stored.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of readings ever written to this buffer.
+    pub fn total_writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of writes that displaced an older stored reading.
+    pub fn total_overwrites(&self) -> u64 {
+        self.overwrites
+    }
+
+    /// Stores a reading.
+    pub fn store(&mut self, reading: Reading, stored_at: SimTime, index_epoch: StorageIndexId) {
+        self.writes += 1;
+        let entry = StoredReading {
+            reading,
+            stored_at,
+            index_epoch,
+        };
+        if self.slots.len() < self.capacity {
+            self.slots.push(entry);
+            self.next = self.slots.len() % self.capacity;
+        } else {
+            self.overwrites += 1;
+            self.slots[self.next] = entry;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Linearly scans the buffer for readings whose value lies in
+    /// `value_range` and whose *sample* timestamp lies in `[time_lo, time_hi]`
+    /// — exactly what a node does when it receives a query addressed to it.
+    pub fn scan(
+        &self,
+        value_range: &ValueRange,
+        time_lo: SimTime,
+        time_hi: SimTime,
+    ) -> Vec<Reading> {
+        self.slots
+            .iter()
+            .filter(|s| {
+                value_range.contains(s.reading.value)
+                    && s.reading.timestamp >= time_lo
+                    && s.reading.timestamp <= time_hi
+            })
+            .map(|s| s.reading)
+            .collect()
+    }
+
+    /// Scans for readings produced by any of the listed values regardless of
+    /// time (convenience for tests).
+    pub fn scan_values(&self, values: &[Value]) -> Vec<Reading> {
+        self.slots
+            .iter()
+            .filter(|s| values.contains(&s.reading.value))
+            .map(|s| s.reading)
+            .collect()
+    }
+
+    /// Iterates over everything currently stored.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredReading> {
+        self.slots.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_types::{Attribute, NodeId};
+
+    fn reading(producer: u16, v: Value, t: u64) -> Reading {
+        Reading::new(NodeId(producer), Attribute::Light, v, SimTime::from_secs(t))
+    }
+
+    #[test]
+    fn store_and_scan_by_value_and_time() {
+        let mut buf = DataBuffer::new(100);
+        for t in 0..20 {
+            buf.store(reading(2, (t % 10) as Value, t), SimTime::from_secs(t + 1), StorageIndexId(1));
+        }
+        let hits = buf.scan(&ValueRange::new(3, 5), SimTime::from_secs(0), SimTime::from_secs(100));
+        assert_eq!(hits.len(), 6); // values 3,4,5 appear twice each
+        assert!(hits.iter().all(|r| (3..=5).contains(&r.value)));
+
+        let narrow = buf.scan(&ValueRange::new(3, 5), SimTime::from_secs(0), SimTime::from_secs(9));
+        assert_eq!(narrow.len(), 3, "time filter halves the matches");
+    }
+
+    #[test]
+    fn circular_overwrite_keeps_most_recent() {
+        let mut buf = DataBuffer::new(5);
+        for t in 0..12 {
+            buf.store(reading(1, t as Value, t), SimTime::from_secs(t), StorageIndexId(1));
+        }
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf.total_writes(), 12);
+        assert_eq!(buf.total_overwrites(), 7);
+        let all = buf.scan(&ValueRange::new(0, 100), SimTime::ZERO, SimTime::from_secs(100));
+        let mut vals: Vec<Value> = all.iter().map(|r| r.value).collect();
+        vals.sort();
+        assert_eq!(vals, vec![7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn empty_scan() {
+        let buf = DataBuffer::new(10);
+        assert!(buf
+            .scan(&ValueRange::new(0, 100), SimTime::ZERO, SimTime::from_secs(10))
+            .is_empty());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn epoch_tags_are_preserved() {
+        let mut buf = DataBuffer::new(10);
+        buf.store(reading(3, 7, 1), SimTime::from_secs(2), StorageIndexId(4));
+        let stored: Vec<&StoredReading> = buf.iter().collect();
+        assert_eq!(stored.len(), 1);
+        assert_eq!(stored[0].index_epoch, StorageIndexId(4));
+        assert_eq!(stored[0].stored_at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn scan_values_convenience() {
+        let mut buf = DataBuffer::new(10);
+        buf.store(reading(1, 5, 1), SimTime::from_secs(1), StorageIndexId(1));
+        buf.store(reading(1, 9, 2), SimTime::from_secs(2), StorageIndexId(1));
+        assert_eq!(buf.scan_values(&[9]).len(), 1);
+        assert_eq!(buf.scan_values(&[1, 2]).len(), 0);
+    }
+}

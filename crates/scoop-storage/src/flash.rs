@@ -1,0 +1,117 @@
+//! Flash sizing and energy model.
+//!
+//! Section 2.1 and Section 5.5 give the calibration points: a 12-bit reading,
+//! about 670,000 readings per megabyte of flash (i.e. readings are stored
+//! with a little framing overhead), 28 nJ per bit written, and reads
+//! "substantially cheaper". At a 10 Hz sample rate a megabyte therefore holds
+//! about 1,000 minutes of history.
+
+use serde::{Deserialize, Serialize};
+
+/// Capacity and energy model of a node's flash chip.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlashModel {
+    /// Flash size in bytes (default 1 MiB, as in the paper's arithmetic).
+    pub bytes: u64,
+    /// Bits of raw sensor data per reading (paper: 12).
+    pub bits_per_reading: u64,
+    /// Effective storage cost per reading in bits, including framing
+    /// (timestamp, producer id). Chosen so that 1 MB ≈ 670,000 readings.
+    pub stored_bits_per_reading: u64,
+    /// Energy to write one bit, in nanojoules (paper: ~28 nJ).
+    pub write_nj_per_bit: f64,
+    /// Energy to read one bit, in nanojoules.
+    pub read_nj_per_bit: f64,
+}
+
+impl Default for FlashModel {
+    fn default() -> Self {
+        FlashModel {
+            bytes: 1 << 20,
+            bits_per_reading: 12,
+            // 2^23 bits / 670,000 readings ≈ 12.5 bits per stored reading.
+            stored_bits_per_reading: 12,
+            write_nj_per_bit: 28.0,
+            read_nj_per_bit: 7.0,
+        }
+    }
+}
+
+impl FlashModel {
+    /// A model for a flash chip of `megabytes` MiB.
+    pub fn with_megabytes(megabytes: u64) -> Self {
+        FlashModel {
+            bytes: megabytes << 20,
+            ..Self::default()
+        }
+    }
+
+    /// How many readings fit in the chip.
+    pub fn capacity_readings(&self) -> u64 {
+        (self.bytes * 8) / self.stored_bits_per_reading.max(1)
+    }
+
+    /// How many seconds of history fit at the given sample rate (Hz).
+    pub fn history_seconds(&self, sample_hz: f64) -> f64 {
+        if sample_hz <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.capacity_readings() as f64 / sample_hz
+    }
+
+    /// Energy in joules to write `readings` readings.
+    pub fn write_energy_joules(&self, readings: u64) -> f64 {
+        readings as f64 * self.stored_bits_per_reading as f64 * self.write_nj_per_bit * 1e-9
+    }
+
+    /// Energy in joules to read (scan) `readings` readings.
+    pub fn read_energy_joules(&self, readings: u64) -> f64 {
+        readings as f64 * self.stored_bits_per_reading as f64 * self.read_nj_per_bit * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_megabyte_holds_roughly_670k_readings() {
+        let f = FlashModel::default();
+        let cap = f.capacity_readings();
+        assert!(
+            (600_000..=750_000).contains(&cap),
+            "paper says ~670,000 12-bit readings per MB, got {cap}"
+        );
+    }
+
+    #[test]
+    fn ten_hz_gives_about_a_thousand_minutes_of_history() {
+        let f = FlashModel::default();
+        let minutes = f.history_seconds(10.0) / 60.0;
+        assert!(
+            (900.0..=1_300.0).contains(&minutes),
+            "paper says ~1,000 minutes at 10 Hz, got {minutes}"
+        );
+    }
+
+    #[test]
+    fn bigger_chips_hold_more() {
+        let f1 = FlashModel::with_megabytes(1);
+        let f4 = FlashModel::with_megabytes(4);
+        let ratio = f4.capacity_readings() as f64 / f1.capacity_readings() as f64;
+        assert!((ratio - 4.0).abs() < 0.001, "ratio {ratio}");
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let f = FlashModel::default();
+        assert!(f.write_energy_joules(1000) > f.read_energy_joules(1000));
+        assert!(f.write_energy_joules(0) == 0.0);
+    }
+
+    #[test]
+    fn zero_sample_rate_means_unbounded_history() {
+        let f = FlashModel::default();
+        assert!(f.history_seconds(0.0).is_infinite());
+    }
+}

@@ -1,0 +1,154 @@
+//! The recent-readings ring buffer.
+//!
+//! "A node needs its own recent readings to build this histogram and,
+//! therefore, writes its own readings in round-robin fashion to a fixed-size
+//! recent-readings buffer (size 30, in our experiments). This ensures that
+//! summary messages always contain histograms over the node's most recent
+//! data." (Section 5.2)
+
+use scoop_types::{Reading, Value};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity ring buffer of the node's own most recent readings.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecentReadings {
+    capacity: usize,
+    slots: Vec<Reading>,
+    /// Index of the slot the next reading will overwrite.
+    next: usize,
+    /// Total readings ever pushed (may exceed capacity).
+    pushed: u64,
+}
+
+impl RecentReadings {
+    /// Creates a ring holding at most `capacity` readings (30 in the paper).
+    pub fn new(capacity: usize) -> Self {
+        RecentReadings {
+            capacity: capacity.max(1),
+            slots: Vec::new(),
+            next: 0,
+            pushed: 0,
+        }
+    }
+
+    /// The buffer's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of readings currently held (at most `capacity`).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of readings ever recorded.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Records a reading, overwriting the oldest one if the ring is full.
+    pub fn push(&mut self, reading: Reading) {
+        self.pushed += 1;
+        if self.slots.len() < self.capacity {
+            self.slots.push(reading);
+            self.next = self.slots.len() % self.capacity;
+        } else {
+            self.slots[self.next] = reading;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Iterates over the currently held readings (order unspecified — the
+    /// histogram does not care).
+    pub fn iter(&self) -> impl Iterator<Item = &Reading> {
+        self.slots.iter()
+    }
+
+    /// The held readings' values.
+    pub fn values(&self) -> Vec<Value> {
+        self.slots.iter().map(|r| r.value).collect()
+    }
+
+    /// The smallest value currently held.
+    pub fn min_value(&self) -> Option<Value> {
+        self.slots.iter().map(|r| r.value).min()
+    }
+
+    /// The largest value currently held.
+    pub fn max_value(&self) -> Option<Value> {
+        self.slots.iter().map(|r| r.value).max()
+    }
+
+    /// The sum of the values currently held (the summary reports it).
+    pub fn sum(&self) -> i64 {
+        self.slots.iter().map(|r| r.value as i64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_types::{Attribute, NodeId, SimTime};
+
+    fn reading(v: Value, t: u64) -> Reading {
+        Reading::new(NodeId(1), Attribute::Light, v, SimTime::from_secs(t))
+    }
+
+    #[test]
+    fn fills_up_to_capacity() {
+        let mut ring = RecentReadings::new(5);
+        for i in 0..3 {
+            ring.push(reading(i, i as u64));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_pushed(), 3);
+        assert_eq!(ring.min_value(), Some(0));
+        assert_eq!(ring.max_value(), Some(2));
+        assert_eq!(ring.sum(), 3);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut ring = RecentReadings::new(3);
+        for i in 0..10 {
+            ring.push(reading(i, i as u64));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_pushed(), 10);
+        let mut vals = ring.values();
+        vals.sort();
+        assert_eq!(vals, vec![7, 8, 9], "only the most recent readings remain");
+    }
+
+    #[test]
+    fn empty_ring_statistics() {
+        let ring = RecentReadings::new(4);
+        assert!(ring.is_empty());
+        assert_eq!(ring.min_value(), None);
+        assert_eq!(ring.max_value(), None);
+        assert_eq!(ring.sum(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut ring = RecentReadings::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(reading(5, 0));
+        ring.push(reading(6, 1));
+        assert_eq!(ring.values(), vec![6]);
+    }
+
+    #[test]
+    fn paper_default_capacity_is_thirty() {
+        let mut ring = RecentReadings::new(30);
+        for i in 0..100 {
+            ring.push(reading(i % 7, i as u64));
+        }
+        assert_eq!(ring.len(), 30);
+    }
+}

@@ -1,0 +1,232 @@
+//! Splitting large disseminated objects into packet-sized chunks and
+//! reassembling them.
+//!
+//! "After generating a storage index, the basestation splits it into
+//! different mapping messages since it is unlikely to fit in a single network
+//! packet. ... When a node has received all chunks for one storage index, it
+//! starts using that storage index, discarding the older index."
+//! (Section 5.3). Chunks may arrive out of order, duplicated, or not at all;
+//! a node only switches to a version it has assembled completely and
+//! otherwise keeps using its previous complete version.
+
+use serde::{Deserialize, Serialize};
+
+/// One packet-sized piece of a disseminated object of some version.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chunk<T> {
+    /// Version of the object this chunk belongs to.
+    pub version: u64,
+    /// Index of this chunk within the object.
+    pub index: u32,
+    /// Total number of chunks the object was split into.
+    pub total: u32,
+    /// The items carried by this chunk.
+    pub items: Vec<T>,
+}
+
+/// Splits a list of items into chunks of at most `items_per_chunk`.
+#[derive(Clone, Copy, Debug)]
+pub struct Chunker {
+    items_per_chunk: usize,
+}
+
+impl Chunker {
+    /// Creates a chunker. `items_per_chunk` is clamped to at least 1.
+    pub fn new(items_per_chunk: usize) -> Self {
+        Chunker {
+            items_per_chunk: items_per_chunk.max(1),
+        }
+    }
+
+    /// Splits `items` into chunks labelled with `version`.
+    ///
+    /// An empty item list still produces a single (empty) chunk so that the
+    /// version can be disseminated and assembled.
+    pub fn split<T: Clone>(&self, version: u64, items: &[T]) -> Vec<Chunk<T>> {
+        if items.is_empty() {
+            return vec![Chunk {
+                version,
+                index: 0,
+                total: 1,
+                items: Vec::new(),
+            }];
+        }
+        let total = items.len().div_ceil(self.items_per_chunk) as u32;
+        items
+            .chunks(self.items_per_chunk)
+            .enumerate()
+            .map(|(i, slice)| Chunk {
+                version,
+                index: i as u32,
+                total,
+                items: slice.to_vec(),
+            })
+            .collect()
+    }
+}
+
+/// Reassembles chunks of the newest version seen so far.
+///
+/// The assembler only tracks one version at a time: when it sees a chunk of a
+/// newer version it abandons the partial older assembly (matching the paper's
+/// behaviour of nodes that keep using their last *complete* index while a new
+/// one trickles in).
+#[derive(Clone, Debug, Default)]
+pub struct ChunkAssembler<T> {
+    version: u64,
+    total: u32,
+    received: Vec<Option<Vec<T>>>,
+}
+
+impl<T: Clone> ChunkAssembler<T> {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        ChunkAssembler {
+            version: 0,
+            total: 0,
+            received: Vec::new(),
+        }
+    }
+
+    /// The version currently being assembled (0 if none yet).
+    pub fn assembling_version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of chunks still missing for the version being assembled.
+    pub fn missing(&self) -> u32 {
+        if self.total == 0 {
+            return 0;
+        }
+        self.total - self.received.iter().filter(|c| c.is_some()).count() as u32
+    }
+
+    /// Feeds one received chunk. Returns `Some(items)` with the fully
+    /// reassembled object the moment the last missing chunk of the current
+    /// version arrives; otherwise `None`.
+    pub fn accept(&mut self, chunk: &Chunk<T>) -> Option<Vec<T>> {
+        if chunk.total == 0 || chunk.index >= chunk.total {
+            return None;
+        }
+        if chunk.version < self.version {
+            // A stale chunk from an older dissemination: ignore.
+            return None;
+        }
+        if chunk.version > self.version || self.received.len() != chunk.total as usize {
+            // Start assembling the newer version from scratch.
+            self.version = chunk.version;
+            self.total = chunk.total;
+            self.received = vec![None; chunk.total as usize];
+        }
+        let slot = &mut self.received[chunk.index as usize];
+        if slot.is_none() {
+            *slot = Some(chunk.items.clone());
+        }
+        if self.received.iter().all(|c| c.is_some()) {
+            let assembled = self
+                .received
+                .iter()
+                .flat_map(|c| c.as_ref().unwrap().iter().cloned())
+                .collect();
+            Some(assembled)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_sizes_and_counts() {
+        let chunker = Chunker::new(3);
+        let items: Vec<u32> = (0..8).collect();
+        let chunks = chunker.split(5, &items);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|c| c.total == 3 && c.version == 5));
+        assert_eq!(chunks[0].items, vec![0, 1, 2]);
+        assert_eq!(chunks[2].items, vec![6, 7]);
+    }
+
+    #[test]
+    fn empty_object_still_produces_one_chunk() {
+        let chunker = Chunker::new(4);
+        let chunks = chunker.split::<u32>(9, &[]);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].total, 1);
+        let mut asm = ChunkAssembler::new();
+        assert_eq!(asm.accept(&chunks[0]), Some(vec![]));
+    }
+
+    #[test]
+    fn in_order_reassembly() {
+        let chunker = Chunker::new(2);
+        let items: Vec<u32> = (0..7).collect();
+        let chunks = chunker.split(1, &items);
+        let mut asm = ChunkAssembler::new();
+        let mut result = None;
+        for c in &chunks {
+            result = asm.accept(c);
+        }
+        assert_eq!(result, Some(items));
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_chunks() {
+        let chunker = Chunker::new(2);
+        let items: Vec<u32> = (0..6).collect();
+        let mut chunks = chunker.split(1, &items);
+        chunks.reverse();
+        let mut asm = ChunkAssembler::new();
+        assert_eq!(asm.accept(&chunks[0]), None);
+        assert_eq!(asm.accept(&chunks[0]), None, "duplicates are harmless");
+        assert_eq!(asm.accept(&chunks[1]), None);
+        assert_eq!(asm.missing(), 1);
+        assert_eq!(asm.accept(&chunks[2]), Some(items));
+    }
+
+    #[test]
+    fn newer_version_preempts_partial_older_one() {
+        let chunker = Chunker::new(2);
+        let old = chunker.split(1, &(0..6).collect::<Vec<u32>>());
+        let new_items: Vec<u32> = (100..104).collect();
+        let new = chunker.split(2, &new_items);
+        let mut asm = ChunkAssembler::new();
+        asm.accept(&old[0]);
+        asm.accept(&new[0]);
+        assert_eq!(asm.assembling_version(), 2);
+        // Old chunks are now ignored entirely.
+        assert_eq!(asm.accept(&old[1]), None);
+        assert_eq!(asm.accept(&old[2]), None);
+        assert_eq!(asm.accept(&new[1]), Some(new_items));
+    }
+
+    #[test]
+    fn malformed_chunks_are_rejected() {
+        let mut asm: ChunkAssembler<u32> = ChunkAssembler::new();
+        assert_eq!(
+            asm.accept(&Chunk { version: 1, index: 5, total: 2, items: vec![] }),
+            None
+        );
+        assert_eq!(
+            asm.accept(&Chunk { version: 1, index: 0, total: 0, items: vec![] }),
+            None
+        );
+        assert_eq!(asm.assembling_version(), 0);
+    }
+
+    #[test]
+    fn single_item_chunking() {
+        let chunker = Chunker::new(1);
+        let chunks = chunker.split(3, &[10u32, 20, 30]);
+        assert_eq!(chunks.len(), 3);
+        let mut asm = ChunkAssembler::new();
+        let mut out = None;
+        for c in &chunks {
+            out = asm.accept(c);
+        }
+        assert_eq!(out, Some(vec![10, 20, 30]));
+    }
+}

@@ -1,0 +1,290 @@
+//! The Trickle timer / suppression state machine.
+//!
+//! This is a faithful, event-driven implementation of the algorithm from
+//! Levis et al.: the caller owns the clock and asks the state machine what to
+//! do next. The state machine is generic over the *version* being gossiped
+//! (Scoop uses the storage-index id); payload transport is the caller's job.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scoop_types::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Trickle timing parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrickleConfig {
+    /// Minimum round length τ_min.
+    pub tau_min: SimDuration,
+    /// Maximum round length τ_max.
+    pub tau_max: SimDuration,
+    /// Redundancy constant k: suppress our broadcast if we heard at least
+    /// this many consistent transmissions in the current round.
+    pub redundancy: u32,
+}
+
+impl Default for TrickleConfig {
+    fn default() -> Self {
+        TrickleConfig {
+            tau_min: SimDuration::from_millis(1_000),
+            tau_max: SimDuration::from_secs(60),
+            redundancy: 2,
+        }
+    }
+}
+
+/// What the caller should do after feeding an event into the state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrickleAction {
+    /// Do nothing for now.
+    None,
+    /// Broadcast our current version/payload now.
+    Broadcast,
+    /// Re-arm a timer to call [`TrickleState::on_timer`] at the given time.
+    SetTimer(SimTime),
+}
+
+/// Per-node Trickle state for one disseminated object.
+#[derive(Clone, Debug)]
+pub struct TrickleState {
+    config: TrickleConfig,
+    /// Current round length.
+    tau: SimDuration,
+    /// Start of the current round.
+    round_start: SimTime,
+    /// The instant within the current round at which we will consider
+    /// broadcasting.
+    fire_at: SimTime,
+    /// Whether the fire instant for this round has already passed.
+    fired_this_round: bool,
+    /// Consistent transmissions heard this round.
+    heard: u32,
+    /// The version of the object we currently hold.
+    version: u64,
+    rng: StdRng,
+}
+
+impl TrickleState {
+    /// Creates Trickle state holding `version`, seeded for determinism.
+    pub fn new(config: TrickleConfig, version: u64, seed: u64, now: SimTime) -> Self {
+        let mut st = TrickleState {
+            config,
+            tau: config.tau_min,
+            round_start: now,
+            fire_at: now,
+            fired_this_round: false,
+            heard: 0,
+            version,
+            rng: StdRng::seed_from_u64(seed ^ TRICKLE_SEED_SALT),
+        };
+        st.schedule_round(now);
+        st
+    }
+
+    /// The version this node currently holds.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The current round length (exposed for tests and diagnostics).
+    pub fn tau(&self) -> SimDuration {
+        self.tau
+    }
+
+    /// Starts a new round at `now`, drawing the fire instant uniformly from
+    /// the second half of the round.
+    fn schedule_round(&mut self, now: SimTime) {
+        self.round_start = now;
+        self.heard = 0;
+        self.fired_this_round = false;
+        let half = self.tau.as_millis() / 2;
+        let offset = half + self.rng.gen_range(0..=half.max(1));
+        self.fire_at = now + SimDuration::from_millis(offset);
+    }
+
+    /// The caller should arm its next timer for this instant.
+    pub fn next_timer(&self) -> SimTime {
+        if self.fired_this_round {
+            self.round_start + self.tau
+        } else {
+            self.fire_at
+        }
+    }
+
+    /// Locally installs a newer version (e.g. the basestation produced a new
+    /// storage index). Resets the round length so the news propagates fast.
+    pub fn set_version(&mut self, version: u64, now: SimTime) -> TrickleAction {
+        if version > self.version {
+            self.version = version;
+            self.tau = self.config.tau_min;
+            self.schedule_round(now);
+            TrickleAction::SetTimer(self.next_timer())
+        } else {
+            TrickleAction::None
+        }
+    }
+
+    /// Processes an overheard advertisement of `version` from a neighbor.
+    ///
+    /// * same version  → counts toward suppression,
+    /// * older version → the neighbor is behind; reset τ so we re-advertise
+    ///   quickly (and the caller may want to re-send data to help it),
+    /// * newer version → adopt it (the caller is responsible for fetching /
+    ///   assembling the payload) and reset τ.
+    ///
+    /// Returns the action the caller should take.
+    pub fn on_heard(&mut self, version: u64, now: SimTime) -> TrickleAction {
+        use std::cmp::Ordering;
+        match version.cmp(&self.version) {
+            Ordering::Equal => {
+                self.heard += 1;
+                TrickleAction::None
+            }
+            Ordering::Less => {
+                // Inconsistency: someone is behind. Reset to spread the word.
+                self.tau = self.config.tau_min;
+                self.schedule_round(now);
+                TrickleAction::SetTimer(self.next_timer())
+            }
+            Ordering::Greater => {
+                self.version = version;
+                self.tau = self.config.tau_min;
+                self.schedule_round(now);
+                TrickleAction::SetTimer(self.next_timer())
+            }
+        }
+    }
+
+    /// Called when the caller's timer fires. Returns [`TrickleAction::Broadcast`]
+    /// if the node should transmit its advertisement now; in all cases the
+    /// caller should then re-arm using [`TrickleState::next_timer`].
+    pub fn on_timer(&mut self, now: SimTime) -> TrickleAction {
+        if !self.fired_this_round && now >= self.fire_at {
+            self.fired_this_round = true;
+            if self.heard < self.config.redundancy {
+                return TrickleAction::Broadcast;
+            }
+            return TrickleAction::None;
+        }
+        if now >= self.round_start + self.tau {
+            // Round over: double τ (capped) and start the next round.
+            let doubled = self.tau.as_millis().saturating_mul(2);
+            self.tau = SimDuration::from_millis(doubled.min(self.config.tau_max.as_millis()));
+            self.schedule_round(now);
+        }
+        TrickleAction::None
+    }
+}
+
+/// Salt keeping Trickle's RNG stream independent from other per-seed streams.
+const TRICKLE_SEED_SALT: u64 = 0x7416_c1e5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrickleConfig {
+        TrickleConfig {
+            tau_min: SimDuration::from_secs(1),
+            tau_max: SimDuration::from_secs(16),
+            redundancy: 2,
+        }
+    }
+
+    fn drive_until_broadcast(st: &mut TrickleState, limit: SimTime) -> Option<SimTime> {
+        loop {
+            let now = st.next_timer();
+            if now > limit {
+                return None;
+            }
+            if st.on_timer(now) == TrickleAction::Broadcast {
+                return Some(now);
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_node_eventually_broadcasts() {
+        let mut st = TrickleState::new(cfg(), 1, 42, SimTime::ZERO);
+        let t = drive_until_broadcast(&mut st, SimTime::from_secs(10));
+        assert!(t.is_some());
+        let t = t.unwrap();
+        assert!(t >= SimTime::from_millis(500), "fires in the second half of the round");
+        assert!(t <= SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn suppression_when_enough_consistent_traffic_heard() {
+        let mut st = TrickleState::new(cfg(), 1, 42, SimTime::ZERO);
+        st.on_heard(1, SimTime::from_millis(100));
+        st.on_heard(1, SimTime::from_millis(200));
+        // With redundancy 2 already satisfied, the fire instant produces no
+        // broadcast this round.
+        let action = st.on_timer(st.next_timer());
+        assert_eq!(action, TrickleAction::None);
+    }
+
+    #[test]
+    fn tau_doubles_when_consistent_and_resets_on_news() {
+        let mut st = TrickleState::new(cfg(), 1, 7, SimTime::ZERO);
+        // Run several full rounds with no inconsistency.
+        let mut now = SimTime::ZERO;
+        for _ in 0..12 {
+            now = st.next_timer();
+            st.on_timer(now);
+        }
+        assert!(st.tau() > SimDuration::from_secs(1), "tau should have grown");
+        // A newer version resets tau to the minimum.
+        let action = st.on_heard(2, now);
+        assert!(matches!(action, TrickleAction::SetTimer(_)));
+        assert_eq!(st.version(), 2);
+        assert_eq!(st.tau(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn hearing_an_older_version_resets_tau_but_keeps_ours() {
+        let mut st = TrickleState::new(cfg(), 5, 7, SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        for _ in 0..8 {
+            now = st.next_timer();
+            st.on_timer(now);
+        }
+        let before = st.version();
+        st.on_heard(3, now);
+        assert_eq!(st.version(), before);
+        assert_eq!(st.tau(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn set_version_only_moves_forward() {
+        let mut st = TrickleState::new(cfg(), 5, 7, SimTime::ZERO);
+        assert_eq!(st.set_version(4, SimTime::from_secs(1)), TrickleAction::None);
+        assert_eq!(st.version(), 5);
+        assert!(matches!(
+            st.set_version(9, SimTime::from_secs(1)),
+            TrickleAction::SetTimer(_)
+        ));
+        assert_eq!(st.version(), 9);
+    }
+
+    #[test]
+    fn tau_never_exceeds_max() {
+        let mut st = TrickleState::new(cfg(), 1, 3, SimTime::ZERO);
+        for _ in 0..100 {
+            let t = st.next_timer();
+            st.on_timer(t);
+        }
+        assert!(st.tau() <= SimDuration::from_secs(16));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = TrickleState::new(cfg(), 1, 9, SimTime::ZERO);
+        let mut b = TrickleState::new(cfg(), 1, 9, SimTime::ZERO);
+        for _ in 0..20 {
+            let ta = a.next_timer();
+            let tb = b.next_timer();
+            assert_eq!(ta, tb);
+            assert_eq!(a.on_timer(ta), b.on_timer(tb));
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Experiment and protocol configuration.
+//!
+//! [`ExperimentConfig::paper_defaults`] reproduces the parameter table from
+//! Section 6 of the paper: 62 nodes + 1 basestation, 40 simulated minutes,
+//! 15-second sample and query intervals, 110-second summary interval,
+//! 240-second remap interval, queries over 1–5 % of the value domain, and the
+//! REAL data source.
+
+use crate::{Attribute, ScoopError, SimDuration, ValueRange, MAX_NODES};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which storage policy the network runs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum StoragePolicy {
+    /// The paper's contribution: the adaptive, statistics-driven storage index.
+    Scoop,
+    /// Store every reading locally; flood every query to all nodes.
+    Local,
+    /// Send every reading to the basestation; queries cost nothing.
+    Base,
+    /// A static uniform hash from value to node (GHT-like data-centric
+    /// storage). The paper evaluates this analytically; we support both the
+    /// analytical model and full simulation.
+    Hash,
+}
+
+impl StoragePolicy {
+    /// All policies, in the order used by reports.
+    pub const ALL: [StoragePolicy; 4] = [
+        StoragePolicy::Scoop,
+        StoragePolicy::Local,
+        StoragePolicy::Base,
+        StoragePolicy::Hash,
+    ];
+
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoragePolicy::Scoop => "scoop",
+            StoragePolicy::Local => "local",
+            StoragePolicy::Base => "base",
+            StoragePolicy::Hash => "hash",
+        }
+    }
+}
+
+impl fmt::Display for StoragePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which synthetic data source drives the sensors (Section 6's table).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum DataSourceKind {
+    /// A trace of real (spatially and temporally correlated) light data.
+    /// The paper replayed the Intel Lab trace; we synthesize an equivalent.
+    Real,
+    /// Each node always produces its own node id as its value.
+    Unique,
+    /// All nodes produce the same value for the whole experiment.
+    Equal,
+    /// Uniformly random values in the domain.
+    Random,
+    /// Each node draws from a Gaussian around a per-node mean (variance 10).
+    Gaussian,
+}
+
+impl DataSourceKind {
+    /// All data sources, in the order used by reports.
+    pub const ALL: [DataSourceKind; 5] = [
+        DataSourceKind::Unique,
+        DataSourceKind::Equal,
+        DataSourceKind::Real,
+        DataSourceKind::Gaussian,
+        DataSourceKind::Random,
+    ];
+
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataSourceKind::Real => "real",
+            DataSourceKind::Unique => "unique",
+            DataSourceKind::Equal => "equal",
+            DataSourceKind::Random => "random",
+            DataSourceKind::Gaussian => "gaussian",
+        }
+    }
+}
+
+impl fmt::Display for DataSourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters of the Scoop protocol itself (as opposed to the workload).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScoopParams {
+    /// Interval between summary messages from each node (paper: 110 s).
+    pub summary_interval: SimDuration,
+    /// Interval between storage-index recomputations at the basestation
+    /// (paper: 240 s).
+    pub remap_interval: SimDuration,
+    /// Number of equal-width bins in the summary histogram (paper: 10).
+    pub n_bins: usize,
+    /// Capacity of the recent-readings ring buffer used to build the summary
+    /// histogram (paper: 30).
+    pub recent_readings: usize,
+    /// Maximum readings batched into a single data packet (paper: 5).
+    pub batch_size: usize,
+    /// Maximum entries in the neighbor list reported in summaries (paper: 12).
+    pub summary_neighbors: usize,
+    /// Maximum entries in the locally kept neighbor list (paper: 32).
+    pub neighbor_list_cap: usize,
+    /// Maximum entries in the descendants list (paper: 32).
+    pub descendants_cap: usize,
+    /// If `true`, the basestation also evaluates the expected cost of a
+    /// "store-local" index and uses it when cheaper (Section 4). The paper's
+    /// SCOOP experiments *disable* this so the adaptive index is always used.
+    pub allow_store_local_fallback: bool,
+    /// If `true`, the basestation suppresses dissemination of a new index
+    /// that is (nearly) identical to the previous one (Section 5.3).
+    pub suppress_unchanged_index: bool,
+    /// Fraction of entries that must change for an index to be considered
+    /// "different enough" to re-disseminate (only used when
+    /// `suppress_unchanged_index` is set).
+    pub suppression_threshold: f64,
+    /// If `true`, routing rule 3 (neighbor-list shortcut) is enabled.
+    pub neighbor_shortcut: bool,
+    /// Maximum value-range entries per mapping packet when the index is
+    /// chunked for dissemination.
+    pub mapping_entries_per_packet: usize,
+}
+
+impl Default for ScoopParams {
+    fn default() -> Self {
+        ScoopParams {
+            summary_interval: SimDuration::from_secs(110),
+            remap_interval: SimDuration::from_secs(240),
+            n_bins: 10,
+            recent_readings: 30,
+            batch_size: 5,
+            summary_neighbors: 12,
+            neighbor_list_cap: 32,
+            descendants_cap: 32,
+            allow_store_local_fallback: false,
+            suppress_unchanged_index: true,
+            suppression_threshold: 0.05,
+            neighbor_shortcut: true,
+            mapping_entries_per_packet: 8,
+        }
+    }
+}
+
+/// Parameters of the query workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryWorkloadConfig {
+    /// Interval between queries issued at the basestation (paper: 15 s).
+    pub query_interval: SimDuration,
+    /// Minimum fraction of the value domain covered by each query (paper: 1 %).
+    pub min_width_frac: f64,
+    /// Maximum fraction of the value domain covered by each query (paper: 5 %).
+    pub max_width_frac: f64,
+    /// How far back in time queries look, as a number of sample intervals.
+    pub history_samples: u64,
+}
+
+impl Default for QueryWorkloadConfig {
+    fn default() -> Self {
+        QueryWorkloadConfig {
+            query_interval: SimDuration::from_secs(15),
+            min_width_frac: 0.01,
+            max_width_frac: 0.05,
+            history_samples: 8,
+        }
+    }
+}
+
+/// Full description of one experiment run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of sensor nodes, excluding the basestation (paper: 62).
+    pub num_nodes: usize,
+    /// Total simulated duration (paper: 40 minutes).
+    pub duration: SimDuration,
+    /// Stabilization prefix during which only the routing tree forms
+    /// (paper: 10 minutes).
+    pub warmup: SimDuration,
+    /// Interval between sensor samples on each node (paper: 15 s).
+    pub sample_interval: SimDuration,
+    /// The attribute being indexed (the REAL trace is light data).
+    pub attribute: Attribute,
+    /// The attribute's value domain. The synthetic sources use `[0, 100]`;
+    /// the REAL trace uses roughly 150 distinct values.
+    pub value_domain: ValueRange,
+    /// Which data source drives the sensors.
+    pub data_source: DataSourceKind,
+    /// Which storage policy the network runs.
+    pub policy: StoragePolicy,
+    /// Scoop protocol parameters (ignored by the other policies).
+    pub scoop: ScoopParams,
+    /// Query workload parameters.
+    pub queries: QueryWorkloadConfig,
+    /// Seed for all randomness in the run (topology noise, link loss, data
+    /// sources, query generation). Two runs with the same config and seed
+    /// produce identical results.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The default parameters from Section 6 of the paper.
+    pub fn paper_defaults() -> Self {
+        ExperimentConfig {
+            num_nodes: 62,
+            duration: SimDuration::from_mins(40),
+            warmup: SimDuration::from_mins(10),
+            sample_interval: SimDuration::from_secs(15),
+            attribute: Attribute::Light,
+            value_domain: ValueRange::new(0, 149),
+            data_source: DataSourceKind::Real,
+            policy: StoragePolicy::Scoop,
+            scoop: ScoopParams::default(),
+            queries: QueryWorkloadConfig::default(),
+            seed: 1,
+        }
+    }
+
+    /// A scaled-down configuration useful for unit and integration tests:
+    /// fewer nodes and a shorter run so tests finish quickly while still
+    /// exercising every protocol phase (tree formation, summaries, at least
+    /// two remaps, queries).
+    pub fn small_test() -> Self {
+        let mut cfg = Self::paper_defaults();
+        cfg.num_nodes = 16;
+        cfg.duration = SimDuration::from_mins(12);
+        cfg.warmup = SimDuration::from_mins(2);
+        cfg.scoop.summary_interval = SimDuration::from_secs(60);
+        cfg.scoop.remap_interval = SimDuration::from_secs(120);
+        cfg
+    }
+
+    /// Validates internal consistency (node count within the bitmap limit,
+    /// warmup shorter than the run, sane fractions, non-zero intervals).
+    pub fn validate(&self) -> Result<(), ScoopError> {
+        if self.num_nodes + 1 > MAX_NODES {
+            return Err(ScoopError::TooManyNodes {
+                requested: self.num_nodes + 1,
+                limit: MAX_NODES,
+            });
+        }
+        if self.num_nodes == 0 {
+            return Err(ScoopError::InvalidConfig("num_nodes must be >= 1".into()));
+        }
+        if self.warmup >= self.duration {
+            return Err(ScoopError::InvalidConfig(
+                "warmup must be shorter than the total duration".into(),
+            ));
+        }
+        if self.sample_interval.as_millis() == 0 {
+            return Err(ScoopError::InvalidConfig(
+                "sample_interval must be non-zero".into(),
+            ));
+        }
+        if self.queries.query_interval.as_millis() == 0 {
+            return Err(ScoopError::InvalidConfig(
+                "query_interval must be non-zero".into(),
+            ));
+        }
+        if self.scoop.n_bins == 0 {
+            return Err(ScoopError::InvalidConfig("n_bins must be >= 1".into()));
+        }
+        if self.scoop.batch_size == 0 {
+            return Err(ScoopError::InvalidConfig("batch_size must be >= 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.queries.min_width_frac)
+            || !(0.0..=1.0).contains(&self.queries.max_width_frac)
+            || self.queries.min_width_frac > self.queries.max_width_frac
+        {
+            return Err(ScoopError::InvalidConfig(
+                "query width fractions must satisfy 0 <= min <= max <= 1".into(),
+            ));
+        }
+        if self.value_domain.width() < 2 {
+            return Err(ScoopError::InvalidConfig(
+                "value domain must contain at least two values".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Duration of the measured part of the run (after warmup).
+    pub fn measured_duration(&self) -> SimDuration {
+        SimDuration(self.duration.0.saturating_sub(self.warmup.0))
+    }
+
+    /// Number of sensor samples each node takes during the measured part of
+    /// the run.
+    pub fn samples_per_node(&self) -> u64 {
+        self.measured_duration().as_millis() / self.sample_interval.as_millis()
+    }
+
+    /// Number of queries the basestation issues during the measured part of
+    /// the run.
+    pub fn query_count(&self) -> u64 {
+        self.measured_duration().as_millis() / self.queries.query_interval.as_millis()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_6() {
+        let cfg = ExperimentConfig::paper_defaults();
+        assert_eq!(cfg.num_nodes, 62);
+        assert_eq!(cfg.duration.as_secs(), 40 * 60);
+        assert_eq!(cfg.warmup.as_secs(), 10 * 60);
+        assert_eq!(cfg.sample_interval.as_secs(), 15);
+        assert_eq!(cfg.queries.query_interval.as_secs(), 15);
+        assert_eq!(cfg.scoop.summary_interval.as_secs(), 110);
+        assert_eq!(cfg.scoop.remap_interval.as_secs(), 240);
+        assert_eq!(cfg.scoop.n_bins, 10);
+        assert_eq!(cfg.scoop.recent_readings, 30);
+        assert_eq!(cfg.scoop.batch_size, 5);
+        assert_eq!(cfg.scoop.summary_neighbors, 12);
+        assert_eq!(cfg.scoop.descendants_cap, 32);
+        assert!(!cfg.scoop.allow_store_local_fallback);
+        assert_eq!(cfg.data_source, DataSourceKind::Real);
+        assert_eq!(cfg.policy, StoragePolicy::Scoop);
+        cfg.validate().expect("paper defaults must be valid");
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        ExperimentConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_too_many_nodes() {
+        let mut cfg = ExperimentConfig::paper_defaults();
+        cfg.num_nodes = 200;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ScoopError::TooManyNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_warmup() {
+        let mut cfg = ExperimentConfig::paper_defaults();
+        cfg.warmup = cfg.duration;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_query_widths() {
+        let mut cfg = ExperimentConfig::paper_defaults();
+        cfg.queries.min_width_frac = 0.5;
+        cfg.queries.max_width_frac = 0.1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_nodes_and_bins() {
+        let mut cfg = ExperimentConfig::paper_defaults();
+        cfg.num_nodes = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ExperimentConfig::paper_defaults();
+        cfg.scoop.n_bins = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn derived_counts() {
+        let cfg = ExperimentConfig::paper_defaults();
+        // 30 measured minutes at one sample / query per 15 s = 120 each.
+        assert_eq!(cfg.samples_per_node(), 120);
+        assert_eq!(cfg.query_count(), 120);
+    }
+
+    #[test]
+    fn policy_and_source_names() {
+        assert_eq!(StoragePolicy::Scoop.name(), "scoop");
+        assert_eq!(DataSourceKind::Gaussian.to_string(), "gaussian");
+        let names: std::collections::HashSet<_> =
+            StoragePolicy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), StoragePolicy::ALL.len());
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let cfg = ExperimentConfig::paper_defaults();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared across the workspace.
+
+use crate::NodeId;
+use std::fmt;
+
+/// Errors surfaced by the Scoop library crates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScoopError {
+    /// A node id referenced a node that does not exist in the topology.
+    UnknownNode(NodeId),
+    /// The requested node count exceeds the addressing limit
+    /// ([`crate::MAX_NODES`], imposed by the query bitmap).
+    TooManyNodes {
+        /// Number of nodes that was requested.
+        requested: usize,
+        /// Maximum number of addressable nodes.
+        limit: usize,
+    },
+    /// An experiment configuration value is out of range or inconsistent.
+    InvalidConfig(String),
+    /// A storage index or message referenced a value outside the attribute's
+    /// configured domain.
+    ValueOutOfDomain {
+        /// The offending value.
+        value: i32,
+        /// The lower bound of the domain.
+        lo: i32,
+        /// The upper bound of the domain.
+        hi: i32,
+    },
+    /// The simulation engine was asked to do something inconsistent with its
+    /// current state (e.g. delivering to a node that was never registered).
+    Simulation(String),
+}
+
+impl fmt::Display for ScoopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoopError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ScoopError::TooManyNodes { requested, limit } => {
+                write!(f, "requested {requested} nodes but the limit is {limit}")
+            }
+            ScoopError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ScoopError::ValueOutOfDomain { value, lo, hi } => {
+                write!(f, "value {value} outside the attribute domain [{lo}, {hi}]")
+            }
+            ScoopError::Simulation(msg) => write!(f, "simulation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScoopError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ScoopError::UnknownNode(NodeId(9)).to_string(),
+            "unknown node n9"
+        );
+        assert!(ScoopError::TooManyNodes {
+            requested: 200,
+            limit: 128
+        }
+        .to_string()
+        .contains("200"));
+        assert!(ScoopError::ValueOutOfDomain {
+            value: 500,
+            lo: 0,
+            hi: 100
+        }
+        .to_string()
+        .contains("500"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ScoopError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! A single sensor reading.
+
+use crate::{Attribute, NodeId, SimTime, Value};
+use serde::{Deserialize, Serialize};
+
+/// One sampled sensor reading.
+///
+/// Readings are produced by the workload data sources, buffered in the
+/// producer's recent-readings ring, routed to their owner according to the
+/// storage index, and finally stored in the owner's circular data buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Reading {
+    /// The node that sampled the reading.
+    pub producer: NodeId,
+    /// Which attribute was sampled.
+    pub attribute: Attribute,
+    /// The sampled value.
+    pub value: Value,
+    /// When the reading was sampled.
+    pub timestamp: SimTime,
+}
+
+impl Reading {
+    /// Convenience constructor.
+    pub fn new(producer: NodeId, attribute: Attribute, value: Value, timestamp: SimTime) -> Self {
+        Reading {
+            producer,
+            attribute,
+            value,
+            timestamp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let r = Reading::new(NodeId(3), Attribute::Light, 42, SimTime::from_secs(10));
+        assert_eq!(r.producer, NodeId(3));
+        assert_eq!(r.value, 42);
+        assert_eq!(r.timestamp.as_secs(), 10);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = Reading::new(NodeId(5), Attribute::Temperature, -3, SimTime::from_secs(1));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Reading = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

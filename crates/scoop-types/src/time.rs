@@ -1,0 +1,194 @@
+//! Simulated time.
+//!
+//! The discrete-event simulator measures time in milliseconds from the start
+//! of the experiment. The paper's experiments run for 40 simulated minutes
+//! with a 10-minute stabilization prefix.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (milliseconds since the start of the run).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (milliseconds).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Constructs a time from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimTime(m * 60_000)
+    }
+
+    /// Constructs a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// This time expressed in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in (truncated) whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// This time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// Constructs a duration from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// Constructs a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// The duration in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in (truncated) whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// The duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+
+    /// Divides the duration by an integer factor (truncating).
+    pub const fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2000);
+        assert_eq!(SimTime::from_mins(3).as_secs(), 180);
+        assert_eq!(SimDuration::from_secs(15).as_millis(), 15_000);
+        assert_eq!(SimDuration::from_mins(4).as_secs(), 240);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t.as_secs(), 15);
+        assert_eq!((t - SimTime::from_secs(10)).as_secs(), 5);
+        // subtraction saturates rather than panicking
+        assert_eq!((SimTime::from_secs(1) - SimTime::from_secs(5)).as_millis(), 0);
+        let mut t2 = SimTime::ZERO;
+        t2 += SimDuration::from_millis(1500);
+        assert_eq!(t2.as_millis(), 1500);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(SimDuration::from_secs(15).mul(4).as_secs(), 60);
+        assert_eq!(SimDuration::from_secs(60).div(4).as_secs(), 15);
+    }
+
+    #[test]
+    fn display_formats_as_seconds() {
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500s");
+        assert_eq!(format!("{}", SimDuration::from_millis(250)), "0.250s");
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generation: sensor data sources and query workloads.
+//!
+//! The paper drives its experiments with five data sources (Section 6):
+//!
+//! | name     | behaviour                                                        |
+//! |----------|------------------------------------------------------------------|
+//! | REAL     | replay of a real, highly correlated indoor light trace            |
+//! | UNIQUE   | every node always produces its own node id                        |
+//! | EQUAL    | every node produces the same constant value                       |
+//! | RANDOM   | uniformly random values in `[0, 100]`                             |
+//! | GAUSSIAN | per-node mean drawn from `[0, 100]`, readings ~ N(mean, var 10)   |
+//!
+//! The original REAL workload replayed the Intel Lab light trace, which we do
+//! not redistribute; [`real_trace::RealTrace`] synthesizes an equivalent
+//! trace with the two properties Scoop exploits — temporal stationarity on
+//! each node and spatial correlation between nearby nodes — over a ~150-value
+//! domain (see DESIGN.md, "Substitutions").
+//!
+//! Queries are value-range queries covering 1–5 % of the attribute domain by
+//! default, issued every 15 seconds ([`queries::QueryGenerator`]).
+
+#![warn(missing_docs)]
+
+pub mod queries;
+pub mod real_trace;
+pub mod sources;
+
+pub use queries::{QueryGenerator, QuerySpec};
+pub use real_trace::RealTrace;
+pub use sources::{make_source, DataSource};

@@ -1,0 +1,219 @@
+//! Query workload generation.
+//!
+//! "The basestation issues a query once every 15 seconds over 1-5% of the
+//! attribute's value domain (the query width)." (Section 6). A query consists
+//! of a value range and a time range of interest (Section 5.5); Figure 4
+//! sweeps how much of the network a query touches by widening the value
+//! range, and Figure 5 sweeps the query interval.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scoop_types::{Attribute, QueryWorkloadConfig, SimDuration, SimTime, Value, ValueRange};
+use serde::{Deserialize, Serialize};
+
+/// One query as issued by the user at the basestation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Attribute being queried.
+    pub attribute: Attribute,
+    /// Value range of interest.
+    pub values: ValueRange,
+    /// Earliest sample timestamp of interest.
+    pub time_lo: SimTime,
+    /// Latest sample timestamp of interest.
+    pub time_hi: SimTime,
+    /// When the query was issued.
+    pub issued_at: SimTime,
+}
+
+impl QuerySpec {
+    /// Width of the query's value range as a fraction of `domain`.
+    pub fn width_fraction(&self, domain: &ValueRange) -> f64 {
+        self.values.width() as f64 / domain.width() as f64
+    }
+}
+
+/// Generates the stream of user queries for an experiment run.
+#[derive(Clone, Debug)]
+pub struct QueryGenerator {
+    attribute: Attribute,
+    domain: ValueRange,
+    config: QueryWorkloadConfig,
+    /// How far back each query looks.
+    history: SimDuration,
+    /// If set, every query uses exactly this width fraction (used by the
+    /// Figure 4 selectivity sweep instead of the default 1–5 % band).
+    fixed_width_frac: Option<f64>,
+    rng: StdRng,
+}
+
+impl QueryGenerator {
+    /// Creates a generator over `domain` for `attribute`.
+    ///
+    /// `sample_interval` is used to size the historical window each query
+    /// covers (`history_samples` sample intervals back from "now").
+    pub fn new(
+        attribute: Attribute,
+        domain: ValueRange,
+        config: QueryWorkloadConfig,
+        sample_interval: SimDuration,
+        seed: u64,
+    ) -> Self {
+        let history = SimDuration::from_millis(
+            sample_interval.as_millis() * config.history_samples.max(1),
+        );
+        QueryGenerator {
+            attribute,
+            domain,
+            config,
+            history,
+            fixed_width_frac: None,
+            rng: StdRng::seed_from_u64(seed ^ 0x9e41),
+        }
+    }
+
+    /// Forces every query to cover exactly `frac` of the value domain
+    /// (clamped to `[0, 1]`). Used by the selectivity sweep.
+    pub fn with_fixed_width(mut self, frac: f64) -> Self {
+        self.fixed_width_frac = Some(frac.clamp(0.0, 1.0));
+        self
+    }
+
+    /// The interval between queries.
+    pub fn interval(&self) -> SimDuration {
+        self.config.query_interval
+    }
+
+    /// Generates the query issued at time `now`.
+    pub fn next_query(&mut self, now: SimTime) -> QuerySpec {
+        let domain_width = self.domain.width() as f64;
+        let frac = match self.fixed_width_frac {
+            Some(f) => f,
+            None => self
+                .rng
+                .gen_range(self.config.min_width_frac..=self.config.max_width_frac),
+        };
+        let width = ((domain_width * frac).round() as i64).max(1) as Value;
+        let max_lo = (self.domain.hi - (width - 1)).max(self.domain.lo);
+        let lo = if max_lo > self.domain.lo {
+            self.rng.gen_range(self.domain.lo..=max_lo)
+        } else {
+            self.domain.lo
+        };
+        let hi = (lo + width - 1).min(self.domain.hi);
+        let time_lo = SimTime::from_millis(now.as_millis().saturating_sub(self.history.as_millis()));
+        QuerySpec {
+            attribute: self.attribute,
+            values: ValueRange::new(lo, hi),
+            time_lo,
+            time_hi: now,
+            issued_at: now,
+        }
+    }
+
+    /// Convenience: all query issue times in `[start, end)` given the
+    /// configured interval.
+    pub fn schedule(&self, start: SimTime, end: SimTime) -> Vec<SimTime> {
+        let mut times = Vec::new();
+        let mut t = start;
+        while t < end {
+            times.push(t);
+            t += self.config.query_interval;
+        }
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOMAIN: ValueRange = ValueRange { lo: 0, hi: 149 };
+
+    fn generator(seed: u64) -> QueryGenerator {
+        QueryGenerator::new(
+            Attribute::Light,
+            DOMAIN,
+            QueryWorkloadConfig::default(),
+            SimDuration::from_secs(15),
+            seed,
+        )
+    }
+
+    #[test]
+    fn widths_stay_in_the_configured_band() {
+        let mut g = generator(1);
+        for i in 0..200u64 {
+            let q = g.next_query(SimTime::from_secs(600 + i * 15));
+            let frac = q.width_fraction(&DOMAIN);
+            assert!(
+                (0.005..=0.06).contains(&frac),
+                "width fraction {frac} outside ~1-5 %"
+            );
+            assert!(DOMAIN.covers(&q.values), "query {:?} outside domain", q.values);
+        }
+    }
+
+    #[test]
+    fn query_time_range_looks_back_over_history() {
+        let mut g = generator(2);
+        let q = g.next_query(SimTime::from_secs(1000));
+        assert_eq!(q.time_hi, SimTime::from_secs(1000));
+        assert_eq!(q.time_lo, SimTime::from_secs(1000 - 8 * 15));
+        assert_eq!(q.issued_at, SimTime::from_secs(1000));
+        // Early in the run the window is clipped at zero rather than
+        // underflowing.
+        let early = g.next_query(SimTime::from_secs(10));
+        assert_eq!(early.time_lo, SimTime::ZERO);
+    }
+
+    #[test]
+    fn fixed_width_sweep() {
+        for frac in [0.1, 0.5, 1.0] {
+            let mut g = generator(3).with_fixed_width(frac);
+            let q = g.next_query(SimTime::from_secs(600));
+            let got = q.width_fraction(&DOMAIN);
+            assert!(
+                (got - frac).abs() < 0.02,
+                "asked for {frac}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_domain_query_covers_everything() {
+        let mut g = generator(4).with_fixed_width(1.0);
+        let q = g.next_query(SimTime::from_secs(600));
+        assert_eq!(q.values, DOMAIN);
+    }
+
+    #[test]
+    fn query_positions_vary_across_the_domain() {
+        let mut g = generator(5);
+        let positions: std::collections::HashSet<Value> = (0..100u64)
+            .map(|i| g.next_query(SimTime::from_secs(i * 15)).values.lo)
+            .collect();
+        assert!(positions.len() > 30, "query centers should spread out");
+    }
+
+    #[test]
+    fn schedule_matches_interval() {
+        let g = generator(6);
+        let times = g.schedule(SimTime::from_secs(600), SimTime::from_secs(600 + 150));
+        assert_eq!(times.len(), 10);
+        assert_eq!(times[0], SimTime::from_secs(600));
+        assert_eq!(times[9], SimTime::from_secs(600 + 135));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = generator(7);
+        let mut b = generator(7);
+        for i in 0..50u64 {
+            assert_eq!(
+                a.next_query(SimTime::from_secs(i * 15)),
+                b.next_query(SimTime::from_secs(i * 15))
+            );
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The five sensor data sources from Section 6.
+
+use crate::real_trace::RealTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use scoop_types::{DataSourceKind, NodeId, SimTime, Value, ValueRange};
+
+/// A generator of sensor readings for every node in the network.
+///
+/// Implementations must be deterministic given their construction seed: the
+/// same `(node, now)` call sequence produces the same values.
+pub trait DataSource: Send {
+    /// Which of the paper's data sources this is.
+    fn kind(&self) -> DataSourceKind;
+
+    /// The value domain readings are drawn from.
+    fn domain(&self) -> ValueRange;
+
+    /// Samples the sensor of `node` at time `now`.
+    fn sample(&mut self, node: NodeId, now: SimTime) -> Value;
+}
+
+/// UNIQUE: each node always produces its own node id.
+#[derive(Clone, Debug)]
+pub struct UniqueSource {
+    domain: ValueRange,
+}
+
+impl UniqueSource {
+    /// Creates the source over the given domain.
+    pub fn new(domain: ValueRange) -> Self {
+        UniqueSource { domain }
+    }
+}
+
+impl DataSource for UniqueSource {
+    fn kind(&self) -> DataSourceKind {
+        DataSourceKind::Unique
+    }
+    fn domain(&self) -> ValueRange {
+        self.domain
+    }
+    fn sample(&mut self, node: NodeId, _now: SimTime) -> Value {
+        (self.domain.lo + node.0 as Value).min(self.domain.hi)
+    }
+}
+
+/// EQUAL: all nodes produce the same constant value for the whole run.
+#[derive(Clone, Debug)]
+pub struct EqualSource {
+    domain: ValueRange,
+    value: Value,
+}
+
+impl EqualSource {
+    /// Creates the source; the shared constant is drawn from the middle of
+    /// the domain using `seed` so different trials differ.
+    pub fn new(domain: ValueRange, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe10a_1);
+        let value = rng.gen_range(domain.lo..=domain.hi);
+        EqualSource { domain, value }
+    }
+
+    /// The constant value every node produces.
+    pub fn value(&self) -> Value {
+        self.value
+    }
+}
+
+impl DataSource for EqualSource {
+    fn kind(&self) -> DataSourceKind {
+        DataSourceKind::Equal
+    }
+    fn domain(&self) -> ValueRange {
+        self.domain
+    }
+    fn sample(&mut self, _node: NodeId, _now: SimTime) -> Value {
+        self.value
+    }
+}
+
+/// RANDOM: uniformly random values, no temporal or spatial structure at all.
+#[derive(Clone, Debug)]
+pub struct RandomSource {
+    domain: ValueRange,
+    rng: StdRng,
+}
+
+impl RandomSource {
+    /// Creates the source.
+    pub fn new(domain: ValueRange, seed: u64) -> Self {
+        RandomSource {
+            domain,
+            rng: StdRng::seed_from_u64(seed ^ 0x4a4d_04),
+        }
+    }
+}
+
+impl DataSource for RandomSource {
+    fn kind(&self) -> DataSourceKind {
+        DataSourceKind::Random
+    }
+    fn domain(&self) -> ValueRange {
+        self.domain
+    }
+    fn sample(&mut self, _node: NodeId, _now: SimTime) -> Value {
+        self.rng.gen_range(self.domain.lo..=self.domain.hi)
+    }
+}
+
+/// GAUSSIAN: each node has a fixed mean drawn uniformly from the domain and
+/// produces readings from a Gaussian with variance 10 around it.
+#[derive(Clone, Debug)]
+pub struct GaussianSource {
+    domain: ValueRange,
+    means: Vec<f64>,
+    std_dev: f64,
+    rng: StdRng,
+}
+
+impl GaussianSource {
+    /// Creates the source for `num_nodes + 1` nodes (the basestation never
+    /// samples but keeping slot 0 keeps indexing simple).
+    pub fn new(domain: ValueRange, num_nodes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6a55);
+        let means = (0..=num_nodes)
+            .map(|_| rng.gen_range(domain.lo as f64..=domain.hi as f64))
+            .collect();
+        GaussianSource {
+            domain,
+            means,
+            // Paper: "variance of 10" → standard deviation sqrt(10).
+            std_dev: 10.0_f64.sqrt(),
+            rng,
+        }
+    }
+
+    /// The per-node mean (for tests).
+    pub fn mean_of(&self, node: NodeId) -> Option<f64> {
+        self.means.get(node.index()).copied()
+    }
+}
+
+impl DataSource for GaussianSource {
+    fn kind(&self) -> DataSourceKind {
+        DataSourceKind::Gaussian
+    }
+    fn domain(&self) -> ValueRange {
+        self.domain
+    }
+    fn sample(&mut self, node: NodeId, _now: SimTime) -> Value {
+        let mean = self
+            .means
+            .get(node.index())
+            .copied()
+            .unwrap_or((self.domain.lo + self.domain.hi) as f64 / 2.0);
+        let normal = Normal::new(mean, self.std_dev).expect("valid normal");
+        let v = normal.sample(&mut self.rng).round() as Value;
+        v.clamp(self.domain.lo, self.domain.hi)
+    }
+}
+
+/// Constructs the data source for an experiment.
+///
+/// * `kind` — which of the paper's sources to build;
+/// * `domain` — attribute value domain (the synthetic sources use `[0, 100]`
+///   in the paper; REAL uses ~150 values);
+/// * `num_nodes` — sensor count (excluding the basestation);
+/// * `seed` — all randomness derives from this.
+pub fn make_source(
+    kind: DataSourceKind,
+    domain: ValueRange,
+    num_nodes: usize,
+    seed: u64,
+) -> Box<dyn DataSource> {
+    match kind {
+        DataSourceKind::Unique => Box::new(UniqueSource::new(domain)),
+        DataSourceKind::Equal => Box::new(EqualSource::new(domain, seed)),
+        DataSourceKind::Random => Box::new(RandomSource::new(domain, seed)),
+        DataSourceKind::Gaussian => Box::new(GaussianSource::new(domain, num_nodes, seed)),
+        DataSourceKind::Real => Box::new(RealTrace::new(domain, num_nodes, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOMAIN: ValueRange = ValueRange { lo: 0, hi: 100 };
+
+    #[test]
+    fn unique_source_returns_node_id() {
+        let mut s = UniqueSource::new(DOMAIN);
+        assert_eq!(s.sample(NodeId(7), SimTime::ZERO), 7);
+        assert_eq!(s.sample(NodeId(42), SimTime::from_secs(99)), 42);
+        // Values are clamped into the domain.
+        assert_eq!(s.sample(NodeId(120), SimTime::ZERO), 100);
+    }
+
+    #[test]
+    fn equal_source_is_constant_across_nodes_and_time() {
+        let mut s = EqualSource::new(DOMAIN, 3);
+        let v = s.sample(NodeId(1), SimTime::ZERO);
+        for n in 1..20u16 {
+            for t in 0..5 {
+                assert_eq!(s.sample(NodeId(n), SimTime::from_secs(t)), v);
+            }
+        }
+        assert!(DOMAIN.contains(v));
+    }
+
+    #[test]
+    fn random_source_covers_domain_without_structure() {
+        let mut s = RandomSource::new(DOMAIN, 5);
+        let vals: Vec<Value> = (0..2000).map(|i| s.sample(NodeId(1), SimTime::from_secs(i))).collect();
+        assert!(vals.iter().all(|v| DOMAIN.contains(*v)));
+        let distinct: std::collections::HashSet<_> = vals.iter().collect();
+        assert!(distinct.len() > 60, "should cover most of the domain");
+    }
+
+    #[test]
+    fn gaussian_source_clusters_around_per_node_mean() {
+        let mut s = GaussianSource::new(DOMAIN, 30, 7);
+        for n in [1u16, 5, 20] {
+            let mean = s.mean_of(NodeId(n)).unwrap();
+            let vals: Vec<Value> = (0..200).map(|i| s.sample(NodeId(n), SimTime::from_secs(i))).collect();
+            let avg = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+            assert!(
+                (avg - mean.clamp(0.0, 100.0)).abs() < 3.0,
+                "node {n}: sample mean {avg} vs configured {mean}"
+            );
+            // Variance 10 → almost everything within ±4σ ≈ 12.6 of the mean.
+            assert!(vals
+                .iter()
+                .all(|&v| (v as f64 - mean).abs() < 15.0 || v == 0 || v == 100));
+        }
+    }
+
+    #[test]
+    fn gaussian_means_differ_between_nodes() {
+        let s = GaussianSource::new(DOMAIN, 30, 7);
+        let m1 = s.mean_of(NodeId(1)).unwrap();
+        let distinct = (2..=30).any(|n| (s.mean_of(NodeId(n)).unwrap() - m1).abs() > 1.0);
+        assert!(distinct);
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for kind in DataSourceKind::ALL {
+            let mut s = make_source(kind, DOMAIN, 16, 1);
+            assert_eq!(s.kind(), kind);
+            let v = s.sample(NodeId(3), SimTime::from_secs(30));
+            assert!(s.domain().contains(v), "{kind}: {v} outside domain");
+        }
+    }
+
+    #[test]
+    fn sources_are_deterministic_per_seed() {
+        for kind in DataSourceKind::ALL {
+            let mut a = make_source(kind, DOMAIN, 16, 9);
+            let mut b = make_source(kind, DOMAIN, 16, 9);
+            for t in 0..50 {
+                let node = NodeId((t % 16 + 1) as u16);
+                assert_eq!(
+                    a.sample(node, SimTime::from_secs(t * 15)),
+                    b.sample(node, SimTime::from_secs(t * 15)),
+                    "{kind} not deterministic"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Factory-floor monitoring: the motivating scenario from the paper's
+//! introduction.
+//!
+//! ```bash
+//! cargo run --release --example factory_monitoring
+//! ```
+//!
+//! A factory instruments its equipment with battery-powered vibration
+//! sensors. Each sensor classifies its recent readings into a vibration
+//! class; an engineer occasionally asks "which machines vibrated in class
+//! 15-20 over the last few minutes?". Shipping every reading to a gateway
+//! (the TinyDB model) would drain the batteries; flooding every query is just
+//! as bad. This example compares the three policies on exactly that workload
+//! and prints the expected battery lifetime of an average node and of the
+//! gateway-adjacent root under each.
+
+use scoop::net::{EnergyModel, Topology};
+use scoop::sim::run_experiment;
+use scoop::types::{
+    Attribute, DataSourceKind, ExperimentConfig, SimDuration, StoragePolicy, ValueRange,
+};
+
+fn main() {
+    // Vibration classes 0-20 (Section 4's "classify ... on a scale of 1-20").
+    // Machines in the same bay vibrate similarly: the GAUSSIAN source (fixed
+    // per-node mean, small variance) is the right stand-in.
+    let mut base = ExperimentConfig::paper_defaults();
+    base.num_nodes = 40;
+    base.attribute = Attribute::Acceleration;
+    base.value_domain = ValueRange::new(0, 20);
+    base.data_source = DataSourceKind::Gaussian;
+    base.sample_interval = SimDuration::from_secs(10);
+    base.queries.query_interval = SimDuration::from_secs(60);
+    base.duration = SimDuration::from_mins(30);
+    base.warmup = SimDuration::from_mins(8);
+    base.seed = 7;
+
+    let energy = EnergyModel::default();
+    let window_secs = base.measured_duration().as_secs_f64();
+
+    println!("== Factory monitoring: 40 vibration sensors, query every 60 s ==\n");
+    println!(
+        "{:<8} {:>10} {:>12} {:>20} {:>20}",
+        "policy", "messages", "data msgs", "avg node lifetime", "root lifetime"
+    );
+
+    for policy in [StoragePolicy::Scoop, StoragePolicy::Local, StoragePolicy::Base] {
+        let mut cfg = base.clone();
+        cfg.policy = policy;
+        let result = run_experiment(&cfg).expect("valid configuration");
+
+        // Approximate per-node energy from transmissions (communication
+        // dominates, Section 2.1). Receptions at the root are charged too.
+        let sensors = cfg.num_nodes as f64;
+        let mean_tx = result.per_node_tx.iter().skip(1).sum::<u64>() as f64 / sensors;
+        let mean_rx = result.per_node_rx.iter().skip(1).sum::<u64>() as f64 / sensors;
+        let node_joules = (mean_tx + mean_rx) * energy.bits_per_message * energy.radio_tx_nj_per_bit * 1e-9;
+        let root_tx = result.per_node_tx[0] as f64;
+        let root_rx = result.per_node_rx[0] as f64;
+        let root_joules = (root_tx + root_rx) * energy.bits_per_message * energy.radio_tx_nj_per_bit * 1e-9;
+
+        let lifetime = |joules: f64| -> String {
+            if joules <= 0.0 {
+                return "unbounded".to_string();
+            }
+            let days = energy.battery_joules / (joules / window_secs) / 86_400.0;
+            format!("{days:.0} days")
+        };
+
+        println!(
+            "{:<8} {:>10} {:>12} {:>20} {:>20}",
+            policy.to_string(),
+            result.total_messages(),
+            result.messages.data,
+            lifetime(node_joules),
+            lifetime(root_joules),
+        );
+    }
+
+    println!();
+    println!("Scoop keeps readings on (or next to) the machines that produce them and");
+    println!("only moves popular vibration classes toward the gateway, which is why the");
+    println!("average sensor outlives both alternatives while queries stay cheap.");
+
+    // Topology context for the curious.
+    let topo = Topology::office_floor(base.num_nodes, base.seed).expect("topology");
+    println!(
+        "\n(network: {} nodes, depth {} hops, {:.0} % average connectivity)",
+        topo.len(),
+        topo.network_depth(),
+        topo.connectivity_fraction() * 100.0
+    );
+}

@@ -1,0 +1,16 @@
+//! Workspace-root facade crate.
+//!
+//! Re-exports the public API of every member crate so that examples and
+//! integration tests can write `use scoop::...`. Library users normally
+//! depend on the individual crates instead.
+
+#![warn(missing_docs)]
+
+pub use scoop_core as core;
+pub use scoop_net as net;
+pub use scoop_routing as routing;
+pub use scoop_sim as sim;
+pub use scoop_storage as storage;
+pub use scoop_trickle as trickle;
+pub use scoop_types as types;
+pub use scoop_workload as workload;

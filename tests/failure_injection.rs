@@ -1,0 +1,110 @@
+//! Failure-injection integration tests: the protocol must keep working (with
+//! degraded performance, not collapse) when links die, when a whole region of
+//! the network goes silent, or when loss is extreme.
+
+use scoop::net::{LinkModel, Topology};
+use scoop::sim::SimNode;
+use scoop::types::{
+    DataSourceKind, ExperimentConfig, NodeId, SimDuration, SimTime, StoragePolicy,
+};
+
+fn tiny_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small_test();
+    cfg.num_nodes = 10;
+    cfg.duration = SimDuration::from_mins(9);
+    cfg.warmup = SimDuration::from_mins(2);
+    cfg.scoop.summary_interval = SimDuration::from_secs(45);
+    cfg.scoop.remap_interval = SimDuration::from_secs(90);
+    cfg.data_source = DataSourceKind::Gaussian;
+    cfg.policy = StoragePolicy::Scoop;
+    cfg.seed = 13;
+    cfg
+}
+
+fn run_with_links(
+    cfg: &ExperimentConfig,
+    mutate: impl FnOnce(&Topology, &mut LinkModel),
+) -> scoop::net::Engine<SimNode> {
+    let topo = Topology::office_floor(cfg.num_nodes, cfg.seed).expect("topology");
+    let mut links = LinkModel::from_topology(&topo, cfg.seed);
+    mutate(&topo, &mut links);
+    let mut engine =
+        scoop::sim::runner::build_engine_with(cfg, topo, links).expect("engine");
+    engine.run_until(SimTime::ZERO + cfg.duration);
+    engine
+}
+
+#[test]
+fn network_survives_a_dead_node() {
+    let cfg = tiny_cfg();
+    // Kill every link to and from node 5: it can neither send nor receive.
+    let engine = run_with_links(&cfg, |topo, links| {
+        for other in topo.nodes() {
+            links.set_link(NodeId(5), other, 0.0);
+            links.set_link(other, NodeId(5), 0.0);
+        }
+    });
+    // The rest of the network still samples, stores, and answers queries.
+    let stored: u64 = engine
+        .iter_nodes()
+        .map(|(_, n)| n.metrics.stored)
+        .sum();
+    assert!(stored > 0, "the surviving nodes must still store data");
+    // The dead node itself never got anything delivered to it by others.
+    assert_eq!(engine.stats().node(NodeId(5)).rx.total(), 0);
+    // And the basestation still managed to disseminate at least one index.
+    assert!(engine.node(NodeId::BASESTATION).indices_disseminated() >= 1);
+}
+
+#[test]
+fn extreme_loss_degrades_but_does_not_wedge() {
+    let cfg = tiny_cfg();
+    let engine = run_with_links(&cfg, |topo, links| {
+        // Make every usable link terrible (90 % loss).
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a != b && links.link(a, b).is_usable() {
+                    links.set_link(a, b, 0.10);
+                }
+            }
+        }
+    });
+    let sampled: u64 = engine.iter_nodes().map(|(_, n)| n.metrics.sampled).sum();
+    let stored: u64 = engine.iter_nodes().map(|(_, n)| n.metrics.stored).sum();
+    assert!(sampled > 0);
+    // Much of the data still lands somewhere (locally at worst); the system
+    // must not lose everything or hang.
+    assert!(
+        stored as f64 >= sampled as f64 * 0.3,
+        "only {stored}/{sampled} readings stored under extreme loss"
+    );
+    // Retransmissions should show up as a high transmission count per
+    // delivered packet.
+    assert!(engine.stats().total_tx().total() > 0);
+}
+
+#[test]
+fn perfect_links_give_near_perfect_reliability() {
+    let cfg = tiny_cfg();
+    let engine = run_with_links(&cfg, |topo, links| {
+        *links = LinkModel::perfect(topo);
+    });
+    let sampled: u64 = engine.iter_nodes().map(|(_, n)| n.metrics.sampled).sum();
+    let stored: u64 = engine.iter_nodes().map(|(_, n)| n.metrics.stored).sum();
+    // Readings still sitting in an unflushed batch (or in flight) at the end
+    // of the run are neither stored nor lost.
+    let batched: u64 = engine
+        .iter_nodes()
+        .map(|(_, n)| n.pending_batched() as u64)
+        .sum();
+    assert!(sampled > 0);
+    assert!(
+        (stored + batched) as f64 >= sampled as f64 * 0.93,
+        "with perfect links almost everything should be stored ({stored}+{batched} of {sampled})"
+    );
+    // No unicast should ever fail.
+    let failures: u64 = (0..engine.topology().len())
+        .map(|i| engine.stats().node(NodeId(i as u16)).send_failures)
+        .sum();
+    assert_eq!(failures, 0);
+}

@@ -1,0 +1,249 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: storage indices, histograms, value ranges, bitmaps, chunking,
+//! and the cost model's placement properties P1-P3 from Section 4.
+
+use proptest::prelude::*;
+use scoop::core::histogram::SummaryHistogram;
+use scoop::core::index::{IndexEntry, StorageIndex};
+use scoop::core::summary::{ReportedNeighbor, SummaryMessage};
+use scoop::core::{CostModel, CostParams, StatsStore};
+use scoop::trickle::{ChunkAssembler, Chunker};
+use scoop::types::{NodeBitmap, NodeId, SimTime, StorageIndexId, Value, ValueRange};
+
+fn arb_domain() -> impl Strategy<Value = ValueRange> {
+    (0i32..50, 1i32..150).prop_map(|(lo, w)| ValueRange::new(lo, lo + w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // StorageIndex
+    // ------------------------------------------------------------------
+
+    /// Building an index from a per-value owner vector and looking every
+    /// value back up returns exactly that vector, no matter how owners are
+    /// arranged; compaction never changes the mapping.
+    #[test]
+    fn storage_index_roundtrips_owner_assignment(
+        domain in arb_domain(),
+        owner_seed in proptest::collection::vec(0u16..20, 1..200),
+    ) {
+        let width = domain.width() as usize;
+        let owners: Vec<NodeId> = (0..width)
+            .map(|i| NodeId(owner_seed[i % owner_seed.len()]))
+            .collect();
+        let idx = StorageIndex::from_owners(StorageIndexId(1), domain, &owners, SimTime::ZERO)
+            .expect("sized correctly");
+        prop_assert!(idx.is_complete());
+        for (i, &expected) in owners.iter().enumerate() {
+            let v = domain.lo + i as Value;
+            prop_assert_eq!(idx.lookup(v), Some(expected));
+        }
+        // Outside the domain nothing is owned.
+        prop_assert_eq!(idx.lookup(domain.lo - 1), None);
+        prop_assert_eq!(idx.lookup(domain.hi + 1), None);
+        // Entries are sorted, non-overlapping, and contiguous.
+        for pair in idx.entries().windows(2) {
+            prop_assert_eq!(pair[0].range.hi + 1, pair[1].range.lo);
+            prop_assert!(pair[0].owner != pair[1].owner, "adjacent equal owners must coalesce");
+        }
+    }
+
+    /// The difference fraction is a pseudometric: zero against itself,
+    /// symmetric, and within [0, 1].
+    #[test]
+    fn storage_index_difference_fraction_properties(
+        domain in arb_domain(),
+        owners_a in proptest::collection::vec(0u16..6, 1..40),
+        owners_b in proptest::collection::vec(0u16..6, 1..40),
+    ) {
+        let width = domain.width() as usize;
+        let mk = |seeds: &[u16], id: u32| {
+            let owners: Vec<NodeId> = (0..width).map(|i| NodeId(seeds[i % seeds.len()])).collect();
+            StorageIndex::from_owners(StorageIndexId(id), domain, &owners, SimTime::ZERO).unwrap()
+        };
+        let a = mk(&owners_a, 1);
+        let b = mk(&owners_b, 2);
+        prop_assert_eq!(a.difference_fraction(&a), 0.0);
+        let d_ab = a.difference_fraction(&b);
+        let d_ba = b.difference_fraction(&a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+    }
+
+    /// Owners listed for a query range are exactly the owners of the values
+    /// in that range.
+    #[test]
+    fn owners_for_range_matches_per_value_lookup(
+        domain in arb_domain(),
+        owner_seed in proptest::collection::vec(0u16..8, 1..30),
+        qlo in 0i32..200,
+        qwidth in 0i32..60,
+    ) {
+        let width = domain.width() as usize;
+        let owners: Vec<NodeId> = (0..width).map(|i| NodeId(owner_seed[i % owner_seed.len()])).collect();
+        let idx = StorageIndex::from_owners(StorageIndexId(1), domain, &owners, SimTime::ZERO).unwrap();
+        let q = ValueRange::new(qlo, qlo + qwidth);
+        let from_ranges = idx.owners_for_range(&q);
+        let mut from_lookup: Vec<NodeId> = q
+            .values()
+            .filter_map(|v| idx.lookup(v))
+            .collect();
+        from_lookup.sort();
+        from_lookup.dedup();
+        prop_assert_eq!(from_ranges, from_lookup);
+    }
+
+    // ------------------------------------------------------------------
+    // Histogram
+    // ------------------------------------------------------------------
+
+    /// The histogram's probability mass over its own support sums to roughly
+    /// one (the paper's estimator assumes values are uniform within a bin, so
+    /// integer quantization can push the sum a little past 1 in either
+    /// direction when bins are narrower than one value) and is zero outside
+    /// [min, max].
+    #[test]
+    fn histogram_probabilities_form_a_distribution(
+        values in proptest::collection::vec(-500i32..500, 1..60),
+        n_bins in 1usize..20,
+    ) {
+        let h = SummaryHistogram::build(&values, n_bins).expect("non-empty");
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        let sum: f64 = (min..=max).map(|v| h.probability_of(v)).sum();
+        prop_assert!(sum <= 1.5, "sum {sum} overshoots far too much");
+        prop_assert!(sum >= 0.5, "sum {sum} lost too much mass");
+        prop_assert_eq!(h.probability_of(min - 1), 0.0);
+        prop_assert_eq!(h.probability_of(max + 1), 0.0);
+        prop_assert_eq!(h.total() as usize, values.len());
+    }
+
+    /// Every observed value has non-zero probability.
+    #[test]
+    fn histogram_observed_values_have_positive_probability(
+        values in proptest::collection::vec(0i32..150, 1..40),
+    ) {
+        let h = SummaryHistogram::build(&values, 10).expect("non-empty");
+        for &v in &values {
+            prop_assert!(h.probability_of(v) > 0.0, "observed value {v} got zero probability");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // ValueRange and NodeBitmap
+    // ------------------------------------------------------------------
+
+    /// Range intersection is commutative, contained in both operands, and
+    /// consistent with `overlaps`.
+    #[test]
+    fn value_range_intersection_properties(
+        a_lo in -100i32..100, a_w in 0i32..80,
+        b_lo in -100i32..100, b_w in 0i32..80,
+    ) {
+        let a = ValueRange::new(a_lo, a_lo + a_w);
+        let b = ValueRange::new(b_lo, b_lo + b_w);
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.is_some(), a.overlaps(&b));
+        if let Some(i) = ab {
+            prop_assert!(a.covers(&i) && b.covers(&i));
+            prop_assert!(i.width() <= a.width() && i.width() <= b.width());
+        }
+    }
+
+    /// Bitmap membership matches the set of inserted ids, under inserts and
+    /// removes.
+    #[test]
+    fn node_bitmap_behaves_like_a_set(
+        inserts in proptest::collection::vec(0u16..128, 0..60),
+        removes in proptest::collection::vec(0u16..128, 0..30),
+    ) {
+        let mut bm = NodeBitmap::empty();
+        let mut model = std::collections::BTreeSet::new();
+        for &i in &inserts {
+            bm.insert(NodeId(i));
+            model.insert(i);
+        }
+        for &r in &removes {
+            bm.remove(NodeId(r));
+            model.remove(&r);
+        }
+        prop_assert_eq!(bm.len(), model.len());
+        let from_bm: Vec<u16> = bm.iter().map(|n| n.0).collect();
+        let from_model: Vec<u16> = model.iter().copied().collect();
+        prop_assert_eq!(from_bm, from_model);
+    }
+
+    // ------------------------------------------------------------------
+    // Chunking
+    // ------------------------------------------------------------------
+
+    /// Splitting an index into chunks and reassembling them in any order
+    /// reproduces the original entries exactly.
+    #[test]
+    fn chunk_split_reassemble_roundtrip(
+        domain in arb_domain(),
+        owner_seed in proptest::collection::vec(0u16..10, 1..40),
+        per_chunk in 1usize..12,
+        shuffle_seed in 0u64..1000,
+    ) {
+        let width = domain.width() as usize;
+        let owners: Vec<NodeId> = (0..width).map(|i| NodeId(owner_seed[i % owner_seed.len()])).collect();
+        let idx = StorageIndex::from_owners(StorageIndexId(3), domain, &owners, SimTime::ZERO).unwrap();
+        let chunker = Chunker::new(per_chunk);
+        let mut chunks = chunker.split(3, idx.entries());
+        // Deterministic pseudo-shuffle.
+        let n = chunks.len();
+        for i in 0..n {
+            let j = ((shuffle_seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            chunks.swap(i, j);
+        }
+        let mut asm: ChunkAssembler<IndexEntry> = ChunkAssembler::new();
+        let mut assembled = None;
+        for c in &chunks {
+            if let Some(entries) = asm.accept(c) {
+                assembled = Some(entries);
+            }
+        }
+        let entries = assembled.expect("all chunks delivered");
+        prop_assert_eq!(entries, idx.entries().to_vec());
+    }
+
+    // ------------------------------------------------------------------
+    // Cost model / placement properties (Section 4, P1-P3)
+    // ------------------------------------------------------------------
+
+    /// P3: with no queries, a value produced by exactly one node is owned by
+    /// that node (storing at the producer is free).
+    #[test]
+    fn sole_producer_owns_its_value_without_queries(
+        producer in 1u16..5,
+        value in 0i32..100,
+    ) {
+        let domain = ValueRange::new(0, 99);
+        let mut st = StatsStore::new(6, domain);
+        for i in 1..6u16 {
+            let vals = if i == producer { vec![value; 20] } else { vec![] };
+            st.record_summary(SummaryMessage {
+                node: NodeId(i),
+                histogram: SummaryHistogram::build(&vals, 10),
+                min: vals.iter().min().copied(),
+                max: vals.iter().max().copied(),
+                sum: vals.iter().map(|&v| v as i64).sum(),
+                count: vals.len() as u32,
+                data_rate_hz: if i == producer { 1.0 / 15.0 } else { 0.0 },
+                neighbors: vec![ReportedNeighbor { node: NodeId(i - 1), quality: 0.9 }],
+                parent: Some(NodeId(i - 1)),
+                newest_complete_index: StorageIndexId(1),
+                generated_at: SimTime::from_secs(60),
+            });
+        }
+        let model = CostModel::new(&st, CostParams::with_query_rate(0.0));
+        let (owner, cost) = model.best_owner(value, &st.candidate_owners());
+        prop_assert_eq!(owner, NodeId(producer));
+        prop_assert!(cost.abs() < 1e-9);
+    }
+}
