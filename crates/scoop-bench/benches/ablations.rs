@@ -2,17 +2,17 @@
 //! index suppression, the neighbor-shortcut routing rule, and the
 //! store-local fallback.
 
-use scoop_bench::{bench_setup, run_and_print};
+use scoop_bench::bench_experiment;
 use scoop_sim::experiments::ablation_rows;
 use scoop_sim::report;
 use scoop_types::DataSourceKind;
 
 fn main() {
-    let (base, trials) = bench_setup();
     for source in [DataSourceKind::Real, DataSourceKind::Equal] {
-        run_and_print(&format!("Ablations over the {source} source"), || {
-            let rows = ablation_rows(&base, source, trials).expect("ablations");
-            report::ablation_table(&rows)
-        });
+        bench_experiment(
+            &format!("Ablations over the {source} source"),
+            |base, trials| ablation_rows(base, source, trials),
+            |rows| report::ablation_table(rows),
+        );
     }
 }

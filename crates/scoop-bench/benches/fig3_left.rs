@@ -1,14 +1,9 @@
 //! Regenerates Figure 3 (left): the testbed comparison of SCOOP/UNIQUE,
 //! SCOOP/GAUSSIAN, LOCAL/GAUSSIAN, and BASE/GAUSSIAN.
 
-use scoop_bench::{bench_setup, run_and_print};
+use scoop_bench::fig3_bench;
 use scoop_sim::experiments::fig3_left;
-use scoop_sim::report;
 
 fn main() {
-    let (base, trials) = bench_setup();
-    run_and_print("Figure 3 (left): testbed message breakdown", || {
-        let rows = fig3_left(&base, trials).expect("fig3 left");
-        report::fig3_table("policy/source breakdown", &rows)
-    });
+    fig3_bench("Figure 3 (left): testbed message breakdown", fig3_left);
 }

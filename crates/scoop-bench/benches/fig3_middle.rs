@@ -1,14 +1,12 @@
 //! Regenerates Figure 3 (middle): SCOOP vs LOCAL vs HASH vs BASE over the
 //! REAL light trace.
 
-use scoop_bench::{bench_setup, run_and_print};
+use scoop_bench::fig3_bench;
 use scoop_sim::experiments::fig3_middle;
-use scoop_sim::report;
 
 fn main() {
-    let (base, trials) = bench_setup();
-    run_and_print("Figure 3 (middle): storage policies on the REAL trace", || {
-        let rows = fig3_middle(&base, trials).expect("fig3 middle");
-        report::fig3_table("policy/source breakdown", &rows)
-    });
+    fig3_bench(
+        "Figure 3 (middle): storage policies on the REAL trace",
+        fig3_middle,
+    );
 }

@@ -1,14 +1,9 @@
 //! Regenerates Figure 3 (right): SCOOP over the UNIQUE, EQUAL, REAL,
 //! GAUSSIAN, and RANDOM data sources.
 
-use scoop_bench::{bench_setup, run_and_print};
+use scoop_bench::fig3_bench;
 use scoop_sim::experiments::fig3_right;
-use scoop_sim::report;
 
 fn main() {
-    let (base, trials) = bench_setup();
-    run_and_print("Figure 3 (right): Scoop across data sources", || {
-        let rows = fig3_right(&base, trials).expect("fig3 right");
-        report::fig3_table("policy/source breakdown", &rows)
-    });
+    fig3_bench("Figure 3 (right): Scoop across data sources", fig3_right);
 }

@@ -1,14 +1,14 @@
 //! Regenerates Figure 4: total cost as a function of the percentage of nodes
 //! queried, for SCOOP, LOCAL, and BASE.
 
-use scoop_bench::{bench_setup, run_and_print};
+use scoop_bench::bench_experiment;
 use scoop_sim::experiments::fig4::{default_width_fracs, fig4_selectivity};
 use scoop_sim::report;
 
 fn main() {
-    let (base, trials) = bench_setup();
-    run_and_print("Figure 4: cost vs % of nodes queried", || {
-        let rows = fig4_selectivity(&base, &default_width_fracs(), trials).expect("fig4");
-        report::fig4_table(&rows)
-    });
+    bench_experiment(
+        "Figure 4: cost vs % of nodes queried",
+        |base, trials| fig4_selectivity(base, &default_width_fracs(), trials),
+        |rows| report::fig4_table(rows),
+    );
 }

@@ -1,14 +1,14 @@
 //! Regenerates Figure 5: total cost as a function of the query interval, for
 //! SCOOP, LOCAL, and BASE.
 
-use scoop_bench::{bench_setup, run_and_print};
+use scoop_bench::bench_experiment;
 use scoop_sim::experiments::fig5::{default_intervals, fig5_query_interval};
 use scoop_sim::report;
 
 fn main() {
-    let (base, trials) = bench_setup();
-    run_and_print("Figure 5: cost vs query interval", || {
-        let rows = fig5_query_interval(&base, &default_intervals(), trials).expect("fig5");
-        report::fig5_table(&rows)
-    });
+    bench_experiment(
+        "Figure 5: cost vs query interval",
+        |base, trials| fig5_query_interval(base, &default_intervals(), trials),
+        |rows| report::fig5_table(rows),
+    );
 }

@@ -47,7 +47,10 @@ fn stats_for(n_sensors: usize, domain_width: i32) -> StatsStore {
     }
     for q in 0..20 {
         st.record_query(
-            &ValueRange::new(q * 3 % domain_width, (q * 3 % domain_width + 5).min(domain_width - 1)),
+            &ValueRange::new(
+                q * 3 % domain_width,
+                (q * 3 % domain_width + 5).min(domain_width - 1),
+            ),
             SimTime::from_secs(600 + q as u64 * 15),
         );
     }

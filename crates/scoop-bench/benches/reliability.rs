@@ -3,20 +3,25 @@
 //! are retrieved, and about 85 % of readings reach their designated owner
 //! (the rest fall back to the root).
 
-use scoop_bench::{bench_setup, run_and_print};
+use scoop_bench::bench_experiment;
 use scoop_sim::experiments::reliability;
 use scoop_sim::report;
 use scoop_types::StoragePolicy;
 
 fn main() {
-    let (base, trials) = bench_setup();
-    run_and_print("Reliability (storage / query success, destination accuracy)", || {
-        let rows = reliability(
-            &base,
-            &[StoragePolicy::Scoop, StoragePolicy::Local, StoragePolicy::Base],
-            trials,
-        )
-        .expect("reliability");
-        report::reliability_table(&rows)
-    });
+    bench_experiment(
+        "Reliability (storage / query success, destination accuracy)",
+        |base, trials| {
+            reliability(
+                base,
+                &[
+                    StoragePolicy::Scoop,
+                    StoragePolicy::Local,
+                    StoragePolicy::Base,
+                ],
+                trials,
+            )
+        },
+        |rows| report::reliability_table(rows),
+    );
 }

@@ -1,14 +1,12 @@
 //! Regenerates the prose root-skew analysis: what the root transmits and
 //! receives under SCOOP, BASE, and LOCAL, versus an average sensor node.
 
-use scoop_bench::{bench_setup, run_and_print};
+use scoop_bench::bench_experiment;
 use scoop_sim::experiments::root_skew;
 use scoop_sim::report;
 
 fn main() {
-    let (base, trials) = bench_setup();
-    run_and_print("Root-node skew", || {
-        let rows = root_skew(&base, trials).expect("root skew");
-        report::root_skew_table(&rows)
+    bench_experiment("Root-node skew", root_skew, |rows| {
+        report::root_skew_table(rows)
     });
 }

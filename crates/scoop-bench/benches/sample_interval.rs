@@ -2,21 +2,26 @@
 //! the differences between data sources shrink because fixed overheads
 //! (queries, mappings, summaries) dominate.
 
-use scoop_bench::{bench_setup, run_and_print};
+use scoop_bench::bench_experiment;
 use scoop_sim::experiments::sample_interval_sweep;
 use scoop_sim::report;
 use scoop_types::DataSourceKind;
 
 fn main() {
-    let (base, trials) = bench_setup();
-    run_and_print("Sample-interval sweep", || {
-        let rows = sample_interval_sweep(
-            &base,
-            &[DataSourceKind::Real, DataSourceKind::Unique, DataSourceKind::Random],
-            &[15, 30, 60, 120],
-            trials,
-        )
-        .expect("sample interval sweep");
-        report::sample_interval_table(&rows)
-    });
+    bench_experiment(
+        "Sample-interval sweep",
+        |base, trials| {
+            sample_interval_sweep(
+                base,
+                &[
+                    DataSourceKind::Real,
+                    DataSourceKind::Unique,
+                    DataSourceKind::Random,
+                ],
+                &[15, 30, 60, 120],
+                trials,
+            )
+        },
+        |rows| report::sample_interval_table(rows),
+    );
 }

@@ -2,26 +2,27 @@
 //! over the REAL and RANDOM sources (RANDOM is the one the paper found most
 //! sensitive to network size).
 
-use scoop_bench::{bench_setup, run_and_print};
+use scoop_bench::bench_experiment;
 use scoop_sim::experiments::scaling;
 use scoop_sim::report;
 use scoop_types::DataSourceKind;
 
 fn main() {
-    let (base, trials) = bench_setup();
-    let sizes: Vec<usize> = if base.num_nodes <= 16 {
-        vec![8, 16, 25]
-    } else {
-        vec![25, 50, 62, 100]
-    };
-    run_and_print("Scaling study", || {
-        let rows = scaling(
-            &base,
-            &sizes,
-            &[DataSourceKind::Real, DataSourceKind::Random],
-            trials,
-        )
-        .expect("scaling");
-        report::scaling_table(&rows)
-    });
+    bench_experiment(
+        "Scaling study",
+        |base, trials| {
+            let sizes: Vec<usize> = if base.num_nodes <= 16 {
+                vec![8, 16, 25]
+            } else {
+                vec![25, 50, 62, 100]
+            };
+            scaling(
+                base,
+                &sizes,
+                &[DataSourceKind::Real, DataSourceKind::Random],
+                trials,
+            )
+        },
+        |rows| report::scaling_table(rows),
+    );
 }

@@ -8,17 +8,27 @@
 //! The `index_build` target is a conventional Criterion micro-benchmark of
 //! the `O(V · n²)` index-construction algorithm.
 //!
+//! Regenerators share one code path: [`bench_experiment`] reads the
+//! environment, runs the experiment (internally parallelized by
+//! `scoop_sim::sweep::SweepRunner`), and prints the rendered table with
+//! wall-clock timing. The Figure 3 panels additionally share
+//! [`fig3_bench`], since all three differ only in which experiment function
+//! they call.
+//!
 //! Scale is controlled with environment variables so CI can stay fast:
 //!
 //! * `SCOOP_BENCH_QUICK=1` — run the 16-node / 12-minute configuration
 //!   instead of the paper's 62-node / 40-minute one.
 //! * `SCOOP_BENCH_TRIALS=n` — number of trials to average (default 3 at
 //!   paper scale, 1 in quick mode).
+//! * `SCOOP_SWEEP_THREADS=n` — worker threads for the underlying sweep
+//!   (default: available parallelism).
 
 #![warn(missing_docs)]
 
-use scoop_sim::experiments;
-use scoop_types::ExperimentConfig;
+use scoop_sim::experiments::{self, Fig3Row};
+use scoop_sim::report;
+use scoop_types::{ExperimentConfig, ScoopError};
 use std::time::Instant;
 
 /// Returns the base configuration and trial count selected by the
@@ -54,12 +64,42 @@ where
     println!("({name} regenerated in {:.1} s)\n", elapsed.as_secs_f64());
 }
 
+/// The shared regenerator skeleton: environment setup, experiment run, table
+/// rendering, timing. Every non-criterion bench target is one call to this.
+pub fn bench_experiment<R>(
+    name: &str,
+    run: impl FnOnce(&ExperimentConfig, usize) -> Result<R, ScoopError>,
+    render: impl FnOnce(&R) -> String,
+) {
+    let (base, trials) = bench_setup();
+    run_and_print(name, || {
+        let rows = run(&base, trials).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        render(&rows)
+    });
+}
+
+/// The shared body of the three Figure 3 panel benches, which differ only in
+/// the experiment function they call.
+pub fn fig3_bench(
+    name: &str,
+    panel: impl FnOnce(&ExperimentConfig, usize) -> Result<Vec<Fig3Row>, ScoopError>,
+) {
+    bench_experiment(name, panel, |rows| {
+        report::fig3_table("policy/source breakdown", rows)
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Serializes every test that mutates the process-global environment;
+    /// without it the harness's parallel test threads race on the env vars.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn bench_setup_respects_env() {
+        let _env = ENV_LOCK.lock().unwrap();
         std::env::set_var("SCOOP_BENCH_QUICK", "1");
         std::env::set_var("SCOOP_BENCH_TRIALS", "2");
         let (cfg, trials) = bench_setup();
@@ -77,5 +117,22 @@ mod tests {
             "ok".to_string()
         });
         assert!(ran);
+    }
+
+    #[test]
+    fn bench_experiment_threads_config_through() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("SCOOP_BENCH_QUICK", "1");
+        let mut seen_nodes = 0;
+        bench_experiment(
+            "probe",
+            |cfg, trials| {
+                seen_nodes = cfg.num_nodes;
+                Ok::<usize, scoop_types::ScoopError>(trials)
+            },
+            |trials| format!("trials={trials}"),
+        );
+        assert_eq!(seen_nodes, 16);
+        std::env::remove_var("SCOOP_BENCH_QUICK");
     }
 }

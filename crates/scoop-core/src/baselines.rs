@@ -113,7 +113,11 @@ impl<'a> AnalyticalModel<'a> {
             .sensors()
             .map(|s| self.hops(s, NodeId::BASESTATION) * readings_per_sensor as f64)
             .sum();
-        AnalyticalCosts { data, query: 0.0, reply: 0.0 }
+        AnalyticalCosts {
+            data,
+            query: 0.0,
+            reply: 0.0,
+        }
     }
 
     /// Expected costs of the LOCAL policy: data is free; every query is
@@ -149,7 +153,9 @@ impl<'a> AnalyticalModel<'a> {
         AnalyticalCosts {
             data,
             query: num_queries as f64 * owners_per_query * self.mean_hops_to_base(),
-            reply: num_queries as f64 * owners_per_query * (per_owner_roundtrip - self.mean_hops_to_base()),
+            reply: num_queries as f64
+                * owners_per_query
+                * (per_owner_roundtrip - self.mean_hops_to_base()),
         }
     }
 }
@@ -167,7 +173,11 @@ mod tests {
         let domain = ValueRange::new(0, 99);
         let a = hash_index(domain, 30, SimTime::ZERO);
         let b = hash_index(domain, 30, SimTime::ZERO);
-        assert_eq!(a.entries(), b.entries(), "static hash must be deterministic");
+        assert_eq!(
+            a.entries(),
+            b.entries(),
+            "static hash must be deterministic"
+        );
         assert!(a.is_complete());
         // No value maps to the basestation, and many distinct owners exist.
         assert!(a.owners().iter().all(|o| !o.is_basestation()));

@@ -70,9 +70,9 @@ impl<'a> CostModel<'a> {
         // recomputing Dijkstra per query and keeps the public API immutable.
         let mut warm = stats.clone();
         let mut xmits = vec![vec![0.0; n]; n];
-        for a in 0..n {
-            for b in 0..n {
-                xmits[a][b] = warm.xmits(NodeId(a as u16), NodeId(b as u16));
+        for (a, row) in xmits.iter_mut().enumerate() {
+            for (b, x) in row.iter_mut().enumerate() {
+                *x = warm.xmits(NodeId(a as u16), NodeId(b as u16));
             }
         }
         let producers = (0..n)
@@ -135,10 +135,7 @@ impl<'a> CostModel<'a> {
     /// Expected messages per second of the whole index described by a
     /// per-value owner assignment.
     pub fn assignment_cost(&self, owners: &[(Value, NodeId)]) -> f64 {
-        owners
-            .iter()
-            .map(|&(v, o)| self.placement_cost(o, v))
-            .sum()
+        owners.iter().map(|&(v, o)| self.placement_cost(o, v)).sum()
     }
 
     /// Expected messages per second of the store-local policy: every query is
@@ -178,9 +175,15 @@ mod tests {
         let mut st = StatsStore::new(5, domain);
         for i in 1..5u16 {
             let values: Vec<Value> = vec![(10 * i) as Value; 20];
-            let mut neighbors = vec![ReportedNeighbor { node: NodeId(i - 1), quality: 1.0 }];
+            let mut neighbors = vec![ReportedNeighbor {
+                node: NodeId(i - 1),
+                quality: 1.0,
+            }];
             if i < 4 {
-                neighbors.push(ReportedNeighbor { node: NodeId(i + 1), quality: 1.0 });
+                neighbors.push(ReportedNeighbor {
+                    node: NodeId(i + 1),
+                    quality: 1.0,
+                });
             }
             st.record_summary(SummaryMessage {
                 node: NodeId(i),

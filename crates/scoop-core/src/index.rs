@@ -124,9 +124,7 @@ impl StorageIndex {
     /// The owner of value `v`, or `None` if `v` falls outside every entry.
     pub fn lookup(&self, v: Value) -> Option<NodeId> {
         // Entries are sorted by range start; binary search for the candidate.
-        let idx = self
-            .entries
-            .partition_point(|e| e.range.hi < v);
+        let idx = self.entries.partition_point(|e| e.range.hi < v);
         self.entries.get(idx).and_then(|e| {
             if e.range.contains(v) {
                 Some(e.owner)
@@ -189,21 +187,13 @@ impl StorageIndex {
 }
 
 /// Configuration of the index construction algorithm.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct IndexBuilderConfig {
     /// If `true`, the basestation also evaluates the expected cost of a
     /// "store-local" policy and, when it is cheaper than the best index, the
     /// builder reports that (Section 4). Disabled in the paper's SCOOP
     /// experiments and by default here.
     pub allow_store_local_fallback: bool,
-}
-
-impl Default for IndexBuilderConfig {
-    fn default() -> Self {
-        IndexBuilderConfig {
-            allow_store_local_fallback: false,
-        }
-    }
 }
 
 /// What the builder decided.
@@ -299,10 +289,34 @@ mod tests {
             StorageIndex::from_owners(StorageIndexId(1), base_domain(), &owners, SimTime::ZERO)
                 .unwrap();
         assert_eq!(idx.entries().len(), 4);
-        assert_eq!(idx.entries()[0], IndexEntry { range: ValueRange::new(0, 1), owner: NodeId(1) });
-        assert_eq!(idx.entries()[1], IndexEntry { range: ValueRange::new(2, 4), owner: NodeId(2) });
-        assert_eq!(idx.entries()[2], IndexEntry { range: ValueRange::new(5, 5), owner: NodeId(1) });
-        assert_eq!(idx.entries()[3], IndexEntry { range: ValueRange::new(6, 9), owner: NodeId(3) });
+        assert_eq!(
+            idx.entries()[0],
+            IndexEntry {
+                range: ValueRange::new(0, 1),
+                owner: NodeId(1)
+            }
+        );
+        assert_eq!(
+            idx.entries()[1],
+            IndexEntry {
+                range: ValueRange::new(2, 4),
+                owner: NodeId(2)
+            }
+        );
+        assert_eq!(
+            idx.entries()[2],
+            IndexEntry {
+                range: ValueRange::new(5, 5),
+                owner: NodeId(1)
+            }
+        );
+        assert_eq!(
+            idx.entries()[3],
+            IndexEntry {
+                range: ValueRange::new(6, 9),
+                owner: NodeId(3)
+            }
+        );
         assert!(idx.is_complete());
     }
 
@@ -347,8 +361,14 @@ mod tests {
         let idx =
             StorageIndex::from_owners(StorageIndexId(1), base_domain(), &owners, SimTime::ZERO)
                 .unwrap();
-        assert_eq!(idx.owners_for_range(&ValueRange::new(0, 4)), vec![NodeId(1), NodeId(2)]);
-        assert_eq!(idx.owners_for_range(&ValueRange::new(6, 9)), vec![NodeId(1)]);
+        assert_eq!(
+            idx.owners_for_range(&ValueRange::new(0, 4)),
+            vec![NodeId(1), NodeId(2)]
+        );
+        assert_eq!(
+            idx.owners_for_range(&ValueRange::new(6, 9)),
+            vec![NodeId(1)]
+        );
         assert_eq!(idx.owners(), vec![NodeId(1), NodeId(2)]);
     }
 
@@ -373,9 +393,8 @@ mod tests {
         let mut owners = vec![NodeId(1); 10];
         owners[0] = NodeId(2);
         owners[1] = NodeId(2);
-        let b =
-            StorageIndex::from_owners(StorageIndexId(2), base_domain(), &owners, SimTime::ZERO)
-                .unwrap();
+        let b = StorageIndex::from_owners(StorageIndexId(2), base_domain(), &owners, SimTime::ZERO)
+            .unwrap();
         assert!((a.difference_fraction(&b) - 0.2).abs() < 1e-9);
         assert_eq!(a.difference_fraction(&a), 0.0);
     }
@@ -385,7 +404,10 @@ mod tests {
         let idx = StorageIndex::from_entries(
             StorageIndexId(1),
             base_domain(),
-            vec![IndexEntry { range: ValueRange::new(0, 4), owner: NodeId(2) }],
+            vec![IndexEntry {
+                range: ValueRange::new(0, 4),
+                owner: NodeId(2),
+            }],
             SimTime::ZERO,
         );
         assert!(!idx.is_complete());

@@ -130,14 +130,23 @@ mod tests {
             sid: StorageIndexId(1),
         };
         assert_eq!(msg.routing_value(), Some(7));
-        let empty = DataMessage { readings: vec![], owner: NodeId(2), sid: StorageIndexId(1) };
+        let empty = DataMessage {
+            readings: vec![],
+            owner: NodeId(2),
+            sid: StorageIndexId(1),
+        };
         assert_eq!(empty.routing_value(), None);
     }
 
     #[test]
     fn mapping_chunk_index_id() {
         let mc = MappingChunk {
-            chunk: Chunk { version: 9, index: 0, total: 1, items: vec![] },
+            chunk: Chunk {
+                version: 9,
+                index: 0,
+                total: 1,
+                items: vec![],
+            },
             domain: ValueRange::new(0, 99),
             created_at: SimTime::from_secs(240),
         };
@@ -147,8 +156,16 @@ mod tests {
     #[test]
     fn payload_names_are_distinct() {
         let payloads = [
-            ScoopPayload::Data(DataMessage { readings: vec![], owner: NodeId(0), sid: StorageIndexId(0) }),
-            ScoopPayload::Reply(ReplyMessage { query_id: 0, node: NodeId(1), readings: vec![] }),
+            ScoopPayload::Data(DataMessage {
+                readings: vec![],
+                owner: NodeId(0),
+                sid: StorageIndexId(0),
+            }),
+            ScoopPayload::Reply(ReplyMessage {
+                query_id: 0,
+                node: NodeId(1),
+                readings: vec![],
+            }),
             ScoopPayload::Query(QueryMessage {
                 query_id: 0,
                 values: ValueRange::new(0, 1),

@@ -36,10 +36,7 @@ impl MultiOwnerIndex {
     /// The owner set for value `v`.
     pub fn owners_of(&self, v: Value) -> &[NodeId] {
         let idx = (v - self.domain.lo) as usize;
-        self.owner_sets
-            .get(idx)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.owner_sets.get(idx).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Total number of `(value, owner)` pairs — proportional to the size of
@@ -118,9 +115,7 @@ pub fn build_owner_sets(
                 let mut trial = set.clone();
                 trial.push(cand);
                 let c = set_cost(v, &trial);
-                if c + 1e-9 < current
-                    && best_addition.map(|(_, bc)| c < bc).unwrap_or(true)
-                {
+                if c + 1e-9 < current && best_addition.map(|(_, bc)| c < bc).unwrap_or(true) {
                     best_addition = Some((cand, c));
                 }
             }
@@ -135,7 +130,11 @@ pub fn build_owner_sets(
         set.sort();
         owner_sets.push(set);
     }
-    MultiOwnerIndex { id, domain, owner_sets }
+    MultiOwnerIndex {
+        id,
+        domain,
+        owner_sets,
+    }
 }
 
 /// Range-granularity placement: the domain is cut into fixed segments of
@@ -163,7 +162,10 @@ pub fn build_range_index(
                 best = (o, c);
             }
         }
-        entries.push(IndexEntry { range: segment, owner: best.0 });
+        entries.push(IndexEntry {
+            range: segment,
+            owner: best.0,
+        });
         lo = hi + 1;
     }
     StorageIndex::from_entries(id, domain, entries, now)
@@ -184,9 +186,15 @@ mod tests {
         for i in 1..5u16 {
             let center: Value = if i <= 2 { 10 } else { 30 };
             let values: Vec<Value> = (0..20).map(|k| center + (k % 3) - 1).collect();
-            let mut neighbors = vec![ReportedNeighbor { node: NodeId(i - 1), quality: 1.0 }];
+            let mut neighbors = vec![ReportedNeighbor {
+                node: NodeId(i - 1),
+                quality: 1.0,
+            }];
             if i < 4 {
-                neighbors.push(ReportedNeighbor { node: NodeId(i + 1), quality: 1.0 });
+                neighbors.push(ReportedNeighbor {
+                    node: NodeId(i + 1),
+                    quality: 1.0,
+                });
             }
             st.record_summary(SummaryMessage {
                 node: NodeId(i),
@@ -211,7 +219,10 @@ mod tests {
         let cost = CostModel::new(&st, CostParams::with_query_rate(1.0 / 60.0));
         let multi = build_owner_sets(&st, &cost, StorageIndexId(2), 2);
         assert_eq!(multi.owner_sets.len(), st.domain().width() as usize);
-        assert!(multi.owner_sets.iter().all(|s| !s.is_empty() && s.len() <= 2));
+        assert!(multi
+            .owner_sets
+            .iter()
+            .all(|s| !s.is_empty() && s.len() <= 2));
         assert!(multi.total_entries() >= st.domain().width() as usize);
     }
 
@@ -249,8 +260,14 @@ mod tests {
         // near the high-value cluster.
         let low_owner = idx.lookup(10).unwrap();
         let high_owner = idx.lookup(30).unwrap();
-        assert!(low_owner.index() <= 2, "low values owned near nodes 1-2, got {low_owner}");
-        assert!(high_owner.index() >= 3, "high values owned near nodes 3-4, got {high_owner}");
+        assert!(
+            low_owner.index() <= 2,
+            "low values owned near nodes 1-2, got {low_owner}"
+        );
+        assert!(
+            high_owner.index() >= 3,
+            "high values owned near nodes 3-4, got {high_owner}"
+        );
     }
 
     #[test]

@@ -29,10 +29,7 @@ pub struct QueryPlan {
 impl QueryPlan {
     /// Number of sensor nodes that must be contacted over the network.
     pub fn network_targets(&self) -> usize {
-        self.targets
-            .iter()
-            .filter(|n| !n.is_basestation())
-            .count()
+        self.targets.iter().filter(|n| !n.is_basestation()).count()
     }
 }
 
@@ -46,7 +43,9 @@ pub struct QueryPlanner {
 impl QueryPlanner {
     /// An empty planner.
     pub fn new() -> Self {
-        QueryPlanner { history: Vec::new() }
+        QueryPlanner {
+            history: Vec::new(),
+        }
     }
 
     /// Records a newly created storage index. Ignores ids that do not move
@@ -171,7 +170,12 @@ mod tests {
     #[test]
     fn empty_planner_floods() {
         let p = QueryPlanner::new();
-        let plan = p.plan(&ValueRange::new(0, 9), SimTime::ZERO, SimTime::from_secs(100), StorageIndexId::NONE);
+        let plan = p.plan(
+            &ValueRange::new(0, 9),
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            StorageIndexId::NONE,
+        );
         assert!(plan.targets.is_empty());
         assert!(plan.indices_consulted.is_empty());
         assert!(plan.check_basestation);
@@ -233,7 +237,10 @@ mod tests {
             StorageIndexId(1),
         );
         let targets: Vec<NodeId> = plan.targets.iter().collect();
-        assert!(targets.contains(&NodeId(3)), "old index still live somewhere");
+        assert!(
+            targets.contains(&NodeId(3)),
+            "old index still live somewhere"
+        );
         assert!(targets.contains(&NodeId(4)));
     }
 
@@ -267,8 +274,12 @@ mod tests {
         // small subset of nodes: with one owner per 10-value stripe, a
         // 5-value query touches at most two owners.
         let domain = ValueRange::new(0, 99);
-        let owners: Vec<NodeId> = (0..100).map(|v: Value| NodeId((v / 10 + 1) as u16)).collect();
-        let idx = StorageIndex::from_owners(StorageIndexId(1), domain, &owners, SimTime::from_secs(600)).unwrap();
+        let owners: Vec<NodeId> = (0..100)
+            .map(|v: Value| NodeId((v / 10 + 1) as u16))
+            .collect();
+        let idx =
+            StorageIndex::from_owners(StorageIndexId(1), domain, &owners, SimTime::from_secs(600))
+                .unwrap();
         let mut p = QueryPlanner::new();
         p.record_index(idx);
         let plan = p.plan(
@@ -284,6 +295,10 @@ mod tests {
             SimTime::from_secs(710),
             StorageIndexId(1),
         );
-        assert_eq!(plan.network_targets(), 10, "a full-domain query touches every owner");
+        assert_eq!(
+            plan.network_targets(),
+            10,
+            "a full-domain query touches every owner"
+        );
     }
 }

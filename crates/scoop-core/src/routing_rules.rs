@@ -116,7 +116,12 @@ mod tests {
 
     fn msg(value: Value, owner: NodeId, sid: u32) -> DataMessage {
         DataMessage {
-            readings: vec![Reading::new(NodeId(7), Attribute::Light, value, SimTime::from_secs(1))],
+            readings: vec![Reading::new(
+                NodeId(7),
+                Attribute::Light,
+                value,
+                SimTime::from_secs(1),
+            )],
             owner,
             sid: StorageIndexId(sid),
         }
@@ -147,7 +152,11 @@ mod tests {
         hear(&mut rs, NodeId(3));
         rs.on_beacon(
             NodeId(1),
-            &scoop_routing::Beacon { hops: 0, path_etx: 0.0, parent: None },
+            &scoop_routing::Beacon {
+                hops: 0,
+                path_etx: 0.0,
+                parent: None,
+            },
             SimTime::from_secs(20),
         );
         rs.note_routed_up(NodeId(9), NodeId(3), SimTime::from_secs(21));
@@ -162,7 +171,12 @@ mod tests {
     #[test]
     fn rule_2_owner_stores_locally() {
         let rs = routing_for_node5();
-        let view = LocalNodeView { id: NodeId(5), index: None, routing: &rs, neighbor_shortcut: true };
+        let view = LocalNodeView {
+            id: NodeId(5),
+            index: None,
+            routing: &rs,
+            neighbor_shortcut: true,
+        };
         let action = route_data(&view, msg(10, NodeId(5), 1));
         assert!(matches!(action, DataRoutingAction::StoreLocal(_)));
     }
@@ -172,7 +186,12 @@ mod tests {
         let rs = routing_for_node5();
         let domain = ValueRange::new(0, 99);
         let idx = index_v2(domain, NodeId(5));
-        let view = LocalNodeView { id: NodeId(5), index: Some(&idx), routing: &rs, neighbor_shortcut: true };
+        let view = LocalNodeView {
+            id: NodeId(5),
+            index: Some(&idx),
+            routing: &rs,
+            neighbor_shortcut: true,
+        };
         // The producer addressed the packet to node 2 under the older index 1,
         // but our index 2 says we own everything, so we keep it.
         let action = route_data(&view, msg(10, NodeId(2), 1));
@@ -190,7 +209,12 @@ mod tests {
         let rs = routing_for_node5();
         let domain = ValueRange::new(0, 99);
         let idx = index_v2(domain, NodeId(5));
-        let view = LocalNodeView { id: NodeId(5), index: Some(&idx), routing: &rs, neighbor_shortcut: true };
+        let view = LocalNodeView {
+            id: NodeId(5),
+            index: Some(&idx),
+            routing: &rs,
+            neighbor_shortcut: true,
+        };
         // The packet already carries sid 3 (newer than our index 2): keep its
         // owner and forward normally.
         let action = route_data(&view, msg(10, NodeId(2), 3));
@@ -207,25 +231,46 @@ mod tests {
     #[test]
     fn rule_3_neighbor_shortcut_and_its_ablation() {
         let rs = routing_for_node5();
-        let view = LocalNodeView { id: NodeId(5), index: None, routing: &rs, neighbor_shortcut: true };
+        let view = LocalNodeView {
+            id: NodeId(5),
+            index: None,
+            routing: &rs,
+            neighbor_shortcut: true,
+        };
         let action = route_data(&view, msg(10, NodeId(2), 1));
         assert_eq!(
             action,
-            DataRoutingAction::Forward { next_hop: NodeId(2), message: msg(10, NodeId(2), 1) }
+            DataRoutingAction::Forward {
+                next_hop: NodeId(2),
+                message: msg(10, NodeId(2), 1)
+            }
         );
         // With the shortcut disabled the same packet goes up to the parent.
-        let view = LocalNodeView { id: NodeId(5), index: None, routing: &rs, neighbor_shortcut: false };
+        let view = LocalNodeView {
+            id: NodeId(5),
+            index: None,
+            routing: &rs,
+            neighbor_shortcut: false,
+        };
         let action = route_data(&view, msg(10, NodeId(2), 1));
         assert_eq!(
             action,
-            DataRoutingAction::Forward { next_hop: NodeId(1), message: msg(10, NodeId(2), 1) }
+            DataRoutingAction::Forward {
+                next_hop: NodeId(1),
+                message: msg(10, NodeId(2), 1)
+            }
         );
     }
 
     #[test]
     fn rule_4_basestation_stores_unroutable_data() {
         let rs = RoutingState::new(NodeId::BASESTATION, RoutingConfig::default());
-        let view = LocalNodeView { id: NodeId::BASESTATION, index: None, routing: &rs, neighbor_shortcut: true };
+        let view = LocalNodeView {
+            id: NodeId::BASESTATION,
+            index: None,
+            routing: &rs,
+            neighbor_shortcut: true,
+        };
         let action = route_data(&view, msg(10, NodeId(31), 1));
         assert!(matches!(action, DataRoutingAction::StoreLocal(_)));
     }
@@ -233,30 +278,51 @@ mod tests {
     #[test]
     fn rule_5_descendant_goes_down_the_right_branch() {
         let rs = routing_for_node5();
-        let view = LocalNodeView { id: NodeId(5), index: None, routing: &rs, neighbor_shortcut: true };
+        let view = LocalNodeView {
+            id: NodeId(5),
+            index: None,
+            routing: &rs,
+            neighbor_shortcut: true,
+        };
         let action = route_data(&view, msg(10, NodeId(9), 1));
         assert_eq!(
             action,
-            DataRoutingAction::Forward { next_hop: NodeId(3), message: msg(10, NodeId(9), 1) }
+            DataRoutingAction::Forward {
+                next_hop: NodeId(3),
+                message: msg(10, NodeId(9), 1)
+            }
         );
     }
 
     #[test]
     fn rule_6_default_is_the_parent() {
         let rs = routing_for_node5();
-        let view = LocalNodeView { id: NodeId(5), index: None, routing: &rs, neighbor_shortcut: true };
+        let view = LocalNodeView {
+            id: NodeId(5),
+            index: None,
+            routing: &rs,
+            neighbor_shortcut: true,
+        };
         // Owner 40 is not us, not a neighbor, not a descendant.
         let action = route_data(&view, msg(10, NodeId(40), 1));
         assert_eq!(
             action,
-            DataRoutingAction::Forward { next_hop: NodeId(1), message: msg(10, NodeId(40), 1) }
+            DataRoutingAction::Forward {
+                next_hop: NodeId(1),
+                message: msg(10, NodeId(40), 1)
+            }
         );
     }
 
     #[test]
     fn detached_node_stores_rather_than_losing_data() {
         let rs = RoutingState::new(NodeId(5), RoutingConfig::default());
-        let view = LocalNodeView { id: NodeId(5), index: None, routing: &rs, neighbor_shortcut: true };
+        let view = LocalNodeView {
+            id: NodeId(5),
+            index: None,
+            routing: &rs,
+            neighbor_shortcut: true,
+        };
         let action = route_data(&view, msg(10, NodeId(40), 1));
         assert!(matches!(action, DataRoutingAction::StrandedStoreLocal(_)));
     }

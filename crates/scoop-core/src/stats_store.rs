@@ -297,23 +297,23 @@ impl StatsStore {
         // Undirected ETX graph: weight = 1 / max(quality in either direction).
         let n = self.n;
         let mut weight = vec![vec![f64::INFINITY; n]; n];
-        for a in 0..n {
-            for b in 0..n {
+        for (a, row) in weight.iter_mut().enumerate() {
+            for (b, w) in row.iter_mut().enumerate() {
                 if a == b {
                     continue;
                 }
                 let q = self.quality[a][b].max(self.quality[b][a]);
                 if q > 0.0 {
-                    weight[a][b] = 1.0 / q;
+                    *w = 1.0 / q;
                 }
             }
         }
         // Dijkstra from every source.
         let mut all = vec![vec![UNKNOWN_PATH_XMITS; n]; n];
-        for src in 0..n {
+        for (src, row) in all.iter_mut().enumerate() {
             let dist = dijkstra(&weight, src);
             for (dst, d) in dist.into_iter().enumerate() {
-                all[src][dst] = if d.is_finite() { d } else { UNKNOWN_PATH_XMITS };
+                row[dst] = if d.is_finite() { d } else { UNKNOWN_PATH_XMITS };
             }
         }
         self.xmits_cache = Some(all);
@@ -355,7 +355,12 @@ mod tests {
     use crate::histogram::SummaryHistogram;
     use crate::summary::ReportedNeighbor;
 
-    fn summary(node: u16, values: &[Value], neighbors: &[(u16, f64)], parent: Option<u16>) -> SummaryMessage {
+    fn summary(
+        node: u16,
+        values: &[Value],
+        neighbors: &[(u16, f64)],
+        parent: Option<u16>,
+    ) -> SummaryMessage {
         SummaryMessage {
             node: NodeId(node),
             histogram: SummaryHistogram::build(values, 10),
@@ -366,7 +371,10 @@ mod tests {
             data_rate_hz: 1.0 / 15.0,
             neighbors: neighbors
                 .iter()
-                .map(|&(n, q)| ReportedNeighbor { node: NodeId(n), quality: q })
+                .map(|&(n, q)| ReportedNeighbor {
+                    node: NodeId(n),
+                    quality: q,
+                })
                 .collect(),
             parent: parent.map(NodeId),
             newest_complete_index: StorageIndexId(1),

@@ -79,7 +79,10 @@ mod tests {
             sum: values.iter().map(|&v| v as i64).sum(),
             count: values.len() as u32,
             data_rate_hz: 1.0 / 15.0,
-            neighbors: vec![ReportedNeighbor { node: NodeId(2), quality: 0.8 }],
+            neighbors: vec![ReportedNeighbor {
+                node: NodeId(2),
+                quality: 0.8,
+            }],
             parent: Some(NodeId(2)),
             newest_complete_index: StorageIndexId(3),
             generated_at: SimTime::from_secs(100),

@@ -64,14 +64,26 @@ impl EnergyReport {
 impl EnergyModel {
     /// Energy report for a single node given its counters and the number of
     /// readings it wrote to flash.
-    pub fn node_energy(&self, stats: &NodeStats, flash_writes: u64, reading_bits: f64) -> EnergyReport {
+    pub fn node_energy(
+        &self,
+        stats: &NodeStats,
+        flash_writes: u64,
+        reading_bits: f64,
+    ) -> EnergyReport {
         let nj_to_j = 1e-9;
         EnergyReport {
-            tx_joules: stats.total_tx() as f64 * self.bits_per_message * self.radio_tx_nj_per_bit
+            tx_joules: stats.total_tx() as f64
+                * self.bits_per_message
+                * self.radio_tx_nj_per_bit
                 * nj_to_j,
-            rx_joules: stats.total_rx() as f64 * self.bits_per_message * self.radio_rx_nj_per_bit
+            rx_joules: stats.total_rx() as f64
+                * self.bits_per_message
+                * self.radio_rx_nj_per_bit
                 * nj_to_j,
-            flash_joules: flash_writes as f64 * reading_bits * self.flash_write_nj_per_bit * nj_to_j,
+            flash_joules: flash_writes as f64
+                * reading_bits
+                * self.flash_write_nj_per_bit
+                * nj_to_j,
         }
     }
 
@@ -106,7 +118,10 @@ impl EnergyModel {
         stats
             .iter()
             .map(|(node, s)| {
-                let writes = flash_writes_per_node.get(node.index()).copied().unwrap_or(0);
+                let writes = flash_writes_per_node
+                    .get(node.index())
+                    .copied()
+                    .unwrap_or(0);
                 (node, self.node_energy(s, writes, reading_bits))
             })
             .collect()

@@ -150,12 +150,7 @@ impl<'a, P> NodeCtx<'a, P> {
     }
 
     /// Sends a new application message as a local broadcast.
-    pub fn send_broadcast(
-        &mut self,
-        kind: MessageKind,
-        origin_parent: Option<NodeId>,
-        payload: P,
-    ) {
+    pub fn send_broadcast(&mut self, kind: MessageKind, origin_parent: Option<NodeId>, payload: P) {
         let origin = self.node;
         self.commands.push(Command::Send {
             dst: LinkDst::Broadcast,
@@ -527,7 +522,12 @@ mod tests {
             }
         }
 
-        fn on_send_result(&mut self, _ctx: &mut NodeCtx<'_, u32>, delivered: bool, _p: Packet<u32>) {
+        fn on_send_result(
+            &mut self,
+            _ctx: &mut NodeCtx<'_, u32>,
+            delivered: bool,
+            _p: Packet<u32>,
+        ) {
             if delivered {
                 self.send_successes += 1;
             } else {
@@ -547,7 +547,12 @@ mod tests {
     fn rejects_mismatched_node_count() {
         let topo = Topology::grid(2, 10.0).unwrap();
         let links = LinkModel::perfect(&topo);
-        let err = Engine::new(topo, links, vec![TestApp::default()], EngineConfig::default());
+        let err = Engine::new(
+            topo,
+            links,
+            vec![TestApp::default()],
+            EngineConfig::default(),
+        );
         assert!(err.is_err());
     }
 

@@ -335,9 +335,8 @@ mod tests {
         );
         // A different seed should perturb at least some link.
         let differs = topo.nodes().any(|x| {
-            topo.nodes().any(|y| {
-                a.link(x, y).delivery_prob != c.link(x, y).delivery_prob
-            })
+            topo.nodes()
+                .any(|y| a.link(x, y).delivery_prob != c.link(x, y).delivery_prob)
         });
         assert!(differs);
     }

@@ -94,7 +94,10 @@ mod tests {
 
     #[test]
     fn unicast_target() {
-        assert_eq!(LinkDst::Unicast(NodeId(5)).unicast_target(), Some(NodeId(5)));
+        assert_eq!(
+            LinkDst::Unicast(NodeId(5)).unicast_target(),
+            Some(NodeId(5))
+        );
         assert_eq!(LinkDst::Broadcast.unicast_target(), None);
     }
 
@@ -104,7 +107,9 @@ mod tests {
             meta: meta(),
             payload: 42u32,
         };
-        let f = p.clone().forwarded(NodeId(2), LinkDst::Unicast(NodeId(0)), SeqNo(99));
+        let f = p
+            .clone()
+            .forwarded(NodeId(2), LinkDst::Unicast(NodeId(0)), SeqNo(99));
         assert_eq!(f.meta.link_src, NodeId(2));
         assert_eq!(f.meta.link_dst, LinkDst::Unicast(NodeId(0)));
         assert_eq!(f.meta.seqno, SeqNo(99));

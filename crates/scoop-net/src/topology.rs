@@ -326,8 +326,14 @@ mod tests {
         let a = Topology::office_floor(30, 42).unwrap();
         let b = Topology::office_floor(30, 42).unwrap();
         let c = Topology::office_floor(30, 43).unwrap();
-        assert_eq!(a.position(NodeId(5)).unwrap().x, b.position(NodeId(5)).unwrap().x);
-        assert_ne!(a.position(NodeId(5)).unwrap().x, c.position(NodeId(5)).unwrap().x);
+        assert_eq!(
+            a.position(NodeId(5)).unwrap().x,
+            b.position(NodeId(5)).unwrap().x
+        );
+        assert_ne!(
+            a.position(NodeId(5)).unwrap().x,
+            c.position(NodeId(5)).unwrap().x
+        );
     }
 
     #[test]

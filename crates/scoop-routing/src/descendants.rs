@@ -57,11 +57,7 @@ impl DescendantsList {
     /// "somewhat degraded performance", because packets for unknown
     /// descendants fall back to the parent path (rule 6).
     pub fn note(&mut self, descendant: NodeId, via_child: NodeId, now: SimTime) {
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.descendant == descendant)
-        {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.descendant == descendant) {
             e.via_child = via_child;
             e.last_seen = now;
             return;
@@ -102,9 +98,8 @@ impl DescendantsList {
     /// descendant reached through `removed_child` if one is given (used when
     /// a child is evicted from the neighbor table).
     pub fn evict(&mut self, cutoff: SimTime, removed_child: Option<NodeId>) {
-        self.entries.retain(|e| {
-            e.last_seen >= cutoff && Some(e.via_child) != removed_child
-        });
+        self.entries
+            .retain(|e| e.last_seen >= cutoff && Some(e.via_child) != removed_child);
     }
 
     /// All tracked descendant ids.
@@ -166,7 +161,10 @@ mod tests {
         d.note(NodeId(3), NodeId(12), SimTime::from_secs(100));
         d.evict(SimTime::from_secs(50), Some(NodeId(12)));
         assert!(!d.contains(NodeId(1)), "stale entry evicted");
-        assert!(!d.contains(NodeId(3)), "entries via the removed child evicted");
+        assert!(
+            !d.contains(NodeId(3)),
+            "entries via the removed child evicted"
+        );
         assert!(d.contains(NodeId(2)));
     }
 

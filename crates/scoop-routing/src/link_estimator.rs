@@ -112,7 +112,8 @@ impl LinkEstimator {
     /// Expected number of transmissions for `src` to get one packet through
     /// to us (inverse of quality).
     pub fn etx(&self, src: NodeId) -> Option<f64> {
-        self.quality(src).map(|q| if q > 0.0 { 1.0 / q } else { f64::INFINITY })
+        self.quality(src)
+            .map(|q| if q > 0.0 { 1.0 / q } else { f64::INFINITY })
     }
 
     /// When `src` was last heard.

@@ -271,14 +271,21 @@ mod tests {
         hear(&mut rs, NodeId(1), 20);
         let attached = rs.on_beacon(
             NodeId(1),
-            &Beacon { hops: 0, path_etx: 0.0, parent: None },
+            &Beacon {
+                hops: 0,
+                path_etx: 0.0,
+                parent: None,
+            },
             SimTime::from_secs(30),
         );
         assert!(attached);
         assert_eq!(rs.parent(), Some(NodeId(1)));
         assert_eq!(rs.hops(), 1);
         // An unknown destination goes up the tree.
-        assert_eq!(rs.next_hop_for(NodeId(40), true), NextHop::UpTree(NodeId(1)));
+        assert_eq!(
+            rs.next_hop_for(NodeId(40), true),
+            NextHop::UpTree(NodeId(1))
+        );
     }
 
     #[test]
@@ -286,27 +293,51 @@ mod tests {
         let mut rs = RoutingState::new(NodeId(5), RoutingConfig::default());
         let attached = rs.on_beacon(
             NodeId(1),
-            &Beacon { hops: 0, path_etx: 0.0, parent: None },
+            &Beacon {
+                hops: 0,
+                path_etx: 0.0,
+                parent: None,
+            },
             SimTime::from_secs(1),
         );
-        assert!(!attached, "cannot attach over a link with no quality estimate");
+        assert!(
+            !attached,
+            "cannot attach over a link with no quality estimate"
+        );
     }
 
     #[test]
     fn neighbor_shortcut_and_descendant_routing() {
         let mut rs = RoutingState::new(NodeId(5), RoutingConfig::default());
         hear(&mut rs, NodeId(1), 10);
-        rs.on_beacon(NodeId(1), &Beacon { hops: 0, path_etx: 0.0, parent: None }, SimTime::from_secs(20));
+        rs.on_beacon(
+            NodeId(1),
+            &Beacon {
+                hops: 0,
+                path_etx: 0.0,
+                parent: None,
+            },
+            SimTime::from_secs(20),
+        );
         hear(&mut rs, NodeId(7), 10);
         rs.note_routed_up(NodeId(30), NodeId(7), SimTime::from_secs(25));
 
         // A direct neighbor takes the shortcut (rule 3)...
-        assert_eq!(rs.next_hop_for(NodeId(7), true), NextHop::Neighbor(NodeId(7)));
+        assert_eq!(
+            rs.next_hop_for(NodeId(7), true),
+            NextHop::Neighbor(NodeId(7))
+        );
         // ...unless the shortcut is disabled, in which case it is still a
         // descendant of nobody so it goes up the tree.
-        assert_eq!(rs.next_hop_for(NodeId(7), false), NextHop::UpTree(NodeId(1)));
+        assert_eq!(
+            rs.next_hop_for(NodeId(7), false),
+            NextHop::UpTree(NodeId(1))
+        );
         // Known descendants go down the right branch (rule 5).
-        assert_eq!(rs.next_hop_for(NodeId(30), true), NextHop::DownTree(NodeId(7)));
+        assert_eq!(
+            rs.next_hop_for(NodeId(30), true),
+            NextHop::DownTree(NodeId(7))
+        );
         // Our own id is local (rule 2).
         assert_eq!(rs.next_hop_for(NodeId(5), true), NextHop::Local);
     }
@@ -314,9 +345,15 @@ mod tests {
     #[test]
     fn children_are_learned_from_origin_parent_header() {
         let mut rs = RoutingState::new(NodeId(5), RoutingConfig::default());
-        rs.observe_packet(&meta(NodeId(9), NodeId(9), Some(NodeId(5)), 0), SimTime::from_secs(1));
+        rs.observe_packet(
+            &meta(NodeId(9), NodeId(9), Some(NodeId(5)), 0),
+            SimTime::from_secs(1),
+        );
         assert!(rs.is_descendant(NodeId(9)));
-        assert_eq!(rs.next_hop_for(NodeId(9), false), NextHop::DownTree(NodeId(9)));
+        assert_eq!(
+            rs.next_hop_for(NodeId(9), false),
+            NextHop::DownTree(NodeId(9))
+        );
     }
 
     #[test]
@@ -328,7 +365,10 @@ mod tests {
     #[test]
     fn basestation_routes_down_only() {
         let mut rs = RoutingState::new(NodeId::BASESTATION, RoutingConfig::default());
-        rs.observe_packet(&meta(NodeId(2), NodeId(2), Some(NodeId(0)), 0), SimTime::from_secs(1));
+        rs.observe_packet(
+            &meta(NodeId(2), NodeId(2), Some(NodeId(0)), 0),
+            SimTime::from_secs(1),
+        );
         assert_eq!(
             rs.next_hop_for(NodeId(2), false),
             NextHop::DownTree(NodeId(2))
@@ -341,23 +381,39 @@ mod tests {
     fn maintenance_evicts_stale_parent_and_neighbors() {
         let mut rs = RoutingState::new(NodeId(5), RoutingConfig::default());
         hear(&mut rs, NodeId(1), 5);
-        rs.on_beacon(NodeId(1), &Beacon { hops: 0, path_etx: 0.0, parent: None }, SimTime::from_secs(5));
+        rs.on_beacon(
+            NodeId(1),
+            &Beacon {
+                hops: 0,
+                path_etx: 0.0,
+                parent: None,
+            },
+            SimTime::from_secs(5),
+        );
         assert!(rs.is_attached());
         // A long time passes with no traffic from node 1.
         rs.maintenance(SimTime::from_secs(2000));
         assert!(!rs.is_neighbor(NodeId(1)));
-        assert!(!rs.is_attached(), "losing the parent neighbor detaches the node");
+        assert!(
+            !rs.is_attached(),
+            "losing the parent neighbor detaches the node"
+        );
     }
 
     #[test]
     fn summary_neighbors_limited_and_sorted() {
-        let mut cfg = RoutingConfig::default();
-        cfg.summary_neighbors = 2;
+        let cfg = RoutingConfig {
+            summary_neighbors: 2,
+            ..RoutingConfig::default()
+        };
         let mut rs = RoutingState::new(NodeId(5), cfg);
         hear(&mut rs, NodeId(1), 30);
         // Node 2 is heard with many gaps: lower quality.
         for i in 0..10u32 {
-            rs.observe_packet(&meta(NodeId(2), NodeId(2), None, i * 5), SimTime::from_secs(i as u64));
+            rs.observe_packet(
+                &meta(NodeId(2), NodeId(2), None, i * 5),
+                SimTime::from_secs(i as u64),
+            );
         }
         hear(&mut rs, NodeId(3), 30);
         let best = rs.summary_neighbors();

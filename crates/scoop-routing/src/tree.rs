@@ -131,8 +131,10 @@ impl TreeState {
             return false;
         }
 
-        let current_stale =
-            now.as_millis().saturating_sub(self.last_parent_heard.as_millis()) > self.parent_timeout_ms;
+        let current_stale = now
+            .as_millis()
+            .saturating_sub(self.last_parent_heard.as_millis())
+            > self.parent_timeout_ms;
         let better = candidate_cost + self.hysteresis < self.path_etx;
         if self.parent.is_none() || current_stale || better {
             self.parent = Some(from);
@@ -185,7 +187,12 @@ mod tests {
     fn first_beacon_attaches_node() {
         let mut t = TreeState::new(NodeId(5));
         assert!(!t.is_attached());
-        let changed = t.on_beacon(NodeId::BASESTATION, &root_beacon(), 0.8, SimTime::from_secs(1));
+        let changed = t.on_beacon(
+            NodeId::BASESTATION,
+            &root_beacon(),
+            0.8,
+            SimTime::from_secs(1),
+        );
         assert!(changed);
         assert_eq!(t.parent(), Some(NodeId::BASESTATION));
         assert_eq!(t.hops(), 1);
@@ -195,12 +202,25 @@ mod tests {
     #[test]
     fn better_route_causes_switch_with_hysteresis() {
         let mut t = TreeState::new(NodeId(5));
-        t.on_beacon(NodeId(2), &Beacon { hops: 2, path_etx: 4.0, parent: Some(NodeId(1)) }, 0.5, SimTime::from_secs(1));
+        t.on_beacon(
+            NodeId(2),
+            &Beacon {
+                hops: 2,
+                path_etx: 4.0,
+                parent: Some(NodeId(1)),
+            },
+            0.5,
+            SimTime::from_secs(1),
+        );
         assert_eq!(t.parent(), Some(NodeId(2)));
         // Marginally better candidate (6.0 - 5.9 = 0.1 < hysteresis): no switch.
         let switched = t.on_beacon(
             NodeId(3),
-            &Beacon { hops: 1, path_etx: 4.9, parent: Some(NodeId(0)) },
+            &Beacon {
+                hops: 1,
+                path_etx: 4.9,
+                parent: Some(NodeId(0)),
+            },
             1.0,
             SimTime::from_secs(2),
         );
@@ -209,7 +229,11 @@ mod tests {
         // Clearly better candidate: switch.
         let switched = t.on_beacon(
             NodeId(4),
-            &Beacon { hops: 1, path_etx: 1.0, parent: Some(NodeId(0)) },
+            &Beacon {
+                hops: 1,
+                path_etx: 1.0,
+                parent: Some(NodeId(0)),
+            },
             1.0,
             SimTime::from_secs(3),
         );
@@ -221,9 +245,27 @@ mod tests {
     #[test]
     fn refreshing_current_parent_updates_cost_without_switch() {
         let mut t = TreeState::new(NodeId(5));
-        t.on_beacon(NodeId(2), &Beacon { hops: 1, path_etx: 1.0, parent: None }, 1.0, SimTime::from_secs(1));
+        t.on_beacon(
+            NodeId(2),
+            &Beacon {
+                hops: 1,
+                path_etx: 1.0,
+                parent: None,
+            },
+            1.0,
+            SimTime::from_secs(1),
+        );
         let before = t.path_etx();
-        let switched = t.on_beacon(NodeId(2), &Beacon { hops: 1, path_etx: 3.0, parent: None }, 1.0, SimTime::from_secs(2));
+        let switched = t.on_beacon(
+            NodeId(2),
+            &Beacon {
+                hops: 1,
+                path_etx: 3.0,
+                parent: None,
+            },
+            1.0,
+            SimTime::from_secs(2),
+        );
         assert!(!switched);
         assert!(t.path_etx() > before);
         assert_eq!(t.last_parent_heard(), SimTime::from_secs(2));
@@ -232,11 +274,24 @@ mod tests {
     #[test]
     fn ignores_children_as_parents() {
         let mut t = TreeState::new(NodeId(5));
-        t.on_beacon(NodeId(2), &Beacon { hops: 1, path_etx: 1.0, parent: None }, 1.0, SimTime::from_secs(1));
+        t.on_beacon(
+            NodeId(2),
+            &Beacon {
+                hops: 1,
+                path_etx: 1.0,
+                parent: None,
+            },
+            1.0,
+            SimTime::from_secs(1),
+        );
         // Node 9 claims node 5 as its parent; it must not become 5's parent.
         let switched = t.on_beacon(
             NodeId(9),
-            &Beacon { hops: 2, path_etx: 0.1, parent: Some(NodeId(5)) },
+            &Beacon {
+                hops: 2,
+                path_etx: 0.1,
+                parent: Some(NodeId(5)),
+            },
             1.0,
             SimTime::from_secs(2),
         );
@@ -247,11 +302,24 @@ mod tests {
     #[test]
     fn stale_parent_is_replaced_even_by_worse_route() {
         let mut t = TreeState::new(NodeId(5));
-        t.on_beacon(NodeId(2), &Beacon { hops: 1, path_etx: 1.0, parent: None }, 1.0, SimTime::from_secs(1));
+        t.on_beacon(
+            NodeId(2),
+            &Beacon {
+                hops: 1,
+                path_etx: 1.0,
+                parent: None,
+            },
+            1.0,
+            SimTime::from_secs(1),
+        );
         // Long silence from the parent; a worse candidate shows up.
         let switched = t.on_beacon(
             NodeId(3),
-            &Beacon { hops: 3, path_etx: 6.0, parent: None },
+            &Beacon {
+                hops: 3,
+                path_etx: 6.0,
+                parent: None,
+            },
             0.5,
             SimTime::from_secs(500),
         );

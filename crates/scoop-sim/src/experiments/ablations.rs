@@ -4,9 +4,10 @@
 //!
 //! These are not figures from the paper, but they isolate the mechanisms the
 //! paper credits for parts of its results (e.g. batching is why EQUAL beats
-//! RANDOM in Figure 3 right).
+//! RANDOM in Figure 3 right). Each variant is one scenario in a declarative
+//! suite executed by the parallel sweep runner.
 
-use crate::runner::{average_results, run_trials};
+use crate::sweep::{ScenarioSuite, SweepRunner};
 use scoop_types::{DataSourceKind, ExperimentConfig, ScoopError, StoragePolicy};
 use serde::{Deserialize, Serialize};
 
@@ -25,20 +26,24 @@ pub struct AblationRow {
     pub mapping_messages: u64,
 }
 
-fn run_variant(
-    name: &str,
-    cfg: &ExperimentConfig,
-    trials: usize,
-) -> Result<AblationRow, ScoopError> {
-    let results = run_trials(cfg, trials)?;
-    let avg = average_results(&results).expect("at least one trial");
-    Ok(AblationRow {
-        variant: name.to_string(),
-        source: cfg.data_source,
-        total_messages: avg.total_messages(),
-        data_messages: avg.messages.data,
-        mapping_messages: avg.messages.mapping,
-    })
+/// A named config mutation enabling one ablation variant.
+type Variant = (&'static str, fn(&mut ExperimentConfig));
+
+/// The ablation variants: name plus the config mutation that enables each.
+fn variants() -> Vec<Variant> {
+    vec![
+        ("baseline", |_| {}),
+        ("no-batching", |cfg| cfg.scoop.batch_size = 1),
+        ("no-index-suppression", |cfg| {
+            cfg.scoop.suppress_unchanged_index = false
+        }),
+        ("no-neighbor-shortcut", |cfg| {
+            cfg.scoop.neighbor_shortcut = false
+        }),
+        ("store-local-fallback", |cfg| {
+            cfg.scoop.allow_store_local_fallback = true
+        }),
+    ]
 }
 
 /// Runs the full ablation suite for SCOOP on the given data source.
@@ -47,30 +52,27 @@ pub fn ablation_rows(
     source: DataSourceKind,
     trials: usize,
 ) -> Result<Vec<AblationRow>, ScoopError> {
-    let mut cfg = base.clone();
-    cfg.policy = StoragePolicy::Scoop;
-    cfg.data_source = source;
-
-    let mut rows = Vec::new();
-    rows.push(run_variant("baseline", &cfg, trials)?);
-
-    let mut no_batch = cfg.clone();
-    no_batch.scoop.batch_size = 1;
-    rows.push(run_variant("no-batching", &no_batch, trials)?);
-
-    let mut no_suppress = cfg.clone();
-    no_suppress.scoop.suppress_unchanged_index = false;
-    rows.push(run_variant("no-index-suppression", &no_suppress, trials)?);
-
-    let mut no_shortcut = cfg.clone();
-    no_shortcut.scoop.neighbor_shortcut = false;
-    rows.push(run_variant("no-neighbor-shortcut", &no_shortcut, trials)?);
-
-    let mut fallback = cfg.clone();
-    fallback.scoop.allow_store_local_fallback = true;
-    rows.push(run_variant("store-local-fallback", &fallback, trials)?);
-
-    Ok(rows)
+    let variants = variants();
+    let suite =
+        ScenarioSuite::from_grid("ablations", trials, variants.iter(), |&(name, mutate)| {
+            let mut cfg = base.clone();
+            cfg.policy = StoragePolicy::Scoop;
+            cfg.data_source = source;
+            mutate(&mut cfg);
+            (name.to_string(), cfg)
+        });
+    let report = SweepRunner::from_env().run(&suite)?;
+    Ok(variants
+        .iter()
+        .zip(report.averaged())
+        .map(|(&(name, _), avg)| AblationRow {
+            variant: name.to_string(),
+            source,
+            total_messages: avg.total_messages(),
+            data_messages: avg.messages.data,
+            mapping_messages: avg.messages.mapping,
+        })
+        .collect())
 }
 
 #[cfg(test)]

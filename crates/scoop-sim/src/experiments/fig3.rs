@@ -8,10 +8,11 @@
 //!
 //! Each bar in the paper is a stacked breakdown into query/reply, mapping,
 //! summary, and data messages; each [`Fig3Row`] carries the same four
-//! numbers.
+//! numbers. The bars are declared as a scenario grid and executed by the
+//! parallel [`SweepRunner`](crate::sweep::SweepRunner).
 
 use crate::metrics::MessageBreakdown;
-use crate::runner::{average_results, run_trials};
+use crate::sweep::{ScenarioSuite, SweepRunner};
 use scoop_types::{DataSourceKind, ExperimentConfig, ScoopError, StoragePolicy};
 use serde::{Deserialize, Serialize};
 
@@ -28,53 +29,64 @@ pub struct Fig3Row {
     pub total: u64,
 }
 
-fn run_row(
+/// Runs one panel of Figure 3: the given `(policy, source)` bars.
+fn run_panel(
+    name: &str,
     base: &ExperimentConfig,
-    policy: StoragePolicy,
-    source: DataSourceKind,
+    combos: &[(StoragePolicy, DataSourceKind)],
     trials: usize,
-) -> Result<Fig3Row, ScoopError> {
-    let mut cfg = base.clone();
-    cfg.policy = policy;
-    cfg.data_source = source;
-    let results = run_trials(&cfg, trials)?;
-    let avg = average_results(&results).expect("at least one trial");
-    Ok(Fig3Row {
-        policy,
-        source,
-        messages: avg.messages,
-        total: avg.messages.total(),
-    })
+) -> Result<Vec<Fig3Row>, ScoopError> {
+    let suite =
+        ScenarioSuite::from_grid(name, trials, combos.iter().copied(), |(policy, source)| {
+            let mut cfg = base.clone();
+            cfg.policy = policy;
+            cfg.data_source = source;
+            (format!("{policy}/{source}"), cfg)
+        });
+    let report = SweepRunner::from_env().run(&suite)?;
+    Ok(combos
+        .iter()
+        .zip(report.averaged())
+        .map(|(&(policy, source), avg)| Fig3Row {
+            policy,
+            source,
+            messages: avg.messages,
+            total: avg.messages.total(),
+        })
+        .collect())
 }
 
 /// Figure 3 (left): the testbed bars.
 pub fn fig3_left(base: &ExperimentConfig, trials: usize) -> Result<Vec<Fig3Row>, ScoopError> {
-    let combos = [
-        (StoragePolicy::Scoop, DataSourceKind::Unique),
-        (StoragePolicy::Scoop, DataSourceKind::Gaussian),
-        (StoragePolicy::Local, DataSourceKind::Gaussian),
-        (StoragePolicy::Base, DataSourceKind::Gaussian),
-    ];
-    combos
-        .into_iter()
-        .map(|(p, s)| run_row(base, p, s, trials))
-        .collect()
+    run_panel(
+        "fig3-left",
+        base,
+        &[
+            (StoragePolicy::Scoop, DataSourceKind::Unique),
+            (StoragePolicy::Scoop, DataSourceKind::Gaussian),
+            (StoragePolicy::Local, DataSourceKind::Gaussian),
+            (StoragePolicy::Base, DataSourceKind::Gaussian),
+        ],
+        trials,
+    )
 }
 
 /// Figure 3 (middle): all four policies over the REAL trace.
 pub fn fig3_middle(base: &ExperimentConfig, trials: usize) -> Result<Vec<Fig3Row>, ScoopError> {
-    StoragePolicy::ALL
+    let combos: Vec<_> = StoragePolicy::ALL
         .into_iter()
-        .map(|p| run_row(base, p, DataSourceKind::Real, trials))
-        .collect()
+        .map(|p| (p, DataSourceKind::Real))
+        .collect();
+    run_panel("fig3-middle", base, &combos, trials)
 }
 
 /// Figure 3 (right): SCOOP over every data source.
 pub fn fig3_right(base: &ExperimentConfig, trials: usize) -> Result<Vec<Fig3Row>, ScoopError> {
-    DataSourceKind::ALL
+    let combos: Vec<_> = DataSourceKind::ALL
         .into_iter()
-        .map(|s| run_row(base, StoragePolicy::Scoop, s, trials))
-        .collect()
+        .map(|s| (StoragePolicy::Scoop, s))
+        .collect();
+    run_panel("fig3-right", base, &combos, trials)
 }
 
 #[cfg(test)]
@@ -98,7 +110,10 @@ mod tests {
         let base_gauss = get(StoragePolicy::Base, DataSourceKind::Gaussian);
         // The paper's ordering: SCOOP/UNIQUE is cheapest; SCOOP/GAUSSIAN
         // beats both LOCAL and BASE on the same source.
-        assert!(scoop_unique <= scoop_gauss, "{scoop_unique} vs {scoop_gauss}");
+        assert!(
+            scoop_unique <= scoop_gauss,
+            "{scoop_unique} vs {scoop_gauss}"
+        );
         assert!(scoop_gauss < local_gauss, "{scoop_gauss} vs {local_gauss}");
         assert!(scoop_gauss < base_gauss, "{scoop_gauss} vs {base_gauss}");
     }

@@ -5,7 +5,7 @@
 //! is flat (it always floods everyone), BASE is flat (queries are free), and
 //! SCOOP grows with selectivity, crossing BASE at around 60 %.
 
-use crate::runner::{average_results, run_trials};
+use crate::sweep::{ScenarioSuite, SweepRunner};
 use scoop_types::{ExperimentConfig, ScoopError, StoragePolicy};
 use serde::{Deserialize, Serialize};
 
@@ -29,29 +29,43 @@ pub fn fig4_selectivity(
     width_fracs: &[f64],
     trials: usize,
 ) -> Result<Vec<Fig4Row>, ScoopError> {
-    let mut rows = Vec::new();
-    for policy in [StoragePolicy::Scoop, StoragePolicy::Local, StoragePolicy::Base] {
-        for &frac in width_fracs {
+    let policies = [
+        StoragePolicy::Scoop,
+        StoragePolicy::Local,
+        StoragePolicy::Base,
+    ];
+    let grid: Vec<(StoragePolicy, f64)> = policies
+        .into_iter()
+        .flat_map(|p| width_fracs.iter().map(move |&f| (p, f)))
+        .collect();
+    let suite = ScenarioSuite::from_grid(
+        "fig4-selectivity",
+        trials,
+        grid.iter().copied(),
+        |(policy, frac)| {
             let mut cfg = base.clone();
             cfg.policy = policy;
             cfg.queries.min_width_frac = frac;
             cfg.queries.max_width_frac = frac;
-            let results = run_trials(&cfg, trials)?;
-            let avg = average_results(&results).expect("at least one trial");
-            rows.push(Fig4Row {
-                policy,
-                requested_width_frac: frac,
-                fraction_nodes_queried: match policy {
-                    // LOCAL always floods everyone; BASE never queries.
-                    StoragePolicy::Local => 1.0,
-                    StoragePolicy::Base => 0.0,
-                    _ => avg.fraction_nodes_queried(),
-                },
-                total_messages: avg.total_messages(),
-            });
-        }
-    }
-    Ok(rows)
+            (format!("{policy}/width-{frac:.2}"), cfg)
+        },
+    );
+    let report = SweepRunner::from_env().run(&suite)?;
+    Ok(grid
+        .iter()
+        .zip(report.averaged())
+        .map(|(&(policy, frac), avg)| Fig4Row {
+            policy,
+            requested_width_frac: frac,
+            fraction_nodes_queried: match policy {
+                // LOCAL always floods everyone; BASE never queries.
+                StoragePolicy::Local => 1.0,
+                StoragePolicy::Base => 0.0,
+                _ => avg.fraction_nodes_queried(),
+            },
+            total_messages: avg.total_messages(),
+        })
+        .collect())
 }
 
 /// The default sweep points used by the bench harness.

@@ -5,7 +5,7 @@
 //! BASE are largely insensitive because their dominant costs are data and
 //! summary traffic.
 
-use crate::runner::{average_results, run_trials};
+use crate::sweep::{ScenarioSuite, SweepRunner};
 use scoop_types::{ExperimentConfig, ScoopError, SimDuration, StoragePolicy};
 use serde::{Deserialize, Serialize};
 
@@ -26,22 +26,36 @@ pub fn fig5_query_interval(
     intervals_secs: &[u64],
     trials: usize,
 ) -> Result<Vec<Fig5Row>, ScoopError> {
-    let mut rows = Vec::new();
-    for policy in [StoragePolicy::Scoop, StoragePolicy::Local, StoragePolicy::Base] {
-        for &secs in intervals_secs {
+    let policies = [
+        StoragePolicy::Scoop,
+        StoragePolicy::Local,
+        StoragePolicy::Base,
+    ];
+    let grid: Vec<(StoragePolicy, u64)> = policies
+        .into_iter()
+        .flat_map(|p| intervals_secs.iter().map(move |&s| (p, s)))
+        .collect();
+    let suite = ScenarioSuite::from_grid(
+        "fig5-query-interval",
+        trials,
+        grid.iter().copied(),
+        |(policy, secs)| {
             let mut cfg = base.clone();
             cfg.policy = policy;
             cfg.queries.query_interval = SimDuration::from_secs(secs.max(1));
-            let results = run_trials(&cfg, trials)?;
-            let avg = average_results(&results).expect("at least one trial");
-            rows.push(Fig5Row {
-                policy,
-                query_interval_secs: secs,
-                total_messages: avg.total_messages(),
-            });
-        }
-    }
-    Ok(rows)
+            (format!("{policy}/interval-{secs}s"), cfg)
+        },
+    );
+    let report = SweepRunner::from_env().run(&suite)?;
+    Ok(grid
+        .iter()
+        .zip(report.averaged())
+        .map(|(&(policy, secs), avg)| Fig5Row {
+            policy,
+            query_interval_secs: secs,
+            total_messages: avg.total_messages(),
+        })
+        .collect())
 }
 
 /// The default sweep points used by the bench harness (5 s to 50 s, as in the

@@ -1,9 +1,10 @@
 //! The prose experiments from Section 6: the sample-interval sweep, the loss
 //! / reliability measurements, the root-node skew analysis, and the scaling
-//! study.
+//! study. Each is a declarative scenario grid run by the parallel
+//! [`SweepRunner`](crate::sweep::SweepRunner).
 
 use crate::metrics::RunResult;
-use crate::runner::{average_results, run_trials};
+use crate::sweep::{ScenarioSuite, SweepRunner};
 use scoop_types::{DataSourceKind, ExperimentConfig, ScoopError, SimDuration, StoragePolicy};
 use serde::{Deserialize, Serialize};
 
@@ -30,24 +31,33 @@ pub fn sample_interval_sweep(
     intervals_secs: &[u64],
     trials: usize,
 ) -> Result<Vec<SampleIntervalRow>, ScoopError> {
-    let mut rows = Vec::new();
-    for &source in sources {
-        for &secs in intervals_secs {
+    let grid: Vec<(DataSourceKind, u64)> = sources
+        .iter()
+        .flat_map(|&src| intervals_secs.iter().map(move |&s| (src, s)))
+        .collect();
+    let suite = ScenarioSuite::from_grid(
+        "sample-interval",
+        trials,
+        grid.iter().copied(),
+        |(source, secs)| {
             let mut cfg = base.clone();
             cfg.policy = StoragePolicy::Scoop;
             cfg.data_source = source;
             cfg.sample_interval = SimDuration::from_secs(secs.max(1));
-            let results = run_trials(&cfg, trials)?;
-            let avg = average_results(&results).expect("at least one trial");
-            rows.push(SampleIntervalRow {
-                source,
-                sample_interval_secs: secs,
-                total_messages: avg.total_messages(),
-                non_data_messages: avg.total_messages() - avg.messages.data,
-            });
-        }
-    }
-    Ok(rows)
+            (format!("{source}/sample-{secs}s"), cfg)
+        },
+    );
+    let report = SweepRunner::from_env().run(&suite)?;
+    Ok(grid
+        .iter()
+        .zip(report.averaged())
+        .map(|(&(source, secs), avg)| SampleIntervalRow {
+            source,
+            sample_interval_secs: secs,
+            total_messages: avg.total_messages(),
+            non_data_messages: avg.total_messages() - avg.messages.data,
+        })
+        .collect())
 }
 
 /// Reliability numbers for one policy (the paper reports SCOOP: ~93 % of data
@@ -72,20 +82,23 @@ pub fn reliability(
     policies: &[StoragePolicy],
     trials: usize,
 ) -> Result<Vec<ReliabilityRow>, ScoopError> {
-    let mut rows = Vec::new();
-    for &policy in policies {
-        let mut cfg = base.clone();
-        cfg.policy = policy;
-        let results = run_trials(&cfg, trials)?;
-        let avg = average_results(&results).expect("at least one trial");
-        rows.push(ReliabilityRow {
+    let suite =
+        ScenarioSuite::from_grid("reliability", trials, policies.iter().copied(), |policy| {
+            let mut cfg = base.clone();
+            cfg.policy = policy;
+            (policy.to_string(), cfg)
+        });
+    let report = SweepRunner::from_env().run(&suite)?;
+    Ok(policies
+        .iter()
+        .zip(report.averaged())
+        .map(|(&policy, avg)| ReliabilityRow {
             policy,
             storage_success: avg.storage.storage_success(),
             query_success: avg.queries.query_success(),
             destination_accuracy: avg.storage.destination_accuracy(),
-        });
-    }
-    Ok(rows)
+        })
+        .collect())
 }
 
 /// The root-skew comparison: what the root transmits and receives versus an
@@ -107,22 +120,31 @@ pub struct RootSkewRow {
 
 /// Runs the root-skew experiment for SCOOP, BASE, and LOCAL.
 pub fn root_skew(base: &ExperimentConfig, trials: usize) -> Result<Vec<RootSkewRow>, ScoopError> {
-    let mut rows = Vec::new();
-    for policy in [StoragePolicy::Scoop, StoragePolicy::Base, StoragePolicy::Local] {
+    let policies = [
+        StoragePolicy::Scoop,
+        StoragePolicy::Base,
+        StoragePolicy::Local,
+    ];
+    let suite = ScenarioSuite::from_grid("root-skew", trials, policies, |policy| {
         let mut cfg = base.clone();
         cfg.policy = policy;
-        let results = run_trials(&cfg, trials)?;
-        let avg = average_results(&results).expect("at least one trial");
-        let skew = avg.root_skew();
-        rows.push(RootSkewRow {
-            policy,
-            root_tx: skew.root_tx,
-            root_rx: skew.root_rx,
-            mean_sensor_tx: skew.mean_sensor_tx,
-            total_messages: avg.total_messages(),
-        });
-    }
-    Ok(rows)
+        (policy.to_string(), cfg)
+    });
+    let report = SweepRunner::from_env().run(&suite)?;
+    Ok(policies
+        .iter()
+        .zip(report.averaged())
+        .map(|(&policy, avg)| {
+            let skew = avg.root_skew();
+            RootSkewRow {
+                policy,
+                root_tx: skew.root_tx,
+                root_rx: skew.root_rx,
+                mean_sensor_tx: skew.mean_sensor_tx,
+                total_messages: avg.total_messages(),
+            }
+        })
+        .collect())
 }
 
 /// One point of the scaling study (networks up to 100 nodes).
@@ -148,25 +170,29 @@ pub fn scaling(
     sources: &[DataSourceKind],
     trials: usize,
 ) -> Result<Vec<ScalingRow>, ScoopError> {
-    let mut rows = Vec::new();
-    for &source in sources {
-        for &n in sizes {
-            let mut cfg = base.clone();
-            cfg.policy = StoragePolicy::Scoop;
-            cfg.data_source = source;
-            cfg.num_nodes = n;
-            let results = run_trials(&cfg, trials)?;
-            let avg = average_results(&results).expect("at least one trial");
-            rows.push(ScalingRow {
-                source,
-                num_nodes: n,
-                total_messages: avg.total_messages(),
-                messages_per_node: avg.total_messages() as f64 / n.max(1) as f64,
-                storage_success: avg.storage.storage_success(),
-            });
-        }
-    }
-    Ok(rows)
+    let grid: Vec<(DataSourceKind, usize)> = sources
+        .iter()
+        .flat_map(|&src| sizes.iter().map(move |&n| (src, n)))
+        .collect();
+    let suite = ScenarioSuite::from_grid("scaling", trials, grid.iter().copied(), |(source, n)| {
+        let mut cfg = base.clone();
+        cfg.policy = StoragePolicy::Scoop;
+        cfg.data_source = source;
+        cfg.num_nodes = n;
+        (format!("{source}/{n}-nodes"), cfg)
+    });
+    let report = SweepRunner::from_env().run(&suite)?;
+    Ok(grid
+        .iter()
+        .zip(report.averaged())
+        .map(|(&(source, n), avg)| ScalingRow {
+            source,
+            num_nodes: n,
+            total_messages: avg.total_messages(),
+            messages_per_node: avg.total_messages() as f64 / n.max(1) as f64,
+            storage_success: avg.storage.storage_success(),
+        })
+        .collect())
 }
 
 /// Convenience: a full default-parameter SCOOP run (used by several benches
@@ -174,8 +200,14 @@ pub fn scaling(
 pub fn default_scoop_run(base: &ExperimentConfig, trials: usize) -> Result<RunResult, ScoopError> {
     let mut cfg = base.clone();
     cfg.policy = StoragePolicy::Scoop;
-    let results = run_trials(&cfg, trials)?;
-    Ok(average_results(&results).expect("at least one trial"))
+    let suite = ScenarioSuite::new("default-scoop", trials).scenario("scoop", cfg);
+    let report = SweepRunner::from_env().run(&suite)?;
+    Ok(report
+        .results
+        .into_iter()
+        .next()
+        .expect("one scenario")
+        .averaged)
 }
 
 #[cfg(test)]
@@ -195,9 +227,18 @@ mod tests {
     #[test]
     fn root_receives_far_more_under_base_than_it_transmits() {
         let rows = root_skew(&quick_base(), 1).unwrap();
-        let base_row = rows.iter().find(|r| r.policy == StoragePolicy::Base).unwrap();
-        assert!(base_row.root_rx > base_row.root_tx, "the BASE root mostly receives");
-        let scoop_row = rows.iter().find(|r| r.policy == StoragePolicy::Scoop).unwrap();
+        let base_row = rows
+            .iter()
+            .find(|r| r.policy == StoragePolicy::Base)
+            .unwrap();
+        assert!(
+            base_row.root_rx > base_row.root_tx,
+            "the BASE root mostly receives"
+        );
+        let scoop_row = rows
+            .iter()
+            .find(|r| r.policy == StoragePolicy::Scoop)
+            .unwrap();
         assert!(
             scoop_row.root_tx > base_row.root_tx,
             "the SCOOP root transmits mappings and queries, the BASE root does not"
@@ -208,6 +249,9 @@ mod tests {
     fn scaling_runs_multiple_sizes() {
         let rows = scaling(&quick_base(), &[8, 16], &[DataSourceKind::Gaussian], 1).unwrap();
         assert_eq!(rows.len(), 2);
-        assert!(rows[1].total_messages > rows[0].total_messages, "more nodes, more traffic");
+        assert!(
+            rows[1].total_messages > rows[0].total_messages,
+            "more nodes, more traffic"
+        );
     }
 }

@@ -14,8 +14,11 @@
 //! * [`runner`] — builds a topology + engine from an
 //!   [`ExperimentConfig`](scoop_types::ExperimentConfig), runs it, and
 //!   extracts a [`metrics::RunResult`]; multi-trial averaging included.
-//! * [`experiments`] — one module per paper figure/table, each returning the
-//!   rows the paper plots.
+//! * [`sweep`] — the parallel, deterministic scenario runner: declarative
+//!   [`sweep::ScenarioSuite`]s executed across threads by
+//!   [`sweep::SweepRunner`] with results collected in input order.
+//! * [`experiments`] — one module per paper figure/table, each a declarative
+//!   scenario grid handed to the sweep runner.
 //! * [`report`] — plain-text and JSON rendering of experiment rows.
 
 #![warn(missing_docs)]
@@ -25,7 +28,9 @@ pub mod metrics;
 pub mod node;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 pub use metrics::{MessageBreakdown, QueryMetrics, RootSkew, RunResult, StorageMetrics};
 pub use node::SimNode;
 pub use runner::{average_results, build_engine, run_experiment, run_trials};
+pub use sweep::{Scenario, ScenarioSuite, SweepReport, SweepRunner};

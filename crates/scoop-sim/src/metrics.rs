@@ -127,7 +127,10 @@ pub struct RootSkew {
 }
 
 /// Everything measured in one simulation run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every counter bit for bit; the sweep runner's
+/// determinism tests rely on this to prove parallel == sequential.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// The configuration that produced this result.
     pub config: ExperimentConfig,

@@ -20,31 +20,29 @@
 //! delay, unless it overhears enough copies from its neighbors first — the
 //! same suppression idea Trickle uses, specialized to the single-round case.
 
-use scoop_core::index::IndexEntry;
-use scoop_core::routing_rules::{route_data, DataRoutingAction, LocalNodeView};
-use scoop_core::{
-    CostParams, DataMessage, IndexBuilder, MappingChunk, QueryMessage, QueryPlanner,
-    ReplyMessage, ScoopPayload, StatsStore, StorageIndex, SummaryMessage,
-};
 use scoop_core::histogram::SummaryHistogram;
 use scoop_core::index::IndexBuilderConfig;
 use scoop_core::index::IndexDecision;
+use scoop_core::index::IndexEntry;
+use scoop_core::routing_rules::{route_data, DataRoutingAction, LocalNodeView};
 use scoop_core::summary::ReportedNeighbor;
+use scoop_core::{
+    CostParams, DataMessage, IndexBuilder, MappingChunk, QueryMessage, QueryPlanner, ReplyMessage,
+    ScoopPayload, StatsStore, StorageIndex, SummaryMessage,
+};
 use scoop_net::{NodeCtx, NodeLogic, Packet, TimerToken};
 use scoop_routing::{RoutingConfig, RoutingState};
 use scoop_storage::{DataBuffer, RecentReadings};
 use scoop_trickle::{ChunkAssembler, Chunker};
 use scoop_types::{
     ExperimentConfig, MessageKind, NodeBitmap, NodeId, Reading, SimDuration, SimTime,
-    StoragePolicy, StorageIndexId, ValueRange,
+    StorageIndexId, StoragePolicy, ValueRange,
 };
 use scoop_workload::{DataSource, QueryGenerator};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
 use std::sync::Arc;
 
 // Timer tokens.
@@ -120,7 +118,7 @@ pub struct SimNode {
     routing: RoutingState,
     recent: RecentReadings,
     buffer: DataBuffer,
-    source: Rc<RefCell<Box<dyn DataSource>>>,
+    source: Box<dyn DataSource>,
     rng: StdRng,
     /// Newest complete storage index this node holds.
     current_index: Option<StorageIndex>,
@@ -143,12 +141,14 @@ pub struct SimNode {
 
 impl SimNode {
     /// Creates the state machine for node `id` under the given experiment
-    /// configuration. All nodes of one engine share the same `source`.
-    pub fn new(
-        id: NodeId,
-        cfg: Arc<ExperimentConfig>,
-        source: Rc<RefCell<Box<dyn DataSource>>>,
-    ) -> Self {
+    /// configuration.
+    ///
+    /// Each node owns its `source` outright. Data sources are pure functions
+    /// of `(node, now)` (see [`scoop_workload::sources`]), so per-node copies
+    /// built from the same config behave exactly like one shared source —
+    /// without the `Rc<RefCell<...>>` sharing that would pin a run to a
+    /// single thread. This keeps `SimNode` (and the whole engine) `Send`.
+    pub fn new(id: NodeId, cfg: Arc<ExperimentConfig>, source: Box<dyn DataSource>) -> Self {
         let routing_cfg = RoutingConfig {
             neighbor_cap: cfg.scoop.neighbor_list_cap,
             descendants_cap: cfg.scoop.descendants_cap,
@@ -253,7 +253,10 @@ impl SimNode {
 
     /// Basestation only: how many indices were disseminated.
     pub fn indices_disseminated(&self) -> u64 {
-        self.base.as_ref().map(|b| b.indices_disseminated).unwrap_or(0)
+        self.base
+            .as_ref()
+            .map(|b| b.indices_disseminated)
+            .unwrap_or(0)
     }
 
     /// Basestation only: how many remap rounds were suppressed.
@@ -271,7 +274,13 @@ impl SimNode {
                 let targets = b.outstanding.values().map(|o| o.targets).sum();
                 let replies = b.outstanding.values().map(|o| o.replies).sum();
                 let readings = b.outstanding.values().map(|o| o.readings).sum();
-                (issued, targets, replies, readings, b.queries_answered_locally)
+                (
+                    issued,
+                    targets,
+                    replies,
+                    readings,
+                    b.queries_answered_locally,
+                )
             }
         }
     }
@@ -292,7 +301,12 @@ impl SimNode {
     // Gossip (mapping chunks and queries)
     // ------------------------------------------------------------------
 
-    fn enqueue_gossip(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>, payload: ScoopPayload, kind: MessageKind) {
+    fn enqueue_gossip(
+        &mut self,
+        ctx: &mut NodeCtx<'_, ScoopPayload>,
+        payload: ScoopPayload,
+        kind: MessageKind,
+    ) {
         self.pending_gossip.push_back((payload, kind, 0));
         if !self.gossip_timer_armed {
             self.gossip_timer_armed = true;
@@ -339,7 +353,7 @@ impl SimNode {
 
     fn handle_sample(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>) {
         let now = ctx.now();
-        let value = self.source.borrow_mut().sample(self.id, now);
+        let value = self.source.sample(self.id, now);
         let reading = Reading::new(self.id, self.cfg.attribute, value, now);
         self.metrics.sampled += 1;
         self.recent.push(reading);
@@ -519,7 +533,10 @@ impl SimNode {
                 .routing
                 .summary_neighbors()
                 .into_iter()
-                .map(|e| ReportedNeighbor { node: e.node, quality: e.quality })
+                .map(|e| ReportedNeighbor {
+                    node: e.node,
+                    quality: e.quality,
+                })
                 .collect(),
             parent: Some(parent),
             newest_complete_index: self.newest_index_id(),
@@ -583,7 +600,11 @@ impl SimNode {
         let created_at = index.created_at();
         self.current_index = Some(index);
         for chunk in chunks {
-            let payload = ScoopPayload::Mapping(MappingChunk { chunk, domain, created_at });
+            let payload = ScoopPayload::Mapping(MappingChunk {
+                chunk,
+                domain,
+                created_at,
+            });
             ctx.send_broadcast(MessageKind::Mapping, None, payload);
         }
     }
@@ -688,7 +709,10 @@ impl SimNode {
                     if meta.hops < MAX_FORWARD_HOPS {
                         if let Some(parent) = self.routing.parent() {
                             ctx.forward(
-                                Packet { meta, payload: ScoopPayload::Summary(summary) },
+                                Packet {
+                                    meta,
+                                    payload: ScoopPayload::Summary(summary),
+                                },
                                 scoop_net::LinkDst::Unicast(parent),
                             );
                         }
@@ -712,7 +736,10 @@ impl SimNode {
                     if meta.hops < MAX_FORWARD_HOPS {
                         if let Some(parent) = self.routing.parent() {
                             ctx.forward(
-                                Packet { meta, payload: ScoopPayload::Reply(reply) },
+                                Packet {
+                                    meta,
+                                    payload: ScoopPayload::Reply(reply),
+                                },
                                 scoop_net::LinkDst::Unicast(parent),
                             );
                         }
@@ -754,7 +781,10 @@ impl SimNode {
         }
         self.assembling_meta = Some((mc.domain, mc.created_at));
         if let Some(entries) = self.assembler.accept(&mc.chunk) {
-            let (domain, created_at) = self.assembling_meta.take().unwrap_or((mc.domain, mc.created_at));
+            let (domain, created_at) = self
+                .assembling_meta
+                .take()
+                .unwrap_or((mc.domain, mc.created_at));
             let index = StorageIndex::from_entries(
                 StorageIndexId(mc.chunk.version as u32),
                 domain,
@@ -839,7 +869,10 @@ impl NodeLogic for SimNode {
                 // Stagger the first query half an interval after sampling
                 // starts so there is something to query.
                 let offset = self.cfg.queries.query_interval.div(2);
-                ctx.set_timer(warmup + self.cfg.queries.query_interval + offset, TICK_QUERY);
+                ctx.set_timer(
+                    warmup + self.cfg.queries.query_interval + offset,
+                    TICK_QUERY,
+                );
             }
         }
     }
@@ -932,18 +965,21 @@ mod tests {
         let topo = Topology::grid(side, 10.0).expect("grid");
         let links = LinkModel::perfect(&topo);
         let shared = Arc::new(cfg.clone());
-        let source = Rc::new(RefCell::new(make_source(
-            cfg.data_source,
-            cfg.value_domain,
-            topo.len() - 1,
-            cfg.seed,
-        )));
+        let proto = make_source(cfg.data_source, cfg.value_domain, topo.len() - 1, cfg.seed);
         let nodes: Vec<SimNode> = topo
             .nodes()
-            .map(|id| SimNode::new(id, Arc::clone(&shared), Rc::clone(&source)))
+            .map(|id| SimNode::new(id, Arc::clone(&shared), proto.clone_box()))
             .collect();
-        Engine::new(topo, links, nodes, EngineConfig { seed: cfg.seed, ..Default::default() })
-            .expect("engine")
+        Engine::new(
+            topo,
+            links,
+            nodes,
+            EngineConfig {
+                seed: cfg.seed,
+                ..Default::default()
+            },
+        )
+        .expect("engine")
     }
 
     fn tiny_cfg(policy: StoragePolicy, source: DataSourceKind) -> ExperimentConfig {
@@ -1035,7 +1071,11 @@ mod tests {
         let (issued, targets, replies, _readings, _local) =
             engine.node(NodeId::BASESTATION).query_outcomes();
         assert!(issued > 5);
-        assert_eq!(targets, issued * 8, "LOCAL floods every query to every sensor");
+        assert_eq!(
+            targets,
+            issued * 8,
+            "LOCAL floods every query to every sensor"
+        );
         assert!(
             replies as f64 >= targets as f64 * 0.9,
             "perfect links should deliver nearly all replies ({replies}/{targets})"

@@ -95,7 +95,8 @@ pub fn sample_interval_table(rows: &[SampleIntervalRow]) -> String {
 
 /// Formats the reliability rows.
 pub fn reliability_table(rows: &[ReliabilityRow]) -> String {
-    let mut out = String::from("Reliability (paper: ~93 % stored, ~78 % of query results, ~85 % at owner)\n");
+    let mut out =
+        String::from("Reliability (paper: ~93 % stored, ~78 % of query results, ~85 % at owner)\n");
     out.push_str(&format!(
         "{:<8} {:>16} {:>14} {:>22}\n",
         "policy", "storage success", "query success", "destination accuracy"
@@ -183,7 +184,12 @@ mod tests {
         let rows = vec![Fig3Row {
             policy: StoragePolicy::Scoop,
             source: DataSourceKind::Real,
-            messages: MessageBreakdown { data: 1, summary: 2, mapping: 3, query_reply: 4 },
+            messages: MessageBreakdown {
+                data: 1,
+                summary: 2,
+                mapping: 3,
+                query_reply: 4,
+            },
             total: 10,
         }];
         let t = fig3_table("Figure 3 (middle)", &rows);

@@ -5,8 +5,6 @@ use crate::node::SimNode;
 use scoop_net::{Engine, EngineConfig, LinkModel, Topology};
 use scoop_types::{ExperimentConfig, MessageStats, NodeId, ScoopError, SimTime};
 use scoop_workload::make_source;
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Builds the topology, link model, node state machines, and engine for one
@@ -27,15 +25,20 @@ pub fn build_engine_with(
     links: LinkModel,
 ) -> Result<Engine<SimNode>, ScoopError> {
     let cfg = Arc::new(config.clone());
-    let source = Rc::new(RefCell::new(make_source(
+    // Every node owns its data source. Sources are pure in `(node, now)`
+    // (the scoop-workload contract), so per-node copies agree exactly with a
+    // single shared source — and the resulting engine is `Send`, which lets
+    // the sweep runner spread runs over threads. Construct once, then take
+    // cheap copies (bulky immutable state is Arc-shared inside the source).
+    let proto_source = make_source(
         config.data_source,
         config.value_domain,
         config.num_nodes,
         config.seed,
-    )));
+    );
     let nodes: Vec<SimNode> = topology
         .nodes()
-        .map(|id| SimNode::new(id, Arc::clone(&cfg), Rc::clone(&source)))
+        .map(|id| SimNode::new(id, Arc::clone(&cfg), proto_source.clone_box()))
         .collect();
     let engine_cfg = EngineConfig {
         seed: config.seed,
@@ -213,10 +216,16 @@ mod tests {
     #[test]
     fn local_policy_sends_only_query_traffic() {
         let r = run_experiment(&small(StoragePolicy::Local, DataSourceKind::Gaussian)).unwrap();
-        assert_eq!(r.messages.data, 0, "LOCAL stores everything at the producer");
+        assert_eq!(
+            r.messages.data, 0,
+            "LOCAL stores everything at the producer"
+        );
         assert_eq!(r.messages.summary, 0);
         assert_eq!(r.messages.mapping, 0);
-        assert!(r.messages.query_reply > 0, "LOCAL floods queries and replies");
+        assert!(
+            r.messages.query_reply > 0,
+            "LOCAL floods queries and replies"
+        );
         // Every sampled reading is stored (locally), so storage never fails.
         assert_eq!(r.storage.sampled, r.storage.stored);
     }

@@ -139,13 +139,25 @@ mod tests {
     fn store_and_scan_by_value_and_time() {
         let mut buf = DataBuffer::new(100);
         for t in 0..20 {
-            buf.store(reading(2, (t % 10) as Value, t), SimTime::from_secs(t + 1), StorageIndexId(1));
+            buf.store(
+                reading(2, (t % 10) as Value, t),
+                SimTime::from_secs(t + 1),
+                StorageIndexId(1),
+            );
         }
-        let hits = buf.scan(&ValueRange::new(3, 5), SimTime::from_secs(0), SimTime::from_secs(100));
+        let hits = buf.scan(
+            &ValueRange::new(3, 5),
+            SimTime::from_secs(0),
+            SimTime::from_secs(100),
+        );
         assert_eq!(hits.len(), 6); // values 3,4,5 appear twice each
         assert!(hits.iter().all(|r| (3..=5).contains(&r.value)));
 
-        let narrow = buf.scan(&ValueRange::new(3, 5), SimTime::from_secs(0), SimTime::from_secs(9));
+        let narrow = buf.scan(
+            &ValueRange::new(3, 5),
+            SimTime::from_secs(0),
+            SimTime::from_secs(9),
+        );
         assert_eq!(narrow.len(), 3, "time filter halves the matches");
     }
 
@@ -153,12 +165,20 @@ mod tests {
     fn circular_overwrite_keeps_most_recent() {
         let mut buf = DataBuffer::new(5);
         for t in 0..12 {
-            buf.store(reading(1, t as Value, t), SimTime::from_secs(t), StorageIndexId(1));
+            buf.store(
+                reading(1, t as Value, t),
+                SimTime::from_secs(t),
+                StorageIndexId(1),
+            );
         }
         assert_eq!(buf.len(), 5);
         assert_eq!(buf.total_writes(), 12);
         assert_eq!(buf.total_overwrites(), 7);
-        let all = buf.scan(&ValueRange::new(0, 100), SimTime::ZERO, SimTime::from_secs(100));
+        let all = buf.scan(
+            &ValueRange::new(0, 100),
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+        );
         let mut vals: Vec<Value> = all.iter().map(|r| r.value).collect();
         vals.sort();
         assert_eq!(vals, vec![7, 8, 9, 10, 11]);
@@ -168,7 +188,11 @@ mod tests {
     fn empty_scan() {
         let buf = DataBuffer::new(10);
         assert!(buf
-            .scan(&ValueRange::new(0, 100), SimTime::ZERO, SimTime::from_secs(10))
+            .scan(
+                &ValueRange::new(0, 100),
+                SimTime::ZERO,
+                SimTime::from_secs(10)
+            )
             .is_empty());
         assert!(buf.is_empty());
     }

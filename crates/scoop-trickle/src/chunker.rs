@@ -207,11 +207,21 @@ mod tests {
     fn malformed_chunks_are_rejected() {
         let mut asm: ChunkAssembler<u32> = ChunkAssembler::new();
         assert_eq!(
-            asm.accept(&Chunk { version: 1, index: 5, total: 2, items: vec![] }),
+            asm.accept(&Chunk {
+                version: 1,
+                index: 5,
+                total: 2,
+                items: vec![]
+            }),
             None
         );
         assert_eq!(
-            asm.accept(&Chunk { version: 1, index: 0, total: 0, items: vec![] }),
+            asm.accept(&Chunk {
+                version: 1,
+                index: 0,
+                total: 0,
+                items: vec![]
+            }),
             None
         );
         assert_eq!(asm.assembling_version(), 0);

@@ -208,7 +208,10 @@ mod tests {
         let t = drive_until_broadcast(&mut st, SimTime::from_secs(10));
         assert!(t.is_some());
         let t = t.unwrap();
-        assert!(t >= SimTime::from_millis(500), "fires in the second half of the round");
+        assert!(
+            t >= SimTime::from_millis(500),
+            "fires in the second half of the round"
+        );
         assert!(t <= SimTime::from_secs(1));
     }
 
@@ -232,7 +235,10 @@ mod tests {
             now = st.next_timer();
             st.on_timer(now);
         }
-        assert!(st.tau() > SimDuration::from_secs(1), "tau should have grown");
+        assert!(
+            st.tau() > SimDuration::from_secs(1),
+            "tau should have grown"
+        );
         // A newer version resets tau to the minimum.
         let action = st.on_heard(2, now);
         assert!(matches!(action, TrickleAction::SetTimer(_)));
@@ -257,7 +263,10 @@ mod tests {
     #[test]
     fn set_version_only_moves_forward() {
         let mut st = TrickleState::new(cfg(), 5, 7, SimTime::ZERO);
-        assert_eq!(st.set_version(4, SimTime::from_secs(1)), TrickleAction::None);
+        assert_eq!(
+            st.set_version(4, SimTime::from_secs(1)),
+            TrickleAction::None
+        );
         assert_eq!(st.version(), 5);
         assert!(matches!(
             st.set_version(9, SimTime::from_secs(1)),

@@ -9,15 +9,11 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time (milliseconds since the start of the run).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time (milliseconds).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -174,7 +170,10 @@ mod tests {
         assert_eq!(t.as_secs(), 15);
         assert_eq!((t - SimTime::from_secs(10)).as_secs(), 5);
         // subtraction saturates rather than panicking
-        assert_eq!((SimTime::from_secs(1) - SimTime::from_secs(5)).as_millis(), 0);
+        assert_eq!(
+            (SimTime::from_secs(1) - SimTime::from_secs(5)).as_millis(),
+            0
+        );
         let mut t2 = SimTime::ZERO;
         t2 += SimDuration::from_millis(1500);
         assert_eq!(t2.as_millis(), 1500);

@@ -199,8 +199,7 @@ mod tests {
 
     #[test]
     fn attribute_names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            Attribute::ALL.iter().map(|a| a.name()).collect();
+        let names: std::collections::HashSet<_> = Attribute::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), Attribute::ALL.len());
     }
 }

@@ -59,9 +59,8 @@ impl QueryGenerator {
         sample_interval: SimDuration,
         seed: u64,
     ) -> Self {
-        let history = SimDuration::from_millis(
-            sample_interval.as_millis() * config.history_samples.max(1),
-        );
+        let history =
+            SimDuration::from_millis(sample_interval.as_millis() * config.history_samples.max(1));
         QueryGenerator {
             attribute,
             domain,
@@ -101,7 +100,8 @@ impl QueryGenerator {
             self.domain.lo
         };
         let hi = (lo + width - 1).min(self.domain.hi);
-        let time_lo = SimTime::from_millis(now.as_millis().saturating_sub(self.history.as_millis()));
+        let time_lo =
+            SimTime::from_millis(now.as_millis().saturating_sub(self.history.as_millis()));
         QuerySpec {
             attribute: self.attribute,
             values: ValueRange::new(lo, hi),
@@ -150,7 +150,11 @@ mod tests {
                 (0.005..=0.06).contains(&frac),
                 "width fraction {frac} outside ~1-5 %"
             );
-            assert!(DOMAIN.covers(&q.values), "query {:?} outside domain", q.values);
+            assert!(
+                DOMAIN.covers(&q.values),
+                "query {:?} outside domain",
+                q.values
+            );
         }
     }
 
@@ -173,10 +177,7 @@ mod tests {
             let mut g = generator(3).with_fixed_width(frac);
             let q = g.next_query(SimTime::from_secs(600));
             let got = q.width_fraction(&DOMAIN);
-            assert!(
-                (got - frac).abs() < 0.02,
-                "asked for {frac}, got {got}"
-            );
+            assert!((got - frac).abs() < 0.02, "asked for {frac}, got {got}");
         }
     }
 

@@ -19,11 +19,19 @@
 //! room-level step changes (lights switched on/off), plus small per-sample
 //! noise. Values are clamped to the configured domain (~150 distinct values,
 //! matching the paper's V ≈ 150).
+//!
+//! The whole trace — including every room's light-toggle schedule — is fixed
+//! at construction time from the seed, and per-sample noise is hashed from
+//! `(seed, node, now)`. Sampling is therefore a pure function of
+//! `(node, now)`: per-node copies of the trace agree exactly, which is the
+//! contract the parallel scenario runner relies on (see
+//! [`DataSource`](crate::sources::DataSource)).
 
-use crate::sources::DataSource;
+use crate::sources::{sample_hash, unit_f64, DataSource};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scoop_types::{DataSourceKind, NodeId, SimTime, Value, ValueRange};
+use std::sync::Arc;
 
 /// Number of consecutive node ids that share a "room" (and therefore a
 /// lighting state).
@@ -32,42 +40,73 @@ const ROOM_SIZE: usize = 6;
 /// How often (on average) a room's lights toggle, in seconds of simulated time.
 const TOGGLE_MEAN_SECS: f64 = 600.0;
 
+/// Toggle schedules are materialized out to this simulated horizon (far
+/// longer than any experiment run); beyond it rooms keep toggling on a
+/// regular `TOGGLE_MEAN_SECS` cadence (see [`RoomState::lights_on`]).
+const SCHEDULE_HORIZON_SECS: f64 = 400_000.0;
+
 #[derive(Clone, Debug)]
 struct RoomState {
     /// Baseline light level of the room as a fraction of the domain.
     baseline: f64,
-    /// Whether the artificial lights are currently on.
-    lights_on: bool,
-    /// Next time the lights toggle.
-    next_toggle: f64,
+    /// Whether the artificial lights start out on.
+    initially_on: bool,
+    /// Ascending times (seconds) at which the lights flip, fixed at
+    /// construction so sampling never mutates shared state.
+    toggles: Vec<f64>,
+}
+
+impl RoomState {
+    fn lights_on(&self, now_secs: f64) -> bool {
+        let mut flips = self.toggles.partition_point(|&t| t <= now_secs);
+        // Past the materialized schedule the lights keep toggling on a
+        // regular cadence (rather than silently freezing), so arbitrarily
+        // long runs retain temporal dynamics while staying pure.
+        if let Some(&last) = self.toggles.last() {
+            if now_secs > last {
+                flips += ((now_secs - last) / TOGGLE_MEAN_SECS) as usize;
+            }
+        }
+        self.initially_on ^ (flips % 2 == 1)
+    }
 }
 
 /// Synthetic, spatially and temporally correlated light trace.
 #[derive(Clone, Debug)]
 pub struct RealTrace {
     domain: ValueRange,
-    rooms: Vec<RoomState>,
+    rooms: Arc<Vec<RoomState>>,
     /// Per-node fixed offset within its room (sensor placement / calibration).
-    node_offset: Vec<f64>,
+    node_offset: Arc<Vec<f64>>,
     /// Amplitude of the shared diurnal component, as a fraction of the domain.
     diurnal_amplitude: f64,
     /// Period of the diurnal component in seconds. Chosen shorter than a real
     /// day so that a 40-minute experiment sees meaningful drift.
     diurnal_period_secs: f64,
     noise_std: f64,
-    rng: StdRng,
+    seed: u64,
 }
 
 impl RealTrace {
     /// Creates a trace generator for `num_nodes` sensors over `domain`.
     pub fn new(domain: ValueRange, num_nodes: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x4ea1_11);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4ea111);
         let num_rooms = (num_nodes + 1).div_ceil(ROOM_SIZE).max(1);
         let rooms = (0..num_rooms)
-            .map(|_| RoomState {
-                baseline: rng.gen_range(0.25..0.75),
-                lights_on: rng.gen_bool(0.6),
-                next_toggle: rng.gen_range(0.0..TOGGLE_MEAN_SECS * 2.0),
+            .map(|_| {
+                let baseline = rng.gen_range(0.25..0.75);
+                let initially_on = rng.gen_bool(0.6);
+                let mut toggles = Vec::new();
+                let mut next = rng.gen_range(0.0..TOGGLE_MEAN_SECS * 2.0);
+                while next < SCHEDULE_HORIZON_SECS {
+                    toggles.push(next);
+                    next += rng.gen_range(TOGGLE_MEAN_SECS * 0.5..TOGGLE_MEAN_SECS * 1.5);
+                }
+                RoomState {
+                    baseline,
+                    initially_on,
+                    toggles,
+                }
             })
             .collect();
         let node_offset = (0..=num_nodes)
@@ -75,30 +114,25 @@ impl RealTrace {
             .collect();
         RealTrace {
             domain,
-            rooms,
-            node_offset,
+            rooms: Arc::new(rooms),
+            node_offset: Arc::new(node_offset),
             diurnal_amplitude: 0.18,
             diurnal_period_secs: 3_600.0,
             noise_std: 0.015,
-            rng,
+            seed,
         }
     }
 
     fn room_of(&self, node: NodeId) -> usize {
         (node.index() / ROOM_SIZE).min(self.rooms.len() - 1)
     }
-
-    fn advance_room(&mut self, room: usize, now_secs: f64) {
-        while now_secs >= self.rooms[room].next_toggle {
-            let flip_after: f64 = self.rng.gen_range(TOGGLE_MEAN_SECS * 0.5..TOGGLE_MEAN_SECS * 1.5);
-            let r = &mut self.rooms[room];
-            r.lights_on = !r.lights_on;
-            r.next_toggle += flip_after;
-        }
-    }
 }
 
 impl DataSource for RealTrace {
+    fn clone_box(&self) -> Box<dyn DataSource> {
+        Box::new(self.clone())
+    }
+
     fn kind(&self) -> DataSourceKind {
         DataSourceKind::Real
     }
@@ -109,19 +143,18 @@ impl DataSource for RealTrace {
 
     fn sample(&mut self, node: NodeId, now: SimTime) -> Value {
         let now_secs = now.as_secs_f64();
-        let room = self.room_of(node);
-        self.advance_room(room, now_secs);
+        let room_state = &self.rooms[self.room_of(node)];
 
         let diurnal = self.diurnal_amplitude
             * (2.0 * std::f64::consts::PI * now_secs / self.diurnal_period_secs).sin();
-        let room_state = &self.rooms[room];
-        let lights = if room_state.lights_on { 0.22 } else { 0.0 };
-        let offset = self
-            .node_offset
-            .get(node.index())
-            .copied()
-            .unwrap_or(0.0);
-        let noise: f64 = self.rng.gen_range(-1.0..1.0) * self.noise_std;
+        let lights = if room_state.lights_on(now_secs) {
+            0.22
+        } else {
+            0.0
+        };
+        let offset = self.node_offset.get(node.index()).copied().unwrap_or(0.0);
+        let h = sample_hash(self.seed, node, now, 0x4ea15e);
+        let noise = (unit_f64(h) * 2.0 - 1.0) * self.noise_std;
 
         let frac = (room_state.baseline + diurnal + lights + offset + noise).clamp(0.0, 1.0);
         let span = (self.domain.hi - self.domain.lo) as f64;
@@ -201,7 +234,10 @@ mod tests {
         let now = SimTime::from_secs(300);
         let values: Vec<Value> = (1..=62u16).map(|n| t.sample(NodeId(n), now)).collect();
         let distinct: std::collections::HashSet<_> = values.iter().collect();
-        assert!(distinct.len() > 8, "the network should see a spread of light levels");
+        assert!(
+            distinct.len() > 8,
+            "the network should see a spread of light levels"
+        );
     }
 
     #[test]
@@ -218,10 +254,50 @@ mod tests {
     }
 
     #[test]
+    fn sampling_never_mutates_observable_state() {
+        // Two copies disagree only if sampling mutates shared state; hammer
+        // one copy, then check it still agrees with a fresh one.
+        let mut a = RealTrace::new(DOMAIN, 12, 6);
+        for i in 0..500u64 {
+            a.sample(NodeId((i % 12 + 1) as u16), SimTime::from_secs(i * 3));
+        }
+        let mut fresh = RealTrace::new(DOMAIN, 12, 6);
+        for i in 0..50u64 {
+            let n = NodeId((i % 12 + 1) as u16);
+            let t = SimTime::from_secs(i * 15);
+            assert_eq!(a.sample(n, t), fresh.sample(n, t));
+        }
+    }
+
+    #[test]
+    fn lights_keep_toggling_beyond_schedule_horizon() {
+        let mut t = RealTrace::new(DOMAIN, 12, 5);
+        // Sample a window starting well past SCHEDULE_HORIZON_SECS; room
+        // light toggles must still produce visible jumps there.
+        let base = 500_000u64;
+        let series: Vec<Value> = (0..400)
+            .map(|i| t.sample(NodeId(3), SimTime::from_secs(base + i * 15)))
+            .collect();
+        let max_jump = series
+            .windows(2)
+            .map(|w| (w[0] - w[1]).abs())
+            .max()
+            .unwrap();
+        assert!(
+            max_jump > 15,
+            "lights froze beyond the schedule horizon (max jump {max_jump})"
+        );
+    }
+
+    #[test]
     fn lights_toggle_eventually() {
         let mut t = RealTrace::new(DOMAIN, 12, 5);
         let series = collect_series(&mut t, NodeId(3), 400);
-        let max_jump = series.windows(2).map(|w| (w[0] - w[1]).abs()).max().unwrap();
+        let max_jump = series
+            .windows(2)
+            .map(|w| (w[0] - w[1]).abs())
+            .max()
+            .unwrap();
         assert!(
             max_jump > 15,
             "over 100 minutes at least one room light toggle should be visible"

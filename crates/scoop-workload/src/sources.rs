@@ -1,15 +1,26 @@
 //! The five sensor data sources from Section 6.
+//!
+//! Every source is a *pure function* of its construction parameters and the
+//! `(node, now)` sample coordinates: per-sample randomness is derived by
+//! hashing `(seed, node, now)` rather than by advancing shared generator
+//! state. Two sources built from the same arguments therefore return
+//! identical values no matter how calls interleave — which is what lets the
+//! simulation give every node its own owned copy (no `Rc<RefCell<...>>`
+//! sharing, every run is `Send`) and still behave exactly like a single
+//! shared source.
 
 use crate::real_trace::RealTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Normal};
 use scoop_types::{DataSourceKind, NodeId, SimTime, Value, ValueRange};
+use std::sync::Arc;
 
 /// A generator of sensor readings for every node in the network.
 ///
-/// Implementations must be deterministic given their construction seed: the
-/// same `(node, now)` call sequence produces the same values.
+/// Implementations must be deterministic given their construction arguments:
+/// the same `(node, now)` pair always produces the same value, independent of
+/// call order. This order-independence is load-bearing — the scenario runner
+/// builds one owned copy per node and relies on copies agreeing.
 pub trait DataSource: Send {
     /// Which of the paper's data sources this is.
     fn kind(&self) -> DataSourceKind;
@@ -19,6 +30,40 @@ pub trait DataSource: Send {
 
     /// Samples the sensor of `node` at time `now`.
     fn sample(&mut self, node: NodeId, now: SimTime) -> Value;
+
+    /// Cheap copy of this source. Copies agree exactly with the original
+    /// (sources are pure in `(node, now)`); bulky immutable state such as the
+    /// REAL trace's toggle schedules is shared behind an `Arc`.
+    fn clone_box(&self) -> Box<dyn DataSource>;
+}
+
+/// SplitMix64 finalizer: one 64-bit hash step.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes the per-sample coordinates into one 64-bit value.
+pub(crate) fn sample_hash(seed: u64, node: NodeId, now: SimTime, salt: u64) -> u64 {
+    mix64(mix64(mix64(seed ^ salt) ^ node.0 as u64) ^ now.as_millis())
+}
+
+/// Maps a hash to a uniform float in `[0, 1)`.
+pub(crate) fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Approximate standard normal from a hash (Irwin–Hall sum of 12 uniforms).
+fn std_normal(h: u64) -> f64 {
+    let mut state = h;
+    let mut sum = 0.0;
+    for _ in 0..12 {
+        state = mix64(state);
+        sum += unit_f64(state);
+    }
+    sum - 6.0
 }
 
 /// UNIQUE: each node always produces its own node id.
@@ -35,6 +80,9 @@ impl UniqueSource {
 }
 
 impl DataSource for UniqueSource {
+    fn clone_box(&self) -> Box<dyn DataSource> {
+        Box::new(self.clone())
+    }
     fn kind(&self) -> DataSourceKind {
         DataSourceKind::Unique
     }
@@ -54,10 +102,10 @@ pub struct EqualSource {
 }
 
 impl EqualSource {
-    /// Creates the source; the shared constant is drawn from the middle of
-    /// the domain using `seed` so different trials differ.
+    /// Creates the source; the shared constant is drawn from the domain using
+    /// `seed` so different trials differ.
     pub fn new(domain: ValueRange, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xe10a_1);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe10a1);
         let value = rng.gen_range(domain.lo..=domain.hi);
         EqualSource { domain, value }
     }
@@ -69,6 +117,9 @@ impl EqualSource {
 }
 
 impl DataSource for EqualSource {
+    fn clone_box(&self) -> Box<dyn DataSource> {
+        Box::new(self.clone())
+    }
     fn kind(&self) -> DataSourceKind {
         DataSourceKind::Equal
     }
@@ -84,28 +135,30 @@ impl DataSource for EqualSource {
 #[derive(Clone, Debug)]
 pub struct RandomSource {
     domain: ValueRange,
-    rng: StdRng,
+    seed: u64,
 }
 
 impl RandomSource {
     /// Creates the source.
     pub fn new(domain: ValueRange, seed: u64) -> Self {
-        RandomSource {
-            domain,
-            rng: StdRng::seed_from_u64(seed ^ 0x4a4d_04),
-        }
+        RandomSource { domain, seed }
     }
 }
 
 impl DataSource for RandomSource {
+    fn clone_box(&self) -> Box<dyn DataSource> {
+        Box::new(self.clone())
+    }
     fn kind(&self) -> DataSourceKind {
         DataSourceKind::Random
     }
     fn domain(&self) -> ValueRange {
         self.domain
     }
-    fn sample(&mut self, _node: NodeId, _now: SimTime) -> Value {
-        self.rng.gen_range(self.domain.lo..=self.domain.hi)
+    fn sample(&mut self, node: NodeId, now: SimTime) -> Value {
+        let width = self.domain.width();
+        let h = sample_hash(self.seed, node, now, 0x4a4d04);
+        self.domain.lo + (h % width) as Value
     }
 }
 
@@ -114,9 +167,9 @@ impl DataSource for RandomSource {
 #[derive(Clone, Debug)]
 pub struct GaussianSource {
     domain: ValueRange,
-    means: Vec<f64>,
+    means: Arc<Vec<f64>>,
     std_dev: f64,
-    rng: StdRng,
+    seed: u64,
 }
 
 impl GaussianSource {
@@ -129,10 +182,10 @@ impl GaussianSource {
             .collect();
         GaussianSource {
             domain,
-            means,
+            means: Arc::new(means),
             // Paper: "variance of 10" → standard deviation sqrt(10).
             std_dev: 10.0_f64.sqrt(),
-            rng,
+            seed,
         }
     }
 
@@ -143,20 +196,23 @@ impl GaussianSource {
 }
 
 impl DataSource for GaussianSource {
+    fn clone_box(&self) -> Box<dyn DataSource> {
+        Box::new(self.clone())
+    }
     fn kind(&self) -> DataSourceKind {
         DataSourceKind::Gaussian
     }
     fn domain(&self) -> ValueRange {
         self.domain
     }
-    fn sample(&mut self, node: NodeId, _now: SimTime) -> Value {
+    fn sample(&mut self, node: NodeId, now: SimTime) -> Value {
         let mean = self
             .means
             .get(node.index())
             .copied()
             .unwrap_or((self.domain.lo + self.domain.hi) as f64 / 2.0);
-        let normal = Normal::new(mean, self.std_dev).expect("valid normal");
-        let v = normal.sample(&mut self.rng).round() as Value;
+        let h = sample_hash(self.seed, node, now, 0x6a555a);
+        let v = (mean + self.std_dev * std_normal(h)).round() as Value;
         v.clamp(self.domain.lo, self.domain.hi)
     }
 }
@@ -168,6 +224,10 @@ impl DataSource for GaussianSource {
 ///   in the paper; REAL uses ~150 values);
 /// * `num_nodes` — sensor count (excluding the basestation);
 /// * `seed` — all randomness derives from this.
+///
+/// Sources are pure in `(node, now)`, so callers that need one source per
+/// node (the simulation harness does) simply call this once per node with
+/// identical arguments.
 pub fn make_source(
     kind: DataSourceKind,
     domain: ValueRange,
@@ -213,7 +273,9 @@ mod tests {
     #[test]
     fn random_source_covers_domain_without_structure() {
         let mut s = RandomSource::new(DOMAIN, 5);
-        let vals: Vec<Value> = (0..2000).map(|i| s.sample(NodeId(1), SimTime::from_secs(i))).collect();
+        let vals: Vec<Value> = (0..2000)
+            .map(|i| s.sample(NodeId(1), SimTime::from_secs(i)))
+            .collect();
         assert!(vals.iter().all(|v| DOMAIN.contains(*v)));
         let distinct: std::collections::HashSet<_> = vals.iter().collect();
         assert!(distinct.len() > 60, "should cover most of the domain");
@@ -224,7 +286,9 @@ mod tests {
         let mut s = GaussianSource::new(DOMAIN, 30, 7);
         for n in [1u16, 5, 20] {
             let mean = s.mean_of(NodeId(n)).unwrap();
-            let vals: Vec<Value> = (0..200).map(|i| s.sample(NodeId(n), SimTime::from_secs(i))).collect();
+            let vals: Vec<Value> = (0..200)
+                .map(|i| s.sample(NodeId(n), SimTime::from_secs(i)))
+                .collect();
             let avg = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
             assert!(
                 (avg - mean.clamp(0.0, 100.0)).abs() < 3.0,
@@ -266,6 +330,39 @@ mod tests {
                     a.sample(node, SimTime::from_secs(t * 15)),
                     b.sample(node, SimTime::from_secs(t * 15)),
                     "{kind} not deterministic"
+                );
+            }
+        }
+    }
+
+    /// The property the parallel scenario runner depends on: sampling is a
+    /// pure function of `(node, now)`, so interleaving order cannot matter
+    /// and per-node copies agree with any shared-source call sequence.
+    #[test]
+    fn sources_are_order_independent() {
+        for kind in DataSourceKind::ALL {
+            // `a` samples nodes in interleaved order; `b` samples one node at
+            // a time. Every (node, time) coordinate must agree.
+            let mut a = make_source(kind, DOMAIN, 8, 11);
+            let mut b = make_source(kind, DOMAIN, 8, 11);
+            let coords: Vec<(NodeId, SimTime)> = (0..40)
+                .map(|i| (NodeId((i % 8 + 1) as u16), SimTime::from_secs(i * 7)))
+                .collect();
+            let interleaved: Vec<Value> = coords.iter().map(|&(n, t)| a.sample(n, t)).collect();
+            let mut by_node: std::collections::HashMap<(u16, u64), Value> =
+                std::collections::HashMap::new();
+            for node in 1..=8u16 {
+                for &(n, t) in &coords {
+                    if n.0 == node {
+                        by_node.insert((n.0, t.as_millis()), b.sample(n, t));
+                    }
+                }
+            }
+            for (&(n, t), got) in coords.iter().zip(&interleaved) {
+                assert_eq!(
+                    by_node[&(n.0, t.as_millis())],
+                    *got,
+                    "{kind}: order dependence at node {n}, t={t}"
                 );
             }
         }

@@ -3,7 +3,9 @@
 //! produces well-formed queries within the configured width band.
 
 use proptest::prelude::*;
-use scoop_types::{Attribute, DataSourceKind, NodeId, QueryWorkloadConfig, SimDuration, SimTime, ValueRange};
+use scoop_types::{
+    Attribute, DataSourceKind, NodeId, QueryWorkloadConfig, SimDuration, SimTime, ValueRange,
+};
 use scoop_workload::{make_source, QueryGenerator};
 
 proptest! {

@@ -11,9 +11,7 @@
 //! storage index places on the basestation — the "send-to-base fraction".
 
 use scoop::sim::{build_engine, run_experiment};
-use scoop::types::{
-    DataSourceKind, ExperimentConfig, NodeId, SimDuration, SimTime, StoragePolicy,
-};
+use scoop::types::{DataSourceKind, ExperimentConfig, NodeId, SimDuration, SimTime, StoragePolicy};
 
 fn send_to_base_fraction(cfg: &ExperimentConfig) -> f64 {
     let mut engine = build_engine(cfg).expect("valid configuration");

@@ -44,7 +44,11 @@ fn main() {
         "policy", "messages", "data msgs", "avg node lifetime", "root lifetime"
     );
 
-    for policy in [StoragePolicy::Scoop, StoragePolicy::Local, StoragePolicy::Base] {
+    for policy in [
+        StoragePolicy::Scoop,
+        StoragePolicy::Local,
+        StoragePolicy::Base,
+    ] {
         let mut cfg = base.clone();
         cfg.policy = policy;
         let result = run_experiment(&cfg).expect("valid configuration");
@@ -54,10 +58,12 @@ fn main() {
         let sensors = cfg.num_nodes as f64;
         let mean_tx = result.per_node_tx.iter().skip(1).sum::<u64>() as f64 / sensors;
         let mean_rx = result.per_node_rx.iter().skip(1).sum::<u64>() as f64 / sensors;
-        let node_joules = (mean_tx + mean_rx) * energy.bits_per_message * energy.radio_tx_nj_per_bit * 1e-9;
+        let node_joules =
+            (mean_tx + mean_rx) * energy.bits_per_message * energy.radio_tx_nj_per_bit * 1e-9;
         let root_tx = result.per_node_tx[0] as f64;
         let root_rx = result.per_node_rx[0] as f64;
-        let root_joules = (root_tx + root_rx) * energy.bits_per_message * energy.radio_tx_nj_per_bit * 1e-9;
+        let root_joules =
+            (root_tx + root_rx) * energy.bits_per_message * energy.radio_tx_nj_per_bit * 1e-9;
 
         let lifetime = |joules: f64| -> String {
             if joules <= 0.0 {

@@ -9,7 +9,7 @@
 //! message breakdown, the storage index that ended up in effect, and the
 //! reliability numbers.
 
-use scoop::sim::{run_experiment, build_engine};
+use scoop::sim::{build_engine, run_experiment};
 use scoop::types::{ExperimentConfig, NodeId, SimTime, StoragePolicy};
 
 fn main() {
@@ -21,7 +21,10 @@ fn main() {
 
     // 2. Run it and look at the aggregate result.
     let result = run_experiment(&cfg).expect("valid configuration");
-    println!("== Scoop quickstart ({} nodes, {} simulated) ==", cfg.num_nodes, cfg.duration);
+    println!(
+        "== Scoop quickstart ({} nodes, {} simulated) ==",
+        cfg.num_nodes, cfg.duration
+    );
     println!("message breakdown over the measured window:");
     println!("  data        : {}", result.messages.data);
     println!("  summary     : {}", result.messages.summary);
@@ -58,7 +61,10 @@ fn main() {
         println!("final storage index (epoch {}):", index.id().0);
         println!("  values      -> node");
         for entry in index.entries().iter().take(12) {
-            println!("  {:>4}-{:<8} -> {}", entry.range.lo, entry.range.hi, entry.owner);
+            println!(
+                "  {:>4}-{:<8} -> {}",
+                entry.range.lo, entry.range.hi, entry.owner
+            );
         }
         if index.entries().len() > 12 {
             println!("  ... {} more entries", index.entries().len() - 12);

@@ -58,16 +58,17 @@ fn main() {
         experiments::paper_base()
     };
     let trials = opts.trials;
-    let wants = |name: &str| {
-        opts.which.iter().any(|w| w == name || w == "all")
-    };
+    let wants = |name: &str| opts.which.iter().any(|w| w == name || w == "all");
 
     if wants("fig3-left") {
         let rows = experiments::fig3_left(&base, trials).expect("fig3 left");
         if opts.json {
             println!("{}", report::to_json(&rows));
         } else {
-            println!("{}", report::fig3_table("Figure 3 (left): testbed comparison", &rows));
+            println!(
+                "{}",
+                report::fig3_table("Figure 3 (left): testbed comparison", &rows)
+            );
         }
     }
     if wants("fig3-middle") {
@@ -75,7 +76,10 @@ fn main() {
         if opts.json {
             println!("{}", report::to_json(&rows));
         } else {
-            println!("{}", report::fig3_table("Figure 3 (middle): policies on the REAL trace", &rows));
+            println!(
+                "{}",
+                report::fig3_table("Figure 3 (middle): policies on the REAL trace", &rows)
+            );
         }
     }
     if wants("fig3-right") {
@@ -83,7 +87,10 @@ fn main() {
         if opts.json {
             println!("{}", report::to_json(&rows));
         } else {
-            println!("{}", report::fig3_table("Figure 3 (right): Scoop across data sources", &rows));
+            println!(
+                "{}",
+                report::fig3_table("Figure 3 (right): Scoop across data sources", &rows)
+            );
         }
     }
     if wants("fig4") {
@@ -107,7 +114,11 @@ fn main() {
     if wants("sample-interval") {
         let rows = experiments::sample_interval_sweep(
             &base,
-            &[DataSourceKind::Real, DataSourceKind::Random, DataSourceKind::Unique],
+            &[
+                DataSourceKind::Real,
+                DataSourceKind::Random,
+                DataSourceKind::Unique,
+            ],
             &[15, 30, 60],
             trials,
         )
@@ -119,8 +130,8 @@ fn main() {
         }
     }
     if wants("reliability") {
-        let rows = experiments::reliability(&base, &[StoragePolicy::Scoop], trials)
-            .expect("reliability");
+        let rows =
+            experiments::reliability(&base, &[StoragePolicy::Scoop], trials).expect("reliability");
         if opts.json {
             println!("{}", report::to_json(&rows));
         } else {
@@ -136,7 +147,11 @@ fn main() {
         }
     }
     if wants("scaling") {
-        let sizes: Vec<usize> = if opts.quick { vec![16, 25] } else { vec![25, 50, 62, 100] };
+        let sizes: Vec<usize> = if opts.quick {
+            vec![16, 25]
+        } else {
+            vec![25, 50, 62, 100]
+        };
         let rows = experiments::scaling(
             &base,
             &sizes,
@@ -151,8 +166,8 @@ fn main() {
         }
     }
     if wants("ablations") {
-        let rows = experiments::ablation_rows(&base, DataSourceKind::Real, trials)
-            .expect("ablations");
+        let rows =
+            experiments::ablation_rows(&base, DataSourceKind::Real, trials).expect("ablations");
         if opts.json {
             println!("{}", report::to_json(&rows));
         } else {

@@ -1,0 +1,212 @@
+//! Minimal, dependency-free stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's micro-benchmarks use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`]) and prints
+//! simple mean wall-clock timings. There is no statistical analysis; bench
+//! targets must set `harness = false` (which they need with real criterion
+//! anyway).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), 20, &mut f);
+        self
+    }
+}
+
+/// A named benchmark id with a parameter, mirroring criterion's.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the shim has no time-based sampling.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Hands the measured closure to the benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, collecting one sample per configured round.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One untimed warmup call, then calibrate so a sample takes >= ~1ms.
+        black_box(f());
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed();
+        let iters = if once < Duration::from_micros(50) {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)) as u64 + 1
+        } else {
+            1
+        };
+        self.iters_per_sample = iters;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
+    let mut all = Vec::new();
+    let mut iters = 1u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        iters = b.iters_per_sample.max(1);
+        all.extend(b.samples);
+    }
+    if all.is_empty() {
+        println!("  {id}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let total: Duration = all.iter().sum();
+    let mean_ns = total.as_nanos() as f64 / (all.len() as u64 * iters) as f64;
+    let min_ns = all.iter().map(|d| d.as_nanos()).min().unwrap_or(0) as f64 / iters as f64;
+    println!(
+        "  {id}: mean {:.1} us/iter, best {:.1} us/iter ({} samples x {} iters)",
+        mean_ns / 1_000.0,
+        min_ns / 1_000.0,
+        all.len(),
+        iters
+    );
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs_closures() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.bench_with_input(BenchmarkId::new("case", 1), &3u32, |b, &x| {
+                b.iter(|| {
+                    calls += 1;
+                    x * 2
+                });
+            });
+            group.finish();
+        }
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,480 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the in-tree `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no `syn`/`quote`). Supported shapes — which cover every derived type in
+//! this workspace:
+//!
+//! * structs with named fields (including generic type parameters),
+//! * tuple structs (newtypes serialize transparently, wider tuples as arrays),
+//! * unit structs,
+//! * enums with unit and tuple variants (externally tagged, like serde).
+//!
+//! `#[serde(...)]` attributes and struct-variant enums are *not* supported;
+//! using them fails the build loudly rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+struct Input {
+    name: String,
+    /// Generic type parameter names, e.g. `["P"]` for `Packet<P>`.
+    type_params: Vec<String>,
+    /// Lifetime parameter names (re-emitted without bounds).
+    lifetimes: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, usize)>),
+}
+
+/// Derives `serde::Serialize` via the shim's `to_value` data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let (impl_generics, ty_generics, where_clause) = generics_for(&parsed, "Serialize");
+    let name = &parsed.name;
+    let body = match &parsed.body {
+        Body::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    k => {
+                        let binds: Vec<String> = (0..*k).map(|i| format!("f{i}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Array(::std::vec![{items}]))]),",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {where_clause} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated code must parse")
+}
+
+/// Derives `serde::Deserialize` via the shim's `from_value` data model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let (impl_generics, ty_generics, where_clause) = generics_for(&parsed, "Deserialize");
+    let name = &parsed.name;
+    let body = match &parsed.body {
+        Body::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         v.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::Tuple(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected {n} elements, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(_inner)?)),"
+                        )
+                    } else {
+                        let inits: String = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{\n\
+                                 let items = _inner.as_array()\
+                                     .ok_or_else(|| ::serde::Error::expected(\"array\", _inner))?;\n\
+                                 if items.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::custom(\
+                                         \"wrong tuple-variant arity\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{v}({inits}))\n\
+                             }}"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, _inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::expected(\"{name}\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {where_clause} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Deserialize): generated code must parse")
+}
+
+/// Renders `impl<...>`, `Name<...>`, and a where clause binding every type
+/// parameter to the given shim trait.
+fn generics_for(input: &Input, bound: &str) -> (String, String, String) {
+    if input.type_params.is_empty() && input.lifetimes.is_empty() {
+        return (String::new(), String::new(), String::new());
+    }
+    let mut params: Vec<String> = input.lifetimes.clone();
+    params.extend(input.type_params.iter().cloned());
+    let list = params.join(", ");
+    let where_clause = if input.type_params.is_empty() {
+        String::new()
+    } else {
+        let bounds: Vec<String> = input
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{bound}"))
+            .collect();
+        format!("where {}", bounds.join(", "))
+    };
+    (format!("<{list}>"), format!("<{list}>"), where_clause)
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive shim: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive shim: expected type name, got {other}"),
+    };
+    i += 1;
+
+    let (type_params, lifetimes) = parse_generics(&tokens, &mut i);
+
+    // Skip anything (e.g. a where clause) up to the body. Bounds inside a
+    // where clause are not re-emitted; none of the derived types use one.
+    match kind.as_str() {
+        "struct" => {
+            while i < tokens.len() {
+                match &tokens[i] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        return Input {
+                            name,
+                            type_params,
+                            lifetimes,
+                            body: Body::Named(parse_named_fields(g.stream())),
+                        };
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        return Input {
+                            name,
+                            type_params,
+                            lifetimes,
+                            body: Body::Tuple(count_tuple_fields(g.stream())),
+                        };
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ';' => {
+                        return Input {
+                            name,
+                            type_params,
+                            lifetimes,
+                            body: Body::Unit,
+                        };
+                    }
+                    _ => i += 1,
+                }
+            }
+            panic!("derive shim: struct `{name}` has no body");
+        }
+        "enum" => {
+            while i < tokens.len() {
+                if let TokenTree::Group(g) = &tokens[i] {
+                    if g.delimiter() == Delimiter::Brace {
+                        return Input {
+                            name: name.clone(),
+                            type_params,
+                            lifetimes,
+                            body: Body::Enum(parse_variants(g.stream(), &name)),
+                        };
+                    }
+                }
+                i += 1;
+            }
+            panic!("derive shim: enum `{name}` has no body");
+        }
+        other => panic!("derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<...>` after the type name, returning (type params, lifetimes).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> (Vec<String>, Vec<String>) {
+    let mut type_params = Vec::new();
+    let mut lifetimes = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return (type_params, lifetimes),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while *i < tokens.len() && depth > 0 {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                *i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                *i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+                *i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && at_param_start => {
+                *i += 1;
+                if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+                    lifetimes.push(format!("'{id}"));
+                    *i += 1;
+                }
+                at_param_start = false;
+            }
+            TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                let text = id.to_string();
+                if text != "const" {
+                    type_params.push(text);
+                }
+                at_param_start = false;
+                *i += 1;
+            }
+            _ => {
+                // Bounds, defaults, nested generics: irrelevant to the shim.
+                *i += 1;
+            }
+        }
+    }
+    (type_params, lifetimes)
+}
+
+/// Extracts field names from the brace group of a named-field struct.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive shim: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("derive shim: expected `:` after `{field}`, got {other}"),
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct's paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx == tokens.len() - 1 {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+/// Extracts `(variant name, tuple arity)` pairs from an enum body.
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive shim: expected variant name in `{enum_name}`, got {other}"),
+        };
+        i += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_tuple_fields(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("derive shim: struct-variant `{enum_name}::{variant}` is not supported")
+                }
+                _ => {}
+            }
+        }
+        variants.push((variant, arity));
+        // Skip to the next top-level comma (covers discriminants).
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}

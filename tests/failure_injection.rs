@@ -4,9 +4,7 @@
 
 use scoop::net::{LinkModel, Topology};
 use scoop::sim::SimNode;
-use scoop::types::{
-    DataSourceKind, ExperimentConfig, NodeId, SimDuration, SimTime, StoragePolicy,
-};
+use scoop::types::{DataSourceKind, ExperimentConfig, NodeId, SimDuration, SimTime, StoragePolicy};
 
 fn tiny_cfg() -> ExperimentConfig {
     let mut cfg = ExperimentConfig::small_test();
@@ -28,8 +26,7 @@ fn run_with_links(
     let topo = Topology::office_floor(cfg.num_nodes, cfg.seed).expect("topology");
     let mut links = LinkModel::from_topology(&topo, cfg.seed);
     mutate(&topo, &mut links);
-    let mut engine =
-        scoop::sim::runner::build_engine_with(cfg, topo, links).expect("engine");
+    let mut engine = scoop::sim::runner::build_engine_with(cfg, topo, links).expect("engine");
     engine.run_until(SimTime::ZERO + cfg.duration);
     engine
 }
@@ -45,10 +42,7 @@ fn network_survives_a_dead_node() {
         }
     });
     // The rest of the network still samples, stores, and answers queries.
-    let stored: u64 = engine
-        .iter_nodes()
-        .map(|(_, n)| n.metrics.stored)
-        .sum();
+    let stored: u64 = engine.iter_nodes().map(|(_, n)| n.metrics.stored).sum();
     assert!(stored > 0, "the surviving nodes must still store data");
     // The dead node itself never got anything delivered to it by others.
     assert_eq!(engine.stats().node(NodeId(5)).rx.total(), 0);

@@ -4,9 +4,7 @@
 //! system-level invariants the paper relies on.
 
 use scoop::sim::{build_engine, run_experiment};
-use scoop::types::{
-    DataSourceKind, ExperimentConfig, NodeId, SimDuration, SimTime, StoragePolicy,
-};
+use scoop::types::{DataSourceKind, ExperimentConfig, NodeId, SimDuration, SimTime, StoragePolicy};
 
 /// A configuration small enough for debug-mode CI but still covering every
 /// protocol phase (several summary rounds, at least two remap rounds, many
@@ -30,7 +28,10 @@ fn scoop_end_to_end_builds_an_index_and_answers_queries() {
     let result = run_experiment(&cfg).expect("run");
 
     // The index machinery actually ran.
-    assert!(result.indices_disseminated >= 1, "no storage index was ever disseminated");
+    assert!(
+        result.indices_disseminated >= 1,
+        "no storage index was ever disseminated"
+    );
     assert!(result.messages.mapping > 0);
     assert!(result.messages.summary > 0);
 

@@ -5,13 +5,11 @@
 
 use scoop::core::baselines::{hash_index, AnalyticalModel};
 use scoop::core::histogram::SummaryHistogram;
+use scoop::core::index::{IndexBuilderConfig, IndexDecision};
 use scoop::core::summary::{ReportedNeighbor, SummaryMessage};
 use scoop::core::{CostModel, CostParams, IndexBuilder, QueryPlanner, StatsStore};
-use scoop::core::index::{IndexBuilderConfig, IndexDecision};
 use scoop::net::{LinkModel, Topology};
-use scoop::types::{
-    NodeId, SimTime, StorageIndexId, Value, ValueRange,
-};
+use scoop::types::{NodeId, SimTime, StorageIndexId, Value, ValueRange};
 
 /// Builds the basestation's statistics as if a 4-hop chain of sensors had
 /// reported summaries, then runs the full index-construction + query-planning
@@ -57,7 +55,10 @@ fn index_construction_places_values_near_their_producers() {
     let mut st = chain_stats(8, domain);
     // Rare queries: data placement dominates.
     for q in 0..4 {
-        st.record_query(&ValueRange::new(q * 20, q * 20 + 4), SimTime::from_secs(600 + q as u64 * 120));
+        st.record_query(
+            &ValueRange::new(q * 20, q * 20 + 4),
+            SimTime::from_secs(600 + q as u64 * 120),
+        );
     }
     let builder = IndexBuilder::new(IndexBuilderConfig::default());
     let decision = builder.build(
@@ -89,7 +90,10 @@ fn index_construction_places_values_near_their_producers() {
         StorageIndexId(1),
     );
     assert!(plan.targets.contains(owner));
-    assert!(plan.network_targets() <= 3, "narrow query should touch few nodes");
+    assert!(
+        plan.network_targets() <= 3,
+        "narrow query should touch few nodes"
+    );
 }
 
 #[test]
@@ -141,7 +145,11 @@ fn store_local_fallback_triggers_when_queries_stop() {
         SimTime::from_secs(900),
     );
     match decision {
-        IndexDecision::StoreLocal { store_local_cost, index_cost, .. } => {
+        IndexDecision::StoreLocal {
+            store_local_cost,
+            index_cost,
+            ..
+        } => {
             assert!(store_local_cost <= index_cost);
         }
         IndexDecision::UseIndex(index) => {
@@ -153,7 +161,10 @@ fn store_local_fallback_triggers_when_queries_stop() {
                 .values()
                 .map(|v| model.placement_cost(index.lookup(v).unwrap(), v))
                 .sum();
-            assert!(cost.abs() < 1e-6, "zero-query index should cost ~0, got {cost}");
+            assert!(
+                cost.abs() < 1e-6,
+                "zero-query index should cost ~0, got {cost}"
+            );
         }
     }
 }
@@ -199,5 +210,9 @@ fn hash_index_spreads_query_load_across_owners() {
             owners.insert(t);
         }
     }
-    assert!(owners.len() > 10, "hash owners too concentrated: {}", owners.len());
+    assert!(
+        owners.len() > 10,
+        "hash owners too concentrated: {}",
+        owners.len()
+    );
 }
