@@ -1,18 +1,27 @@
 //! Ablation benches for the design choices DESIGN.md calls out: batching,
 //! index suppression, the neighbor-shortcut routing rule, and the
 //! store-local fallback.
+//!
+//! The REAL-trace suite goes through `scoop-lab` (artifact-emitting, same as
+//! `scoop-lab run`); the EQUAL source is re-run directly on top of it because
+//! batching on single-owner data is the paper's cleanest ablation signal.
 
-use scoop_bench::bench_experiment;
+use scoop_bench::{bench_options, regen, run_and_print};
+use scoop_lab::ExperimentId;
 use scoop_sim::experiments::ablation_rows;
 use scoop_sim::report;
 use scoop_types::DataSourceKind;
 
 fn main() {
-    for source in [DataSourceKind::Real, DataSourceKind::Equal] {
-        bench_experiment(
-            &format!("Ablations over the {source} source"),
-            |base, trials| ablation_rows(base, source, trials),
-            |rows| report::ablation_table(rows),
-        );
-    }
+    regen(ExperimentId::Ablations);
+    let options = bench_options(ExperimentId::Ablations);
+    run_and_print("Ablations over the equal source", || {
+        let rows = ablation_rows(
+            &options.base_config(),
+            DataSourceKind::Equal,
+            options.trials,
+        )
+        .unwrap_or_else(|e| panic!("ablations/equal failed: {e}"));
+        report::ablation_table(&rows)
+    });
 }

@@ -1,9 +1,8 @@
-//! Regenerates Figure 3 (left): the testbed comparison of SCOOP/UNIQUE,
-//! SCOOP/GAUSSIAN, LOCAL/GAUSSIAN, and BASE/GAUSSIAN.
+//! Regenerates Figure 3 (left): the testbed comparison bars.
 
-use scoop_bench::fig3_bench;
-use scoop_sim::experiments::fig3_left;
+use scoop_bench::regen;
+use scoop_lab::ExperimentId;
 
 fn main() {
-    fig3_bench("Figure 3 (left): testbed message breakdown", fig3_left);
+    regen(ExperimentId::Fig3Left);
 }

@@ -1,12 +1,9 @@
 //! Regenerates Figure 3 (middle): SCOOP vs LOCAL vs HASH vs BASE over the
 //! REAL light trace.
 
-use scoop_bench::fig3_bench;
-use scoop_sim::experiments::fig3_middle;
+use scoop_bench::regen;
+use scoop_lab::ExperimentId;
 
 fn main() {
-    fig3_bench(
-        "Figure 3 (middle): storage policies on the REAL trace",
-        fig3_middle,
-    );
+    regen(ExperimentId::Fig3Middle);
 }

@@ -1,9 +1,8 @@
-//! Regenerates Figure 3 (right): SCOOP over the UNIQUE, EQUAL, REAL,
-//! GAUSSIAN, and RANDOM data sources.
+//! Regenerates Figure 3 (right): SCOOP over every data source.
 
-use scoop_bench::fig3_bench;
-use scoop_sim::experiments::fig3_right;
+use scoop_bench::regen;
+use scoop_lab::ExperimentId;
 
 fn main() {
-    fig3_bench("Figure 3 (right): Scoop across data sources", fig3_right);
+    regen(ExperimentId::Fig3Right);
 }

@@ -1,14 +1,9 @@
 //! Regenerates Figure 4: total cost as a function of the percentage of nodes
 //! queried, for SCOOP, LOCAL, and BASE.
 
-use scoop_bench::bench_experiment;
-use scoop_sim::experiments::fig4::{default_width_fracs, fig4_selectivity};
-use scoop_sim::report;
+use scoop_bench::regen;
+use scoop_lab::ExperimentId;
 
 fn main() {
-    bench_experiment(
-        "Figure 4: cost vs % of nodes queried",
-        |base, trials| fig4_selectivity(base, &default_width_fracs(), trials),
-        |rows| report::fig4_table(rows),
-    );
+    regen(ExperimentId::Fig4);
 }

@@ -1,14 +1,8 @@
-//! Regenerates Figure 5: total cost as a function of the query interval, for
-//! SCOOP, LOCAL, and BASE.
+//! Regenerates Figure 5: total cost as a function of the query interval.
 
-use scoop_bench::bench_experiment;
-use scoop_sim::experiments::fig5::{default_intervals, fig5_query_interval};
-use scoop_sim::report;
+use scoop_bench::regen;
+use scoop_lab::ExperimentId;
 
 fn main() {
-    bench_experiment(
-        "Figure 5: cost vs query interval",
-        |base, trials| fig5_query_interval(base, &default_intervals(), trials),
-        |rows| report::fig5_table(rows),
-    );
+    regen(ExperimentId::Fig5);
 }

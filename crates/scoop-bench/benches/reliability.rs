@@ -3,25 +3,9 @@
 //! are retrieved, and about 85 % of readings reach their designated owner
 //! (the rest fall back to the root).
 
-use scoop_bench::bench_experiment;
-use scoop_sim::experiments::reliability;
-use scoop_sim::report;
-use scoop_types::StoragePolicy;
+use scoop_bench::regen;
+use scoop_lab::ExperimentId;
 
 fn main() {
-    bench_experiment(
-        "Reliability (storage / query success, destination accuracy)",
-        |base, trials| {
-            reliability(
-                base,
-                &[
-                    StoragePolicy::Scoop,
-                    StoragePolicy::Local,
-                    StoragePolicy::Base,
-                ],
-                trials,
-            )
-        },
-        |rows| report::reliability_table(rows),
-    );
+    regen(ExperimentId::Reliability);
 }

@@ -1,12 +1,9 @@
-//! Regenerates the prose root-skew analysis: what the root transmits and
-//! receives under SCOOP, BASE, and LOCAL, versus an average sensor node.
+//! Regenerates the root-skew analysis: what the root transmits and receives
+//! versus an average sensor node, per policy.
 
-use scoop_bench::bench_experiment;
-use scoop_sim::experiments::root_skew;
-use scoop_sim::report;
+use scoop_bench::regen;
+use scoop_lab::ExperimentId;
 
 fn main() {
-    bench_experiment("Root-node skew", root_skew, |rows| {
-        report::root_skew_table(rows)
-    });
+    regen(ExperimentId::RootSkew);
 }

@@ -1,27 +1,8 @@
-//! Regenerates the prose sample-interval sweep: as nodes sample less often,
-//! the differences between data sources shrink because fixed overheads
-//! (queries, mappings, summaries) dominate.
+//! Regenerates the sample-interval sweep: SCOOP cost as less data is stored.
 
-use scoop_bench::bench_experiment;
-use scoop_sim::experiments::sample_interval_sweep;
-use scoop_sim::report;
-use scoop_types::DataSourceKind;
+use scoop_bench::regen;
+use scoop_lab::ExperimentId;
 
 fn main() {
-    bench_experiment(
-        "Sample-interval sweep",
-        |base, trials| {
-            sample_interval_sweep(
-                base,
-                &[
-                    DataSourceKind::Real,
-                    DataSourceKind::Unique,
-                    DataSourceKind::Random,
-                ],
-                &[15, 30, 60, 120],
-                trials,
-            )
-        },
-        |rows| report::sample_interval_table(rows),
-    );
+    regen(ExperimentId::SampleInterval);
 }

@@ -1,28 +1,8 @@
-//! Regenerates the prose scaling study: SCOOP on networks of 25 to 100 nodes,
-//! over the REAL and RANDOM sources (RANDOM is the one the paper found most
-//! sensitive to network size).
+//! Regenerates the scaling study: SCOOP over growing network sizes.
 
-use scoop_bench::bench_experiment;
-use scoop_sim::experiments::scaling;
-use scoop_sim::report;
-use scoop_types::DataSourceKind;
+use scoop_bench::regen;
+use scoop_lab::ExperimentId;
 
 fn main() {
-    bench_experiment(
-        "Scaling study",
-        |base, trials| {
-            let sizes: Vec<usize> = if base.num_nodes <= 16 {
-                vec![8, 16, 25]
-            } else {
-                vec![25, 50, 62, 100]
-            };
-            scaling(
-                base,
-                &sizes,
-                &[DataSourceKind::Real, DataSourceKind::Random],
-                trials,
-            )
-        },
-        |rows| report::scaling_table(rows),
-    );
+    regen(ExperimentId::Scaling);
 }

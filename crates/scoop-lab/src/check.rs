@@ -1,0 +1,237 @@
+//! The regression gate behind `scoop-lab check`.
+//!
+//! Runs the deterministic quick smoke suite ([`SuiteOptions::quick_smoke`])
+//! and compares every metric of every row against the committed baseline
+//! file (`crates/scoop-lab/baselines/smoke.json`), at a chosen tolerance
+//! preset. Any `Drift` or `Missing` row fails the check — CI turns that into
+//! a red build. `--bless` rewrites the baseline from the current run after a
+//! deliberate behavioral change.
+
+use crate::artifact::{Artifact, Provenance};
+use crate::baselines::{regression_baseline, TolerancePreset};
+use crate::diff::{diff_rows, DiffReport};
+use crate::suite::{run_suite, SuiteOptions};
+use scoop_types::ScoopError;
+use std::path::Path;
+
+/// Path of the committed smoke baseline, relative to the workspace root.
+pub const DEFAULT_BASELINE_PATH: &str = "crates/scoop-lab/baselines/smoke.json";
+
+/// The outcome of one `scoop-lab check`.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// One diff per smoke experiment, in suite order.
+    pub reports: Vec<DiffReport>,
+}
+
+impl CheckOutcome {
+    /// Whether any experiment drifted from the committed baseline.
+    pub fn failed(&self) -> bool {
+        self.reports.iter().any(DiffReport::has_failures)
+    }
+
+    /// Plain-text rendering of every report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for report in &self.reports {
+            out.push_str(&report.render_text());
+        }
+        let verdict = if self.failed() {
+            "CHECK FAILED: smoke suite drifted from the committed baseline \
+             (re-bless with `scoop-lab check --bless` if the change is intended)"
+        } else {
+            "check passed: smoke suite matches the committed baseline"
+        };
+        out.push_str(verdict);
+        out.push('\n');
+        out
+    }
+}
+
+/// Runs the smoke suite and returns its artifacts (provenance masked, so the
+/// baseline file is stable across machines and commits).
+pub fn run_smoke_suite() -> Result<Vec<Artifact>, ScoopError> {
+    let mut artifacts = run_suite(&SuiteOptions::quick_smoke(), |_| ())?;
+    for artifact in &mut artifacts {
+        artifact.provenance = Provenance::masked();
+    }
+    Ok(artifacts)
+}
+
+/// Serializes smoke artifacts as the baseline file's content.
+pub fn baseline_file_content(artifacts: &[Artifact]) -> Result<String, ScoopError> {
+    let mut json = serde_json::to_string_pretty(artifacts)
+        .map_err(|e| ScoopError::Serialization(e.to_string()))?;
+    json.push('\n');
+    Ok(json)
+}
+
+/// Loads the committed baseline artifacts.
+pub fn load_baseline(path: &Path) -> Result<Vec<Artifact>, ScoopError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ScoopError::Artifact(format!("{}: {e}", path.display())))?;
+    serde_json::from_str(&text)
+        .map_err(|e| ScoopError::Serialization(format!("{}: {e}", path.display())))
+}
+
+/// Compares freshly measured smoke artifacts against baseline artifacts.
+///
+/// Coverage is checked in *both* directions: a baseline row absent from the
+/// measurement is `Missing`, and a measured experiment with no baseline
+/// entry at all fails too — otherwise a truncated or emptied baseline file
+/// would make the gate pass while checking nothing.
+///
+/// Public (rather than folded into [`run_check`]) so tests can exercise the
+/// classification with perturbed baselines without touching the filesystem.
+pub fn compare_to_baseline(
+    measured: &[Artifact],
+    baseline: &[Artifact],
+    preset: TolerancePreset,
+) -> CheckOutcome {
+    let mut reports: Vec<DiffReport> = baseline
+        .iter()
+        .map(|expected| {
+            let baseline_set = regression_baseline(expected, preset.tolerance());
+            let measured_rows = measured
+                .iter()
+                .find(|a| a.experiment == expected.experiment)
+                .map(|a| {
+                    a.rows
+                        .measured_rows(a.experiment_id().and_then(|id| id.reference_key()))
+                })
+                .unwrap_or_default();
+            diff_rows(&measured_rows, &baseline_set)
+        })
+        .collect();
+    for artifact in measured {
+        if !baseline.iter().any(|b| b.experiment == artifact.experiment) {
+            reports.push(DiffReport {
+                experiment: artifact.experiment.clone(),
+                source: "no committed baseline entry — the baseline file does not cover \
+                         this experiment (re-bless to extend it)"
+                    .to_string(),
+                rows: vec![(
+                    "<entire experiment>".to_string(),
+                    crate::diff::RowStatus::Missing,
+                )],
+            });
+        }
+    }
+    CheckOutcome { reports }
+}
+
+/// The full check: run the smoke suite, load the committed baseline at
+/// `baseline_path`, and classify. With `bless`, the baseline file is
+/// (re)written from the current run instead and the check trivially passes.
+pub fn run_check(
+    baseline_path: &Path,
+    preset: TolerancePreset,
+    bless: bool,
+) -> Result<CheckOutcome, ScoopError> {
+    let measured = run_smoke_suite()?;
+    if bless {
+        if let Some(parent) = baseline_path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| ScoopError::Artifact(format!("{}: {e}", parent.display())))?;
+        }
+        std::fs::write(baseline_path, baseline_file_content(&measured)?)
+            .map_err(|e| ScoopError::Artifact(format!("{}: {e}", baseline_path.display())))?;
+        return Ok(compare_to_baseline(&measured, &measured, preset));
+    }
+    let baseline = load_baseline(baseline_path)?;
+    Ok(compare_to_baseline(&measured, &baseline, preset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::RowStatus;
+    use crate::rows::RowSet;
+
+    #[test]
+    fn smoke_run_matches_itself_at_every_preset() {
+        let artifacts = run_smoke_suite().unwrap();
+        for preset in [
+            TolerancePreset::Strict,
+            TolerancePreset::Default,
+            TolerancePreset::Loose,
+        ] {
+            let outcome = compare_to_baseline(&artifacts, &artifacts, preset);
+            assert!(!outcome.failed(), "{}", outcome.render_text());
+        }
+    }
+
+    #[test]
+    fn perturbed_baseline_fails_the_check() {
+        let measured = run_smoke_suite().unwrap();
+        let mut baseline = measured.clone();
+        // Perturb one Figure 5 total by 10 % — far beyond the default 2 %.
+        let fig5 = baseline
+            .iter_mut()
+            .find(|a| a.experiment == "fig5")
+            .expect("smoke suite contains fig5");
+        match &mut fig5.rows {
+            RowSet::Fig5(rows) => {
+                rows[0].total_messages = rows[0].total_messages * 11 / 10 + 1;
+            }
+            other => panic!("fig5 artifact carries {other:?}"),
+        }
+        let outcome = compare_to_baseline(&measured, &baseline, TolerancePreset::Default);
+        assert!(outcome.failed());
+        let report = outcome
+            .reports
+            .iter()
+            .find(|r| r.experiment == "fig5")
+            .unwrap();
+        assert!(
+            report
+                .rows
+                .iter()
+                .any(|(_, s)| matches!(s, RowStatus::Drift(_))),
+            "{}",
+            report.render_text()
+        );
+        // The same perturbation is inside the loose 10 %+ tolerance… just.
+        let text = outcome.render_text();
+        assert!(text.contains("CHECK FAILED"), "{text}");
+    }
+
+    #[test]
+    fn empty_or_truncated_baseline_fails_the_check() {
+        let measured = run_smoke_suite().unwrap();
+        // Entirely empty baseline: the gate must not silently pass.
+        let outcome = compare_to_baseline(&measured, &[], TolerancePreset::Default);
+        assert!(outcome.failed());
+        assert_eq!(outcome.reports.len(), measured.len());
+        // Baseline missing one experiment: that experiment still fails.
+        let mut truncated = measured.clone();
+        truncated.retain(|a| a.experiment != "ablations");
+        let outcome = compare_to_baseline(&measured, &truncated, TolerancePreset::Default);
+        assert!(outcome.failed());
+        let report = outcome
+            .reports
+            .iter()
+            .find(|r| r.experiment == "ablations")
+            .unwrap();
+        assert!(report.has_failures());
+        assert!(report.source.contains("no committed baseline"));
+    }
+
+    #[test]
+    fn missing_experiment_fails_the_check() {
+        let measured = run_smoke_suite().unwrap();
+        let mut short = measured.clone();
+        short.retain(|a| a.experiment != "fig4");
+        let outcome = compare_to_baseline(&short, &measured, TolerancePreset::Loose);
+        assert!(outcome.failed());
+        let fig4 = outcome
+            .reports
+            .iter()
+            .find(|r| r.experiment == "fig4")
+            .unwrap();
+        assert!(fig4
+            .rows
+            .iter()
+            .all(|(_, s)| matches!(s, RowStatus::Missing)));
+    }
+}

@@ -1,0 +1,412 @@
+//! The `scoop-lab` command-line interface.
+//!
+//! ```text
+//! scoop-lab run    [--quick] [--trials=N] [--seed=N] [--results=DIR]
+//!                  [--history=FILE] [--json] [experiment...]
+//! scoop-lab report [--results=DIR] [--out=FILE]
+//! scoop-lab diff   [--results=DIR]
+//! scoop-lab check  [--tolerance NAME] [--bless] [--baseline=FILE]
+//! scoop-lab trace  [policy] [source] [nodes]
+//! ```
+//!
+//! `run` executes experiments and persists one artifact per experiment under
+//! the results directory; `report` regenerates `EXPERIMENTS.md` from those
+//! artifacts; `diff` classifies the stored artifacts against the paper
+//! baselines; `check` is the CI regression gate against the committed smoke
+//! baseline; `trace` is the step-by-step diagnostic previously shipped as a
+//! separate `scoop-sim` binary. [`run_cli`] is public so
+//! `examples/reproduce.rs` can stay a thin wrapper over the same code path.
+
+use crate::artifact::ArtifactStore;
+use crate::baselines::{paper_baseline, TolerancePreset};
+use crate::check::{run_check, DEFAULT_BASELINE_PATH};
+use crate::diff::diff_rows;
+use crate::history::HistoryRecord;
+use crate::render::render_experiments_md;
+use crate::rows::RowSet;
+use crate::suite::{run_suite, ExperimentId, PointSet, Scale, SuiteOptions};
+use scoop_sim::MessageBreakdown;
+use scoop_types::{DataSourceKind, ExperimentConfig, SimDuration, SimTime, StoragePolicy};
+use std::path::PathBuf;
+
+/// Default directory artifacts are written to / read from.
+pub const DEFAULT_RESULTS_DIR: &str = "results";
+
+/// Default path of the regenerated report.
+pub const DEFAULT_EXPERIMENTS_MD: &str = "EXPERIMENTS.md";
+
+const USAGE: &str = "usage: scoop-lab <run|report|diff|check|trace> [options]
+  run    [--quick] [--trials=N] [--seed=N] [--results=DIR] [--history=FILE] [--json] [experiment...]
+  report [--results=DIR] [--out=FILE]
+  diff   [--results=DIR]
+  check  [--tolerance NAME] [--bless] [--baseline=FILE]   (NAME: strict|default|loose)
+  trace  [scoop|local|base|hash] [real|unique|equal|random|gaussian] [nodes]
+experiments: fig3-left fig3-middle fig3-right fig4 fig5 ablations
+             sample-interval reliability root-skew scaling (default: all)";
+
+/// Splits `--flag=value` / `--flag value` / bare `--flag` options out of
+/// `args`, rejecting anything not in the subcommand's allowlists (a typo'd
+/// option must fail loudly, not silently fall back to a default). Returns
+/// `(positional, flags, values)`.
+#[allow(clippy::type_complexity)]
+fn parse(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<(Vec<String>, Vec<String>, Vec<(String, String)>), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut values = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(rest) = arg.strip_prefix("--") {
+            if let Some((name, value)) = rest.split_once('=') {
+                if bool_flags.contains(&name) {
+                    return Err(format!("--{name} does not take a value"));
+                }
+                if !value_flags.contains(&name) {
+                    return Err(format!("unknown option `--{name}`"));
+                }
+                values.push((name.to_string(), value.to_string()));
+            } else if value_flags.contains(&rest) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{rest} needs a value"))?;
+                values.push((rest.to_string(), value.clone()));
+            } else if bool_flags.contains(&rest) {
+                flags.push(rest.to_string());
+            } else {
+                return Err(format!("unknown option `--{rest}`"));
+            }
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, flags, values))
+}
+
+fn lookup<'a>(values: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    values
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Entry point shared by the binary and `examples/reproduce.rs`. Returns the
+/// process exit code.
+pub fn run_cli(args: &[String]) -> i32 {
+    match dispatch(args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("scoop-lab: {message}");
+            2
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<i32, String> {
+    let Some(command) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "run" => cmd_run(rest),
+        "report" => cmd_report(rest),
+        "diff" => cmd_diff(rest),
+        "check" => cmd_check(rest),
+        "trace" => cmd_trace(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(0)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<i32, String> {
+    let (positional, flags, values) = parse(
+        args,
+        &["trials", "seed", "results", "history"],
+        &["quick", "json"],
+    )?;
+    let quick = flags.iter().any(|f| f == "quick");
+    let json = flags.iter().any(|f| f == "json");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let mut options = SuiteOptions {
+        scale,
+        trials: if quick { 1 } else { 3 },
+        seed: 1,
+        points: PointSet::Full,
+        experiments: ExperimentId::ALL.to_vec(),
+    };
+    if let Some(trials) = lookup(&values, "trials") {
+        options.trials = trials
+            .parse()
+            .map_err(|_| format!("bad --trials value `{trials}`"))?;
+    }
+    if let Some(seed) = lookup(&values, "seed") {
+        options.seed = seed
+            .parse()
+            .map_err(|_| format!("bad --seed value `{seed}`"))?;
+    }
+    if !positional.is_empty() && positional.iter().all(|p| p != "all") {
+        options.experiments = positional
+            .iter()
+            .map(|slug| {
+                ExperimentId::from_slug(slug).ok_or_else(|| format!("unknown experiment `{slug}`"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+
+    let store = ArtifactStore::new(PathBuf::from(
+        lookup(&values, "results").unwrap_or(DEFAULT_RESULTS_DIR),
+    ));
+    let artifacts = run_suite(&options, |artifact| {
+        if !json {
+            let title = artifact
+                .experiment_id()
+                .map(|id| id.title())
+                .unwrap_or("experiment");
+            println!("{}", artifact.rows.table(title));
+            println!(
+                "({} finished in {:.2} s)\n",
+                artifact.experiment, artifact.provenance.wall_clock_secs
+            );
+        }
+    })
+    .map_err(|e| e.to_string())?;
+
+    if json {
+        // The historical `reproduce --json` format: one bare JSON array per
+        // experiment. A serialization failure fails the whole command.
+        for artifact in &artifacts {
+            println!("{}", artifact.rows.rows_json().map_err(|e| e.to_string())?);
+        }
+    }
+    for artifact in &artifacts {
+        store.save(artifact).map_err(|e| e.to_string())?;
+    }
+    if !json {
+        println!(
+            "wrote {} artifact(s) to {}",
+            artifacts.len(),
+            store.root().display()
+        );
+    }
+    if let Some(history) = lookup(&values, "history") {
+        if let Some(record) = HistoryRecord::from_artifacts(&artifacts) {
+            record
+                .append_to(&PathBuf::from(history))
+                .map_err(|e| e.to_string())?;
+            if !json {
+                println!("appended run record to {history}");
+            }
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_report(args: &[String]) -> Result<i32, String> {
+    let (_, _, values) = parse(args, &["results", "out"], &[])?;
+    let store = ArtifactStore::new(PathBuf::from(
+        lookup(&values, "results").unwrap_or(DEFAULT_RESULTS_DIR),
+    ));
+    let artifacts = store
+        .load_present(&ExperimentId::ALL)
+        .map_err(|e| e.to_string())?;
+    let markdown = render_experiments_md(&artifacts).map_err(|e| e.to_string())?;
+    let out = lookup(&values, "out").unwrap_or(DEFAULT_EXPERIMENTS_MD);
+    std::fs::write(out, markdown).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "regenerated {out} from {} artifact(s) in {}",
+        artifacts.len(),
+        store.root().display()
+    );
+    Ok(0)
+}
+
+fn cmd_diff(args: &[String]) -> Result<i32, String> {
+    let (_, _, values) = parse(args, &["results"], &[])?;
+    let store = ArtifactStore::new(PathBuf::from(
+        lookup(&values, "results").unwrap_or(DEFAULT_RESULTS_DIR),
+    ));
+    let artifacts = store
+        .load_present(&ExperimentId::ALL)
+        .map_err(|e| e.to_string())?;
+    if artifacts.is_empty() {
+        return Err("no artifacts found; run `scoop-lab run` first".into());
+    }
+    let mut compared = 0;
+    for artifact in &artifacts {
+        let Some(id) = artifact.experiment_id() else {
+            continue;
+        };
+        let Some(baseline) = paper_baseline(id) else {
+            continue;
+        };
+        let measured = artifact.rows.measured_rows(id.reference_key());
+        let report = diff_rows(&measured, &baseline);
+        print!("{}", report.render_text());
+        compared += 1;
+    }
+    println!("compared {compared} experiment(s) against the paper baselines");
+    Ok(0)
+}
+
+fn cmd_check(args: &[String]) -> Result<i32, String> {
+    let (positional, flags, values) = parse(args, &["tolerance", "baseline"], &["bless"])?;
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let preset_name = lookup(&values, "tolerance").unwrap_or("default");
+    let preset = TolerancePreset::from_name(preset_name)
+        .ok_or_else(|| format!("unknown tolerance `{preset_name}` (strict|default|loose)"))?;
+    let bless = flags.iter().any(|f| f == "bless");
+    let baseline_path = PathBuf::from(lookup(&values, "baseline").unwrap_or(DEFAULT_BASELINE_PATH));
+    let outcome = run_check(&baseline_path, preset, bless).map_err(|e| e.to_string())?;
+    print!("{}", outcome.render_text());
+    if bless {
+        println!("blessed: wrote {}", baseline_path.display());
+    }
+    Ok(if outcome.failed() { 1 } else { 0 })
+}
+
+/// The step-by-step diagnostic: runs one experiment in 5-second simulated
+/// steps, printing cumulative per-kind transmission counters, and finishes
+/// with the standard Figure 3-style breakdown table.
+fn cmd_trace(args: &[String]) -> Result<i32, String> {
+    let (positional, _, _) = parse(args, &[], &[])?;
+    let mut cfg = ExperimentConfig::small_test();
+    cfg.policy = match positional.first().map(String::as_str) {
+        Some("local") => StoragePolicy::Local,
+        Some("base") => StoragePolicy::Base,
+        Some("hash") => StoragePolicy::Hash,
+        _ => StoragePolicy::Scoop,
+    };
+    cfg.data_source = match positional.get(1).map(String::as_str) {
+        Some("unique") => DataSourceKind::Unique,
+        Some("equal") => DataSourceKind::Equal,
+        Some("random") => DataSourceKind::Random,
+        Some("gaussian") => DataSourceKind::Gaussian,
+        _ => DataSourceKind::Real,
+    };
+    if let Some(n) = positional.get(2).and_then(|s| s.parse().ok()) {
+        cfg.num_nodes = n;
+    }
+
+    let mut engine = scoop_sim::build_engine(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "policy={} source={} nodes={} duration={}",
+        cfg.policy, cfg.data_source, cfg.num_nodes, cfg.duration
+    );
+    let start = std::time::Instant::now();
+    let step = SimDuration::from_secs(5);
+    let mut now = SimTime::ZERO;
+    while now < SimTime::ZERO + cfg.duration {
+        now += step;
+        engine.run_until(now);
+        let tx = engine.stats().total_tx();
+        println!(
+            "t={:>6}s wall={:>7.1}s events={:<9} pending={:<7} data={:<7} summary={:<6} mapping={:<6} query={:<6} reply={:<6} hb={:<6}",
+            now.as_secs(),
+            start.elapsed().as_secs_f64(),
+            engine.events_processed(),
+            engine.pending_events(),
+            tx.data,
+            tx.summary,
+            tx.mapping,
+            tx.query,
+            tx.reply,
+            tx.heartbeat
+        );
+    }
+    // The final cumulative breakdown, through the shared report API.
+    let breakdown = MessageBreakdown::from_stats(&engine.stats().total_tx());
+    let rows = RowSet::Fig3(vec![scoop_sim::experiments::Fig3Row {
+        policy: cfg.policy,
+        source: cfg.data_source,
+        messages: breakdown,
+        total: breakdown.total(),
+    }]);
+    println!("\n{}", rows.table("cumulative transmissions (whole run)"));
+    println!("done in {:.1}s wall", start.elapsed().as_secs_f64());
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_handles_both_flag_styles() {
+        let args = s(&["--tolerance", "loose", "--baseline=b.json", "--bless", "x"]);
+        let (positional, flags, values) =
+            parse(&args, &["tolerance", "baseline"], &["bless"]).unwrap();
+        assert_eq!(positional, vec!["x"]);
+        assert_eq!(flags, vec!["bless"]);
+        assert_eq!(lookup(&values, "tolerance"), Some("loose"));
+        assert_eq!(lookup(&values, "baseline"), Some("b.json"));
+        assert!(parse(&s(&["--tolerance"]), &["tolerance"], &[]).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_malformed_options() {
+        // Typo'd option names must fail, not silently use a default.
+        assert!(parse(&s(&["--result=x"]), &["results"], &[]).is_err());
+        assert!(parse(&s(&["--blessed"]), &[], &["bless"]).is_err());
+        // A bool flag given a value is an error, not a silent no-op.
+        assert!(parse(&s(&["--bless=true"]), &[], &["bless"]).is_err());
+        assert_eq!(run_cli(&s(&["run", "--result=/tmp/nope"])), 2);
+        assert_eq!(run_cli(&s(&["check", "--bless=true"])), 2);
+    }
+
+    #[test]
+    fn unknown_command_and_experiment_are_rejected() {
+        assert_eq!(run_cli(&s(&["frobnicate"])), 2);
+        assert_eq!(run_cli(&s(&["run", "fig9"])), 2);
+        assert_eq!(run_cli(&s(&["check", "--tolerance", "yolo"])), 2);
+        assert_eq!(run_cli(&s(&[])), 2);
+    }
+
+    #[test]
+    fn run_report_diff_cycle_in_temp_dir() {
+        let dir = std::env::temp_dir().join(format!("scoop-lab-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let results = dir.join("results");
+        let out = dir.join("EXPERIMENTS.md");
+        let history = dir.join("history.jsonl");
+        let code = run_cli(&s(&[
+            "run",
+            "--quick",
+            "--trials=1",
+            &format!("--results={}", results.display()),
+            &format!("--history={}", history.display()),
+            "fig3-middle",
+            "fig5",
+        ]));
+        assert_eq!(code, 0);
+        assert!(results.join("fig3-middle.json").exists());
+        assert!(results.join("fig5.json").exists());
+        assert!(history.exists());
+
+        let code = run_cli(&s(&[
+            "report",
+            &format!("--results={}", results.display()),
+            &format!("--out={}", out.display()),
+        ]));
+        assert_eq!(code, 0);
+        let md = std::fs::read_to_string(&out).unwrap();
+        assert!(md.contains("Figure 3 (middle)"));
+        assert!(md.contains("vs. paper"));
+
+        let code = run_cli(&s(&["diff", &format!("--results={}", results.display())]));
+        assert_eq!(code, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

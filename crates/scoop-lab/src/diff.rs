@@ -1,0 +1,347 @@
+//! The diff engine: classify measured rows against a baseline with
+//! per-metric tolerances.
+//!
+//! A [`BaselineSet`] holds expected values for (a subset of) an experiment's
+//! rows and metrics. [`diff_rows`] compares measured rows against it and
+//! classifies every baseline row as [`RowStatus::Match`] (all metrics within
+//! tolerance), [`RowStatus::Drift`] (at least one metric out, with the
+//! deviations listed), or [`RowStatus::Missing`] (the measured data has no
+//! such row). Measured rows with no baseline are ignored — baselines pin
+//! down what we *know*, they do not forbid extra measurements.
+
+use crate::rows::MeasuredRow;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How far a measured value may sit from its expectation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Tolerance {
+    /// `|measured - expected| <= frac * |expected|`.
+    Relative(f64),
+    /// `|measured - expected| <= bound`.
+    Absolute(f64),
+}
+
+impl Tolerance {
+    /// The absolute slack this tolerance allows around `expected`.
+    pub fn allowed(&self, expected: f64) -> f64 {
+        match *self {
+            Tolerance::Relative(frac) => frac * expected.abs(),
+            Tolerance::Absolute(bound) => bound,
+        }
+    }
+
+    /// Whether `measured` is acceptable for `expected`.
+    pub fn accepts(&self, expected: f64, measured: f64) -> bool {
+        (measured - expected).abs() <= self.allowed(expected) + 1e-12
+    }
+}
+
+impl fmt::Display for Tolerance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tolerance::Relative(frac) => write!(f, "±{:.0}%", frac * 100.0),
+            Tolerance::Absolute(bound) => write!(f, "±{bound}"),
+        }
+    }
+}
+
+/// One expected metric value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricCheck {
+    /// Metric name, matching [`MeasuredRow::metrics`].
+    pub metric: String,
+    /// Expected value.
+    pub expected: f64,
+    /// Acceptable deviation.
+    pub tolerance: Tolerance,
+}
+
+impl MetricCheck {
+    /// Builds a check.
+    pub fn new(metric: impl Into<String>, expected: f64, tolerance: Tolerance) -> Self {
+        MetricCheck {
+            metric: metric.into(),
+            expected,
+            tolerance,
+        }
+    }
+}
+
+/// Expected metrics for one row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRow {
+    /// Row key, matching [`MeasuredRow::key`].
+    pub key: String,
+    /// The metric expectations for this row.
+    pub checks: Vec<MetricCheck>,
+}
+
+/// A full baseline for one experiment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BaselineSet {
+    /// Experiment slug this baseline applies to.
+    pub experiment: String,
+    /// Where the expected numbers come from (shown in reports), e.g.
+    /// `"paper, Section 6 prose"` or `"committed smoke run"`.
+    pub source: String,
+    /// Per-row expectations.
+    pub rows: Vec<BaselineRow>,
+}
+
+/// One metric that fell outside its tolerance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricDeviation {
+    /// Metric name.
+    pub metric: String,
+    /// Expected value.
+    pub expected: f64,
+    /// Measured value (NaN when the metric is absent from the measurement).
+    pub measured: f64,
+    /// Absolute slack that was allowed.
+    pub allowed: f64,
+}
+
+impl fmt::Display for MetricDeviation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.measured.is_nan() {
+            write!(
+                f,
+                "{}: expected {:.4}, metric absent",
+                self.metric, self.expected
+            )
+        } else {
+            write!(
+                f,
+                "{}: expected {:.4}±{:.4}, measured {:.4}",
+                self.metric, self.expected, self.allowed, self.measured
+            )
+        }
+    }
+}
+
+/// Classification of one baseline row against the measurements.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RowStatus {
+    /// Every checked metric is within tolerance.
+    Match,
+    /// At least one metric deviates; the offenders are listed.
+    Drift(Vec<MetricDeviation>),
+    /// No measured row carries this key.
+    Missing,
+}
+
+impl RowStatus {
+    /// Whether this status should fail a regression gate.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, RowStatus::Match)
+    }
+
+    /// Short badge used in tables.
+    pub fn badge(&self) -> &'static str {
+        match self {
+            RowStatus::Match => "match",
+            RowStatus::Drift(_) => "drift",
+            RowStatus::Missing => "missing",
+        }
+    }
+}
+
+/// The classification of every baseline row of one experiment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiffReport {
+    /// Experiment slug.
+    pub experiment: String,
+    /// Baseline source description.
+    pub source: String,
+    /// `(row key, status)` in baseline order.
+    pub rows: Vec<(String, RowStatus)>,
+}
+
+impl DiffReport {
+    /// Number of rows with each status: `(match, drift, missing)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for (_, status) in &self.rows {
+            match status {
+                RowStatus::Match => counts.0 += 1,
+                RowStatus::Drift(_) => counts.1 += 1,
+                RowStatus::Missing => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Whether any row drifted or went missing.
+    pub fn has_failures(&self) -> bool {
+        self.rows.iter().any(|(_, s)| s.is_failure())
+    }
+
+    /// The status recorded for `key`, if the baseline covers it.
+    pub fn status_of(&self, key: &str) -> Option<&RowStatus> {
+        self.rows.iter().find(|(k, _)| k == key).map(|(_, s)| s)
+    }
+
+    /// Plain-text rendering (one line per row, deviations indented).
+    pub fn render_text(&self) -> String {
+        let (matches, drifts, missing) = self.counts();
+        let mut out = format!(
+            "{}: {} match, {} drift, {} missing (baseline: {})\n",
+            self.experiment, matches, drifts, missing, self.source
+        );
+        for (key, status) in &self.rows {
+            out.push_str(&format!("  [{:^7}] {key}\n", status.badge()));
+            if let RowStatus::Drift(deviations) = status {
+                for deviation in deviations {
+                    out.push_str(&format!("            {deviation}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Classifies measured rows against one baseline set.
+pub fn diff_rows(measured: &[MeasuredRow], baseline: &BaselineSet) -> DiffReport {
+    let rows = baseline
+        .rows
+        .iter()
+        .map(|expected| {
+            let status = match measured.iter().find(|row| row.key == expected.key) {
+                None => RowStatus::Missing,
+                Some(row) => {
+                    let deviations: Vec<MetricDeviation> = expected
+                        .checks
+                        .iter()
+                        .filter_map(|check| {
+                            let measured_value = row.metric(&check.metric);
+                            let ok = measured_value
+                                .map(|v| check.tolerance.accepts(check.expected, v))
+                                .unwrap_or(false);
+                            if ok {
+                                None
+                            } else {
+                                Some(MetricDeviation {
+                                    metric: check.metric.clone(),
+                                    expected: check.expected,
+                                    measured: measured_value.unwrap_or(f64::NAN),
+                                    allowed: check.tolerance.allowed(check.expected),
+                                })
+                            }
+                        })
+                        .collect();
+                    if deviations.is_empty() {
+                        RowStatus::Match
+                    } else {
+                        RowStatus::Drift(deviations)
+                    }
+                }
+            };
+            (expected.key.clone(), status)
+        })
+        .collect();
+    DiffReport {
+        experiment: baseline.experiment.clone(),
+        source: baseline.source.clone(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured() -> Vec<MeasuredRow> {
+        vec![
+            MeasuredRow {
+                key: "scoop/real".into(),
+                metrics: vec![("total_messages".into(), 100.0), ("ratio".into(), 0.75)],
+            },
+            MeasuredRow {
+                key: "base/real".into(),
+                metrics: vec![("total_messages".into(), 140.0)],
+            },
+        ]
+    }
+
+    fn baseline(expected_total: f64, tol: Tolerance) -> BaselineSet {
+        BaselineSet {
+            experiment: "fig3-middle".into(),
+            source: "test".into(),
+            rows: vec![
+                BaselineRow {
+                    key: "scoop/real".into(),
+                    checks: vec![MetricCheck::new("total_messages", expected_total, tol)],
+                },
+                BaselineRow {
+                    key: "hash/real".into(),
+                    checks: vec![MetricCheck::new("total_messages", 1.0, tol)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn classifies_match_drift_and_missing() {
+        let report = diff_rows(&measured(), &baseline(95.0, Tolerance::Relative(0.10)));
+        assert_eq!(report.status_of("scoop/real"), Some(&RowStatus::Match));
+        assert_eq!(report.status_of("hash/real"), Some(&RowStatus::Missing));
+        assert_eq!(report.counts(), (1, 0, 1));
+        assert!(report.has_failures());
+
+        let report = diff_rows(&measured(), &baseline(50.0, Tolerance::Relative(0.10)));
+        match report.status_of("scoop/real") {
+            Some(RowStatus::Drift(deviations)) => {
+                assert_eq!(deviations.len(), 1);
+                assert_eq!(deviations[0].measured, 100.0);
+                assert_eq!(deviations[0].expected, 50.0);
+            }
+            other => panic!("expected drift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absent_metric_counts_as_drift() {
+        let base = BaselineSet {
+            experiment: "x".into(),
+            source: "test".into(),
+            rows: vec![BaselineRow {
+                key: "scoop/real".into(),
+                checks: vec![MetricCheck::new("no_such", 1.0, Tolerance::Absolute(0.5))],
+            }],
+        };
+        let report = diff_rows(&measured(), &base);
+        match report.status_of("scoop/real") {
+            Some(RowStatus::Drift(d)) => assert!(d[0].measured.is_nan()),
+            other => panic!("expected drift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerance_arithmetic() {
+        assert!(Tolerance::Relative(0.10).accepts(100.0, 109.9));
+        assert!(!Tolerance::Relative(0.10).accepts(100.0, 110.5));
+        assert!(Tolerance::Absolute(0.05).accepts(0.93, 0.90));
+        assert!(!Tolerance::Absolute(0.05).accepts(0.93, 0.80));
+        // Exact comparison survives floating-point noise.
+        assert!(Tolerance::Absolute(0.0).accepts(0.3, 0.1 + 0.2));
+        assert_eq!(Tolerance::Relative(0.25).to_string(), "±25%");
+    }
+
+    #[test]
+    fn render_text_lists_deviations() {
+        let report = diff_rows(&measured(), &baseline(50.0, Tolerance::Relative(0.10)));
+        let text = report.render_text();
+        assert!(text.contains("drift"), "{text}");
+        assert!(text.contains("total_messages"), "{text}");
+        assert!(text.contains("missing"), "{text}");
+    }
+
+    #[test]
+    fn diff_report_serde_round_trips() {
+        let report = diff_rows(&measured(), &baseline(95.0, Tolerance::Relative(0.10)));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: DiffReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

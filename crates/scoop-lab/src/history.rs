@@ -1,0 +1,112 @@
+//! Per-commit performance history (`BENCH_history.jsonl`).
+//!
+//! Every `scoop-lab run --history <file>` appends one JSON line recording
+//! the wall-clock of each experiment in the run, keyed by git revision. CI
+//! appends a line per commit, turning the file into a coarse perf
+//! trajectory — enough to spot a simulation slowdown without a dedicated
+//! benchmarking service. JSONL appends never rewrite history, so the file is
+//! merge-friendly.
+
+use crate::artifact::Artifact;
+use scoop_types::ScoopError;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One experiment's timing within a history record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentTiming {
+    /// Experiment slug.
+    pub experiment: String,
+    /// Rows produced.
+    pub rows: usize,
+    /// Wall-clock seconds.
+    pub wall_clock_secs: f64,
+}
+
+/// One appended line of `BENCH_history.jsonl`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistoryRecord {
+    /// Git revision the suite ran at.
+    pub git_rev: String,
+    /// Scale name (`"paper"` / `"quick"`).
+    pub scale: String,
+    /// Trials per scenario.
+    pub trials: usize,
+    /// Sweep worker threads.
+    pub threads: usize,
+    /// Sum of per-experiment wall-clocks.
+    pub total_wall_clock_secs: f64,
+    /// Per-experiment timings, in suite order.
+    pub experiments: Vec<ExperimentTiming>,
+}
+
+impl HistoryRecord {
+    /// Summarizes one finished suite run.
+    pub fn from_artifacts(artifacts: &[Artifact]) -> Option<HistoryRecord> {
+        let first = artifacts.first()?;
+        let experiments: Vec<ExperimentTiming> = artifacts
+            .iter()
+            .map(|a| ExperimentTiming {
+                experiment: a.experiment.clone(),
+                rows: a.rows.len(),
+                wall_clock_secs: a.provenance.wall_clock_secs,
+            })
+            .collect();
+        Some(HistoryRecord {
+            git_rev: first.provenance.git_rev.clone(),
+            scale: first.scale.clone(),
+            trials: first.trials,
+            threads: first.provenance.threads,
+            total_wall_clock_secs: experiments.iter().map(|e| e.wall_clock_secs).sum(),
+            experiments,
+        })
+    }
+
+    /// Appends this record as one line of `path`, creating the file if
+    /// needed.
+    pub fn append_to(&self, path: &Path) -> Result<(), ScoopError> {
+        let line =
+            serde_json::to_string(self).map_err(|e| ScoopError::Serialization(e.to_string()))?;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| ScoopError::Artifact(format!("{}: {e}", path.display())))?;
+        writeln!(file, "{line}")
+            .map_err(|e| ScoopError::Artifact(format!("{}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{run_suite, SuiteOptions};
+
+    #[test]
+    fn record_summarizes_and_appends_jsonl() {
+        let mut options = SuiteOptions::quick_smoke();
+        options.experiments.truncate(2);
+        let artifacts = run_suite(&options, |_| ()).unwrap();
+        let record = HistoryRecord::from_artifacts(&artifacts).unwrap();
+        assert_eq!(record.experiments.len(), 2);
+        assert!(record.total_wall_clock_secs >= 0.0);
+        assert_eq!(record.scale, "quick");
+
+        let path =
+            std::env::temp_dir().join(format!("scoop-lab-history-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        record.append_to(&path).unwrap();
+        record.append_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let back: HistoryRecord = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(back, record);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_run_yields_no_record() {
+        assert!(HistoryRecord::from_artifacts(&[]).is_none());
+    }
+}

@@ -1,0 +1,6 @@
+//! The `scoop-lab` binary: see [`scoop_lab::cli`] for the subcommands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(scoop_lab::cli::run_cli(&args));
+}

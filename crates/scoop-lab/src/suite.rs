@@ -1,0 +1,337 @@
+//! The experiment suite: every figure/table the lab can run, with one stable
+//! identifier per experiment.
+//!
+//! [`ExperimentId`] is the single enumeration the CLI, the artifact store,
+//! the baselines, and the bench harness all key on. [`run_experiment`] maps
+//! an id to the corresponding `scoop_sim::experiments` function (all grids
+//! execute on the parallel [`SweepRunner`](scoop_sim::SweepRunner) inside),
+//! and [`run_suite`] runs a list of experiments, recording per-experiment
+//! wall-clock into [`Artifact`]s.
+
+use crate::artifact::{Artifact, Provenance};
+use crate::rows::RowSet;
+use scoop_sim::experiments::{self, fig4, fig5};
+use scoop_types::{DataSourceKind, ExperimentConfig, ScoopError, StoragePolicy};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+
+/// Which configuration scale a suite runs at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// The paper's Section 6 parameters: 62 nodes, 40 minutes.
+    Paper,
+    /// The scaled-down sanity configuration: 16 nodes, 12 minutes.
+    Quick,
+}
+
+impl Scale {
+    /// The base configuration for this scale.
+    pub fn base_config(self) -> ExperimentConfig {
+        match self {
+            Scale::Paper => experiments::paper_base(),
+            Scale::Quick => experiments::quick_base(),
+        }
+    }
+
+    /// Lowercase name used in artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One experiment of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExperimentId {
+    /// Figure 3 (left): the testbed comparison bars.
+    Fig3Left,
+    /// Figure 3 (middle): all policies over the REAL trace.
+    Fig3Middle,
+    /// Figure 3 (right): SCOOP over every data source.
+    Fig3Right,
+    /// Figure 4: cost vs. fraction of nodes queried.
+    Fig4,
+    /// Figure 5: cost vs. query interval.
+    Fig5,
+    /// The ablation suite over the REAL trace.
+    Ablations,
+    /// The sample-interval sweep.
+    SampleInterval,
+    /// The reliability measurements.
+    Reliability,
+    /// The root-skew analysis.
+    RootSkew,
+    /// The scaling study.
+    Scaling,
+}
+
+impl ExperimentId {
+    /// Every experiment, in the order `run`/`report` process them.
+    pub const ALL: [ExperimentId; 10] = [
+        ExperimentId::Fig3Left,
+        ExperimentId::Fig3Middle,
+        ExperimentId::Fig3Right,
+        ExperimentId::Fig4,
+        ExperimentId::Fig5,
+        ExperimentId::Ablations,
+        ExperimentId::SampleInterval,
+        ExperimentId::Reliability,
+        ExperimentId::RootSkew,
+        ExperimentId::Scaling,
+    ];
+
+    /// Stable slug used for CLI selection and artifact file names.
+    pub fn slug(self) -> &'static str {
+        match self {
+            ExperimentId::Fig3Left => "fig3-left",
+            ExperimentId::Fig3Middle => "fig3-middle",
+            ExperimentId::Fig3Right => "fig3-right",
+            ExperimentId::Fig4 => "fig4",
+            ExperimentId::Fig5 => "fig5",
+            ExperimentId::Ablations => "ablations",
+            ExperimentId::SampleInterval => "sample-interval",
+            ExperimentId::Reliability => "reliability",
+            ExperimentId::RootSkew => "root-skew",
+            ExperimentId::Scaling => "scaling",
+        }
+    }
+
+    /// Human-readable title used in tables and EXPERIMENTS.md headings.
+    pub fn title(self) -> &'static str {
+        match self {
+            ExperimentId::Fig3Left => "Figure 3 (left): testbed comparison",
+            ExperimentId::Fig3Middle => "Figure 3 (middle): policies on the REAL trace",
+            ExperimentId::Fig3Right => "Figure 3 (right): Scoop across data sources",
+            ExperimentId::Fig4 => "Figure 4: cost vs. % of nodes queried",
+            ExperimentId::Fig5 => "Figure 5: cost vs. query interval",
+            ExperimentId::Ablations => "Ablations (SCOOP on the REAL trace)",
+            ExperimentId::SampleInterval => "Sample-interval sweep",
+            ExperimentId::Reliability => "Reliability",
+            ExperimentId::RootSkew => "Root-node skew",
+            ExperimentId::Scaling => "Scaling study",
+        }
+    }
+
+    /// Parses a slug (as typed on the CLI).
+    pub fn from_slug(slug: &str) -> Option<ExperimentId> {
+        ExperimentId::ALL.into_iter().find(|id| id.slug() == slug)
+    }
+
+    /// The row key the normalized `total_vs_ref` metric divides by, if this
+    /// experiment's figure argues in ratios (see [`RowSet::measured_rows`]).
+    ///
+    /// Figure 3 panels normalize to the panel's BASE bar (left/middle) or the
+    /// REAL bar (right); ablations normalize to the unmodified baseline
+    /// variant.
+    pub fn reference_key(self) -> Option<&'static str> {
+        match self {
+            ExperimentId::Fig3Left => Some("base/gaussian"),
+            ExperimentId::Fig3Middle => Some("base/real"),
+            ExperimentId::Fig3Right => Some("scoop/real"),
+            ExperimentId::Ablations => Some("baseline"),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// Which sweep points an experiment runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PointSet {
+    /// The full grids used for figure regeneration.
+    Full,
+    /// Reduced grids for the regression smoke suite (`scoop-lab check`).
+    Smoke,
+}
+
+/// Options for one suite invocation.
+#[derive(Clone, Debug)]
+pub struct SuiteOptions {
+    /// Configuration scale.
+    pub scale: Scale,
+    /// Trials averaged per scenario.
+    pub trials: usize,
+    /// Base seed (trial `t` runs with `seed + t`).
+    pub seed: u64,
+    /// Full or smoke sweep grids.
+    pub points: PointSet,
+    /// Which experiments to run, in order.
+    pub experiments: Vec<ExperimentId>,
+}
+
+impl SuiteOptions {
+    /// The full paper-scale suite: every experiment, 3 trials.
+    pub fn paper_full() -> Self {
+        SuiteOptions {
+            scale: Scale::Paper,
+            trials: 3,
+            seed: 1,
+            points: PointSet::Full,
+            experiments: ExperimentId::ALL.to_vec(),
+        }
+    }
+
+    /// The quick smoke suite backing `scoop-lab check`: deterministic,
+    /// single-trial, reduced grids — small enough for a CI gate.
+    pub fn quick_smoke() -> Self {
+        SuiteOptions {
+            scale: Scale::Quick,
+            trials: 1,
+            seed: 1,
+            points: PointSet::Smoke,
+            experiments: vec![
+                ExperimentId::Fig3Middle,
+                ExperimentId::Fig4,
+                ExperimentId::Fig5,
+                ExperimentId::Ablations,
+                ExperimentId::Reliability,
+            ],
+        }
+    }
+
+    /// The base configuration with this suite's seed applied.
+    pub fn base_config(&self) -> ExperimentConfig {
+        let mut cfg = self.scale.base_config();
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+/// Runs one experiment and returns its rows.
+pub fn run_experiment(
+    id: ExperimentId,
+    base: &ExperimentConfig,
+    trials: usize,
+    points: PointSet,
+) -> Result<RowSet, ScoopError> {
+    let smoke = points == PointSet::Smoke;
+    match id {
+        ExperimentId::Fig3Left => experiments::fig3_left(base, trials).map(RowSet::Fig3),
+        ExperimentId::Fig3Middle => experiments::fig3_middle(base, trials).map(RowSet::Fig3),
+        ExperimentId::Fig3Right => experiments::fig3_right(base, trials).map(RowSet::Fig3),
+        ExperimentId::Fig4 => {
+            let widths = if smoke {
+                vec![0.05, 0.5]
+            } else {
+                fig4::default_width_fracs()
+            };
+            experiments::fig4_selectivity(base, &widths, trials).map(RowSet::Fig4)
+        }
+        ExperimentId::Fig5 => {
+            let intervals = if smoke {
+                vec![5, 45]
+            } else {
+                fig5::default_intervals()
+            };
+            experiments::fig5_query_interval(base, &intervals, trials).map(RowSet::Fig5)
+        }
+        ExperimentId::Ablations => {
+            experiments::ablation_rows(base, DataSourceKind::Real, trials).map(RowSet::Ablations)
+        }
+        ExperimentId::SampleInterval => {
+            let sources = [
+                DataSourceKind::Real,
+                DataSourceKind::Random,
+                DataSourceKind::Unique,
+            ];
+            let intervals: &[u64] = if smoke { &[15, 60] } else { &[15, 30, 60, 120] };
+            experiments::sample_interval_sweep(base, &sources, intervals, trials)
+                .map(RowSet::SampleInterval)
+        }
+        ExperimentId::Reliability => {
+            let policies = [
+                StoragePolicy::Scoop,
+                StoragePolicy::Local,
+                StoragePolicy::Base,
+            ];
+            experiments::reliability(base, &policies, trials).map(RowSet::Reliability)
+        }
+        ExperimentId::RootSkew => experiments::root_skew(base, trials).map(RowSet::RootSkew),
+        ExperimentId::Scaling => {
+            let sizes: Vec<usize> = if smoke {
+                vec![8, 16]
+            } else if base.num_nodes <= 16 {
+                vec![8, 16, 25]
+            } else {
+                vec![25, 50, 62, 100]
+            };
+            let sources = [DataSourceKind::Real, DataSourceKind::Random];
+            experiments::scaling(base, &sizes, &sources, trials).map(RowSet::Scaling)
+        }
+    }
+}
+
+/// Runs every experiment in `options`, timing each, and wraps the results as
+/// artifacts. `on_done` is called after each experiment (the CLI uses it for
+/// progress output); pass `|_| ()` when silence is wanted.
+pub fn run_suite(
+    options: &SuiteOptions,
+    mut on_done: impl FnMut(&Artifact),
+) -> Result<Vec<Artifact>, ScoopError> {
+    let base = options.base_config();
+    let mut artifacts = Vec::with_capacity(options.experiments.len());
+    for &id in &options.experiments {
+        let start = Instant::now();
+        let rows = run_experiment(id, &base, options.trials, options.points)?;
+        let provenance = Provenance::capture(start.elapsed().as_secs_f64());
+        let artifact = Artifact::new(id, options, &base, rows, provenance);
+        on_done(&artifact);
+        artifacts.push(artifact);
+    }
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for id in ExperimentId::ALL {
+            assert_eq!(ExperimentId::from_slug(id.slug()), Some(id));
+            assert!(seen.insert(id.slug()), "duplicate slug {}", id.slug());
+        }
+        assert_eq!(ExperimentId::from_slug("fig9"), None);
+    }
+
+    #[test]
+    fn smoke_suite_runs_and_times_every_experiment() {
+        let options = SuiteOptions::quick_smoke();
+        let mut seen = Vec::new();
+        let artifacts = run_suite(&options, |a| seen.push(a.experiment.clone())).unwrap();
+        assert_eq!(artifacts.len(), options.experiments.len());
+        assert_eq!(seen.len(), artifacts.len());
+        for artifact in &artifacts {
+            assert!(
+                !artifact.rows.is_empty(),
+                "{} is empty",
+                artifact.experiment
+            );
+            assert!(artifact.provenance.wall_clock_secs >= 0.0);
+            assert_eq!(artifact.scale, "quick");
+        }
+    }
+
+    #[test]
+    fn smoke_points_reduce_the_grids() {
+        let base = Scale::Quick.base_config();
+        let full = run_experiment(ExperimentId::Fig5, &base, 1, PointSet::Full).unwrap();
+        let smoke = run_experiment(ExperimentId::Fig5, &base, 1, PointSet::Smoke).unwrap();
+        assert!(smoke.len() < full.len());
+    }
+}

@@ -8,11 +8,12 @@ use crate::experiments::{
     AblationRow, Fig3Row, Fig4Row, Fig5Row, ReliabilityRow, RootSkewRow, SampleIntervalRow,
     ScalingRow,
 };
+use scoop_types::ScoopError;
 use serde::Serialize;
 
 /// Renders any serializable row set as pretty JSON (one array).
-pub fn to_json<T: Serialize>(rows: &[T]) -> String {
-    serde_json::to_string_pretty(rows).unwrap_or_else(|_| "[]".to_string())
+pub fn to_json<T: Serialize>(rows: &[T]) -> Result<String, ScoopError> {
+    serde_json::to_string_pretty(rows).map_err(|e| ScoopError::Serialization(e.to_string()))
 }
 
 /// Formats the Figure 3 rows as the stacked-bar table from the paper.
@@ -205,7 +206,7 @@ mod tests {
             query_interval_secs: 15,
             total_messages: 1234,
         }];
-        let json = to_json(&rows);
+        let json = to_json(&rows).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed[0]["total_messages"], 1234);
     }

@@ -31,6 +31,10 @@ pub enum ScoopError {
     /// The simulation engine was asked to do something inconsistent with its
     /// current state (e.g. delivering to a node that was never registered).
     Simulation(String),
+    /// Experiment rows or artifacts could not be serialized / deserialized.
+    Serialization(String),
+    /// An experiment artifact could not be read from or written to disk.
+    Artifact(String),
 }
 
 impl fmt::Display for ScoopError {
@@ -45,6 +49,8 @@ impl fmt::Display for ScoopError {
                 write!(f, "value {value} outside the attribute domain [{lo}, {hi}]")
             }
             ScoopError::Simulation(msg) => write!(f, "simulation error: {msg}"),
+            ScoopError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            ScoopError::Artifact(msg) => write!(f, "artifact error: {msg}"),
         }
     }
 }
@@ -74,6 +80,18 @@ mod tests {
         }
         .to_string()
         .contains("500"));
+    }
+
+    #[test]
+    fn serialization_and_artifact_display() {
+        assert_eq!(
+            ScoopError::Serialization("bad row".into()).to_string(),
+            "serialization error: bad row"
+        );
+        assert_eq!(
+            ScoopError::Artifact("results/x.json: not found".into()).to_string(),
+            "artifact error: results/x.json: not found"
+        );
     }
 
     #[test]

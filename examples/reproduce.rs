@@ -1,5 +1,9 @@
 //! Regenerate any figure or table from the paper's evaluation.
 //!
+//! A thin wrapper over `scoop-lab run` — same flags, same artifact output
+//! (runs are persisted under `results/`; follow with `scoop-lab report` to
+//! regenerate `EXPERIMENTS.md`):
+//!
 //! ```bash
 //! # quick (16-node, 12-minute) versions of everything:
 //! cargo run --release --example reproduce -- --quick all
@@ -13,165 +17,8 @@
 //! `sample-interval`, `reliability`, `root-skew`, `scaling`, `ablations`,
 //! `all`.
 
-use scoop::sim::experiments::{self, fig4, fig5};
-use scoop::sim::report;
-use scoop::types::{DataSourceKind, StoragePolicy};
-
-struct Options {
-    quick: bool,
-    json: bool,
-    trials: usize,
-    which: Vec<String>,
-}
-
-fn parse_args() -> Options {
-    let mut opts = Options {
-        quick: false,
-        json: false,
-        trials: 0,
-        which: Vec::new(),
-    };
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--quick" => opts.quick = true,
-            "--json" => opts.json = true,
-            other if other.starts_with("--trials=") => {
-                opts.trials = other.trim_start_matches("--trials=").parse().unwrap_or(0);
-            }
-            other => opts.which.push(other.to_string()),
-        }
-    }
-    if opts.which.is_empty() {
-        opts.which.push("all".to_string());
-    }
-    if opts.trials == 0 {
-        opts.trials = if opts.quick { 1 } else { 3 };
-    }
-    opts
-}
-
 fn main() {
-    let opts = parse_args();
-    let base = if opts.quick {
-        experiments::quick_base()
-    } else {
-        experiments::paper_base()
-    };
-    let trials = opts.trials;
-    let wants = |name: &str| opts.which.iter().any(|w| w == name || w == "all");
-
-    if wants("fig3-left") {
-        let rows = experiments::fig3_left(&base, trials).expect("fig3 left");
-        if opts.json {
-            println!("{}", report::to_json(&rows));
-        } else {
-            println!(
-                "{}",
-                report::fig3_table("Figure 3 (left): testbed comparison", &rows)
-            );
-        }
-    }
-    if wants("fig3-middle") {
-        let rows = experiments::fig3_middle(&base, trials).expect("fig3 middle");
-        if opts.json {
-            println!("{}", report::to_json(&rows));
-        } else {
-            println!(
-                "{}",
-                report::fig3_table("Figure 3 (middle): policies on the REAL trace", &rows)
-            );
-        }
-    }
-    if wants("fig3-right") {
-        let rows = experiments::fig3_right(&base, trials).expect("fig3 right");
-        if opts.json {
-            println!("{}", report::to_json(&rows));
-        } else {
-            println!(
-                "{}",
-                report::fig3_table("Figure 3 (right): Scoop across data sources", &rows)
-            );
-        }
-    }
-    if wants("fig4") {
-        let rows = experiments::fig4_selectivity(&base, &fig4::default_width_fracs(), trials)
-            .expect("fig4");
-        if opts.json {
-            println!("{}", report::to_json(&rows));
-        } else {
-            println!("{}", report::fig4_table(&rows));
-        }
-    }
-    if wants("fig5") {
-        let rows = experiments::fig5_query_interval(&base, &fig5::default_intervals(), trials)
-            .expect("fig5");
-        if opts.json {
-            println!("{}", report::to_json(&rows));
-        } else {
-            println!("{}", report::fig5_table(&rows));
-        }
-    }
-    if wants("sample-interval") {
-        let rows = experiments::sample_interval_sweep(
-            &base,
-            &[
-                DataSourceKind::Real,
-                DataSourceKind::Random,
-                DataSourceKind::Unique,
-            ],
-            &[15, 30, 60],
-            trials,
-        )
-        .expect("sample interval");
-        if opts.json {
-            println!("{}", report::to_json(&rows));
-        } else {
-            println!("{}", report::sample_interval_table(&rows));
-        }
-    }
-    if wants("reliability") {
-        let rows =
-            experiments::reliability(&base, &[StoragePolicy::Scoop], trials).expect("reliability");
-        if opts.json {
-            println!("{}", report::to_json(&rows));
-        } else {
-            println!("{}", report::reliability_table(&rows));
-        }
-    }
-    if wants("root-skew") {
-        let rows = experiments::root_skew(&base, trials).expect("root skew");
-        if opts.json {
-            println!("{}", report::to_json(&rows));
-        } else {
-            println!("{}", report::root_skew_table(&rows));
-        }
-    }
-    if wants("scaling") {
-        let sizes: Vec<usize> = if opts.quick {
-            vec![16, 25]
-        } else {
-            vec![25, 50, 62, 100]
-        };
-        let rows = experiments::scaling(
-            &base,
-            &sizes,
-            &[DataSourceKind::Real, DataSourceKind::Random],
-            trials,
-        )
-        .expect("scaling");
-        if opts.json {
-            println!("{}", report::to_json(&rows));
-        } else {
-            println!("{}", report::scaling_table(&rows));
-        }
-    }
-    if wants("ablations") {
-        let rows =
-            experiments::ablation_rows(&base, DataSourceKind::Real, trials).expect("ablations");
-        if opts.json {
-            println!("{}", report::to_json(&rows));
-        } else {
-            println!("{}", report::ablation_table(&rows));
-        }
-    }
+    let mut args: Vec<String> = vec!["run".to_string()];
+    args.extend(std::env::args().skip(1));
+    std::process::exit(scoop::lab::cli::run_cli(&args));
 }

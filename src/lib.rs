@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub use scoop_core as core;
+pub use scoop_lab as lab;
 pub use scoop_net as net;
 pub use scoop_routing as routing;
 pub use scoop_sim as sim;
