@@ -17,7 +17,7 @@ fn main() {
     let options = bench_options(ExperimentId::Ablations);
     run_and_print("Ablations over the equal source", || {
         let rows = ablation_rows(
-            &options.base_config(),
+            &options.base_config().expect("base spec"),
             DataSourceKind::Equal,
             options.trials,
         )

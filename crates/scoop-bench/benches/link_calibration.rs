@@ -1,0 +1,5 @@
+//! Regenerates the link-calibration ablation (LinkSpec loss-knob sweep).
+
+fn main() {
+    scoop_bench::regen(scoop_lab::ExperimentId::LinkCalibration);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the 256-node grid scaling scenario (exercises the raised
+//! MAX_NODES cap).
+
+fn main() {
+    scoop_bench::regen(scoop_lab::ExperimentId::Scaling256);
+}

@@ -49,6 +49,7 @@ pub fn bench_options(id: ExperimentId) -> SuiteOptions {
         seed: scale.base_config().seed,
         points: PointSet::Full,
         experiments: vec![id],
+        overrides: Vec::new(),
     }
 }
 
@@ -102,7 +103,7 @@ mod tests {
         std::env::set_var("SCOOP_BENCH_TRIALS", "2");
         let options = bench_options(ExperimentId::Fig3Middle);
         assert_eq!(options.scale, Scale::Quick);
-        assert_eq!(options.base_config().num_nodes, 16);
+        assert_eq!(options.base_config().unwrap().num_nodes, 16);
         assert_eq!(options.trials, 2);
         assert_eq!(options.experiments, vec![ExperimentId::Fig3Middle]);
         std::env::remove_var("SCOOP_BENCH_QUICK");

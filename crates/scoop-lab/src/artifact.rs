@@ -17,7 +17,10 @@ use std::path::{Path, PathBuf};
 
 /// Version of the artifact JSON layout. Bump on any breaking change and
 /// teach [`ArtifactStore::load`] to migrate (or reject) old files.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 — the original layout; v2 — the ScenarioSpec redesign added
+/// the required `overrides` field (axis overrides applied to the base spec).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Where an artifact came from: the only part of an artifact that is *not*
 /// a deterministic function of the configuration.
@@ -67,6 +70,11 @@ pub struct Artifact {
     pub trials: usize,
     /// FNV-1a hash of the canonical JSON of the base configuration.
     pub config_hash: String,
+    /// Axis overrides (`--set key=value`) the run applied on top of the
+    /// scale's defaults, in application order. Empty for canonical runs —
+    /// a non-empty list marks the artifact as describing a *modified*
+    /// scenario, and the report renderer flags it.
+    pub overrides: Vec<(String, String)>,
     /// Where and how the run happened.
     pub provenance: Provenance,
     /// The measured rows.
@@ -86,9 +94,12 @@ impl Artifact {
             schema_version: SCHEMA_VERSION,
             experiment: id.slug().to_string(),
             scale: options.scale.name().to_string(),
-            seed: options.seed,
+            // The *resolved* spec's seed, not options.seed: a `--set seed=N`
+            // override must be recorded as the seed the run actually used.
+            seed: base.seed,
             trials: options.trials,
             config_hash: config_hash(base),
+            overrides: options.overrides.clone(),
             provenance,
             rows,
         }
@@ -179,15 +190,25 @@ impl ArtifactStore {
         let path = self.path_for(slug);
         let text = std::fs::read_to_string(&path)
             .map_err(|e| ScoopError::Artifact(format!("{}: {e}", path.display())))?;
-        let artifact: Artifact = serde_json::from_str(&text)
+        // Probe the version *before* the typed parse: a file from another
+        // schema generation must produce the version message, not whatever
+        // missing-field error the typed deserializer trips over first.
+        let probe: serde_json::Value = serde_json::from_str(&text)
             .map_err(|e| ScoopError::Serialization(format!("{}: {e}", path.display())))?;
-        if artifact.schema_version != SCHEMA_VERSION {
+        let version = match probe.get("schema_version") {
+            Some(serde_json::Value::U64(n)) => *n as u32,
+            Some(serde_json::Value::I64(n)) => *n as u32,
+            _ => 0,
+        };
+        if version != SCHEMA_VERSION {
             return Err(ScoopError::Artifact(format!(
-                "{}: schema version {} (this binary reads {SCHEMA_VERSION})",
+                "{}: schema version {version} (this binary reads {SCHEMA_VERSION}; \
+                 regenerate with `scoop-lab run`)",
                 path.display(),
-                artifact.schema_version
             )));
         }
+        let artifact: Artifact = serde_json::from_str(&text)
+            .map_err(|e| ScoopError::Serialization(format!("{}: {e}", path.display())))?;
         Ok(artifact)
     }
 
@@ -217,7 +238,7 @@ mod tests {
 
     fn sample_artifact() -> Artifact {
         let options = SuiteOptions::quick_smoke();
-        let base = options.base_config();
+        let base = options.base_config().unwrap();
         let rows = run_experiment(ExperimentId::Fig5, &base, 1, PointSet::Smoke).unwrap();
         Artifact::new(
             ExperimentId::Fig5,
@@ -254,6 +275,46 @@ mod tests {
         let err = store.load("fig5").unwrap_err();
         assert!(matches!(err, ScoopError::Artifact(_)), "{err}");
         let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn old_schema_files_get_the_version_message_not_a_field_error() {
+        // A v1-era file has no `overrides` key; the load must still say
+        // "schema version 1", not trip over the missing field.
+        let store = tmp_store("v1");
+        std::fs::create_dir_all(store.root()).unwrap();
+        std::fs::write(
+            store.path_for("fig5"),
+            r#"{"schema_version": 1, "experiment": "fig5"}"#,
+        )
+        .unwrap();
+        let err = store.load("fig5").unwrap_err().to_string();
+        assert!(err.contains("schema version 1"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn artifact_records_the_resolved_seed_not_the_flag() {
+        let mut options = SuiteOptions::quick_smoke();
+        options
+            .overrides
+            .push(("seed".to_string(), "7".to_string()));
+        let base = options.base_config().unwrap();
+        assert_eq!(base.seed, 7);
+        let rows = run_experiment(ExperimentId::Fig5, &base, 1, PointSet::Smoke).unwrap();
+        let artifact = Artifact::new(
+            ExperimentId::Fig5,
+            &options,
+            &base,
+            rows,
+            Provenance::masked(),
+        );
+        assert_eq!(
+            artifact.seed, 7,
+            "a `--set seed=` override must be recorded as the seed actually used"
+        );
+        assert_eq!(artifact.overrides, options.overrides);
     }
 
     #[test]

@@ -36,13 +36,17 @@ pub const DEFAULT_RESULTS_DIR: &str = "results";
 pub const DEFAULT_EXPERIMENTS_MD: &str = "EXPERIMENTS.md";
 
 const USAGE: &str = "usage: scoop-lab <run|report|diff|check|trace> [options]
-  run    [--quick] [--trials=N] [--seed=N] [--results=DIR] [--history=FILE] [--json] [experiment...]
+  run    [--quick] [--trials=N] [--seed=N] [--results=DIR] [--history=FILE] [--json]
+         [--set key=value]... [--show-spec] [experiment...]
   report [--results=DIR] [--out=FILE]
   diff   [--results=DIR]
   check  [--tolerance NAME] [--bless] [--baseline=FILE]   (NAME: strict|default|loose)
   trace  [scoop|local|base|hash] [real|unique|equal|random|gaussian] [nodes]
-experiments: fig3-left fig3-middle fig3-right fig4 fig5 ablations
-             sample-interval reliability root-skew scaling (default: all)";
+experiments: fig3-left fig3-middle fig3-right fig4 fig5 ablations sample-interval
+             reliability link-calibration root-skew scaling scaling-256 (default: all)
+`--set` (repeatable) overrides one spec axis, e.g. --set topology=grid --set nodes=96
+--set link.loss_floor=0.05; an unknown key lists the valid axes. `--show-spec`
+prints the resolved base spec as JSON and exits without running.";
 
 /// Splits `--flag=value` / `--flag value` / bare `--flag` options out of
 /// `args`, rejecting anything not in the subcommand's allowlists (a typo'd
@@ -93,6 +97,24 @@ fn lookup<'a>(values: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .map(|(_, v)| v.as_str())
 }
 
+/// Every occurrence of a repeatable `--flag`, in order. `--set` overrides
+/// apply first-to-last, so later flags win on the same axis.
+fn lookup_all<'a>(values: &'a [(String, String)], name: &str) -> Vec<&'a str> {
+    values
+        .iter()
+        .filter(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+        .collect()
+}
+
+/// Splits one `--set key=value` payload.
+fn parse_set(payload: &str) -> Result<(String, String), String> {
+    let (key, value) = payload
+        .split_once('=')
+        .ok_or_else(|| format!("--set needs key=value, got `{payload}`"))?;
+    Ok((key.trim().to_string(), value.trim().to_string()))
+}
+
 /// Entry point shared by the binary and `examples/reproduce.rs`. Returns the
 /// process exit code.
 pub fn run_cli(args: &[String]) -> i32 {
@@ -127,11 +149,12 @@ fn dispatch(args: &[String]) -> Result<i32, String> {
 fn cmd_run(args: &[String]) -> Result<i32, String> {
     let (positional, flags, values) = parse(
         args,
-        &["trials", "seed", "results", "history"],
-        &["quick", "json"],
+        &["trials", "seed", "results", "history", "set"],
+        &["quick", "json", "show-spec"],
     )?;
     let quick = flags.iter().any(|f| f == "quick");
     let json = flags.iter().any(|f| f == "json");
+    let show_spec = flags.iter().any(|f| f == "show-spec");
     let scale = if quick { Scale::Quick } else { Scale::Paper };
     let mut options = SuiteOptions {
         scale,
@@ -139,6 +162,7 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
         seed: 1,
         points: PointSet::Full,
         experiments: ExperimentId::ALL.to_vec(),
+        overrides: Vec::new(),
     };
     if let Some(trials) = lookup(&values, "trials") {
         options.trials = trials
@@ -150,6 +174,9 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
             .parse()
             .map_err(|_| format!("bad --seed value `{seed}`"))?;
     }
+    for payload in lookup_all(&values, "set") {
+        options.overrides.push(parse_set(payload)?);
+    }
     if !positional.is_empty() && positional.iter().all(|p| p != "all") {
         options.experiments = positional
             .iter()
@@ -157,6 +184,15 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
                 ExperimentId::from_slug(slug).ok_or_else(|| format!("unknown experiment `{slug}`"))
             })
             .collect::<Result<Vec<_>, _>>()?;
+    }
+    // Resolve the base spec up front: an unknown `--set` axis or a malformed
+    // value fails here, before any simulation runs, with the axis listing.
+    let resolved = options.base_config().map_err(|e| e.to_string())?;
+    if show_spec {
+        let spec_json = serde_json::to_string_pretty(&resolved)
+            .map_err(|e| format!("spec serialization: {e}"))?;
+        println!("{spec_json}");
+        return Ok(0);
     }
 
     let store = ArtifactStore::new(PathBuf::from(
@@ -278,13 +314,13 @@ fn cmd_check(args: &[String]) -> Result<i32, String> {
 fn cmd_trace(args: &[String]) -> Result<i32, String> {
     let (positional, _, _) = parse(args, &[], &[])?;
     let mut cfg = ExperimentConfig::small_test();
-    cfg.policy = match positional.first().map(String::as_str) {
+    cfg.policy.kind = match positional.first().map(String::as_str) {
         Some("local") => StoragePolicy::Local,
         Some("base") => StoragePolicy::Base,
         Some("hash") => StoragePolicy::Hash,
         _ => StoragePolicy::Scoop,
     };
-    cfg.data_source = match positional.get(1).map(String::as_str) {
+    cfg.workload.data_source = match positional.get(1).map(String::as_str) {
         Some("unique") => DataSourceKind::Unique,
         Some("equal") => DataSourceKind::Equal,
         Some("random") => DataSourceKind::Random,
@@ -298,7 +334,7 @@ fn cmd_trace(args: &[String]) -> Result<i32, String> {
     let mut engine = scoop_sim::build_engine(&cfg).map_err(|e| e.to_string())?;
     println!(
         "policy={} source={} nodes={} duration={}",
-        cfg.policy, cfg.data_source, cfg.num_nodes, cfg.duration
+        cfg.policy.kind, cfg.workload.data_source, cfg.num_nodes, cfg.duration
     );
     let start = std::time::Instant::now();
     let step = SimDuration::from_secs(5);
@@ -324,8 +360,8 @@ fn cmd_trace(args: &[String]) -> Result<i32, String> {
     // The final cumulative breakdown, through the shared report API.
     let breakdown = MessageBreakdown::from_stats(&engine.stats().total_tx());
     let rows = RowSet::Fig3(vec![scoop_sim::experiments::Fig3Row {
-        policy: cfg.policy,
-        source: cfg.data_source,
+        policy: cfg.policy.kind,
+        source: cfg.workload.data_source,
         messages: breakdown,
         total: breakdown.total(),
     }]);
@@ -363,6 +399,48 @@ mod tests {
         assert!(parse(&s(&["--bless=true"]), &[], &["bless"]).is_err());
         assert_eq!(run_cli(&s(&["run", "--result=/tmp/nope"])), 2);
         assert_eq!(run_cli(&s(&["check", "--bless=true"])), 2);
+    }
+
+    #[test]
+    fn set_overrides_apply_and_unknown_axes_fail() {
+        // --show-spec prints the resolved spec and runs nothing, so this is
+        // cheap; a bad key must fail with exit code 2 before any simulation.
+        assert_eq!(
+            run_cli(&s(&[
+                "run",
+                "--show-spec",
+                "--set",
+                "topology=grid",
+                "--set",
+                "nodes=96",
+                "--set",
+                "link.loss_floor=0.05",
+            ])),
+            0
+        );
+        assert_eq!(run_cli(&s(&["run", "--show-spec", "--set", "warp=9"])), 2);
+        assert_eq!(run_cli(&s(&["run", "--show-spec", "--set", "nodes"])), 2);
+        assert_eq!(
+            run_cli(&s(&["run", "--show-spec", "--set", "policy=ghost"])),
+            2
+        );
+    }
+
+    #[test]
+    fn repeated_set_flags_apply_in_order() {
+        let payloads = ["nodes=8", "nodes=96"];
+        let values: Vec<(String, String)> = payloads
+            .iter()
+            .map(|p| ("set".to_string(), p.to_string()))
+            .collect();
+        let all = lookup_all(&values, "set");
+        assert_eq!(all, payloads);
+        let mut options = SuiteOptions::quick_smoke();
+        for payload in all {
+            options.overrides.push(parse_set(payload).unwrap());
+        }
+        assert_eq!(options.base_config().unwrap().num_nodes, 96);
+        assert!(parse_set("nodes").is_err());
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! between the paper's testbed and this simulator.
 
 use scoop_sim::experiments::{
-    AblationRow, Fig3Row, Fig4Row, Fig5Row, ReliabilityRow, RootSkewRow, SampleIntervalRow,
-    ScalingRow,
+    AblationRow, Fig3Row, Fig4Row, Fig5Row, LinkCalibrationRow, ReliabilityRow, RootSkewRow,
+    SampleIntervalRow, ScalingRow,
 };
 use scoop_sim::report;
 use serde::{Deserialize, Serialize};
@@ -35,6 +35,8 @@ pub enum RowSet {
     RootSkew(Vec<RootSkewRow>),
     /// The scaling study.
     Scaling(Vec<ScalingRow>),
+    /// The link-calibration ablation.
+    LinkCalibration(Vec<LinkCalibrationRow>),
 }
 
 /// One row of any experiment, flattened to named numeric metrics.
@@ -68,6 +70,7 @@ impl RowSet {
             RowSet::Reliability(r) => r.len(),
             RowSet::RootSkew(r) => r.len(),
             RowSet::Scaling(r) => r.len(),
+            RowSet::LinkCalibration(r) => r.len(),
         }
     }
 
@@ -88,6 +91,7 @@ impl RowSet {
             RowSet::Reliability(rows) => report::reliability_table(rows),
             RowSet::RootSkew(rows) => report::root_skew_table(rows),
             RowSet::Scaling(rows) => report::scaling_table(rows),
+            RowSet::LinkCalibration(rows) => report::link_calibration_table(rows),
         }
     }
 
@@ -104,6 +108,7 @@ impl RowSet {
             RowSet::Reliability(rows) => report::to_json(rows),
             RowSet::RootSkew(rows) => report::to_json(rows),
             RowSet::Scaling(rows) => report::to_json(rows),
+            RowSet::LinkCalibration(rows) => report::to_json(rows),
         }
     }
 
@@ -240,6 +245,17 @@ impl RowSet {
                         ("total_messages".into(), r.total_messages as f64),
                         ("messages_per_node".into(), r.messages_per_node),
                         ("storage_success".into(), r.storage_success),
+                    ],
+                })
+                .collect(),
+            RowSet::LinkCalibration(rows) => rows
+                .iter()
+                .map(|r| MeasuredRow {
+                    key: format!("floor-{:.2}/exp-{:.1}", r.loss_floor, r.distance_exponent),
+                    metrics: vec![
+                        ("storage_success".into(), r.storage_success),
+                        ("query_success".into(), r.query_success),
+                        ("total_messages".into(), r.total_messages as f64),
                     ],
                 })
                 .collect(),

@@ -72,11 +72,15 @@ pub enum ExperimentId {
     RootSkew,
     /// The scaling study.
     Scaling,
+    /// The link-calibration ablation over the LinkSpec loss knobs.
+    LinkCalibration,
+    /// The 256-node grid scaling scenario (exercises the raised MAX_NODES).
+    Scaling256,
 }
 
 impl ExperimentId {
     /// Every experiment, in the order `run`/`report` process them.
-    pub const ALL: [ExperimentId; 10] = [
+    pub const ALL: [ExperimentId; 12] = [
         ExperimentId::Fig3Left,
         ExperimentId::Fig3Middle,
         ExperimentId::Fig3Right,
@@ -85,8 +89,10 @@ impl ExperimentId {
         ExperimentId::Ablations,
         ExperimentId::SampleInterval,
         ExperimentId::Reliability,
+        ExperimentId::LinkCalibration,
         ExperimentId::RootSkew,
         ExperimentId::Scaling,
+        ExperimentId::Scaling256,
     ];
 
     /// Stable slug used for CLI selection and artifact file names.
@@ -102,6 +108,8 @@ impl ExperimentId {
             ExperimentId::Reliability => "reliability",
             ExperimentId::RootSkew => "root-skew",
             ExperimentId::Scaling => "scaling",
+            ExperimentId::LinkCalibration => "link-calibration",
+            ExperimentId::Scaling256 => "scaling-256",
         }
     }
 
@@ -118,6 +126,8 @@ impl ExperimentId {
             ExperimentId::Reliability => "Reliability",
             ExperimentId::RootSkew => "Root-node skew",
             ExperimentId::Scaling => "Scaling study",
+            ExperimentId::LinkCalibration => "Link calibration (LinkSpec loss knobs)",
+            ExperimentId::Scaling256 => "Scaling to 256 nodes (grid topology)",
         }
     }
 
@@ -171,6 +181,10 @@ pub struct SuiteOptions {
     pub points: PointSet,
     /// Which experiments to run, in order.
     pub experiments: Vec<ExperimentId>,
+    /// String-keyed axis overrides (`("topology", "grid")` style; see
+    /// [`scoop_types::AXES`]) applied to the base spec of every experiment,
+    /// in order, after scale and seed.
+    pub overrides: Vec<(String, String)>,
 }
 
 impl SuiteOptions {
@@ -182,11 +196,14 @@ impl SuiteOptions {
             seed: 1,
             points: PointSet::Full,
             experiments: ExperimentId::ALL.to_vec(),
+            overrides: Vec::new(),
         }
     }
 
     /// The quick smoke suite backing `scoop-lab check`: deterministic,
-    /// single-trial, reduced grids — small enough for a CI gate.
+    /// single-trial, reduced grids — small enough for a CI gate. Includes
+    /// the 256-node grid scenario so the raised `MAX_NODES` cap stays
+    /// exercised on every check.
     pub fn quick_smoke() -> Self {
         SuiteOptions {
             scale: Scale::Quick,
@@ -199,15 +216,23 @@ impl SuiteOptions {
                 ExperimentId::Fig5,
                 ExperimentId::Ablations,
                 ExperimentId::Reliability,
+                ExperimentId::LinkCalibration,
+                ExperimentId::Scaling256,
             ],
+            overrides: Vec::new(),
         }
     }
 
-    /// The base configuration with this suite's seed applied.
-    pub fn base_config(&self) -> ExperimentConfig {
+    /// The base spec with this suite's seed and axis overrides applied, then
+    /// validated. Fails on an unknown axis key, a malformed value (the error
+    /// lists the valid axes), or a resolved spec that is out of range — so
+    /// `--set` mistakes surface before any simulation runs.
+    pub fn base_config(&self) -> Result<ExperimentConfig, ScoopError> {
         let mut cfg = self.scale.base_config();
         cfg.seed = self.seed;
-        cfg
+        cfg.apply_axes(self.overrides.iter().map(|(k, v)| (k.as_str(), v.as_str())))?;
+        cfg.validate()?;
+        Ok(cfg)
     }
 }
 
@@ -272,6 +297,31 @@ pub fn run_experiment(
             let sources = [DataSourceKind::Real, DataSourceKind::Random];
             experiments::scaling(base, &sizes, &sources, trials).map(RowSet::Scaling)
         }
+        ExperimentId::LinkCalibration => {
+            let grid = if smoke {
+                experiments::link_calibration::smoke_grid()
+            } else {
+                experiments::link_calibration::default_grid()
+            };
+            experiments::link_calibration(base, &grid, trials).map(RowSet::LinkCalibration)
+        }
+        ExperimentId::Scaling256 => {
+            // The large-scale point: a regular grid (the office-floor
+            // heuristics were calibrated for ≤ ~100 nodes) at sizes beyond
+            // the paper's — including 256, past the old 128-node cap.
+            let mut grid_base = base.clone();
+            grid_base.topology = scoop_types::TopologySpec {
+                kind: scoop_types::TopologyKind::Grid,
+                ..grid_base.topology
+            };
+            let sizes: Vec<usize> = if smoke {
+                vec![64, 256]
+            } else {
+                vec![64, 128, 256]
+            };
+            let sources = [DataSourceKind::Gaussian];
+            experiments::scaling(&grid_base, &sizes, &sources, trials).map(RowSet::Scaling)
+        }
     }
 }
 
@@ -282,7 +332,7 @@ pub fn run_suite(
     options: &SuiteOptions,
     mut on_done: impl FnMut(&Artifact),
 ) -> Result<Vec<Artifact>, ScoopError> {
-    let base = options.base_config();
+    let base = options.base_config()?;
     let mut artifacts = Vec::with_capacity(options.experiments.len());
     for &id in &options.experiments {
         let start = Instant::now();
@@ -325,6 +375,23 @@ mod tests {
             assert!(artifact.provenance.wall_clock_secs >= 0.0);
             assert_eq!(artifact.scale, "quick");
         }
+    }
+
+    #[test]
+    fn base_config_validates_the_resolved_spec() {
+        // Parseable but out-of-range values fail at resolution time, before
+        // any simulation runs (and before --show-spec prints a bogus spec).
+        let mut options = SuiteOptions::quick_smoke();
+        options
+            .overrides
+            .push(("link.loss_floor".to_string(), "1.5".to_string()));
+        assert!(options.base_config().is_err());
+
+        let mut options = SuiteOptions::quick_smoke();
+        options
+            .overrides
+            .push(("nodes".to_string(), "100000".to_string()));
+        assert!(options.base_config().is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn golden_artifact() -> Artifact {
         seed: 1,
         points: PointSet::Smoke,
         experiments: vec![ExperimentId::Fig5],
+        overrides: Vec::new(),
     };
     let mut artifacts = run_suite(&options, |_| ()).unwrap();
     let mut artifact = artifacts.remove(0);

@@ -10,6 +10,7 @@
 //! number of messages sent.
 
 use crate::event::{Event, EventQueue};
+use crate::fault::FaultSchedule;
 use crate::link::LinkModel;
 use crate::packet::{LinkDst, Packet, PacketMeta};
 use crate::stats::NetworkStats;
@@ -185,6 +186,7 @@ pub struct Engine<L: NodeLogic> {
     seqnos: Vec<SeqNo>,
     rng: StdRng,
     config: EngineConfig,
+    faults: FaultSchedule,
     started: bool,
     events_processed: u64,
 }
@@ -222,9 +224,22 @@ impl<L: NodeLogic> Engine<L> {
             seqnos: vec![SeqNo::default(); n],
             rng: StdRng::seed_from_u64(config.seed ^ 0xe4e4_e4e4),
             config,
+            faults: FaultSchedule::empty(),
             started: false,
             events_processed: 0,
         })
+    }
+
+    /// Installs a radio-outage schedule (see [`FaultSchedule`]). The empty
+    /// schedule — the default — leaves behavior byte-identical to an engine
+    /// without faults.
+    pub fn set_fault_schedule(&mut self, faults: FaultSchedule) {
+        self.faults = faults;
+    }
+
+    /// The installed radio-outage schedule.
+    pub fn fault_schedule(&self) -> &FaultSchedule {
+        &self.faults
     }
 
     /// Current simulated time.
@@ -312,6 +327,13 @@ impl<L: NodeLogic> Engine<L> {
                 packet,
                 addressed,
             } => {
+                // A node whose radio is down hears nothing; the packet
+                // evaporates without touching stats or node state. Timers
+                // still fire (the CPU is alive), so a node whose outage ends
+                // rejoins with its protocol state intact.
+                if self.faults.is_down(node, self.now) {
+                    return;
+                }
                 if addressed {
                     self.stats.record_rx(node, packet.meta.kind);
                 } else {
@@ -390,6 +412,11 @@ impl<L: NodeLogic> Engine<L> {
     /// Simulates the physical transmission of `packet` by `src`, including
     /// link-layer retransmission for unicasts.
     fn transmit(&mut self, src: NodeId, mut packet: Packet<L::Payload>) {
+        // A downed radio transmits nothing: the command is swallowed without
+        // counting a transmission or consuming loss randomness.
+        if self.faults.is_down(src, self.now) {
+            return;
+        }
         let kind = packet.meta.kind;
         match packet.meta.link_dst {
             LinkDst::Broadcast => {
@@ -425,6 +452,12 @@ impl<L: NodeLogic> Engine<L> {
                             continue;
                         }
                         if listener == dst {
+                            // A destination whose radio is down at delivery
+                            // time cannot acknowledge: the attempt fails and
+                            // the retry loop continues, exactly like loss.
+                            if self.faults.is_down(dst, arrival) {
+                                continue;
+                            }
                             self.queue.push(
                                 arrival,
                                 Event::PacketArrival {

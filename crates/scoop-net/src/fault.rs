@@ -1,0 +1,115 @@
+//! Scheduled radio outages: the engine-level realization of a
+//! [`FaultSpec`](scoop_types::FaultSpec).
+//!
+//! A [`FaultSchedule`] lists concrete `(node, from, until)` outage windows.
+//! While a node's window is open its radio is dead — it transmits nothing
+//! (and nothing it sends is counted) and every packet addressed to or
+//! overheard by it is dropped — but its CPU stays alive: timers keep firing,
+//! so a node whose window closes rejoins the network with its protocol state
+//! intact (churn). The empty schedule is the default and leaves the engine's
+//! behavior, including its random stream, byte-identical to a fault-free
+//! build.
+
+use scoop_types::{NodeId, SimTime};
+
+/// One node's outage window: down at `from`, back up at `until` (exclusive).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Outage {
+    /// The affected node.
+    pub node: NodeId,
+    /// When the radio goes down.
+    pub from: SimTime,
+    /// When the radio comes back (exclusive; `SimTime::MAX`-like values model
+    /// permanent death).
+    pub until: SimTime,
+}
+
+/// Concrete per-node outage windows consulted by the engine on every
+/// transmission and delivery.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSchedule {
+    outages: Vec<Outage>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no outages (the default engine behavior).
+    pub fn empty() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Whether any outage is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+    }
+
+    /// Number of scheduled outages.
+    pub fn len(&self) -> usize {
+        self.outages.len()
+    }
+
+    /// Schedules one outage window.
+    pub fn add(&mut self, node: NodeId, from: SimTime, until: SimTime) {
+        if from < until {
+            self.outages.push(Outage { node, from, until });
+        }
+    }
+
+    /// Returns `true` if `node`'s radio is down at `now`.
+    #[inline]
+    pub fn is_down(&self, node: NodeId, now: SimTime) -> bool {
+        // Schedules are tiny (a handful of windows); a linear scan beats any
+        // index and keeps the no-fault fast path a single length check.
+        !self.outages.is_empty()
+            && self
+                .outages
+                .iter()
+                .any(|o| o.node == node && o.from <= now && now < o.until)
+    }
+
+    /// Iterates over the scheduled outages.
+    pub fn iter(&self) -> impl Iterator<Item = &Outage> {
+        self.outages.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_downs_nothing() {
+        let s = FaultSchedule::empty();
+        assert!(s.is_empty());
+        assert!(!s.is_down(NodeId(3), SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn window_bounds_are_half_open() {
+        let mut s = FaultSchedule::empty();
+        s.add(NodeId(2), SimTime::from_secs(10), SimTime::from_secs(20));
+        assert!(!s.is_down(NodeId(2), SimTime::from_secs(9)));
+        assert!(s.is_down(NodeId(2), SimTime::from_secs(10)));
+        assert!(s.is_down(NodeId(2), SimTime::from_secs(19)));
+        assert!(!s.is_down(NodeId(2), SimTime::from_secs(20)));
+        assert!(!s.is_down(NodeId(3), SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn inverted_windows_are_ignored() {
+        let mut s = FaultSchedule::empty();
+        s.add(NodeId(1), SimTime::from_secs(20), SimTime::from_secs(10));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn overlapping_windows_union() {
+        let mut s = FaultSchedule::empty();
+        s.add(NodeId(1), SimTime::from_secs(0), SimTime::from_secs(15));
+        s.add(NodeId(1), SimTime::from_secs(10), SimTime::from_secs(30));
+        assert_eq!(s.len(), 2);
+        for t in [0, 5, 14, 15, 29] {
+            assert!(s.is_down(NodeId(1), SimTime::from_secs(t)), "t={t}");
+        }
+        assert!(!s.is_down(NodeId(1), SimTime::from_secs(30)));
+    }
+}

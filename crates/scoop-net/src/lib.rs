@@ -25,6 +25,8 @@
 pub mod energy;
 pub mod engine;
 pub mod event;
+pub mod fault;
+pub mod gen;
 pub mod link;
 pub mod packet;
 pub mod stats;
@@ -33,7 +35,9 @@ pub mod topology;
 pub use energy::{EnergyModel, EnergyReport};
 pub use engine::{Engine, EngineConfig, NodeCtx, NodeLogic, TimerToken};
 pub use event::{Event, EventQueue};
-pub use link::{LinkModel, LinkQuality};
+pub use fault::{FaultSchedule, Outage};
+pub use gen::{LinkGen, StdLinkGen, StdTopologyGen, TopologyGen};
+pub use link::{LinkModel, LinkModelParams, LinkQuality};
 pub use packet::{LinkDst, Packet, PacketMeta};
 pub use stats::{NetworkStats, NodeStats};
 pub use topology::{NodePosition, Topology, TopologyKind};

@@ -10,7 +10,7 @@
 use crate::topology::Topology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scoop_types::NodeId;
+use scoop_types::{LinkSpec, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Quality of one directed link.
@@ -56,16 +56,31 @@ pub struct LinkModelParams {
     /// Standard deviation of the per-direction noise added to delivery
     /// probability (produces asymmetry).
     pub asymmetry_noise: f64,
+    /// Shape of the decay between the two endpoints: delivery falls with
+    /// `(d / range) ^ distance_exponent`; `1.0` is the calibrated linear
+    /// decay.
+    pub distance_exponent: f64,
+}
+
+impl LinkModelParams {
+    /// Translates the serializable [`LinkSpec`] calibration knobs into model
+    /// parameters. This is the only place the mapping lives, so the
+    /// spec-driven path and [`LinkModelParams::default`] cannot drift apart.
+    pub fn from_spec(spec: &LinkSpec) -> Self {
+        LinkModelParams {
+            max_delivery: spec.max_delivery(),
+            min_delivery: spec.edge_delivery,
+            asymmetry_noise: spec.asymmetry_noise,
+            distance_exponent: spec.distance_exponent,
+        }
+    }
 }
 
 impl Default for LinkModelParams {
     fn default() -> Self {
-        // Calibrated so connected pairs land in the paper's 25–90 % loss band.
-        LinkModelParams {
-            max_delivery: 0.78,
-            min_delivery: 0.10,
-            asymmetry_noise: 0.06,
-        }
+        // Calibrated so connected pairs land in the paper's 25–90 % loss band
+        // (delivery 0.78 at distance 0, 0.10 at the range edge).
+        Self::from_spec(&LinkSpec::paper_defaults())
     }
 }
 
@@ -102,10 +117,19 @@ impl LinkModel {
                 }
                 let d = topo.distance(a, b).unwrap_or(f64::INFINITY);
                 let frac = (d / topo.radio_range()).clamp(0.0, 1.0);
-                // Linear decay from max_delivery at distance 0 to min_delivery
-                // at the edge of range, plus per-direction Gaussian-ish noise
-                // (two uniform draws averaged keeps the dependency set small).
-                let base = params.max_delivery - frac * (params.max_delivery - params.min_delivery);
+                // Decay from max_delivery at distance 0 to min_delivery at the
+                // edge of range — linear when the exponent is 1 (the exact
+                // comparison keeps the default bit-identical to the historical
+                // model), shaped by `frac^k` otherwise — plus per-direction
+                // Gaussian-ish noise (two uniform draws averaged keeps the
+                // dependency set small).
+                let shaped = if params.distance_exponent == 1.0 {
+                    frac
+                } else {
+                    frac.powf(params.distance_exponent)
+                };
+                let base =
+                    params.max_delivery - shaped * (params.max_delivery - params.min_delivery);
                 let noise: f64 = (rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0)) / 2.0
                     * params.asymmetry_noise
                     * 2.0;
@@ -140,8 +164,26 @@ impl LinkModel {
                 max_delivery: 1.0,
                 min_delivery: 1.0,
                 asymmetry_noise: 0.0,
+                distance_exponent: 1.0,
             },
         }
+    }
+
+    /// Builds the loss model described by a [`LinkSpec`]: the family it names
+    /// with its calibration knobs applied. This is the single construction
+    /// path the `LinkGen` factories use.
+    pub fn from_spec(
+        spec: &LinkSpec,
+        topo: &Topology,
+        seed: u64,
+    ) -> Result<Self, scoop_types::ScoopError> {
+        spec.validate()?;
+        Ok(match spec.family {
+            scoop_types::LinkFamily::DistanceDecay => {
+                Self::with_params(topo, seed, LinkModelParams::from_spec(spec))
+            }
+            scoop_types::LinkFamily::Perfect => Self::perfect(topo),
+        })
     }
 
     /// Number of nodes covered by the model.

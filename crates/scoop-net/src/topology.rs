@@ -7,9 +7,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scoop_types::{NodeId, ScoopError, MAX_NODES};
+use scoop_types::{NodeId, ScoopError, TopologySpec, MAX_NODES};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+pub use scoop_types::TopologyKind;
 
 /// A node's position, in meters, on the floor plan.
 #[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
@@ -25,21 +27,6 @@ impl NodePosition {
     pub fn distance(&self, other: &NodePosition) -> f64 {
         ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
     }
-}
-
-/// Which placement generator produced a topology.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
-pub enum TopologyKind {
-    /// Jittered grid across a long rectangular office floor, basestation at
-    /// one end. Mimics the paper's 62-node indoor testbed: multi-hop depth of
-    /// roughly 4–6 hops and ~20 % pairwise connectivity.
-    OfficeFloor,
-    /// Regular square grid, basestation in a corner.
-    Grid,
-    /// Uniform random placement in a square arena.
-    UniformRandom,
-    /// A straight line of nodes; the deepest possible routing tree.
-    Linear,
 }
 
 /// Node positions plus radio-range connectivity.
@@ -89,6 +76,21 @@ impl Topology {
         })
     }
 
+    /// Builds the layout described by a [`TopologySpec`]: the generator named
+    /// by `spec.kind` with the spec's geometry parameters applied. This is
+    /// the single construction path the `TopologyGen` factories use; the
+    /// named constructors below are thin wrappers over it with the default
+    /// spec of each family.
+    pub fn from_spec(spec: &TopologySpec, num_nodes: usize, seed: u64) -> Result<Self, ScoopError> {
+        spec.validate()?;
+        match spec.kind {
+            TopologyKind::OfficeFloor => Self::office_floor_spec(spec, num_nodes, seed),
+            TopologyKind::Grid => Self::grid_spec(spec, num_nodes),
+            TopologyKind::UniformRandom => Self::uniform_random_spec(spec, num_nodes, seed),
+            TopologyKind::Linear => Self::linear_spec(spec, num_nodes),
+        }
+    }
+
     /// The paper's testbed-like layout: `num_nodes` sensors plus the
     /// basestation, on a jittered grid spanning a long rectangular floor
     /// (roughly 60 m × 25 m for 62 nodes), basestation at the left edge.
@@ -96,10 +98,18 @@ impl Topology {
     /// The radio range is chosen so that an average node hears roughly 20 %
     /// of the network, as reported in Section 6.
     pub fn office_floor(num_nodes: usize, seed: u64) -> Result<Self, ScoopError> {
+        Self::office_floor_spec(&TopologySpec::office_floor(), num_nodes, seed)
+    }
+
+    fn office_floor_spec(
+        spec: &TopologySpec,
+        num_nodes: usize,
+        seed: u64,
+    ) -> Result<Self, ScoopError> {
         let total = num_nodes + 1;
         let mut rng = StdRng::seed_from_u64(seed ^ OFFICE_SEED_SALT);
-        // Aim for an aspect ratio of ~2.5:1 and a density of ~25 m^2 per node.
-        let area = total as f64 * 25.0;
+        // Aim for an aspect ratio of ~2.5:1 at the configured density.
+        let area = total as f64 * spec.area_per_node;
         let width = (area * 2.5).sqrt();
         let height = area / width;
         let cols = (total as f64 * 2.5_f64).sqrt().ceil() as usize;
@@ -119,8 +129,14 @@ impl Topology {
                 if positions.len() == total {
                     break 'outer;
                 }
-                let jx: f64 = rng.gen_range(-0.35..0.35) * dx;
-                let jy: f64 = rng.gen_range(-0.35..0.35) * dy;
+                let (jx, jy) = if spec.jitter > 0.0 {
+                    (
+                        rng.gen_range(-spec.jitter..spec.jitter) * dx,
+                        rng.gen_range(-spec.jitter..spec.jitter) * dy,
+                    )
+                } else {
+                    (0.0, 0.0)
+                };
                 positions.push(NodePosition {
                     x: (c as f64 + 0.75) * dx + jx,
                     y: (r as f64 + 0.5) * dy + jy,
@@ -129,7 +145,7 @@ impl Topology {
         }
         // Radio range tuned for ~20 % average connectivity on the default
         // 62-node floor; scales with node spacing for other sizes.
-        let radio_range = 2.6 * dx.max(dy);
+        let radio_range = 2.6 * dx.max(dy) * spec.range_factor;
         Self::from_positions(TopologyKind::OfficeFloor, positions, radio_range)
     }
 
@@ -149,11 +165,43 @@ impl Topology {
         Self::from_positions(TopologyKind::Grid, positions, 1.6 * spacing)
     }
 
+    fn grid_spec(spec: &TopologySpec, num_nodes: usize) -> Result<Self, ScoopError> {
+        // `num_nodes` sensors plus the basestation (node 0, in the corner),
+        // filling a near-square grid row-major; the last row may be partial.
+        let total = num_nodes + 1;
+        let side = (total as f64).sqrt().ceil() as usize;
+        let mut positions = Vec::with_capacity(total);
+        'outer: for r in 0..side {
+            for c in 0..side {
+                if positions.len() == total {
+                    break 'outer;
+                }
+                positions.push(NodePosition {
+                    x: c as f64 * spec.spacing,
+                    y: r as f64 * spec.spacing,
+                });
+            }
+        }
+        Self::from_positions(
+            TopologyKind::Grid,
+            positions,
+            1.6 * spec.spacing * spec.range_factor,
+        )
+    }
+
     /// `num_nodes + 1` nodes placed uniformly at random in a square arena
     /// sized for ~25 m² per node, basestation at the center.
     pub fn uniform_random(num_nodes: usize, seed: u64) -> Result<Self, ScoopError> {
+        Self::uniform_random_spec(&TopologySpec::uniform_random(), num_nodes, seed)
+    }
+
+    fn uniform_random_spec(
+        spec: &TopologySpec,
+        num_nodes: usize,
+        seed: u64,
+    ) -> Result<Self, ScoopError> {
         let total = num_nodes + 1;
-        let side = (total as f64 * 25.0).sqrt();
+        let side = (total as f64 * spec.area_per_node).sqrt();
         let mut rng = StdRng::seed_from_u64(seed ^ UNIFORM_SEED_SALT);
         let mut positions = Vec::with_capacity(total);
         positions.push(NodePosition {
@@ -166,20 +214,36 @@ impl Topology {
                 y: rng.gen_range(0.0..side),
             });
         }
-        Self::from_positions(TopologyKind::UniformRandom, positions, side / 4.0)
+        Self::from_positions(
+            TopologyKind::UniformRandom,
+            positions,
+            side / 4.0 * spec.range_factor,
+        )
     }
 
     /// A straight chain of `num_nodes + 1` nodes, `spacing` meters apart, with
     /// a radio range of `1.5 × spacing` (each node hears only its immediate
     /// neighbors and, weakly, the node two hops away).
     pub fn linear(num_nodes: usize, spacing: f64) -> Result<Self, ScoopError> {
+        let spec = TopologySpec {
+            spacing,
+            ..TopologySpec::linear()
+        };
+        Self::linear_spec(&spec, num_nodes)
+    }
+
+    fn linear_spec(spec: &TopologySpec, num_nodes: usize) -> Result<Self, ScoopError> {
         let positions = (0..=num_nodes)
             .map(|i| NodePosition {
-                x: i as f64 * spacing,
+                x: i as f64 * spec.spacing,
                 y: 0.0,
             })
             .collect();
-        Self::from_positions(TopologyKind::Linear, positions, 1.5 * spacing)
+        Self::from_positions(
+            TopologyKind::Linear,
+            positions,
+            1.5 * spec.spacing * spec.range_factor,
+        )
     }
 
     /// Which generator produced this topology.
@@ -367,7 +431,55 @@ mod tests {
 
     #[test]
     fn rejects_too_many_nodes() {
-        assert!(Topology::office_floor(200, 1).is_err());
+        assert!(Topology::office_floor(MAX_NODES, 1).is_err());
+    }
+
+    #[test]
+    fn from_spec_matches_the_named_constructors() {
+        let office = Topology::from_spec(&TopologySpec::office_floor(), 30, 42).unwrap();
+        let direct = Topology::office_floor(30, 42).unwrap();
+        assert_eq!(
+            office.position(NodeId(5)).unwrap().x,
+            direct.position(NodeId(5)).unwrap().x
+        );
+        assert_eq!(office.radio_range(), direct.radio_range());
+
+        let linear = Topology::from_spec(&TopologySpec::linear(), 10, 0).unwrap();
+        assert_eq!(linear.network_depth(), 10);
+    }
+
+    #[test]
+    fn from_spec_validates_geometry() {
+        let mut spec = TopologySpec::grid();
+        spec.spacing = -1.0;
+        assert!(Topology::from_spec(&spec, 10, 1).is_err());
+    }
+
+    #[test]
+    fn spec_grid_places_basestation_in_the_corner_and_truncates() {
+        // 6 sensors + base = 7 nodes on a 3×3 grid: last two cells empty.
+        let topo = Topology::from_spec(&TopologySpec::grid(), 6, 1).unwrap();
+        assert_eq!(topo.len(), 7);
+        let base = topo.position(NodeId::BASESTATION).unwrap();
+        assert_eq!((base.x, base.y), (0.0, 0.0));
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn range_factor_thins_or_thickens_connectivity() {
+        let base = TopologySpec::office_floor();
+        let wide = TopologySpec {
+            range_factor: 2.0,
+            ..base
+        };
+        let a = Topology::from_spec(&base, 40, 9).unwrap();
+        let b = Topology::from_spec(&wide, 40, 9).unwrap();
+        assert!(b.connectivity_fraction() > a.connectivity_fraction());
+        // Same seed, same placements — only the range differs.
+        assert_eq!(
+            a.position(NodeId(7)).unwrap().x,
+            b.position(NodeId(7)).unwrap().x
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! seed.
 
 use proptest::prelude::*;
-use scoop_net::{LinkModel, Topology};
-use scoop_types::NodeId;
+use scoop_net::{LinkModel, StdTopologyGen, Topology, TopologyGen};
+use scoop_types::{NodeId, TopologyKind, TopologySpec};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -80,5 +80,36 @@ proptest! {
         prop_assert!(topo.is_connected());
         // Corner nodes always have exactly 3 neighbors.
         prop_assert_eq!(topo.neighbors(NodeId(0)).len(), 3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The spec-driven generator — the path `SimBuilder` builds every
+    /// experiment through — yields a connected topology for *every* placement
+    /// family at any supported node count and seed: the basestation (node 0)
+    /// is reachable from every node.
+    #[test]
+    fn every_topology_spec_is_connected(
+        kind_index in 0usize..TopologyKind::ALL.len(),
+        nodes in 2usize..120,
+        seed in 0u64..300,
+    ) {
+        let spec = TopologySpec {
+            kind: TopologyKind::ALL[kind_index],
+            ..TopologySpec::office_floor()
+        };
+        let topo = StdTopologyGen.generate(&spec, nodes, seed).expect("within limits");
+        prop_assert_eq!(topo.len(), nodes + 1);
+        prop_assert!(topo.is_connected(), "{:?} disconnected at {} nodes seed {}",
+            spec.kind, nodes, seed);
+        for n in topo.nodes() {
+            prop_assert!(
+                topo.hop_distance(n, NodeId::BASESTATION).is_some(),
+                "node {n} cannot reach the basestation ({:?}, {} nodes, seed {})",
+                spec.kind, nodes, seed
+            );
+        }
     }
 }

@@ -1,0 +1,239 @@
+//! Assembles a runnable engine from a [`ScenarioSpec`].
+//!
+//! [`SimBuilder`] is the single construction path for every experiment run:
+//! the runner, the sweep grids, `scoop-lab`, and the bench harness all build
+//! engines here. Each axis of the spec is realized by a pluggable factory —
+//! [`TopologyGen`] for placement, [`LinkGen`] for loss — so alternative
+//! generators slot in without touching the runner, and the fault axis is
+//! resolved into a concrete radio-outage schedule. Everything stays `Send`
+//! and deterministic in `spec.seed`, which is what lets the parallel sweep
+//! runner spread builds across threads.
+
+use crate::node::SimNode;
+use scoop_net::{
+    Engine, EngineConfig, FaultSchedule, LinkGen, LinkModel, StdLinkGen, StdTopologyGen, Topology,
+    TopologyGen,
+};
+use scoop_types::{NodeId, ScenarioSpec, ScoopError, SimTime};
+use scoop_workload::make_source_for;
+use std::sync::Arc;
+
+/// Salt keeping the fault-sampling random stream independent of the other
+/// per-seed streams (topology jitter, link noise, engine loss).
+const FAULT_SEED_SALT: u64 = 0x5eed_fa17;
+
+/// Builds engines from scenario specs through pluggable axis factories.
+pub struct SimBuilder {
+    spec: ScenarioSpec,
+    topology_gen: Box<dyn TopologyGen>,
+    link_gen: Box<dyn LinkGen>,
+}
+
+impl SimBuilder {
+    /// A builder over `spec` with the standard topology / link factories.
+    pub fn new(spec: ScenarioSpec) -> Self {
+        SimBuilder {
+            spec,
+            topology_gen: Box::new(StdTopologyGen),
+            link_gen: Box::new(StdLinkGen),
+        }
+    }
+
+    /// Replaces the placement factory.
+    pub fn with_topology_gen(mut self, gen: impl TopologyGen + 'static) -> Self {
+        self.topology_gen = Box::new(gen);
+        self
+    }
+
+    /// Replaces the loss-model factory.
+    pub fn with_link_gen(mut self, gen: impl LinkGen + 'static) -> Self {
+        self.link_gen = Box::new(gen);
+        self
+    }
+
+    /// Applies one string-keyed axis override (`"topology=grid"` style; see
+    /// [`scoop_types::AXES`] for the vocabulary).
+    pub fn set(mut self, key: &str, value: &str) -> Result<Self, ScoopError> {
+        self.spec.set_axis(key, value)?;
+        Ok(self)
+    }
+
+    /// The spec as currently configured.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Builds the topology, link model, fault schedule, node state machines,
+    /// and engine for one run.
+    pub fn build(&self) -> Result<Engine<SimNode>, ScoopError> {
+        let spec = &self.spec;
+        spec.validate()?;
+        let topology = self
+            .topology_gen
+            .generate(&spec.topology, spec.num_nodes, spec.seed)?;
+        let links = self.link_gen.generate(&spec.link, &topology, spec.seed)?;
+        assemble(spec, topology, links)
+    }
+}
+
+/// Wires node state machines and the engine over an explicit topology and
+/// link model (used by the builder, and directly by tests and
+/// failure-injection experiments that perturb the network by hand). The
+/// spec's fault axis is resolved and installed here, so hand-built engines
+/// honor it too.
+pub fn assemble(
+    spec: &ScenarioSpec,
+    topology: Topology,
+    links: LinkModel,
+) -> Result<Engine<SimNode>, ScoopError> {
+    let cfg = Arc::new(spec.clone());
+    // Every node owns its data source. Sources are pure in `(node, now)`
+    // (the scoop-workload contract), so per-node copies agree exactly with a
+    // single shared source — and the resulting engine is `Send`, which lets
+    // the sweep runner spread runs over threads. Construct once, then take
+    // cheap copies (bulky immutable state is Arc-shared inside the source).
+    let proto_source = make_source_for(&spec.workload, spec.num_nodes, spec.seed);
+    let nodes: Vec<SimNode> = topology
+        .nodes()
+        .map(|id| SimNode::new(id, Arc::clone(&cfg), proto_source.clone_box()))
+        .collect();
+    let total = topology.len();
+    let engine_cfg = EngineConfig {
+        seed: spec.seed,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(topology, links, nodes, engine_cfg)?;
+    let faults = resolve_fault_schedule(spec, total);
+    if !faults.is_empty() {
+        engine.set_fault_schedule(faults);
+    }
+    Ok(engine)
+}
+
+/// Resolves the declarative fault axis into concrete per-node outage windows.
+///
+/// Windows with explicit node lists apply verbatim (basestation and
+/// out-of-range ids are ignored); fraction windows sample
+/// `round(fraction × sensors)` distinct sensors by a seeded partial shuffle,
+/// so the same spec always kills the same nodes and different windows are
+/// sampled independently.
+pub fn resolve_fault_schedule(spec: &ScenarioSpec, total_nodes: usize) -> FaultSchedule {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut schedule = FaultSchedule::empty();
+    for (index, window) in spec.faults.windows.iter().enumerate() {
+        let from = SimTime::ZERO + window.start;
+        let until = SimTime::ZERO + window.end;
+        if !window.nodes.is_empty() {
+            for &id in &window.nodes {
+                if id != 0 && (id as usize) < total_nodes {
+                    schedule.add(NodeId(id), from, until);
+                }
+            }
+            continue;
+        }
+        let sensors = total_nodes.saturating_sub(1);
+        let count = ((window.fraction * sensors as f64).round() as usize).min(sensors);
+        if count == 0 {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            spec.seed ^ FAULT_SEED_SALT ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        // Partial Fisher–Yates over the sensor ids: the first `count` slots
+        // are a uniform sample without replacement.
+        let mut ids: Vec<u16> = (1..=sensors as u16).collect();
+        for i in 0..count {
+            let j = rng.gen_range(i..ids.len());
+            ids.swap(i, j);
+        }
+        for &id in &ids[..count] {
+            schedule.add(NodeId(id), from, until);
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_types::FaultWindow;
+
+    fn spec_with_window(fraction: f64) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::small_test();
+        spec.faults
+            .windows
+            .push(FaultWindow::blackout(240, 420, fraction));
+        spec
+    }
+
+    #[test]
+    fn empty_fault_spec_resolves_to_empty_schedule() {
+        let spec = ScenarioSpec::small_test();
+        assert!(resolve_fault_schedule(&spec, 17).is_empty());
+    }
+
+    #[test]
+    fn fraction_windows_sample_deterministically_and_spare_the_basestation() {
+        let spec = spec_with_window(0.25);
+        let a = resolve_fault_schedule(&spec, 17);
+        let b = resolve_fault_schedule(&spec, 17);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4); // round(0.25 × 16)
+        assert!(a.iter().all(|o| o.node != NodeId::BASESTATION));
+        let mut nodes: Vec<_> = a.iter().map(|o| o.node).collect();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 4, "sampling must be without replacement");
+
+        let mut other = spec;
+        other.seed += 1;
+        let c = resolve_fault_schedule(&other, 17);
+        assert_ne!(a, c, "a different seed should kill different nodes");
+    }
+
+    #[test]
+    fn explicit_node_lists_apply_verbatim_and_filter_invalid_ids() {
+        let mut spec = ScenarioSpec::small_test();
+        spec.faults.windows.push(FaultWindow {
+            nodes: vec![0, 3, 99],
+            ..FaultWindow::blackout(60, 120, 0.0)
+        });
+        let schedule = resolve_fault_schedule(&spec, 17);
+        let nodes: Vec<_> = schedule.iter().map(|o| o.node).collect();
+        assert_eq!(nodes, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn builder_installs_the_resolved_schedule() {
+        let engine = SimBuilder::new(spec_with_window(0.25)).build().unwrap();
+        assert_eq!(engine.fault_schedule().len(), 4);
+        let engine = SimBuilder::new(ScenarioSpec::small_test()).build().unwrap();
+        assert!(engine.fault_schedule().is_empty());
+    }
+
+    #[test]
+    fn builder_set_applies_axis_overrides() {
+        let builder = SimBuilder::new(ScenarioSpec::small_test())
+            .set("topology", "grid")
+            .unwrap()
+            .set("nodes", "96")
+            .unwrap()
+            .set("link.loss_floor", "0.05")
+            .unwrap();
+        assert_eq!(builder.spec().num_nodes, 96);
+        let engine = builder.build().unwrap();
+        assert_eq!(engine.topology().len(), 97);
+        assert_eq!(engine.topology().kind(), scoop_net::TopologyKind::Grid);
+    }
+
+    #[test]
+    fn builder_rejects_unknown_axes_and_invalid_specs() {
+        assert!(SimBuilder::new(ScenarioSpec::small_test())
+            .set("warp", "9")
+            .is_err());
+        let mut spec = ScenarioSpec::small_test();
+        spec.num_nodes = 0;
+        assert!(SimBuilder::new(spec).build().is_err());
+    }
+}

@@ -33,15 +33,15 @@ type Variant = (&'static str, fn(&mut ExperimentConfig));
 fn variants() -> Vec<Variant> {
     vec![
         ("baseline", |_| {}),
-        ("no-batching", |cfg| cfg.scoop.batch_size = 1),
+        ("no-batching", |cfg| cfg.policy.scoop.batch_size = 1),
         ("no-index-suppression", |cfg| {
-            cfg.scoop.suppress_unchanged_index = false
+            cfg.policy.scoop.suppress_unchanged_index = false
         }),
         ("no-neighbor-shortcut", |cfg| {
-            cfg.scoop.neighbor_shortcut = false
+            cfg.policy.scoop.neighbor_shortcut = false
         }),
         ("store-local-fallback", |cfg| {
-            cfg.scoop.allow_store_local_fallback = true
+            cfg.policy.scoop.allow_store_local_fallback = true
         }),
     ]
 }
@@ -56,8 +56,8 @@ pub fn ablation_rows(
     let suite =
         ScenarioSuite::from_grid("ablations", trials, variants.iter(), |&(name, mutate)| {
             let mut cfg = base.clone();
-            cfg.policy = StoragePolicy::Scoop;
-            cfg.data_source = source;
+            cfg.policy.kind = StoragePolicy::Scoop;
+            cfg.workload.data_source = source;
             mutate(&mut cfg);
             (name.to_string(), cfg)
         });

@@ -39,8 +39,8 @@ fn run_panel(
     let suite =
         ScenarioSuite::from_grid(name, trials, combos.iter().copied(), |(policy, source)| {
             let mut cfg = base.clone();
-            cfg.policy = policy;
-            cfg.data_source = source;
+            cfg.policy.kind = policy;
+            cfg.workload.data_source = source;
             (format!("{policy}/{source}"), cfg)
         });
     let report = SweepRunner::from_env().run(&suite)?;

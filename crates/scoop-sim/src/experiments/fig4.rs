@@ -44,9 +44,9 @@ pub fn fig4_selectivity(
         grid.iter().copied(),
         |(policy, frac)| {
             let mut cfg = base.clone();
-            cfg.policy = policy;
-            cfg.queries.min_width_frac = frac;
-            cfg.queries.max_width_frac = frac;
+            cfg.policy.kind = policy;
+            cfg.workload.queries.min_width_frac = frac;
+            cfg.workload.queries.max_width_frac = frac;
             (format!("{policy}/width-{frac:.2}"), cfg)
         },
     );

@@ -41,8 +41,8 @@ pub fn fig5_query_interval(
         grid.iter().copied(),
         |(policy, secs)| {
             let mut cfg = base.clone();
-            cfg.policy = policy;
-            cfg.queries.query_interval = SimDuration::from_secs(secs.max(1));
+            cfg.policy.kind = policy;
+            cfg.workload.queries.query_interval = SimDuration::from_secs(secs.max(1));
             (format!("{policy}/interval-{secs}s"), cfg)
         },
     );

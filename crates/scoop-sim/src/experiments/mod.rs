@@ -11,6 +11,7 @@ pub mod ablations;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod link_calibration;
 pub mod prose;
 
 use scoop_types::ExperimentConfig;
@@ -32,6 +33,7 @@ pub use ablations::{ablation_rows, AblationRow};
 pub use fig3::{fig3_left, fig3_middle, fig3_right, Fig3Row};
 pub use fig4::{fig4_selectivity, Fig4Row};
 pub use fig5::{fig5_query_interval, Fig5Row};
+pub use link_calibration::{link_calibration, LinkCalibrationRow};
 pub use prose::{
     reliability, root_skew, sample_interval_sweep, scaling, ReliabilityRow, RootSkewRow,
     SampleIntervalRow, ScalingRow,

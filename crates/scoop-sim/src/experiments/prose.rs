@@ -41,9 +41,9 @@ pub fn sample_interval_sweep(
         grid.iter().copied(),
         |(source, secs)| {
             let mut cfg = base.clone();
-            cfg.policy = StoragePolicy::Scoop;
-            cfg.data_source = source;
-            cfg.sample_interval = SimDuration::from_secs(secs.max(1));
+            cfg.policy.kind = StoragePolicy::Scoop;
+            cfg.workload.data_source = source;
+            cfg.workload.sample_interval = SimDuration::from_secs(secs.max(1));
             (format!("{source}/sample-{secs}s"), cfg)
         },
     );
@@ -85,7 +85,7 @@ pub fn reliability(
     let suite =
         ScenarioSuite::from_grid("reliability", trials, policies.iter().copied(), |policy| {
             let mut cfg = base.clone();
-            cfg.policy = policy;
+            cfg.policy.kind = policy;
             (policy.to_string(), cfg)
         });
     let report = SweepRunner::from_env().run(&suite)?;
@@ -127,7 +127,7 @@ pub fn root_skew(base: &ExperimentConfig, trials: usize) -> Result<Vec<RootSkewR
     ];
     let suite = ScenarioSuite::from_grid("root-skew", trials, policies, |policy| {
         let mut cfg = base.clone();
-        cfg.policy = policy;
+        cfg.policy.kind = policy;
         (policy.to_string(), cfg)
     });
     let report = SweepRunner::from_env().run(&suite)?;
@@ -176,8 +176,8 @@ pub fn scaling(
         .collect();
     let suite = ScenarioSuite::from_grid("scaling", trials, grid.iter().copied(), |(source, n)| {
         let mut cfg = base.clone();
-        cfg.policy = StoragePolicy::Scoop;
-        cfg.data_source = source;
+        cfg.policy.kind = StoragePolicy::Scoop;
+        cfg.workload.data_source = source;
         cfg.num_nodes = n;
         (format!("{source}/{n}-nodes"), cfg)
     });
@@ -199,7 +199,7 @@ pub fn scaling(
 /// and the quickstart example).
 pub fn default_scoop_run(base: &ExperimentConfig, trials: usize) -> Result<RunResult, ScoopError> {
     let mut cfg = base.clone();
-    cfg.policy = StoragePolicy::Scoop;
+    cfg.policy.kind = StoragePolicy::Scoop;
     let suite = ScenarioSuite::new("default-scoop", trials).scenario("scoop", cfg);
     let report = SweepRunner::from_env().run(&suite)?;
     Ok(report

@@ -11,9 +11,12 @@
 //!   role, driven entirely by simulator events.
 //! * [`metrics`] — per-run metrics: the Figure 3 message breakdown, storage
 //!   and query success rates, destination accuracy, and per-node skew.
-//! * [`runner`] — builds a topology + engine from an
-//!   [`ExperimentConfig`](scoop_types::ExperimentConfig), runs it, and
-//!   extracts a [`metrics::RunResult`]; multi-trial averaging included.
+//! * [`builder`] — [`SimBuilder`]: assembles an engine from a
+//!   [`ScenarioSpec`](scoop_types::ScenarioSpec) through the pluggable
+//!   `TopologyGen` / `LinkGen` factories and resolves the fault axis into a
+//!   radio-outage schedule.
+//! * [`runner`] — runs a built engine and extracts a
+//!   [`metrics::RunResult`]; multi-trial averaging included.
 //! * [`sweep`] — the parallel, deterministic scenario runner: declarative
 //!   [`sweep::ScenarioSuite`]s executed across threads by
 //!   [`sweep::SweepRunner`] with results collected in input order.
@@ -23,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod experiments;
 pub mod metrics;
 pub mod node;
@@ -30,7 +34,11 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use builder::{resolve_fault_schedule, SimBuilder};
 pub use metrics::{MessageBreakdown, QueryMetrics, RootSkew, RunResult, StorageMetrics};
 pub use node::SimNode;
-pub use runner::{average_results, build_engine, run_experiment, run_trials};
+pub use runner::{
+    average_results, build_engine, build_engine_with, run_built_experiment, run_experiment,
+    run_trials,
+};
 pub use sweep::{Scenario, ScenarioSuite, SweepReport, SweepRunner};

@@ -150,24 +150,18 @@ impl SimNode {
     /// single thread. This keeps `SimNode` (and the whole engine) `Send`.
     pub fn new(id: NodeId, cfg: Arc<ExperimentConfig>, source: Box<dyn DataSource>) -> Self {
         let routing_cfg = RoutingConfig {
-            neighbor_cap: cfg.scoop.neighbor_list_cap,
-            descendants_cap: cfg.scoop.descendants_cap,
-            summary_neighbors: cfg.scoop.summary_neighbors,
+            neighbor_cap: cfg.policy.scoop.neighbor_list_cap,
+            descendants_cap: cfg.policy.scoop.descendants_cap,
+            summary_neighbors: cfg.policy.scoop.summary_neighbors,
             ..RoutingConfig::default()
         };
         let is_base = id.is_basestation();
         let base = if is_base {
             let total = cfg.num_nodes + 1;
             Some(BaseState {
-                stats: StatsStore::new(total, cfg.value_domain),
+                stats: StatsStore::new(total, cfg.workload.value_domain),
                 planner: QueryPlanner::new(),
-                query_gen: QueryGenerator::new(
-                    cfg.attribute,
-                    cfg.value_domain,
-                    cfg.queries.clone(),
-                    cfg.sample_interval,
-                    cfg.seed,
-                ),
+                query_gen: QueryGenerator::from_spec(&cfg.workload, cfg.seed),
                 next_query_id: 1,
                 next_index_id: StorageIndexId(1),
                 last_disseminated: None,
@@ -181,15 +175,15 @@ impl SimNode {
         };
 
         // Static indices known a priori under the HASH and BASE policies.
-        let current_index = match cfg.policy {
+        let current_index = match cfg.policy.kind {
             StoragePolicy::Hash => Some(scoop_core::baselines::hash_index(
-                cfg.value_domain,
+                cfg.workload.value_domain,
                 cfg.num_nodes,
                 SimTime::ZERO,
             )),
             StoragePolicy::Base => Some(StorageIndex::send_to_base(
                 StorageIndexId(1),
-                cfg.value_domain,
+                cfg.workload.value_domain,
                 SimTime::ZERO,
             )),
             StoragePolicy::Scoop | StoragePolicy::Local => None,
@@ -198,7 +192,7 @@ impl SimNode {
         SimNode {
             id,
             routing: RoutingState::new(id, routing_cfg),
-            recent: RecentReadings::new(cfg.scoop.recent_readings),
+            recent: RecentReadings::new(cfg.policy.scoop.recent_readings),
             buffer: DataBuffer::new(DATA_BUFFER_CAP),
             source,
             rng: StdRng::seed_from_u64(cfg.seed ^ (0xa0de_0000 + id.0 as u64)),
@@ -290,7 +284,7 @@ impl SimNode {
     }
 
     fn policy(&self) -> StoragePolicy {
-        self.cfg.policy
+        self.cfg.policy.kind
     }
 
     fn jitter(&mut self, max_ms: u64) -> SimDuration {
@@ -354,7 +348,7 @@ impl SimNode {
     fn handle_sample(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>) {
         let now = ctx.now();
         let value = self.source.sample(self.id, now);
-        let reading = Reading::new(self.id, self.cfg.attribute, value, now);
+        let reading = Reading::new(self.id, self.cfg.workload.attribute, value, now);
         self.metrics.sampled += 1;
         self.recent.push(reading);
 
@@ -406,7 +400,7 @@ impl SimNode {
                 self.batch.push(reading);
             }
         }
-        if self.batch.len() >= self.cfg.scoop.batch_size {
+        if self.batch.len() >= self.cfg.policy.scoop.batch_size {
             self.flush_batch(ctx);
         }
     }
@@ -456,7 +450,7 @@ impl SimNode {
                 id: self.id,
                 index: self.current_index.as_ref(),
                 routing: &self.routing,
-                neighbor_shortcut: self.cfg.scoop.neighbor_shortcut,
+                neighbor_shortcut: self.cfg.policy.scoop.neighbor_shortcut,
             };
             route_data(&view, msg)
         };
@@ -523,12 +517,12 @@ impl SimNode {
         let values = self.recent.values();
         let summary = SummaryMessage {
             node: self.id,
-            histogram: SummaryHistogram::build(&values, self.cfg.scoop.n_bins),
+            histogram: SummaryHistogram::build(&values, self.cfg.policy.scoop.n_bins),
             min: self.recent.min_value(),
             max: self.recent.max_value(),
             sum: self.recent.sum(),
             count: self.recent.len() as u32,
-            data_rate_hz: 1.0 / self.cfg.sample_interval.as_secs_f64().max(0.001),
+            data_rate_hz: 1.0 / self.cfg.workload.sample_interval.as_secs_f64().max(0.001),
             neighbors: self
                 .routing
                 .summary_neighbors()
@@ -566,7 +560,7 @@ impl SimNode {
         }
         let params = CostParams::from_stats(&base.stats);
         let builder = IndexBuilder::new(IndexBuilderConfig {
-            allow_store_local_fallback: cfg.scoop.allow_store_local_fallback,
+            allow_store_local_fallback: cfg.policy.scoop.allow_store_local_fallback,
         });
         let decision = builder.build(&base.stats, params, base.next_index_id, now);
         let index = match decision {
@@ -579,9 +573,9 @@ impl SimNode {
             }
         };
 
-        if cfg.scoop.suppress_unchanged_index {
+        if cfg.policy.scoop.suppress_unchanged_index {
             if let Some(prev) = &base.last_disseminated {
-                if index.difference_fraction(prev) < cfg.scoop.suppression_threshold {
+                if index.difference_fraction(prev) < cfg.policy.scoop.suppression_threshold {
                     base.remaps_suppressed += 1;
                     return;
                 }
@@ -594,7 +588,7 @@ impl SimNode {
         base.indices_disseminated += 1;
 
         // Chunk and broadcast; neighbors gossip it onward.
-        let chunker = Chunker::new(cfg.scoop.mapping_entries_per_packet);
+        let chunker = Chunker::new(cfg.policy.scoop.mapping_entries_per_packet);
         let chunks = chunker.split(index.id().0 as u64, index.entries());
         let domain = index.domain();
         let created_at = index.created_at();
@@ -855,22 +849,23 @@ impl NodeLogic for SimNode {
 
         let warmup = self.cfg.warmup;
         if self.is_sensor() {
-            let sample_offset = self.jitter(self.cfg.sample_interval.as_millis());
+            let sample_offset = self.jitter(self.cfg.workload.sample_interval.as_millis());
             ctx.set_timer(warmup + sample_offset, TICK_SAMPLE);
             if self.policy() == StoragePolicy::Scoop {
-                let summary_offset = self.jitter(self.cfg.scoop.summary_interval.as_millis());
+                let summary_offset =
+                    self.jitter(self.cfg.policy.scoop.summary_interval.as_millis());
                 ctx.set_timer(warmup + summary_offset, TICK_SUMMARY);
             }
         } else {
             if self.policy() == StoragePolicy::Scoop {
-                ctx.set_timer(warmup + self.cfg.scoop.remap_interval, TICK_REMAP);
+                ctx.set_timer(warmup + self.cfg.policy.scoop.remap_interval, TICK_REMAP);
             }
             if self.policy() != StoragePolicy::Base {
                 // Stagger the first query half an interval after sampling
                 // starts so there is something to query.
-                let offset = self.cfg.queries.query_interval.div(2);
+                let offset = self.cfg.workload.queries.query_interval.div(2);
                 ctx.set_timer(
-                    warmup + self.cfg.queries.query_interval + offset,
+                    warmup + self.cfg.workload.queries.query_interval + offset,
                     TICK_QUERY,
                 );
             }
@@ -916,19 +911,19 @@ impl NodeLogic for SimNode {
             }
             TICK_SAMPLE => {
                 self.handle_sample(ctx);
-                ctx.set_timer(self.cfg.sample_interval, TICK_SAMPLE);
+                ctx.set_timer(self.cfg.workload.sample_interval, TICK_SAMPLE);
             }
             TICK_SUMMARY => {
                 self.send_summary(ctx);
-                ctx.set_timer(self.cfg.scoop.summary_interval, TICK_SUMMARY);
+                ctx.set_timer(self.cfg.policy.scoop.summary_interval, TICK_SUMMARY);
             }
             TICK_REMAP => {
                 self.remap(ctx);
-                ctx.set_timer(self.cfg.scoop.remap_interval, TICK_REMAP);
+                ctx.set_timer(self.cfg.policy.scoop.remap_interval, TICK_REMAP);
             }
             TICK_QUERY => {
                 self.issue_query(ctx);
-                ctx.set_timer(self.cfg.queries.query_interval, TICK_QUERY);
+                ctx.set_timer(self.cfg.workload.queries.query_interval, TICK_QUERY);
             }
             TICK_GOSSIP => {
                 self.flush_one_gossip(ctx);
@@ -965,7 +960,12 @@ mod tests {
         let topo = Topology::grid(side, 10.0).expect("grid");
         let links = LinkModel::perfect(&topo);
         let shared = Arc::new(cfg.clone());
-        let proto = make_source(cfg.data_source, cfg.value_domain, topo.len() - 1, cfg.seed);
+        let proto = make_source(
+            cfg.workload.data_source,
+            cfg.workload.value_domain,
+            topo.len() - 1,
+            cfg.seed,
+        );
         let nodes: Vec<SimNode> = topo
             .nodes()
             .map(|id| SimNode::new(id, Arc::clone(&shared), proto.clone_box()))
@@ -987,10 +987,10 @@ mod tests {
         cfg.num_nodes = 8; // 3×3 grid
         cfg.duration = SimDuration::from_mins(9);
         cfg.warmup = SimDuration::from_mins(2);
-        cfg.scoop.summary_interval = SimDuration::from_secs(40);
-        cfg.scoop.remap_interval = SimDuration::from_secs(80);
-        cfg.policy = policy;
-        cfg.data_source = source;
+        cfg.policy.scoop.summary_interval = SimDuration::from_secs(40);
+        cfg.policy.scoop.remap_interval = SimDuration::from_secs(80);
+        cfg.policy.kind = policy;
+        cfg.workload.data_source = source;
         cfg.seed = 3;
         cfg
     }

@@ -5,8 +5,8 @@
 //! emitted as JSON for EXPERIMENTS.md bookkeeping.
 
 use crate::experiments::{
-    AblationRow, Fig3Row, Fig4Row, Fig5Row, ReliabilityRow, RootSkewRow, SampleIntervalRow,
-    ScalingRow,
+    AblationRow, Fig3Row, Fig4Row, Fig5Row, LinkCalibrationRow, ReliabilityRow, RootSkewRow,
+    SampleIntervalRow, ScalingRow,
 };
 use scoop_types::ScoopError;
 use serde::Serialize;
@@ -109,6 +109,28 @@ pub fn reliability_table(rows: &[ReliabilityRow]) -> String {
             r.storage_success * 100.0,
             r.query_success * 100.0,
             r.destination_accuracy * 100.0
+        ));
+    }
+    out
+}
+
+/// Formats the link-calibration rows.
+pub fn link_calibration_table(rows: &[LinkCalibrationRow]) -> String {
+    let mut out = String::from(
+        "Link calibration (SCOOP; paper reliability: ~93 % stored, ~78 % of query results)\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>16} {:>14} {:>12}\n",
+        "loss floor", "exponent", "storage success", "query success", "messages"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12.2} {:>10.1} {:>15.1}% {:>13.1}% {:>12}\n",
+            r.loss_floor,
+            r.distance_exponent,
+            r.storage_success * 100.0,
+            r.query_success * 100.0,
+            r.total_messages
         ));
     }
     out

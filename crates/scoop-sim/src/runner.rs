@@ -1,50 +1,32 @@
-//! Builds and runs whole-network simulations from an [`ExperimentConfig`].
+//! Builds and runs whole-network simulations from a
+//! [`ScenarioSpec`](scoop_types::ScenarioSpec) (aka the legacy
+//! [`ExperimentConfig`] alias). Engine construction is delegated to
+//! [`SimBuilder`](crate::builder::SimBuilder), so every axis — topology
+//! family, loss model, faults — honors the spec rather than being hardcoded
+//! here.
 
+use crate::builder::{assemble, SimBuilder};
 use crate::metrics::{MessageBreakdown, QueryMetrics, RunResult, StorageMetrics};
 use crate::node::SimNode;
-use scoop_net::{Engine, EngineConfig, LinkModel, Topology};
+use scoop_net::{Engine, LinkModel, Topology};
 use scoop_types::{ExperimentConfig, MessageStats, NodeId, ScoopError, SimTime};
-use scoop_workload::make_source;
-use std::sync::Arc;
 
 /// Builds the topology, link model, node state machines, and engine for one
-/// experiment run. The topology is the office-floor testbed layout sized to
-/// `config.num_nodes`.
+/// experiment run, as described by every axis of the spec.
 pub fn build_engine(config: &ExperimentConfig) -> Result<Engine<SimNode>, ScoopError> {
-    config.validate()?;
-    let topology = Topology::office_floor(config.num_nodes, config.seed)?;
-    let links = LinkModel::from_topology(&topology, config.seed);
-    build_engine_with(config, topology, links)
+    SimBuilder::new(config.clone()).build()
 }
 
 /// Builds an engine over an explicit topology and link model (used by tests
-/// and by ablation experiments that perturb the network).
+/// and by ablation experiments that perturb the network by hand). The spec's
+/// fault axis still applies; its topology and link axes are ignored in favor
+/// of the arguments.
 pub fn build_engine_with(
     config: &ExperimentConfig,
     topology: Topology,
     links: LinkModel,
 ) -> Result<Engine<SimNode>, ScoopError> {
-    let cfg = Arc::new(config.clone());
-    // Every node owns its data source. Sources are pure in `(node, now)`
-    // (the scoop-workload contract), so per-node copies agree exactly with a
-    // single shared source — and the resulting engine is `Send`, which lets
-    // the sweep runner spread runs over threads. Construct once, then take
-    // cheap copies (bulky immutable state is Arc-shared inside the source).
-    let proto_source = make_source(
-        config.data_source,
-        config.value_domain,
-        config.num_nodes,
-        config.seed,
-    );
-    let nodes: Vec<SimNode> = topology
-        .nodes()
-        .map(|id| SimNode::new(id, Arc::clone(&cfg), proto_source.clone_box()))
-        .collect();
-    let engine_cfg = EngineConfig {
-        seed: config.seed,
-        ..EngineConfig::default()
-    };
-    Engine::new(topology, links, nodes, engine_cfg)
+    assemble(config, topology, links)
 }
 
 fn stats_diff(after: &MessageStats, before: &MessageStats) -> MessageStats {
@@ -63,7 +45,18 @@ fn stats_diff(after: &MessageStats, before: &MessageStats) -> MessageStats {
 /// Messages are counted over the *measured* window (after the stabilization
 /// warmup), matching the paper's methodology.
 pub fn run_experiment(config: &ExperimentConfig) -> Result<RunResult, ScoopError> {
-    let mut engine = build_engine(config)?;
+    run_built_experiment(config, build_engine(config)?)
+}
+
+/// Runs an already-built engine to completion and extracts its metrics;
+/// `config` must be the spec the engine was built from. Exposed so harnesses
+/// that construct engines by hand (explicit topologies, perturbed link
+/// models) share the exact measurement path — the equivalence tests compare
+/// the builder path against hand construction through this function.
+pub fn run_built_experiment(
+    config: &ExperimentConfig,
+    mut engine: Engine<SimNode>,
+) -> Result<RunResult, ScoopError> {
     let warmup_end = SimTime::ZERO + config.warmup;
     engine.run_until(warmup_end);
 
@@ -198,8 +191,8 @@ mod tests {
 
     fn small(policy: StoragePolicy, source: DataSourceKind) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::small_test();
-        cfg.policy = policy;
-        cfg.data_source = source;
+        cfg.policy.kind = policy;
+        cfg.workload.data_source = source;
         cfg
     }
 

@@ -259,8 +259,8 @@ mod tests {
         cfg.num_nodes = 8;
         cfg.duration = scoop_types::SimDuration::from_mins(6);
         cfg.warmup = scoop_types::SimDuration::from_mins(2);
-        cfg.policy = policy;
-        cfg.data_source = source;
+        cfg.policy.kind = policy;
+        cfg.workload.data_source = source;
         cfg.seed = seed;
         cfg
     }

@@ -12,10 +12,10 @@ fn small(policy: StoragePolicy, source: DataSourceKind, seed: u64) -> Experiment
     cfg.num_nodes = 10;
     cfg.duration = SimDuration::from_mins(8);
     cfg.warmup = SimDuration::from_mins(2);
-    cfg.scoop.summary_interval = SimDuration::from_secs(45);
-    cfg.scoop.remap_interval = SimDuration::from_secs(90);
-    cfg.policy = policy;
-    cfg.data_source = source;
+    cfg.policy.scoop.summary_interval = SimDuration::from_secs(45);
+    cfg.policy.scoop.remap_interval = SimDuration::from_secs(90);
+    cfg.policy.kind = policy;
+    cfg.workload.data_source = source;
     cfg.seed = seed;
     cfg
 }

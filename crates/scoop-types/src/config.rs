@@ -1,14 +1,25 @@
-//! Experiment and protocol configuration.
+//! Protocol and workload parameter blocks shared by every scenario.
 //!
-//! [`ExperimentConfig::paper_defaults`] reproduces the parameter table from
-//! Section 6 of the paper: 62 nodes + 1 basestation, 40 simulated minutes,
-//! 15-second sample and query intervals, 110-second summary interval,
-//! 240-second remap interval, queries over 1–5 % of the value domain, and the
-//! REAL data source.
+//! The experiment description itself lives in [`crate::spec`]: a
+//! [`ScenarioSpec`](crate::ScenarioSpec) composes these blocks with the
+//! topology / link / fault axes. [`ExperimentConfig`] is the legacy name for
+//! that type, kept as a thin alias; `ExperimentConfig::paper_defaults()`
+//! still reproduces the parameter table from Section 6 of the paper
+//! (62 nodes + 1 basestation, 40 simulated minutes, 15-second sample and
+//! query intervals, 110-second summary interval, 240-second remap interval,
+//! queries over 1–5 % of the value domain, the REAL data source).
 
-use crate::{Attribute, ScoopError, SimDuration, ValueRange, MAX_NODES};
+use crate::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Legacy name of [`ScenarioSpec`](crate::ScenarioSpec).
+///
+/// The closed `ExperimentConfig` struct was redesigned into the composable
+/// spec; see the README migration table for the old-field → new-axis mapping
+/// (e.g. `config.policy` → `spec.policy.kind`, `config.data_source` →
+/// `spec.workload.data_source`).
+pub type ExperimentConfig = crate::spec::ScenarioSpec;
 
 /// Which storage policy the network runs.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -178,208 +189,9 @@ impl Default for QueryWorkloadConfig {
     }
 }
 
-/// Full description of one experiment run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct ExperimentConfig {
-    /// Number of sensor nodes, excluding the basestation (paper: 62).
-    pub num_nodes: usize,
-    /// Total simulated duration (paper: 40 minutes).
-    pub duration: SimDuration,
-    /// Stabilization prefix during which only the routing tree forms
-    /// (paper: 10 minutes).
-    pub warmup: SimDuration,
-    /// Interval between sensor samples on each node (paper: 15 s).
-    pub sample_interval: SimDuration,
-    /// The attribute being indexed (the REAL trace is light data).
-    pub attribute: Attribute,
-    /// The attribute's value domain. The synthetic sources use `[0, 100]`;
-    /// the REAL trace uses roughly 150 distinct values.
-    pub value_domain: ValueRange,
-    /// Which data source drives the sensors.
-    pub data_source: DataSourceKind,
-    /// Which storage policy the network runs.
-    pub policy: StoragePolicy,
-    /// Scoop protocol parameters (ignored by the other policies).
-    pub scoop: ScoopParams,
-    /// Query workload parameters.
-    pub queries: QueryWorkloadConfig,
-    /// Seed for all randomness in the run (topology noise, link loss, data
-    /// sources, query generation). Two runs with the same config and seed
-    /// produce identical results.
-    pub seed: u64,
-}
-
-impl ExperimentConfig {
-    /// The default parameters from Section 6 of the paper.
-    pub fn paper_defaults() -> Self {
-        ExperimentConfig {
-            num_nodes: 62,
-            duration: SimDuration::from_mins(40),
-            warmup: SimDuration::from_mins(10),
-            sample_interval: SimDuration::from_secs(15),
-            attribute: Attribute::Light,
-            value_domain: ValueRange::new(0, 149),
-            data_source: DataSourceKind::Real,
-            policy: StoragePolicy::Scoop,
-            scoop: ScoopParams::default(),
-            queries: QueryWorkloadConfig::default(),
-            seed: 1,
-        }
-    }
-
-    /// A scaled-down configuration useful for unit and integration tests:
-    /// fewer nodes and a shorter run so tests finish quickly while still
-    /// exercising every protocol phase (tree formation, summaries, at least
-    /// two remaps, queries).
-    pub fn small_test() -> Self {
-        let mut cfg = Self::paper_defaults();
-        cfg.num_nodes = 16;
-        cfg.duration = SimDuration::from_mins(12);
-        cfg.warmup = SimDuration::from_mins(2);
-        cfg.scoop.summary_interval = SimDuration::from_secs(60);
-        cfg.scoop.remap_interval = SimDuration::from_secs(120);
-        cfg
-    }
-
-    /// Validates internal consistency (node count within the bitmap limit,
-    /// warmup shorter than the run, sane fractions, non-zero intervals).
-    pub fn validate(&self) -> Result<(), ScoopError> {
-        if self.num_nodes + 1 > MAX_NODES {
-            return Err(ScoopError::TooManyNodes {
-                requested: self.num_nodes + 1,
-                limit: MAX_NODES,
-            });
-        }
-        if self.num_nodes == 0 {
-            return Err(ScoopError::InvalidConfig("num_nodes must be >= 1".into()));
-        }
-        if self.warmup >= self.duration {
-            return Err(ScoopError::InvalidConfig(
-                "warmup must be shorter than the total duration".into(),
-            ));
-        }
-        if self.sample_interval.as_millis() == 0 {
-            return Err(ScoopError::InvalidConfig(
-                "sample_interval must be non-zero".into(),
-            ));
-        }
-        if self.queries.query_interval.as_millis() == 0 {
-            return Err(ScoopError::InvalidConfig(
-                "query_interval must be non-zero".into(),
-            ));
-        }
-        if self.scoop.n_bins == 0 {
-            return Err(ScoopError::InvalidConfig("n_bins must be >= 1".into()));
-        }
-        if self.scoop.batch_size == 0 {
-            return Err(ScoopError::InvalidConfig("batch_size must be >= 1".into()));
-        }
-        if !(0.0..=1.0).contains(&self.queries.min_width_frac)
-            || !(0.0..=1.0).contains(&self.queries.max_width_frac)
-            || self.queries.min_width_frac > self.queries.max_width_frac
-        {
-            return Err(ScoopError::InvalidConfig(
-                "query width fractions must satisfy 0 <= min <= max <= 1".into(),
-            ));
-        }
-        if self.value_domain.width() < 2 {
-            return Err(ScoopError::InvalidConfig(
-                "value domain must contain at least two values".into(),
-            ));
-        }
-        Ok(())
-    }
-
-    /// Duration of the measured part of the run (after warmup).
-    pub fn measured_duration(&self) -> SimDuration {
-        SimDuration(self.duration.0.saturating_sub(self.warmup.0))
-    }
-
-    /// Number of sensor samples each node takes during the measured part of
-    /// the run.
-    pub fn samples_per_node(&self) -> u64 {
-        self.measured_duration().as_millis() / self.sample_interval.as_millis()
-    }
-
-    /// Number of queries the basestation issues during the measured part of
-    /// the run.
-    pub fn query_count(&self) -> u64 {
-        self.measured_duration().as_millis() / self.queries.query_interval.as_millis()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn paper_defaults_match_section_6() {
-        let cfg = ExperimentConfig::paper_defaults();
-        assert_eq!(cfg.num_nodes, 62);
-        assert_eq!(cfg.duration.as_secs(), 40 * 60);
-        assert_eq!(cfg.warmup.as_secs(), 10 * 60);
-        assert_eq!(cfg.sample_interval.as_secs(), 15);
-        assert_eq!(cfg.queries.query_interval.as_secs(), 15);
-        assert_eq!(cfg.scoop.summary_interval.as_secs(), 110);
-        assert_eq!(cfg.scoop.remap_interval.as_secs(), 240);
-        assert_eq!(cfg.scoop.n_bins, 10);
-        assert_eq!(cfg.scoop.recent_readings, 30);
-        assert_eq!(cfg.scoop.batch_size, 5);
-        assert_eq!(cfg.scoop.summary_neighbors, 12);
-        assert_eq!(cfg.scoop.descendants_cap, 32);
-        assert!(!cfg.scoop.allow_store_local_fallback);
-        assert_eq!(cfg.data_source, DataSourceKind::Real);
-        assert_eq!(cfg.policy, StoragePolicy::Scoop);
-        cfg.validate().expect("paper defaults must be valid");
-    }
-
-    #[test]
-    fn small_test_config_is_valid() {
-        ExperimentConfig::small_test().validate().unwrap();
-    }
-
-    #[test]
-    fn validation_rejects_too_many_nodes() {
-        let mut cfg = ExperimentConfig::paper_defaults();
-        cfg.num_nodes = 200;
-        assert!(matches!(
-            cfg.validate(),
-            Err(ScoopError::TooManyNodes { .. })
-        ));
-    }
-
-    #[test]
-    fn validation_rejects_bad_warmup() {
-        let mut cfg = ExperimentConfig::paper_defaults();
-        cfg.warmup = cfg.duration;
-        assert!(cfg.validate().is_err());
-    }
-
-    #[test]
-    fn validation_rejects_bad_query_widths() {
-        let mut cfg = ExperimentConfig::paper_defaults();
-        cfg.queries.min_width_frac = 0.5;
-        cfg.queries.max_width_frac = 0.1;
-        assert!(cfg.validate().is_err());
-    }
-
-    #[test]
-    fn validation_rejects_zero_nodes_and_bins() {
-        let mut cfg = ExperimentConfig::paper_defaults();
-        cfg.num_nodes = 0;
-        assert!(cfg.validate().is_err());
-        let mut cfg = ExperimentConfig::paper_defaults();
-        cfg.scoop.n_bins = 0;
-        assert!(cfg.validate().is_err());
-    }
-
-    #[test]
-    fn derived_counts() {
-        let cfg = ExperimentConfig::paper_defaults();
-        // 30 measured minutes at one sample / query per 15 s = 120 each.
-        assert_eq!(cfg.samples_per_node(), 120);
-        assert_eq!(cfg.query_count(), 120);
-    }
 
     #[test]
     fn policy_and_source_names() {
@@ -391,10 +203,33 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_roundtrip() {
+    fn legacy_alias_still_builds_the_paper_scenario() {
+        // The compatibility alias: old call sites keep compiling and get the
+        // same Section 6 defaults, now shaped as composable components.
         let cfg = ExperimentConfig::paper_defaults();
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(cfg, back);
+        assert_eq!(cfg, crate::ScenarioSpec::paper_defaults());
+        assert_eq!(cfg.policy.scoop.summary_interval.as_secs(), 110);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn scoop_params_defaults_match_the_paper_table() {
+        let p = ScoopParams::default();
+        assert_eq!(p.summary_interval.as_secs(), 110);
+        assert_eq!(p.remap_interval.as_secs(), 240);
+        assert_eq!(p.n_bins, 10);
+        assert_eq!(p.recent_readings, 30);
+        assert_eq!(p.batch_size, 5);
+        assert_eq!(p.summary_neighbors, 12);
+        assert_eq!(p.descendants_cap, 32);
+        assert!(!p.allow_store_local_fallback);
+    }
+
+    #[test]
+    fn query_workload_defaults_match_the_paper_table() {
+        let q = QueryWorkloadConfig::default();
+        assert_eq!(q.query_interval.as_secs(), 15);
+        assert!((q.min_width_frac - 0.01).abs() < 1e-12);
+        assert!((q.max_width_frac - 0.05).abs() < 1e-12);
     }
 }

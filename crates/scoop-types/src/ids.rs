@@ -8,8 +8,10 @@ use std::fmt;
 ///
 /// The paper's query packets carry a bitmap with one bit per node, which
 /// "puts an upper bound to the size of the sensor network; 128 nodes in our
-/// current implementation" (Section 5.5). We keep the same bound.
-pub const MAX_NODES: usize = 128;
+/// current implementation" (Section 5.5). We widen the bitmap to 512 so the
+/// scaling scenarios (e.g. the 256-node grid) fit; the mechanism — one bit
+/// per addressable node in every query packet — is unchanged.
+pub const MAX_NODES: usize = 512;
 
 /// Identifier of a sensor node.
 ///
@@ -257,10 +259,10 @@ mod tests {
         assert!(bm.is_empty());
         bm.insert(NodeId(3));
         bm.insert(NodeId(64));
-        bm.insert(NodeId(127));
+        bm.insert(NodeId((MAX_NODES - 1) as u16));
         assert!(bm.contains(NodeId(3)));
         assert!(bm.contains(NodeId(64)));
-        assert!(bm.contains(NodeId(127)));
+        assert!(bm.contains(NodeId((MAX_NODES - 1) as u16)));
         assert!(!bm.contains(NodeId(4)));
         assert_eq!(bm.len(), 3);
         bm.remove(NodeId(64));
@@ -271,9 +273,19 @@ mod tests {
     #[test]
     fn bitmap_out_of_range_is_ignored() {
         let mut bm = NodeBitmap::empty();
-        bm.insert(NodeId(200));
+        bm.insert(NodeId(600));
         assert!(bm.is_empty());
-        assert!(!bm.contains(NodeId(200)));
+        assert!(!bm.contains(NodeId(600)));
+    }
+
+    #[test]
+    fn bitmap_addresses_the_256_node_scaling_scenario() {
+        // MAX_NODES was raised from the paper's 128 so a 256-sensor grid
+        // (257 nodes with the basestation) is addressable.
+        const { assert!(MAX_NODES >= 257) };
+        let bm = NodeBitmap::all(257);
+        assert_eq!(bm.len(), 257);
+        assert!(bm.contains(NodeId(256)));
     }
 
     #[test]

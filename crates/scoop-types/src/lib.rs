@@ -17,6 +17,7 @@ pub mod error;
 pub mod ids;
 pub mod message;
 pub mod reading;
+pub mod spec;
 pub mod time;
 pub mod value;
 
@@ -27,5 +28,9 @@ pub use error::ScoopError;
 pub use ids::{NodeBitmap, NodeId, SeqNo, StorageIndexId, MAX_NODES};
 pub use message::{MessageKind, MessageStats};
 pub use reading::Reading;
+pub use spec::{
+    axis_help, AxisDoc, FaultSpec, FaultWindow, LinkFamily, LinkSpec, PolicySpec, ScenarioSpec,
+    TopologyKind, TopologySpec, WorkloadSpec, AXES,
+};
 pub use time::{SimDuration, SimTime};
 pub use value::{Attribute, Value, ValueRange};

@@ -1,0 +1,1065 @@
+//! The composable scenario specification: one serializable component per
+//! simulation axis.
+//!
+//! A [`ScenarioSpec`] fully describes one experiment run. Every axis that
+//! used to be welded into the engine-construction code is an explicit,
+//! serializable component here:
+//!
+//! * [`TopologySpec`] — placement family plus arena / jitter / radio-range
+//!   parameters;
+//! * [`LinkSpec`] — loss-model family plus calibration knobs (loss floor,
+//!   edge delivery, distance exponent, asymmetry noise);
+//! * [`WorkloadSpec`] — data source, sampling, attribute/domain, and the
+//!   query distribution;
+//! * [`PolicySpec`] — storage policy plus the Scoop protocol parameters;
+//! * [`FaultSpec`] — scheduled radio-outage windows (node death / churn).
+//!
+//! `scoop_sim::SimBuilder` assembles an engine from a spec through the
+//! `TopologyGen` / `LinkGen` factory traits in `scoop-net`, and the
+//! string-keyed *axis registry* ([`ScenarioSpec::set_axis`]) lets the CLI,
+//! sweep grids, and benches override any axis without recompiling
+//! (`topology=grid`, `link.loss_floor=0.1`, `nodes=96`, ...).
+//!
+//! The legacy `ExperimentConfig` name survives as a type alias of
+//! [`ScenarioSpec`]; see the README's migration table for the old-field →
+//! new-axis mapping.
+
+use crate::config::{DataSourceKind, QueryWorkloadConfig, ScoopParams, StoragePolicy};
+use crate::{Attribute, ScoopError, SimDuration, ValueRange, MAX_NODES};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which placement generator builds the node layout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Jittered grid across a long rectangular office floor, basestation at
+    /// one end. Mimics the paper's 62-node indoor testbed: multi-hop depth of
+    /// roughly 4–6 hops and ~20 % pairwise connectivity.
+    OfficeFloor,
+    /// Regular square grid, basestation in a corner.
+    Grid,
+    /// Uniform random placement in a square arena, basestation centered.
+    UniformRandom,
+    /// A straight line of nodes; the deepest possible routing tree.
+    Linear,
+}
+
+impl TopologyKind {
+    /// All kinds, in registry order.
+    pub const ALL: [TopologyKind; 4] = [
+        TopologyKind::OfficeFloor,
+        TopologyKind::Grid,
+        TopologyKind::UniformRandom,
+        TopologyKind::Linear,
+    ];
+
+    /// Short lowercase name used by the axis registry and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::OfficeFloor => "office",
+            TopologyKind::Grid => "grid",
+            TopologyKind::UniformRandom => "random",
+            TopologyKind::Linear => "linear",
+        }
+    }
+
+    /// Parses a registry name.
+    pub fn from_name(name: &str) -> Option<TopologyKind> {
+        match name {
+            "office" | "office-floor" | "office_floor" => Some(TopologyKind::OfficeFloor),
+            "grid" => Some(TopologyKind::Grid),
+            "random" | "uniform" | "uniform-random" => Some(TopologyKind::UniformRandom),
+            "linear" | "line" => Some(TopologyKind::Linear),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Node-placement axis: generator family plus its geometry parameters.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// The placement family.
+    pub kind: TopologyKind,
+    /// Arena density in square meters per node (office floor and uniform
+    /// random placements).
+    pub area_per_node: f64,
+    /// Placement jitter as a fraction of the grid cell (office floor only;
+    /// `0` disables jitter entirely).
+    pub jitter: f64,
+    /// Distance between adjacent nodes in meters (grid and linear layouts).
+    pub spacing: f64,
+    /// Multiplier on the family's natural radio range (`1.0` keeps the
+    /// calibrated default; `<1` thins connectivity, `>1` thickens it).
+    pub range_factor: f64,
+}
+
+impl TopologySpec {
+    /// The paper's testbed-like office floor with the calibrated defaults.
+    pub fn office_floor() -> Self {
+        TopologySpec {
+            kind: TopologyKind::OfficeFloor,
+            ..Self::base()
+        }
+    }
+
+    /// A regular grid with the default 10 m spacing.
+    pub fn grid() -> Self {
+        TopologySpec {
+            kind: TopologyKind::Grid,
+            ..Self::base()
+        }
+    }
+
+    /// Uniform random placement with the default density.
+    pub fn uniform_random() -> Self {
+        TopologySpec {
+            kind: TopologyKind::UniformRandom,
+            ..Self::base()
+        }
+    }
+
+    /// A linear chain with the default 10 m spacing.
+    pub fn linear() -> Self {
+        TopologySpec {
+            kind: TopologyKind::Linear,
+            ..Self::base()
+        }
+    }
+
+    fn base() -> Self {
+        TopologySpec {
+            kind: TopologyKind::OfficeFloor,
+            area_per_node: 25.0,
+            jitter: 0.35,
+            spacing: 10.0,
+            range_factor: 1.0,
+        }
+    }
+
+    /// Validates the geometry parameters.
+    pub fn validate(&self) -> Result<(), ScoopError> {
+        if self.area_per_node <= 0.0 {
+            return Err(ScoopError::InvalidConfig(
+                "topology.area_per_node must be > 0".into(),
+            ));
+        }
+        if !(0.0..0.5).contains(&self.jitter) {
+            return Err(ScoopError::InvalidConfig(
+                "topology.jitter must be in [0, 0.5)".into(),
+            ));
+        }
+        if self.spacing <= 0.0 {
+            return Err(ScoopError::InvalidConfig(
+                "topology.spacing must be > 0".into(),
+            ));
+        }
+        if self.range_factor <= 0.0 {
+            return Err(ScoopError::InvalidConfig(
+                "topology.range_factor must be > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TopologySpec {
+    /// The paper's office-floor testbed layout.
+    fn default() -> Self {
+        Self::office_floor()
+    }
+}
+
+/// Which loss-model family derives link quality from the topology.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum LinkFamily {
+    /// Delivery probability decays with distance from `1 - loss_floor` at
+    /// zero range to `edge_delivery` at the radio-range edge, with
+    /// per-direction asymmetry noise. This is the (previously hardcoded)
+    /// model calibrated to the paper's 25–90 % loss band.
+    DistanceDecay,
+    /// Every in-range directed link delivers with probability 1 (isolates
+    /// protocol logic from loss).
+    Perfect,
+}
+
+impl LinkFamily {
+    /// Short lowercase name used by the axis registry.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkFamily::DistanceDecay => "distance",
+            LinkFamily::Perfect => "perfect",
+        }
+    }
+
+    /// Parses a registry name.
+    pub fn from_name(name: &str) -> Option<LinkFamily> {
+        match name {
+            "distance" | "distance-decay" | "distance_decay" => Some(LinkFamily::DistanceDecay),
+            "perfect" | "lossless" => Some(LinkFamily::Perfect),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LinkFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Link-loss axis: model family plus calibration knobs.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// The loss-model family.
+    pub family: LinkFamily,
+    /// Loss probability of the very best (zero-distance) link; delivery at
+    /// distance 0 is `1 - loss_floor`. The calibrated default is `0.22`.
+    pub loss_floor: f64,
+    /// Delivery probability right at the radio-range edge (default `0.10`).
+    pub edge_delivery: f64,
+    /// Shape of the decay between the two endpoints: delivery falls with
+    /// `(d / range) ^ distance_exponent`. `1.0` (default) is linear decay;
+    /// `> 1` keeps near links good and punishes far ones harder.
+    pub distance_exponent: f64,
+    /// Standard deviation of the per-direction noise added to delivery
+    /// probability (produces the paper's "slightly asymmetric" links).
+    pub asymmetry_noise: f64,
+}
+
+impl LinkSpec {
+    /// The paper-calibrated distance-decay model (the pre-redesign behavior).
+    pub fn paper_defaults() -> Self {
+        LinkSpec {
+            family: LinkFamily::DistanceDecay,
+            loss_floor: 0.22,
+            edge_delivery: 0.10,
+            distance_exponent: 1.0,
+            asymmetry_noise: 0.06,
+        }
+    }
+
+    /// A loss-free model.
+    pub fn perfect() -> Self {
+        LinkSpec {
+            family: LinkFamily::Perfect,
+            ..Self::paper_defaults()
+        }
+    }
+
+    /// Delivery probability of a zero-distance link.
+    pub fn max_delivery(&self) -> f64 {
+        1.0 - self.loss_floor
+    }
+
+    /// Validates the calibration knobs.
+    pub fn validate(&self) -> Result<(), ScoopError> {
+        if !(0.0..1.0).contains(&self.loss_floor) {
+            return Err(ScoopError::InvalidConfig(
+                "link.loss_floor must be in [0, 1)".into(),
+            ));
+        }
+        if !(self.edge_delivery > 0.0 && self.edge_delivery <= 1.0) {
+            return Err(ScoopError::InvalidConfig(
+                "link.edge_delivery must be in (0, 1]".into(),
+            ));
+        }
+        if self.edge_delivery > self.max_delivery() {
+            return Err(ScoopError::InvalidConfig(
+                "link.edge_delivery must not exceed 1 - link.loss_floor".into(),
+            ));
+        }
+        if self.distance_exponent <= 0.0 {
+            return Err(ScoopError::InvalidConfig(
+                "link.distance_exponent must be > 0".into(),
+            ));
+        }
+        if self.asymmetry_noise < 0.0 {
+            return Err(ScoopError::InvalidConfig(
+                "link.asymmetry_noise must be >= 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Workload axis: what the sensors produce and what the basestation asks.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Which data source drives the sensors.
+    pub data_source: DataSourceKind,
+    /// Interval between sensor samples on each node (paper: 15 s).
+    pub sample_interval: SimDuration,
+    /// The attribute being indexed (the REAL trace is light data).
+    pub attribute: Attribute,
+    /// The attribute's value domain. The synthetic sources use `[0, 100]`;
+    /// the REAL trace uses roughly 150 distinct values.
+    pub value_domain: ValueRange,
+    /// Query workload parameters.
+    pub queries: QueryWorkloadConfig,
+}
+
+impl WorkloadSpec {
+    /// Section 6's workload: REAL light data, 15-second samples and queries
+    /// over 1–5 % of the domain.
+    pub fn paper_defaults() -> Self {
+        WorkloadSpec {
+            data_source: DataSourceKind::Real,
+            sample_interval: SimDuration::from_secs(15),
+            attribute: Attribute::Light,
+            value_domain: ValueRange::new(0, 149),
+            queries: QueryWorkloadConfig::default(),
+        }
+    }
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Policy axis: which storage scheme runs and its protocol parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// Which storage policy the network runs.
+    pub kind: StoragePolicy,
+    /// Scoop protocol parameters (ignored by the other policies).
+    pub scoop: ScoopParams,
+}
+
+impl PolicySpec {
+    /// SCOOP with the paper's protocol parameters.
+    pub fn paper_defaults() -> Self {
+        PolicySpec {
+            kind: StoragePolicy::Scoop,
+            scoop: ScoopParams::default(),
+        }
+    }
+}
+
+impl Default for PolicySpec {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// One scheduled radio-outage window.
+///
+/// Affected nodes keep their CPU state (timers still fire) but neither
+/// transmit nor receive while the window is open — the radio-level model of
+/// node death, and of churn when the window closes before the run ends.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Offset from simulation start at which the outage begins.
+    pub start: SimDuration,
+    /// Offset from simulation start at which the outage ends (exclusive).
+    pub end: SimDuration,
+    /// Fraction of sensor nodes affected, chosen deterministically from the
+    /// run seed. Ignored when `nodes` is non-empty.
+    pub fraction: f64,
+    /// Explicit node ids to affect instead of a seeded sample. The
+    /// basestation (node 0) is never affected.
+    pub nodes: Vec<u16>,
+}
+
+impl FaultWindow {
+    /// A window killing a seeded `fraction` of sensors between `start` and
+    /// `end` (seconds from simulation start).
+    pub fn blackout(start_secs: u64, end_secs: u64, fraction: f64) -> Self {
+        FaultWindow {
+            start: SimDuration::from_secs(start_secs),
+            end: SimDuration::from_secs(end_secs),
+            fraction,
+            nodes: Vec::new(),
+        }
+    }
+}
+
+/// Fault axis: scheduled node death / churn windows.
+///
+/// The default is no faults, which is byte-identical to the pre-redesign
+/// behavior; scenarios with windows exercise a class of run the codebase
+/// could not express before.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The outage windows, applied independently.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultSpec {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// Whether any window is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Validates every window.
+    pub fn validate(&self) -> Result<(), ScoopError> {
+        for w in &self.windows {
+            if w.start >= w.end {
+                return Err(ScoopError::InvalidConfig(
+                    "fault window must start before it ends".into(),
+                ));
+            }
+            if !(0.0..=1.0).contains(&w.fraction) {
+                return Err(ScoopError::InvalidConfig(
+                    "fault window fraction must be in [0, 1]".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Full description of one experiment run, as composable components.
+///
+/// The legacy name [`ExperimentConfig`](crate::ExperimentConfig) is an alias
+/// of this type.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Number of sensor nodes, excluding the basestation (paper: 62).
+    pub num_nodes: usize,
+    /// Total simulated duration (paper: 40 minutes).
+    pub duration: SimDuration,
+    /// Stabilization prefix during which only the routing tree forms
+    /// (paper: 10 minutes).
+    pub warmup: SimDuration,
+    /// Node-placement axis.
+    pub topology: TopologySpec,
+    /// Link-loss axis.
+    pub link: LinkSpec,
+    /// Workload axis (data source, sampling, query distribution).
+    pub workload: WorkloadSpec,
+    /// Storage-policy axis.
+    pub policy: PolicySpec,
+    /// Fault axis (scheduled node death / churn windows).
+    pub faults: FaultSpec,
+    /// Seed for all randomness in the run (topology noise, link loss, data
+    /// sources, query generation, fault sampling). Two runs with the same
+    /// spec produce identical results.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// The default parameters from Section 6 of the paper.
+    pub fn paper_defaults() -> Self {
+        ScenarioSpec {
+            num_nodes: 62,
+            duration: SimDuration::from_mins(40),
+            warmup: SimDuration::from_mins(10),
+            topology: TopologySpec::office_floor(),
+            link: LinkSpec::paper_defaults(),
+            workload: WorkloadSpec::paper_defaults(),
+            policy: PolicySpec::paper_defaults(),
+            faults: FaultSpec::none(),
+            seed: 1,
+        }
+    }
+
+    /// A scaled-down configuration useful for unit and integration tests:
+    /// fewer nodes and a shorter run so tests finish quickly while still
+    /// exercising every protocol phase (tree formation, summaries, at least
+    /// two remaps, queries).
+    pub fn small_test() -> Self {
+        let mut spec = Self::paper_defaults();
+        spec.num_nodes = 16;
+        spec.duration = SimDuration::from_mins(12);
+        spec.warmup = SimDuration::from_mins(2);
+        spec.policy.scoop.summary_interval = SimDuration::from_secs(60);
+        spec.policy.scoop.remap_interval = SimDuration::from_secs(120);
+        spec
+    }
+
+    /// Validates internal consistency (node count within the bitmap limit,
+    /// warmup shorter than the run, sane fractions, non-zero intervals) and
+    /// every component spec.
+    pub fn validate(&self) -> Result<(), ScoopError> {
+        if self.num_nodes + 1 > MAX_NODES {
+            return Err(ScoopError::TooManyNodes {
+                requested: self.num_nodes + 1,
+                limit: MAX_NODES,
+            });
+        }
+        if self.num_nodes == 0 {
+            return Err(ScoopError::InvalidConfig("num_nodes must be >= 1".into()));
+        }
+        if self.warmup >= self.duration {
+            return Err(ScoopError::InvalidConfig(
+                "warmup must be shorter than the total duration".into(),
+            ));
+        }
+        if self.workload.sample_interval.as_millis() == 0 {
+            return Err(ScoopError::InvalidConfig(
+                "sample_interval must be non-zero".into(),
+            ));
+        }
+        if self.workload.queries.query_interval.as_millis() == 0 {
+            return Err(ScoopError::InvalidConfig(
+                "query_interval must be non-zero".into(),
+            ));
+        }
+        if self.policy.scoop.n_bins == 0 {
+            return Err(ScoopError::InvalidConfig("n_bins must be >= 1".into()));
+        }
+        if self.policy.scoop.batch_size == 0 {
+            return Err(ScoopError::InvalidConfig("batch_size must be >= 1".into()));
+        }
+        let q = &self.workload.queries;
+        if !(0.0..=1.0).contains(&q.min_width_frac)
+            || !(0.0..=1.0).contains(&q.max_width_frac)
+            || q.min_width_frac > q.max_width_frac
+        {
+            return Err(ScoopError::InvalidConfig(
+                "query width fractions must satisfy 0 <= min <= max <= 1".into(),
+            ));
+        }
+        if self.workload.value_domain.width() < 2 {
+            return Err(ScoopError::InvalidConfig(
+                "value domain must contain at least two values".into(),
+            ));
+        }
+        self.topology.validate()?;
+        self.link.validate()?;
+        self.faults.validate()?;
+        Ok(())
+    }
+
+    /// Duration of the measured part of the run (after warmup).
+    pub fn measured_duration(&self) -> SimDuration {
+        SimDuration(self.duration.0.saturating_sub(self.warmup.0))
+    }
+
+    /// Number of sensor samples each node takes during the measured part of
+    /// the run.
+    pub fn samples_per_node(&self) -> u64 {
+        self.measured_duration().as_millis() / self.workload.sample_interval.as_millis()
+    }
+
+    /// Number of queries the basestation issues during the measured part of
+    /// the run.
+    pub fn query_count(&self) -> u64 {
+        self.measured_duration().as_millis() / self.workload.queries.query_interval.as_millis()
+    }
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Documentation entry for one registry axis.
+#[derive(Clone, Copy, Debug)]
+pub struct AxisDoc {
+    /// The registry key (as typed after `--set`).
+    pub key: &'static str,
+    /// Expected value and meaning.
+    pub doc: &'static str,
+}
+
+/// Every axis the string-keyed registry understands, in help order.
+///
+/// [`ScenarioSpec::set_axis`] and this table are kept in lockstep by a unit
+/// test that applies a sample value for every listed key.
+pub const AXES: &[AxisDoc] = &[
+    AxisDoc {
+        key: "nodes",
+        doc: "sensor count, excluding the basestation (1..=MAX_NODES-1)",
+    },
+    AxisDoc {
+        key: "seed",
+        doc: "base seed for all randomness (u64)",
+    },
+    AxisDoc {
+        key: "duration_secs",
+        doc: "total simulated seconds",
+    },
+    AxisDoc {
+        key: "warmup_secs",
+        doc: "stabilization prefix in seconds",
+    },
+    AxisDoc {
+        key: "policy",
+        doc: "storage policy: scoop|local|base|hash",
+    },
+    AxisDoc {
+        key: "source",
+        doc: "data source: real|unique|equal|random|gaussian",
+    },
+    AxisDoc {
+        key: "sample_interval_secs",
+        doc: "seconds between sensor samples",
+    },
+    AxisDoc {
+        key: "query.interval_secs",
+        doc: "seconds between basestation queries",
+    },
+    AxisDoc {
+        key: "query.min_width",
+        doc: "minimum query width as a domain fraction [0,1]",
+    },
+    AxisDoc {
+        key: "query.max_width",
+        doc: "maximum query width as a domain fraction [0,1]",
+    },
+    AxisDoc {
+        key: "query.history_samples",
+        doc: "how many sample intervals queries look back",
+    },
+    AxisDoc {
+        key: "topology",
+        doc: "placement family: office|grid|random|linear",
+    },
+    AxisDoc {
+        key: "topology.area_per_node",
+        doc: "square meters per node (office/random)",
+    },
+    AxisDoc {
+        key: "topology.jitter",
+        doc: "office-floor cell jitter fraction [0,0.5)",
+    },
+    AxisDoc {
+        key: "topology.spacing",
+        doc: "meters between adjacent nodes (grid/linear)",
+    },
+    AxisDoc {
+        key: "topology.range_factor",
+        doc: "radio-range multiplier (>0)",
+    },
+    AxisDoc {
+        key: "link",
+        doc: "loss-model family: distance|perfect",
+    },
+    AxisDoc {
+        key: "link.loss_floor",
+        doc: "loss of the best link [0,1); delivery at d=0 is 1-floor",
+    },
+    AxisDoc {
+        key: "link.edge_delivery",
+        doc: "delivery probability at the radio-range edge (0,1]",
+    },
+    AxisDoc {
+        key: "link.distance_exponent",
+        doc: "decay shape (d/range)^k; 1 = linear (>0)",
+    },
+    AxisDoc {
+        key: "link.asymmetry_noise",
+        doc: "per-direction delivery noise stddev (>=0)",
+    },
+    AxisDoc {
+        key: "scoop.summary_interval_secs",
+        doc: "seconds between node summaries",
+    },
+    AxisDoc {
+        key: "scoop.remap_interval_secs",
+        doc: "seconds between index recomputations",
+    },
+    AxisDoc {
+        key: "scoop.n_bins",
+        doc: "summary histogram bins (>=1)",
+    },
+    AxisDoc {
+        key: "scoop.batch_size",
+        doc: "max readings per data packet (>=1)",
+    },
+    AxisDoc {
+        key: "scoop.suppress_unchanged_index",
+        doc: "true|false: skip re-disseminating unchanged indices",
+    },
+    AxisDoc {
+        key: "scoop.neighbor_shortcut",
+        doc: "true|false: enable routing rule 3",
+    },
+    AxisDoc {
+        key: "fault.window",
+        doc: "append an outage window: START..END@FRACTION (secs, e.g. 600..900@0.1)",
+    },
+    AxisDoc {
+        key: "fault.clear",
+        doc: "any value: remove all scheduled fault windows",
+    },
+];
+
+/// A one-key-per-line help listing of every axis.
+pub fn axis_help() -> String {
+    let width = AXES.iter().map(|a| a.key.len()).max().unwrap_or(0);
+    AXES.iter()
+        .map(|a| format!("  {:width$}  {}", a.key, a.doc))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn bad_value(key: &str, value: &str, expect: &str) -> ScoopError {
+    ScoopError::InvalidConfig(format!(
+        "axis `{key}`: bad value `{value}` (expected {expect})"
+    ))
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str, expect: &str) -> Result<T, ScoopError> {
+    value.parse().map_err(|_| bad_value(key, value, expect))
+}
+
+fn parse_bool(key: &str, value: &str) -> Result<bool, ScoopError> {
+    match value {
+        "true" | "1" | "yes" | "on" => Ok(true),
+        "false" | "0" | "no" | "off" => Ok(false),
+        _ => Err(bad_value(key, value, "true|false")),
+    }
+}
+
+/// Parses `START..END@FRACTION` (seconds) or `START..END@nodes:1,2,3`.
+fn parse_fault_window(key: &str, value: &str) -> Result<FaultWindow, ScoopError> {
+    let expect = "START..END@FRACTION or START..END@nodes:1,2 (seconds)";
+    let (range, tail) = value
+        .split_once('@')
+        .ok_or_else(|| bad_value(key, value, expect))?;
+    let (start, end) = range
+        .split_once("..")
+        .ok_or_else(|| bad_value(key, value, expect))?;
+    let start: u64 = parse_num(key, start, expect)?;
+    let end: u64 = parse_num(key, end, expect)?;
+    let mut window = FaultWindow::blackout(start, end, 0.0);
+    if let Some(list) = tail.strip_prefix("nodes:") {
+        for id in list.split(',') {
+            window.nodes.push(parse_num(key, id, expect)?);
+        }
+    } else {
+        window.fraction = parse_num(key, tail, expect)?;
+    }
+    Ok(window)
+}
+
+impl ScenarioSpec {
+    /// Applies one string-keyed axis override (see [`AXES`] for the
+    /// vocabulary). Unknown keys fail with an error that lists every valid
+    /// axis; bad values name the expected form. The spec is *not* validated
+    /// here — call [`ScenarioSpec::validate`] (or run the spec) after the
+    /// last override so interdependent axes can be set in any order.
+    pub fn set_axis(&mut self, key: &str, value: &str) -> Result<(), ScoopError> {
+        match key {
+            "nodes" => self.num_nodes = parse_num(key, value, "a node count")?,
+            "seed" => self.seed = parse_num(key, value, "an unsigned seed")?,
+            "duration_secs" => {
+                self.duration = SimDuration::from_secs(parse_num(key, value, "seconds")?)
+            }
+            "warmup_secs" => {
+                self.warmup = SimDuration::from_secs(parse_num(key, value, "seconds")?)
+            }
+            "policy" => {
+                self.policy.kind = StoragePolicy::ALL
+                    .into_iter()
+                    .find(|p| p.name() == value)
+                    .ok_or_else(|| bad_value(key, value, "scoop|local|base|hash"))?
+            }
+            "source" => {
+                self.workload.data_source = DataSourceKind::ALL
+                    .into_iter()
+                    .find(|s| s.name() == value)
+                    .ok_or_else(|| bad_value(key, value, "real|unique|equal|random|gaussian"))?
+            }
+            "sample_interval_secs" => {
+                self.workload.sample_interval =
+                    SimDuration::from_secs(parse_num(key, value, "seconds")?)
+            }
+            "query.interval_secs" => {
+                self.workload.queries.query_interval =
+                    SimDuration::from_secs(parse_num(key, value, "seconds")?)
+            }
+            "query.min_width" => {
+                self.workload.queries.min_width_frac = parse_num(key, value, "a fraction")?
+            }
+            "query.max_width" => {
+                self.workload.queries.max_width_frac = parse_num(key, value, "a fraction")?
+            }
+            "query.history_samples" => {
+                self.workload.queries.history_samples = parse_num(key, value, "a count")?
+            }
+            "topology" => {
+                self.topology.kind = TopologyKind::from_name(value)
+                    .ok_or_else(|| bad_value(key, value, "office|grid|random|linear"))?
+            }
+            "topology.area_per_node" => {
+                self.topology.area_per_node = parse_num(key, value, "square meters")?
+            }
+            "topology.jitter" => self.topology.jitter = parse_num(key, value, "a fraction")?,
+            "topology.spacing" => self.topology.spacing = parse_num(key, value, "meters")?,
+            "topology.range_factor" => {
+                self.topology.range_factor = parse_num(key, value, "a multiplier")?
+            }
+            "link" => {
+                self.link.family = LinkFamily::from_name(value)
+                    .ok_or_else(|| bad_value(key, value, "distance|perfect"))?
+            }
+            "link.loss_floor" => self.link.loss_floor = parse_num(key, value, "a probability")?,
+            "link.edge_delivery" => {
+                self.link.edge_delivery = parse_num(key, value, "a probability")?
+            }
+            "link.distance_exponent" => {
+                self.link.distance_exponent = parse_num(key, value, "an exponent")?
+            }
+            "link.asymmetry_noise" => {
+                self.link.asymmetry_noise = parse_num(key, value, "a stddev")?
+            }
+            "scoop.summary_interval_secs" => {
+                self.policy.scoop.summary_interval =
+                    SimDuration::from_secs(parse_num(key, value, "seconds")?)
+            }
+            "scoop.remap_interval_secs" => {
+                self.policy.scoop.remap_interval =
+                    SimDuration::from_secs(parse_num(key, value, "seconds")?)
+            }
+            "scoop.n_bins" => self.policy.scoop.n_bins = parse_num(key, value, "a count")?,
+            "scoop.batch_size" => self.policy.scoop.batch_size = parse_num(key, value, "a count")?,
+            "scoop.suppress_unchanged_index" => {
+                self.policy.scoop.suppress_unchanged_index = parse_bool(key, value)?
+            }
+            "scoop.neighbor_shortcut" => {
+                self.policy.scoop.neighbor_shortcut = parse_bool(key, value)?
+            }
+            "fault.window" => self.faults.windows.push(parse_fault_window(key, value)?),
+            "fault.clear" => self.faults.windows.clear(),
+            unknown => {
+                return Err(ScoopError::InvalidConfig(format!(
+                    "unknown axis `{unknown}`; valid axes:\n{}",
+                    axis_help()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a sequence of `(key, value)` overrides in order, stopping at
+    /// the first error.
+    pub fn apply_axes<K, V>(
+        &mut self,
+        pairs: impl IntoIterator<Item = (K, V)>,
+    ) -> Result<(), ScoopError>
+    where
+        K: AsRef<str>,
+        V: AsRef<str>,
+    {
+        for (key, value) in pairs {
+            self.set_axis(key.as_ref(), value.as_ref())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_6() {
+        let spec = ScenarioSpec::paper_defaults();
+        assert_eq!(spec.num_nodes, 62);
+        assert_eq!(spec.duration.as_secs(), 40 * 60);
+        assert_eq!(spec.warmup.as_secs(), 10 * 60);
+        assert_eq!(spec.workload.sample_interval.as_secs(), 15);
+        assert_eq!(spec.workload.queries.query_interval.as_secs(), 15);
+        assert_eq!(spec.policy.scoop.summary_interval.as_secs(), 110);
+        assert_eq!(spec.policy.scoop.remap_interval.as_secs(), 240);
+        assert_eq!(spec.topology.kind, TopologyKind::OfficeFloor);
+        assert_eq!(spec.link.family, LinkFamily::DistanceDecay);
+        assert!((spec.link.max_delivery() - 0.78).abs() < 1e-12);
+        assert!(spec.faults.is_empty());
+        assert_eq!(spec.workload.data_source, DataSourceKind::Real);
+        assert_eq!(spec.policy.kind, StoragePolicy::Scoop);
+        spec.validate().expect("paper defaults must be valid");
+    }
+
+    #[test]
+    fn small_test_spec_is_valid() {
+        ScenarioSpec::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_too_many_nodes() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.num_nodes = MAX_NODES; // +1 for the basestation exceeds the cap
+        assert!(matches!(
+            spec.validate(),
+            Err(ScoopError::TooManyNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_warmup() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.warmup = spec.duration;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_query_widths() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.workload.queries.min_width_frac = 0.5;
+        spec.workload.queries.max_width_frac = 0.1;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_nodes_bins_and_intervals() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.num_nodes = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.policy.scoop.n_bins = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.policy.scoop.batch_size = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.workload.sample_interval = SimDuration::ZERO;
+        assert!(spec.validate().is_err());
+
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.workload.queries.query_interval = SimDuration::ZERO;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_component_specs() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.link.loss_floor = 1.5;
+        assert!(spec.validate().is_err());
+
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.topology.spacing = 0.0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.faults
+            .windows
+            .push(FaultWindow::blackout(900, 600, 0.1));
+        assert!(spec.validate().is_err());
+
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.faults
+            .windows
+            .push(FaultWindow::blackout(600, 900, 1.5));
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn derived_counts() {
+        let spec = ScenarioSpec::paper_defaults();
+        // 30 measured minutes at one sample / query per 15 s = 120 each.
+        assert_eq!(spec.samples_per_node(), 120);
+        assert_eq!(spec.query_count(), 120);
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.faults
+            .windows
+            .push(FaultWindow::blackout(600, 900, 0.1));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn every_documented_axis_is_settable() {
+        // A sample value for each key in AXES; keeps the doc table and the
+        // set_axis match in lockstep.
+        let sample = |key: &str| -> &'static str {
+            match key {
+                "policy" => "local",
+                "source" => "gaussian",
+                "topology" => "grid",
+                "link" => "perfect",
+                "scoop.suppress_unchanged_index" | "scoop.neighbor_shortcut" => "false",
+                "fault.window" => "600..900@0.1",
+                "fault.clear" => "1",
+                "query.min_width" | "query.max_width" | "topology.jitter" => "0.2",
+                "link.loss_floor" | "link.edge_delivery" | "link.asymmetry_noise" => "0.1",
+                "topology.range_factor" | "link.distance_exponent" => "1.5",
+                "topology.area_per_node" | "topology.spacing" => "12.5",
+                _ => "30",
+            }
+        };
+        for axis in AXES {
+            let mut spec = ScenarioSpec::paper_defaults();
+            spec.set_axis(axis.key, sample(axis.key))
+                .unwrap_or_else(|e| panic!("axis {} rejected its sample: {e}", axis.key));
+        }
+    }
+
+    #[test]
+    fn acceptance_override_chain_produces_a_valid_spec() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.apply_axes([
+            ("topology", "grid"),
+            ("nodes", "96"),
+            ("link.loss_floor", "0.05"),
+        ])
+        .unwrap();
+        assert_eq!(spec.topology.kind, TopologyKind::Grid);
+        assert_eq!(spec.num_nodes, 96);
+        assert!((spec.link.loss_floor - 0.05).abs() < 1e-12);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_axis_lists_the_vocabulary() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        let err = spec.set_axis("topologee", "grid").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown axis `topologee`"), "{msg}");
+        assert!(msg.contains("link.loss_floor"), "{msg}");
+        assert!(msg.contains("fault.window"), "{msg}");
+    }
+
+    #[test]
+    fn bad_axis_values_are_rejected_with_expectations() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        assert!(spec.set_axis("nodes", "lots").is_err());
+        assert!(spec.set_axis("policy", "ghost").is_err());
+        assert!(spec.set_axis("fault.window", "900@0.1").is_err());
+        assert!(spec.set_axis("scoop.neighbor_shortcut", "maybe").is_err());
+    }
+
+    #[test]
+    fn fault_window_axis_parses_both_forms() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.set_axis("fault.window", "600..900@0.25").unwrap();
+        spec.set_axis("fault.window", "100..200@nodes:3,7").unwrap();
+        assert_eq!(spec.faults.windows.len(), 2);
+        assert!((spec.faults.windows[0].fraction - 0.25).abs() < 1e-12);
+        assert_eq!(spec.faults.windows[1].nodes, vec![3, 7]);
+        spec.set_axis("fault.clear", "1").unwrap();
+        assert!(spec.faults.is_empty());
+    }
+
+    #[test]
+    fn topology_and_link_names_round_trip() {
+        for kind in TopologyKind::ALL {
+            assert_eq!(TopologyKind::from_name(kind.name()), Some(kind));
+        }
+        for family in [LinkFamily::DistanceDecay, LinkFamily::Perfect] {
+            assert_eq!(LinkFamily::from_name(family.name()), Some(family));
+        }
+        assert_eq!(TopologyKind::from_name("donut"), None);
+    }
+}

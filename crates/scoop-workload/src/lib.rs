@@ -27,4 +27,4 @@ pub mod sources;
 
 pub use queries::{QueryGenerator, QuerySpec};
 pub use real_trace::RealTrace;
-pub use sources::{make_source, DataSource};
+pub use sources::{make_source, make_source_for, DataSource};

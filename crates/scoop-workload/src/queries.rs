@@ -71,6 +71,20 @@ impl QueryGenerator {
         }
     }
 
+    /// Creates a generator from a [`WorkloadSpec`](scoop_types::WorkloadSpec):
+    /// its attribute, domain, query distribution, and sampling cadence. The
+    /// spec-driven twin of [`QueryGenerator::new`] used by the simulation
+    /// nodes.
+    pub fn from_spec(workload: &scoop_types::WorkloadSpec, seed: u64) -> Self {
+        Self::new(
+            workload.attribute,
+            workload.value_domain,
+            workload.queries.clone(),
+            workload.sample_interval,
+            seed,
+        )
+    }
+
     /// Forces every query to cover exactly `frac` of the value domain
     /// (clamped to `[0, 1]`). Used by the selectivity sweep.
     pub fn with_fixed_width(mut self, frac: f64) -> Self {

@@ -243,6 +243,17 @@ pub fn make_source(
     }
 }
 
+/// Builds the data source named by a [`WorkloadSpec`](scoop_types::WorkloadSpec)
+/// over its value domain — the spec-driven twin of [`make_source`] used by
+/// `scoop_sim::SimBuilder`.
+pub fn make_source_for(
+    workload: &scoop_types::WorkloadSpec,
+    num_nodes: usize,
+    seed: u64,
+) -> Box<dyn DataSource> {
+    make_source(workload.data_source, workload.value_domain, num_nodes, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,7 +35,7 @@ fn send_to_base_fraction(cfg: &ExperimentConfig) -> f64 {
 fn main() {
     let mut base = ExperimentConfig::small_test();
     base.num_nodes = 20;
-    base.data_source = DataSourceKind::Real;
+    base.workload.data_source = DataSourceKind::Real;
     base.duration = SimDuration::from_mins(20);
     base.warmup = SimDuration::from_mins(4);
     base.seed = 11;
@@ -48,17 +48,17 @@ fn main() {
 
     for interval_secs in [5u64, 15, 45, 120] {
         let mut scoop_cfg = base.clone();
-        scoop_cfg.policy = StoragePolicy::Scoop;
-        scoop_cfg.queries.query_interval = SimDuration::from_secs(interval_secs);
+        scoop_cfg.policy.kind = StoragePolicy::Scoop;
+        scoop_cfg.workload.queries.query_interval = SimDuration::from_secs(interval_secs);
         let scoop = run_experiment(&scoop_cfg).expect("run");
         let at_root = send_to_base_fraction(&scoop_cfg);
 
         let mut local_cfg = scoop_cfg.clone();
-        local_cfg.policy = StoragePolicy::Local;
+        local_cfg.policy.kind = StoragePolicy::Local;
         let local = run_experiment(&local_cfg).expect("run");
 
         let mut base_cfg = scoop_cfg.clone();
-        base_cfg.policy = StoragePolicy::Base;
+        base_cfg.policy.kind = StoragePolicy::Base;
         let base_run = run_experiment(&base_cfg).expect("run");
 
         println!(

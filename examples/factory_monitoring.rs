@@ -26,11 +26,11 @@ fn main() {
     // per-node mean, small variance) is the right stand-in.
     let mut base = ExperimentConfig::paper_defaults();
     base.num_nodes = 40;
-    base.attribute = Attribute::Acceleration;
-    base.value_domain = ValueRange::new(0, 20);
-    base.data_source = DataSourceKind::Gaussian;
-    base.sample_interval = SimDuration::from_secs(10);
-    base.queries.query_interval = SimDuration::from_secs(60);
+    base.workload.attribute = Attribute::Acceleration;
+    base.workload.value_domain = ValueRange::new(0, 20);
+    base.workload.data_source = DataSourceKind::Gaussian;
+    base.workload.sample_interval = SimDuration::from_secs(10);
+    base.workload.queries.query_interval = SimDuration::from_secs(60);
     base.duration = SimDuration::from_mins(30);
     base.warmup = SimDuration::from_mins(8);
     base.seed = 7;
@@ -50,7 +50,7 @@ fn main() {
         StoragePolicy::Base,
     ] {
         let mut cfg = base.clone();
-        cfg.policy = policy;
+        cfg.policy.kind = policy;
         let result = run_experiment(&cfg).expect("valid configuration");
 
         // Approximate per-node energy from transmissions (communication

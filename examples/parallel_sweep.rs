@@ -25,8 +25,8 @@ fn main() {
             cfg.num_nodes = 12;
             cfg.duration = SimDuration::from_mins(10);
             cfg.warmup = SimDuration::from_mins(2);
-            cfg.policy = policy;
-            cfg.data_source = source;
+            cfg.policy.kind = policy;
+            cfg.workload.data_source = source;
             cfg.seed = seed;
             seed += 1;
             suite = suite.scenario(format!("{policy}/{source}"), cfg);

@@ -16,7 +16,7 @@ fn main() {
     // 1. Configure the experiment. `small_test()` is the paper's Section 6
     //    parameter table scaled down to 16 nodes / 12 minutes.
     let mut cfg = ExperimentConfig::small_test();
-    cfg.policy = StoragePolicy::Scoop;
+    cfg.policy.kind = StoragePolicy::Scoop;
     cfg.seed = 42;
 
     // 2. Run it and look at the aggregate result.

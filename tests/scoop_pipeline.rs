@@ -14,10 +14,10 @@ fn tiny(policy: StoragePolicy, source: DataSourceKind) -> ExperimentConfig {
     cfg.num_nodes = 12;
     cfg.duration = SimDuration::from_mins(10);
     cfg.warmup = SimDuration::from_mins(2);
-    cfg.scoop.summary_interval = SimDuration::from_secs(45);
-    cfg.scoop.remap_interval = SimDuration::from_secs(90);
-    cfg.policy = policy;
-    cfg.data_source = source;
+    cfg.policy.scoop.summary_interval = SimDuration::from_secs(45);
+    cfg.policy.scoop.remap_interval = SimDuration::from_secs(90);
+    cfg.policy.kind = policy;
+    cfg.workload.data_source = source;
     cfg.seed = 5;
     cfg
 }
