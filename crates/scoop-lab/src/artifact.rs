@@ -24,6 +24,11 @@ pub const SCHEMA_VERSION: u32 = 2;
 
 /// Where an artifact came from: the only part of an artifact that is *not*
 /// a deterministic function of the configuration.
+///
+/// The throughput fields are serialized only when non-zero so the masked
+/// form — what the committed smoke baseline and golden files pin byte for
+/// byte — is unchanged from the pre-throughput schema, and files written by
+/// older binaries still load (`#[serde(default)]`).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Provenance {
     /// Short git revision of the workspace, or `"unknown"` outside a repo.
@@ -32,15 +37,41 @@ pub struct Provenance {
     pub wall_clock_secs: f64,
     /// Worker threads the sweep ran on (results are identical at any count).
     pub threads: usize,
+    /// Total engine events dispatched across every run of the experiment
+    /// (all scenarios × trials, including warmup). `0` means unrecorded
+    /// (masked provenance or a pre-throughput artifact).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub events_processed: u64,
+    /// `events_processed / wall_clock_secs` — the hot-path throughput number
+    /// the `engine_hot_path` bench and `BENCH_history.jsonl` track.
+    #[serde(default, skip_serializing_if = "is_zero_f64")]
+    pub events_per_sec: f64,
+}
+
+/// `skip_serializing_if` predicate: unrecorded event counts stay off disk.
+fn is_zero_u64(v: &u64) -> bool {
+    *v == 0
+}
+
+/// `skip_serializing_if` predicate: unrecorded throughput stays off disk.
+fn is_zero_f64(v: &f64) -> bool {
+    *v == 0.0
 }
 
 impl Provenance {
-    /// Captures the current workspace revision and sweep-thread count.
-    pub fn capture(wall_clock_secs: f64) -> Self {
+    /// Captures the current workspace revision and sweep-thread count, plus
+    /// the measured event throughput.
+    pub fn capture(wall_clock_secs: f64, events_processed: u64) -> Self {
         Provenance {
             git_rev: workspace_git_rev(),
             wall_clock_secs,
             threads: scoop_sim::SweepRunner::from_env().threads(),
+            events_processed,
+            events_per_sec: if wall_clock_secs > 0.0 {
+                events_processed as f64 / wall_clock_secs
+            } else {
+                0.0
+            },
         }
     }
 
@@ -51,6 +82,8 @@ impl Provenance {
             git_rev: String::new(),
             wall_clock_secs: 0.0,
             threads: 0,
+            events_processed: 0,
+            events_per_sec: 0.0,
         }
     }
 }
@@ -245,7 +278,7 @@ mod tests {
             &options,
             &base,
             rows,
-            Provenance::capture(0.25),
+            Provenance::capture(0.25, 10_000),
         )
     }
 
@@ -343,6 +376,8 @@ mod tests {
             git_rev: "feedfacecafe".into(),
             wall_clock_secs: 99.0,
             threads: 8,
+            events_processed: 123_456,
+            events_per_sec: 1_247.0,
         };
         assert_eq!(
             artifact.deterministic_json().unwrap(),

@@ -35,12 +35,13 @@ pub const DEFAULT_RESULTS_DIR: &str = "results";
 /// Default path of the regenerated report.
 pub const DEFAULT_EXPERIMENTS_MD: &str = "EXPERIMENTS.md";
 
-const USAGE: &str = "usage: scoop-lab <run|report|diff|check|trace> [options]
+const USAGE: &str = "usage: scoop-lab <run|report|diff|check|history|trace> [options]
   run    [--quick] [--trials=N] [--seed=N] [--results=DIR] [--history=FILE] [--json]
          [--set key=value]... [--show-spec] [experiment...]
   report [--results=DIR] [--out=FILE]
   diff   [--results=DIR]
   check  [--tolerance NAME] [--bless] [--baseline=FILE]   (NAME: strict|default|loose)
+  history [--file=FILE] [--max-regression=FRAC] [--gate]
   trace  [scoop|local|base|hash] [real|unique|equal|random|gaussian] [nodes]
 experiments: fig3-left fig3-middle fig3-right fig4 fig5 ablations sample-interval
              reliability link-calibration root-skew scaling scaling-256 (default: all)
@@ -137,6 +138,7 @@ fn dispatch(args: &[String]) -> Result<i32, String> {
         "report" => cmd_report(rest),
         "diff" => cmd_diff(rest),
         "check" => cmd_check(rest),
+        "history" => cmd_history(rest),
         "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -206,8 +208,11 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
                 .unwrap_or("experiment");
             println!("{}", artifact.rows.table(title));
             println!(
-                "({} finished in {:.2} s)\n",
-                artifact.experiment, artifact.provenance.wall_clock_secs
+                "({} finished in {:.2} s — {} events, {:.0} events/s)\n",
+                artifact.experiment,
+                artifact.provenance.wall_clock_secs,
+                artifact.provenance.events_processed,
+                artifact.provenance.events_per_sec
             );
         }
     })
@@ -306,6 +311,42 @@ fn cmd_check(args: &[String]) -> Result<i32, String> {
         println!("blessed: wrote {}", baseline_path.display());
     }
     Ok(if outcome.failed() { 1 } else { 0 })
+}
+
+/// The perf-trajectory reader behind the CI throughput gate: prints the last
+/// `BENCH_history.jsonl` record (per-experiment wall clock and events/sec)
+/// and its wall-clock delta against the most recent comparable record. With
+/// `--gate`, a regression beyond `--max-regression` (default 0.25 = +25 %)
+/// exits non-zero.
+fn cmd_history(args: &[String]) -> Result<i32, String> {
+    let (positional, flags, values) = parse(args, &["file", "max-regression"], &["gate"])?;
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let path = PathBuf::from(lookup(&values, "file").unwrap_or("BENCH_history.jsonl"));
+    let max_regression: f64 = match lookup(&values, "max-regression") {
+        None => 0.25,
+        Some(raw) => raw
+            .parse()
+            .ok()
+            .filter(|v: &f64| *v >= 0.0)
+            .ok_or_else(|| format!("bad --max-regression value `{raw}`"))?,
+    };
+    let gate = flags.iter().any(|f| f == "gate");
+    let records = crate::history::load_history(&path).map_err(|e| e.to_string())?;
+    let Some(delta) = crate::history::HistoryDelta::from_records(&records) else {
+        return Err(format!("{}: no records", path.display()));
+    };
+    print!("{}", delta.render_text(max_regression));
+    if gate && delta.regressed(max_regression) {
+        println!(
+            "HISTORY GATE FAILED: wall clock regressed more than {:.0} % \
+             vs the previous comparable record",
+            max_regression * 100.0
+        );
+        return Ok(1);
+    }
+    Ok(0)
 }
 
 /// The step-by-step diagnostic: runs one experiment in 5-second simulated

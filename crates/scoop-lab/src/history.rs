@@ -14,6 +14,10 @@ use std::io::Write;
 use std::path::Path;
 
 /// One experiment's timing within a history record.
+///
+/// The throughput fields carry `#[serde(default)]` so records appended
+/// before they existed still parse (as zero) when the regression gate walks
+/// the file.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentTiming {
     /// Experiment slug.
@@ -22,6 +26,12 @@ pub struct ExperimentTiming {
     pub rows: usize,
     /// Wall-clock seconds.
     pub wall_clock_secs: f64,
+    /// Engine events dispatched (0 in pre-throughput records).
+    #[serde(default)]
+    pub events_processed: u64,
+    /// Events per wall-clock second (0 in pre-throughput records).
+    #[serde(default)]
+    pub events_per_sec: f64,
 }
 
 /// One appended line of `BENCH_history.jsonl`.
@@ -37,6 +47,9 @@ pub struct HistoryRecord {
     pub threads: usize,
     /// Sum of per-experiment wall-clocks.
     pub total_wall_clock_secs: f64,
+    /// Sum of per-experiment dispatched events (0 in pre-throughput records).
+    #[serde(default)]
+    pub total_events_processed: u64,
     /// Per-experiment timings, in suite order.
     pub experiments: Vec<ExperimentTiming>,
 }
@@ -51,6 +64,8 @@ impl HistoryRecord {
                 experiment: a.experiment.clone(),
                 rows: a.rows.len(),
                 wall_clock_secs: a.provenance.wall_clock_secs,
+                events_processed: a.provenance.events_processed,
+                events_per_sec: a.provenance.events_per_sec,
             })
             .collect();
         Some(HistoryRecord {
@@ -59,8 +74,18 @@ impl HistoryRecord {
             trials: first.trials,
             threads: first.provenance.threads,
             total_wall_clock_secs: experiments.iter().map(|e| e.wall_clock_secs).sum(),
+            total_events_processed: experiments.iter().map(|e| e.events_processed).sum(),
             experiments,
         })
+    }
+
+    /// Aggregate events per second over the whole run.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.total_wall_clock_secs > 0.0 {
+            self.total_events_processed as f64 / self.total_wall_clock_secs
+        } else {
+            0.0
+        }
     }
 
     /// Appends this record as one line of `path`, creating the file if
@@ -75,6 +100,114 @@ impl HistoryRecord {
             .map_err(|e| ScoopError::Artifact(format!("{}: {e}", path.display())))?;
         writeln!(file, "{line}")
             .map_err(|e| ScoopError::Artifact(format!("{}: {e}", path.display())))
+    }
+}
+
+/// Loads every record of a `BENCH_history.jsonl` file, in append order.
+/// Blank lines are skipped; a malformed line is an error (a truncated write
+/// should fail the gate, not silently vanish).
+pub fn load_history(path: &Path) -> Result<Vec<HistoryRecord>, ScoopError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ScoopError::Artifact(format!("{}: {e}", path.display())))?;
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| {
+            serde_json::from_str(line)
+                .map_err(|e| ScoopError::Serialization(format!("{}: {e}", path.display())))
+        })
+        .collect()
+}
+
+/// The latest history record measured against the most recent *comparable*
+/// earlier one (same scale, trials, sweep threads, and experiment count — a
+/// quick CI run must never be judged against a committed paper-scale run,
+/// nor a 4-thread run against a 1-thread wall clock).
+#[derive(Clone, Debug)]
+pub struct HistoryDelta {
+    /// The newest record (this commit's run).
+    pub latest: HistoryRecord,
+    /// The record it is compared against, if any exists.
+    pub previous: Option<HistoryRecord>,
+}
+
+impl HistoryDelta {
+    /// Splits the newest record off `records` and finds its comparison
+    /// partner. `None` if the file is empty.
+    pub fn from_records(records: &[HistoryRecord]) -> Option<HistoryDelta> {
+        let latest = records.last()?.clone();
+        let previous = records[..records.len() - 1]
+            .iter()
+            .rev()
+            .find(|r| {
+                r.scale == latest.scale
+                    && r.trials == latest.trials
+                    && r.threads == latest.threads
+                    && r.experiments.len() == latest.experiments.len()
+            })
+            .cloned();
+        Some(HistoryDelta { latest, previous })
+    }
+
+    /// Wall-clock ratio `latest / previous` (`> 1` is a slowdown), if a
+    /// comparable previous record exists and both totals are positive.
+    pub fn wall_clock_ratio(&self) -> Option<f64> {
+        let previous = self.previous.as_ref()?;
+        if previous.total_wall_clock_secs <= 0.0 || self.latest.total_wall_clock_secs <= 0.0 {
+            return None;
+        }
+        Some(self.latest.total_wall_clock_secs / previous.total_wall_clock_secs)
+    }
+
+    /// Whether the latest run regressed by more than `max_regression`
+    /// (e.g. `0.25` fails anything over 1.25× the previous wall clock).
+    pub fn regressed(&self, max_regression: f64) -> bool {
+        matches!(self.wall_clock_ratio(), Some(ratio) if ratio > 1.0 + max_regression)
+    }
+
+    /// Human-readable summary: per-experiment wall clock and events/sec of
+    /// the latest record, plus the delta against the previous comparable run.
+    pub fn render_text(&self, max_regression: f64) -> String {
+        let mut out = String::new();
+        let latest = &self.latest;
+        out.push_str(&format!(
+            "latest record: rev `{}` scale={} trials={} — {:.2} s total, \
+             {} events ({:.0} events/s)\n",
+            latest.git_rev,
+            latest.scale,
+            latest.trials,
+            latest.total_wall_clock_secs,
+            latest.total_events_processed,
+            latest.events_per_sec(),
+        ));
+        for e in &latest.experiments {
+            out.push_str(&format!(
+                "  {:<18} {:>7.2} s  {:>10} events  {:>10.0} events/s\n",
+                e.experiment, e.wall_clock_secs, e.events_processed, e.events_per_sec
+            ));
+        }
+        match (&self.previous, self.wall_clock_ratio()) {
+            (Some(previous), Some(ratio)) => {
+                out.push_str(&format!(
+                    "previous comparable record: rev `{}` — {:.2} s total\n\
+                     wall-clock delta: {:+.1} % ({})\n",
+                    previous.git_rev,
+                    previous.total_wall_clock_secs,
+                    (ratio - 1.0) * 100.0,
+                    if self.regressed(max_regression) {
+                        "REGRESSION over threshold"
+                    } else if ratio < 1.0 {
+                        "faster"
+                    } else {
+                        "within threshold"
+                    },
+                ));
+            }
+            _ => out.push_str(
+                "no comparable previous record (same scale/trials/threads/experiments) — \
+                 nothing to gate against\n",
+            ),
+        }
+        out
     }
 }
 
@@ -108,5 +241,81 @@ mod tests {
     #[test]
     fn empty_run_yields_no_record() {
         assert!(HistoryRecord::from_artifacts(&[]).is_none());
+    }
+
+    fn record(scale: &str, trials: usize, wall: f64, experiments: usize) -> HistoryRecord {
+        HistoryRecord {
+            git_rev: format!("rev-{wall}"),
+            scale: scale.to_string(),
+            trials,
+            threads: 1,
+            total_wall_clock_secs: wall,
+            total_events_processed: (wall * 1_000_000.0) as u64,
+            experiments: (0..experiments)
+                .map(|i| ExperimentTiming {
+                    experiment: format!("exp-{i}"),
+                    rows: 3,
+                    wall_clock_secs: wall / experiments as f64,
+                    events_processed: 1000,
+                    events_per_sec: 1000.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn delta_compares_only_same_shape_runs() {
+        // quick records must not be judged against the paper-scale one, and
+        // a run on different sweep threads is not comparable either.
+        let mut other_threads = record("quick", 1, 1.0, 2);
+        other_threads.threads = 4;
+        let records = vec![
+            record("paper", 3, 37.0, 2),
+            record("quick", 1, 2.0, 2),
+            other_threads,
+            record("quick", 1, 2.2, 2),
+        ];
+        let delta = HistoryDelta::from_records(&records).unwrap();
+        assert_eq!(delta.previous.as_ref().unwrap().total_wall_clock_secs, 2.0);
+        let ratio = delta.wall_clock_ratio().unwrap();
+        assert!((ratio - 1.1).abs() < 1e-9, "{ratio}");
+        assert!(!delta.regressed(0.25));
+        assert!(delta.regressed(0.05));
+        let text = delta.render_text(0.25);
+        assert!(text.contains("within threshold"), "{text}");
+
+        let only = vec![record("paper", 3, 37.0, 2)];
+        let delta = HistoryDelta::from_records(&only).unwrap();
+        assert!(delta.previous.is_none());
+        assert!(!delta.regressed(0.0), "no baseline, nothing to fail");
+        assert!(delta.render_text(0.25).contains("no comparable previous"));
+        assert!(HistoryDelta::from_records(&[]).is_none());
+    }
+
+    #[test]
+    fn pre_throughput_history_lines_still_parse() {
+        // A line appended before the events fields existed: defaults kick in.
+        let line = r#"{"git_rev":"a0a1151933a9","scale":"paper","trials":3,"threads":1,
+            "total_wall_clock_secs":37.2,"experiments":[
+            {"experiment":"fig5","rows":18,"wall_clock_secs":8.5}]}"#
+            .replace('\n', "");
+        let back: HistoryRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.total_events_processed, 0);
+        assert_eq!(back.experiments[0].events_processed, 0);
+        assert_eq!(back.experiments[0].events_per_sec, 0.0);
+    }
+
+    #[test]
+    fn load_history_reads_appended_lines_and_rejects_garbage() {
+        let path =
+            std::env::temp_dir().join(format!("scoop-lab-loadhist-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        record("quick", 1, 1.0, 1).append_to(&path).unwrap();
+        record("quick", 1, 1.5, 1).append_to(&path).unwrap();
+        let records = load_history(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(load_history(&path).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -43,7 +43,7 @@ pub use check::{run_check, CheckOutcome};
 pub use diff::{
     diff_rows, BaselineRow, BaselineSet, DiffReport, MetricCheck, RowStatus, Tolerance,
 };
-pub use history::HistoryRecord;
+pub use history::{load_history, HistoryDelta, HistoryRecord};
 pub use render::render_experiments_md;
 pub use rows::{MeasuredRow, RowSet};
 pub use suite::{run_experiment, run_suite, ExperimentId, PointSet, Scale, SuiteOptions};

@@ -335,9 +335,16 @@ pub fn run_suite(
     let base = options.base_config()?;
     let mut artifacts = Vec::with_capacity(options.experiments.len());
     for &id in &options.experiments {
+        let events_before = scoop_sim::events_dispatched_total();
         let start = Instant::now();
         let rows = run_experiment(id, &base, options.trials, options.points)?;
-        let provenance = Provenance::capture(start.elapsed().as_secs_f64());
+        let wall_clock = start.elapsed().as_secs_f64();
+        // Delta of the process-wide dispatch counter. Exact for a CLI run;
+        // in a test binary running suites concurrently the deltas can bleed
+        // into each other, which only perturbs this non-deterministic
+        // provenance block — never the rows.
+        let events = scoop_sim::events_dispatched_total() - events_before;
+        let provenance = Provenance::capture(wall_clock, events);
         let artifact = Artifact::new(id, options, &base, rows, provenance);
         on_done(&artifact);
         artifacts.push(artifact);

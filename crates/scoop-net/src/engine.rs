@@ -11,7 +11,7 @@
 
 use crate::event::{Event, EventQueue};
 use crate::fault::FaultSchedule;
-use crate::link::LinkModel;
+use crate::link::{LinkModel, Neighbor};
 use crate::packet::{LinkDst, Packet, PacketMeta};
 use crate::stats::NetworkStats;
 use crate::topology::Topology;
@@ -189,6 +189,10 @@ pub struct Engine<L: NodeLogic> {
     faults: FaultSchedule,
     started: bool,
     events_processed: u64,
+    /// Reusable command buffer handed to node callbacks: taken in
+    /// [`Engine::with_ctx`], drained, and put back so the steady-state event
+    /// loop never allocates a fresh `Vec` per callback.
+    cmd_buf: Vec<Command<L::Payload>>,
 }
 
 impl<L: NodeLogic> Engine<L> {
@@ -218,7 +222,11 @@ impl<L: NodeLogic> Engine<L> {
             topology,
             links,
             nodes,
-            queue: EventQueue::new(),
+            // Pre-size the queue so steady-state dispatch never grows it:
+            // pending events scale with node count (timers, in-flight
+            // arrivals), and BinaryHeap capacity is recycled across
+            // `run_until` calls — it never shrinks.
+            queue: EventQueue::with_capacity(16 * n + 64),
             now: SimTime::ZERO,
             stats: NetworkStats::new(n),
             seqnos: vec![SeqNo::default(); n],
@@ -227,6 +235,7 @@ impl<L: NodeLogic> Engine<L> {
             faults: FaultSchedule::empty(),
             started: false,
             events_processed: 0,
+            cmd_buf: Vec::with_capacity(16),
         })
     }
 
@@ -270,6 +279,21 @@ impl<L: NodeLogic> Engine<L> {
     /// Total number of events dispatched so far (diagnostics).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Current allocated capacity of the event queue (diagnostics). Once the
+    /// simulation reaches steady state this must stop growing: the queue's
+    /// backing storage is recycled across `run_until` calls.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Current allocated capacity of the reusable command buffer
+    /// (diagnostics). Like [`Engine::queue_capacity`], this plateaus once
+    /// the busiest callback has been seen — the hot loop reuses it instead
+    /// of allocating per callback.
+    pub fn command_buffer_capacity(&self) -> usize {
+        self.cmd_buf.capacity()
     }
 
     /// Immutable access to a node's application state.
@@ -358,11 +382,17 @@ impl<L: NodeLogic> Engine<L> {
 
     /// Runs `f` with a command-buffering context for `node`, then applies the
     /// buffered commands.
+    ///
+    /// The command buffer is engine-owned and recycled: it is taken out of
+    /// `self` for the duration of the callback (callbacks never re-enter the
+    /// engine, so the temporary empty buffer is never observed), drained, and
+    /// put back with its capacity intact — no allocation once the busiest
+    /// callback has been seen.
     fn with_ctx<F>(&mut self, node: NodeId, f: F)
     where
         F: FnOnce(&mut L, &mut NodeCtx<'_, L::Payload>),
     {
-        let mut commands = Vec::new();
+        let mut commands = std::mem::take(&mut self.cmd_buf);
         {
             let mut ctx = NodeCtx {
                 node,
@@ -372,9 +402,10 @@ impl<L: NodeLogic> Engine<L> {
             let logic = &mut self.nodes[node.index()];
             f(logic, &mut ctx);
         }
-        for cmd in commands {
+        for cmd in commands.drain(..) {
             self.apply(node, cmd);
         }
+        self.cmd_buf = commands;
     }
 
     fn apply(&mut self, node: NodeId, cmd: Command<L::Payload>) {
@@ -411,6 +442,14 @@ impl<L: NodeLogic> Engine<L> {
 
     /// Simulates the physical transmission of `packet` by `src`, including
     /// link-layer retransmission for unicasts.
+    ///
+    /// Loss is sampled from the precomputed CSR neighbor table: the same
+    /// listeners in the same ascending order, with the same pre-clamped
+    /// probabilities, as the historical dense-row scan — one RNG draw per
+    /// listener per attempt, so the random stream (and therefore every
+    /// committed artifact) is byte-identical. The table iteration borrows
+    /// `self.links` while the loop mutates the rng/queue, hence the field
+    /// destructuring.
     fn transmit(&mut self, src: NodeId, mut packet: Packet<L::Payload>) {
         // A downed radio transmits nothing: the command is swallowed without
         // counting a transmission or consuming loss randomness.
@@ -423,10 +462,16 @@ impl<L: NodeLogic> Engine<L> {
                 packet.meta.seqno = self.bump_seq(src);
                 self.stats.record_tx(src, kind);
                 let arrival = self.now + self.config.tx_slot;
-                for listener in self.links.listeners(src) {
-                    let p = self.links.link(src, listener).delivery_prob;
-                    if self.rng.gen_bool(p.clamp(0.0, 1.0)) {
-                        self.queue.push(
+                let Engine {
+                    links, rng, queue, ..
+                } = self;
+                for &Neighbor {
+                    node: listener,
+                    delivery_prob,
+                } in links.neighbors(src)
+                {
+                    if rng.gen_bool(delivery_prob) {
+                        queue.push(
                             arrival,
                             Event::PacketArrival {
                                 node: listener,
@@ -446,19 +491,30 @@ impl<L: NodeLogic> Engine<L> {
                     packet.meta.seqno = self.bump_seq(src);
                     self.stats.record_tx(src, kind);
                     let arrival = self.now + self.config.tx_slot.mul(attempts_used as u64);
-                    for listener in self.links.listeners(src) {
-                        let p = self.links.link(src, listener).delivery_prob;
-                        if !self.rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    let Engine {
+                        links,
+                        rng,
+                        queue,
+                        config,
+                        faults,
+                        ..
+                    } = self;
+                    for &Neighbor {
+                        node: listener,
+                        delivery_prob,
+                    } in links.neighbors(src)
+                    {
+                        if !rng.gen_bool(delivery_prob) {
                             continue;
                         }
                         if listener == dst {
                             // A destination whose radio is down at delivery
                             // time cannot acknowledge: the attempt fails and
                             // the retry loop continues, exactly like loss.
-                            if self.faults.is_down(dst, arrival) {
+                            if faults.is_down(dst, arrival) {
                                 continue;
                             }
-                            self.queue.push(
+                            queue.push(
                                 arrival,
                                 Event::PacketArrival {
                                     node: listener,
@@ -467,8 +523,8 @@ impl<L: NodeLogic> Engine<L> {
                                 },
                             );
                             delivered = true;
-                        } else if self.config.enable_snooping {
-                            self.queue.push(
+                        } else if config.enable_snooping {
+                            queue.push(
                                 arrival,
                                 Event::PacketArrival {
                                     node: listener,

@@ -93,6 +93,21 @@ impl<P> EventQueue<P> {
         }
     }
 
+    /// An empty queue with room for `cap` events before reallocating. The
+    /// backing storage only ever grows, so capacity established during
+    /// warm-up is recycled across the whole simulation.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `event` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, event: Event<P>) {
         let seq = self.next_seq;

@@ -26,9 +26,18 @@ pub struct Outage {
 
 /// Concrete per-node outage windows consulted by the engine on every
 /// transmission and delivery.
+///
+/// Windows are indexed per node at insertion time so the engine's per-event
+/// [`FaultSchedule::is_down`] probe is one bounds-checked slot lookup plus a
+/// scan of *that node's* windows (usually zero or one), instead of a linear
+/// scan over every outage in the schedule.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultSchedule {
     outages: Vec<Outage>,
+    /// `per_node[i]` holds node `i`'s `(from, until)` windows. Nodes beyond
+    /// the highest scheduled one have no slot at all, so the empty schedule
+    /// costs a single failed `get`.
+    per_node: Vec<Vec<(SimTime, SimTime)>>,
 }
 
 impl FaultSchedule {
@@ -51,19 +60,22 @@ impl FaultSchedule {
     pub fn add(&mut self, node: NodeId, from: SimTime, until: SimTime) {
         if from < until {
             self.outages.push(Outage { node, from, until });
+            if self.per_node.len() <= node.index() {
+                self.per_node.resize(node.index() + 1, Vec::new());
+            }
+            self.per_node[node.index()].push((from, until));
         }
     }
 
     /// Returns `true` if `node`'s radio is down at `now`.
     #[inline]
     pub fn is_down(&self, node: NodeId, now: SimTime) -> bool {
-        // Schedules are tiny (a handful of windows); a linear scan beats any
-        // index and keeps the no-fault fast path a single length check.
-        !self.outages.is_empty()
-            && self
-                .outages
+        match self.per_node.get(node.index()) {
+            Some(windows) => windows
                 .iter()
-                .any(|o| o.node == node && o.from <= now && now < o.until)
+                .any(|&(from, until)| from <= now && now < until),
+            None => false,
+        }
     }
 
     /// Iterates over the scheduled outages.

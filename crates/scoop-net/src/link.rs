@@ -84,14 +84,37 @@ impl Default for LinkModelParams {
     }
 }
 
+/// One usable outgoing link in the precomputed neighbor table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// The node that can hear the transmitter.
+    pub node: NodeId,
+    /// Delivery probability of the directed link, pre-clamped to `[0, 1]`
+    /// so the engine's loss sampling needs no per-draw clamp.
+    pub delivery_prob: f64,
+}
+
 /// Delivery probabilities for every directed pair of nodes.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Alongside the dense matrix (the source of truth for [`LinkModel::link`]
+/// and serialization), the model maintains a CSR-style neighbor table built
+/// once at construction: per transmitter, the usable outgoing links in
+/// ascending destination order. The engine's transmit loop iterates that
+/// table instead of scanning a dense row and allocating a listener `Vec` per
+/// attempt — same order, same probabilities, zero allocation.
+#[derive(Clone, Debug)]
 pub struct LinkModel {
     n: usize,
     /// Row-major `n × n` matrix of delivery probabilities. Entry `(i, j)` is
     /// the probability that a packet transmitted by `i` is received by `j`.
     delivery: Vec<f64>,
     params: LinkModelParams,
+    /// CSR row offsets into `nbr_entries`; `nbr_offsets[i]..nbr_offsets[i+1]`
+    /// is transmitter `i`'s slice. Length `n + 1`.
+    nbr_offsets: Vec<u32>,
+    /// Usable outgoing links, grouped by transmitter, destinations ascending
+    /// — exactly the order the old dense-row scan visited them.
+    nbr_entries: Vec<Neighbor>,
 }
 
 impl LinkModel {
@@ -137,11 +160,7 @@ impl LinkModel {
                     (base + noise).clamp(params.min_delivery * 0.5, params.max_delivery);
             }
         }
-        LinkModel {
-            n,
-            delivery,
-            params,
-        }
+        LinkModel::from_parts(n, delivery, params)
     }
 
     /// A loss-free link model over a topology: every in-range directed link
@@ -157,15 +176,52 @@ impl LinkModel {
                 }
             }
         }
-        LinkModel {
+        LinkModel::from_parts(
             n,
             delivery,
-            params: LinkModelParams {
+            LinkModelParams {
                 max_delivery: 1.0,
                 min_delivery: 1.0,
                 asymmetry_noise: 0.0,
                 distance_exponent: 1.0,
             },
+        )
+    }
+
+    /// Assembles a model from its dense matrix, building the CSR neighbor
+    /// table. Every constructor (and deserialization) funnels through here so
+    /// the table can never be stale.
+    fn from_parts(n: usize, delivery: Vec<f64>, params: LinkModelParams) -> Self {
+        debug_assert_eq!(delivery.len(), n * n);
+        let mut model = LinkModel {
+            n,
+            delivery,
+            params,
+            nbr_offsets: Vec::new(),
+            nbr_entries: Vec::new(),
+        };
+        model.rebuild_neighbor_table();
+        model
+    }
+
+    /// (Re)derives the CSR neighbor table from the dense matrix.
+    fn rebuild_neighbor_table(&mut self) {
+        let n = self.n;
+        self.nbr_offsets.clear();
+        self.nbr_offsets.reserve(n + 1);
+        self.nbr_entries.clear();
+        self.nbr_offsets.push(0);
+        for i in 0..n {
+            for j in 0..n {
+                let p = self.delivery[i * n + j];
+                if i != j && p > 0.0 {
+                    self.nbr_entries.push(Neighbor {
+                        node: NodeId(j as u16),
+                        delivery_prob: p.clamp(0.0, 1.0),
+                    });
+                }
+            }
+            self.nbr_offsets.push(self.nbr_entries.len() as u32);
         }
     }
 
@@ -216,15 +272,31 @@ impl LinkModel {
     pub fn set_link(&mut self, from: NodeId, to: NodeId, delivery_prob: f64) {
         if from.index() < self.n && to.index() < self.n && from != to {
             self.delivery[from.index() * self.n + to.index()] = delivery_prob.clamp(0.0, 1.0);
+            // Overrides happen during scenario setup, never inside the event
+            // loop; a full rebuild keeps the table trivially consistent.
+            self.rebuild_neighbor_table();
         }
+    }
+
+    /// The usable outgoing links of `node` (destinations ascending), with
+    /// their pre-clamped delivery probabilities — the engine's allocation-free
+    /// replacement for [`LinkModel::listeners`] + per-listener [`link`] calls.
+    ///
+    /// [`link`]: LinkModel::link
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[Neighbor] {
+        let i = node.index();
+        if i >= self.n {
+            return &[];
+        }
+        let lo = self.nbr_offsets[i] as usize;
+        let hi = self.nbr_offsets[i + 1] as usize;
+        &self.nbr_entries[lo..hi]
     }
 
     /// Nodes with a usable link *from* `node` (i.e. nodes that can hear it).
     pub fn listeners(&self, node: NodeId) -> Vec<NodeId> {
-        (0..self.n)
-            .map(|i| NodeId(i as u16))
-            .filter(|&m| m != node && self.link(node, m).is_usable())
-            .collect()
+        self.neighbors(node).iter().map(|nb| nb.node).collect()
     }
 
     /// Mean loss probability over all usable directed links.
@@ -245,6 +317,11 @@ impl LinkModel {
         } else {
             total / count as f64
         }
+    }
+
+    /// Total number of usable directed links (size of the neighbor table).
+    pub fn usable_link_count(&self) -> usize {
+        self.nbr_entries.len()
     }
 
     /// Fraction of usable link pairs whose two directions differ by more than
@@ -269,6 +346,38 @@ impl LinkModel {
         } else {
             asym as f64 / count as f64
         }
+    }
+}
+
+// Hand-written (de)serialization: the wire schema is exactly the historical
+// derived one — `{n, delivery, params}` — because the CSR neighbor table is
+// derived state. Serializing it would bloat files with redundant data, and
+// deserializing it blindly could leave the table inconsistent with the
+// matrix; instead deserialization funnels through `from_parts`, which
+// rebuilds the table.
+impl Serialize for LinkModel {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("n".to_string(), Serialize::to_value(&self.n)),
+            ("delivery".to_string(), Serialize::to_value(&self.delivery)),
+            ("params".to_string(), Serialize::to_value(&self.params)),
+        ])
+    }
+}
+
+impl Deserialize for LinkModel {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let null = serde::Value::Null;
+        let n: usize = Deserialize::from_value(v.get("n").unwrap_or(&null))?;
+        let delivery: Vec<f64> = Deserialize::from_value(v.get("delivery").unwrap_or(&null))?;
+        let params: LinkModelParams = Deserialize::from_value(v.get("params").unwrap_or(&null))?;
+        if delivery.len() != n * n {
+            return Err(serde::Error::custom(format!(
+                "LinkModel: delivery matrix has {} entries for n = {n}",
+                delivery.len()
+            )));
+        }
+        Ok(LinkModel::from_parts(n, delivery, params))
     }
 }
 
@@ -381,6 +490,77 @@ mod tests {
                 .any(|y| a.link(x, y).delivery_prob != c.link(x, y).delivery_prob)
         });
         assert!(differs);
+    }
+
+    /// The old dense-row scan, reimplemented verbatim as the oracle for the
+    /// CSR table: ascending destinations, usable links only.
+    fn dense_scan(links: &LinkModel, from: NodeId) -> Vec<Neighbor> {
+        (0..links.len())
+            .map(|i| NodeId(i as u16))
+            .filter(|&m| m != from && links.link(from, m).is_usable())
+            .map(|m| Neighbor {
+                node: m,
+                delivery_prob: links.link(from, m).delivery_prob.clamp(0.0, 1.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csr_table_matches_dense_scan_order_and_probs() {
+        let (topo, links) = testbed();
+        for a in topo.nodes() {
+            assert_eq!(links.neighbors(a), dense_scan(&links, a).as_slice(), "{a}");
+        }
+        let total: usize = topo.nodes().map(|a| links.neighbors(a).len()).sum();
+        assert_eq!(total, links.usable_link_count());
+        // Out-of-model ids have no neighbors rather than panicking.
+        assert!(links.neighbors(NodeId(5000)).is_empty());
+    }
+
+    #[test]
+    fn csr_probs_are_pre_clamped() {
+        let (topo, links) = testbed();
+        for a in topo.nodes() {
+            for nb in links.neighbors(a) {
+                assert!((0.0..=1.0).contains(&nb.delivery_prob));
+                assert!(nb.delivery_prob > 0.0, "dead links must not be listed");
+            }
+        }
+    }
+
+    #[test]
+    fn set_link_rebuilds_the_csr_table() {
+        let topo = Topology::grid(3, 10.0).unwrap();
+        let mut links = LinkModel::perfect(&topo);
+        let before = links.neighbors(NodeId(0)).len();
+        links.set_link(NodeId(0), NodeId(1), 0.0); // kill a link
+        assert_eq!(links.neighbors(NodeId(0)).len(), before - 1);
+        assert!(links
+            .neighbors(NodeId(0))
+            .iter()
+            .all(|nb| nb.node != NodeId(1)));
+        links.set_link(NodeId(0), NodeId(1), 0.4); // revive it
+        assert_eq!(links.neighbors(NodeId(0)).len(), before);
+        assert_eq!(links.neighbors(NodeId(0)), dense_scan(&links, NodeId(0)));
+    }
+
+    #[test]
+    fn serialization_round_trips_and_rebuilds_the_table() {
+        let (_, links) = testbed();
+        let json = serde_json::to_string(&links).unwrap();
+        // The wire schema stays the historical `{n, delivery, params}`: the
+        // derived CSR table must not leak into files.
+        assert!(json.starts_with("{\"n\":"));
+        assert!(!json.contains("nbr_"));
+        let back: LinkModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), links.len());
+        for a in 0..links.len() {
+            let a = NodeId(a as u16);
+            assert_eq!(back.neighbors(a), links.neighbors(a), "{a}");
+        }
+        // A corrupt matrix length is rejected instead of building a bogus table.
+        let bad = json.replacen("\"n\":63", "\"n\":62", 1);
+        assert!(serde_json::from_str::<LinkModel>(&bad).is_err());
     }
 
     #[test]

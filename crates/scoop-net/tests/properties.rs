@@ -3,7 +3,7 @@
 //! seed.
 
 use proptest::prelude::*;
-use scoop_net::{LinkModel, StdTopologyGen, Topology, TopologyGen};
+use scoop_net::{LinkModel, Neighbor, StdTopologyGen, Topology, TopologyGen};
 use scoop_types::{NodeId, TopologyKind, TopologySpec};
 
 proptest! {
@@ -85,6 +85,42 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The engine's CSR neighbor table visits exactly the nodes the
+    /// historical dense-row scan visited — same set, same ascending order,
+    /// same (pre-clamped) delivery probabilities — for every placement
+    /// family, node count, and seed. This is the structural half of the
+    /// byte-identical-RNG guarantee: one `gen_bool` per listed neighbor in
+    /// listing order reproduces the old random stream exactly.
+    #[test]
+    fn csr_neighbor_table_matches_dense_row_scan(
+        kind_index in 0usize..TopologyKind::ALL.len(),
+        nodes in 2usize..80,
+        seed in 0u64..200,
+    ) {
+        let spec = TopologySpec {
+            kind: TopologyKind::ALL[kind_index],
+            ..TopologySpec::office_floor()
+        };
+        let topo = StdTopologyGen.generate(&spec, nodes, seed).expect("within limits");
+        let links = LinkModel::from_topology(&topo, seed);
+        for a in topo.nodes() {
+            // The old dense scan, reimplemented verbatim as the oracle.
+            let dense: Vec<Neighbor> = (0..links.len())
+                .map(|i| NodeId(i as u16))
+                .filter(|&m| m != a && links.link(a, m).is_usable())
+                .map(|m| Neighbor {
+                    node: m,
+                    delivery_prob: links.link(a, m).delivery_prob.clamp(0.0, 1.0),
+                })
+                .collect();
+            prop_assert_eq!(
+                links.neighbors(a), dense.as_slice(),
+                "CSR row of {} diverges from the dense scan ({:?}, {} nodes, seed {})",
+                a, spec.kind, nodes, seed
+            );
+        }
+    }
 
     /// The spec-driven generator — the path `SimBuilder` builds every
     /// experiment through — yields a connected topology for *every* placement

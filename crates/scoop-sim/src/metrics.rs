@@ -148,6 +148,11 @@ pub struct RunResult {
     pub indices_disseminated: u64,
     /// Number of remap rounds suppressed because the index barely changed.
     pub remaps_suppressed: u64,
+    /// Total discrete events the engine dispatched over the whole run
+    /// (including warmup) — the denominator of the `events/sec` throughput
+    /// number recorded in artifacts and `BENCH_history.jsonl`. Deterministic
+    /// per `(config, seed)`, like every other counter here.
+    pub events_processed: u64,
 }
 
 impl RunResult {
@@ -246,6 +251,7 @@ mod tests {
             queries: QueryMetrics::default(),
             indices_disseminated: 0,
             remaps_suppressed: 0,
+            events_processed: 0,
         };
         let skew = r.root_skew();
         assert_eq!(skew.root_tx, 100);

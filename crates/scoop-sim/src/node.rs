@@ -19,6 +19,15 @@
 //! re-broadcasts an item it has not seen before once, after a short random
 //! delay, unless it overhears enough copies from its neighbors first — the
 //! same suppression idea Trickle uses, specialized to the single-round case.
+//!
+//! The engine payload is `Arc<ScoopPayload>` (see [`SharedPayload`]): the
+//! engine clones one packet per listener per transmission attempt, so with a
+//! plain enum payload every broadcast, snooped unicast, forwarded packet, and
+//! gossip re-broadcast deep-copied readings, histograms, and index chunks.
+//! Behind an `Arc` that fan-out is a reference-count bump; the payload body
+//! is cloned only at the single point that needs ownership (a data message
+//! being unbatched at its destination, a summary entering the basestation's
+//! statistics).
 
 use scoop_core::histogram::SummaryHistogram;
 use scoop_core::index::IndexBuilderConfig;
@@ -44,6 +53,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
+
+/// The engine-level payload type: one shared allocation per application
+/// message, so the engine's per-listener packet clones are pointer bumps.
+pub type SharedPayload = Arc<ScoopPayload>;
 
 // Timer tokens.
 const TICK_BEACON: TimerToken = 1;
@@ -132,7 +145,9 @@ pub struct SimNode {
     /// Mapping chunks already gossiped, keyed by (index id, chunk index).
     seen_chunks: HashSet<(u64, u32)>,
     /// Items waiting to be re-broadcast, with a count of copies overheard.
-    pending_gossip: VecDeque<(ScoopPayload, MessageKind, u32)>,
+    /// The payloads are the shared `Arc`s the packets arrived with, so a
+    /// re-broadcast reuses the original allocation.
+    pending_gossip: VecDeque<(SharedPayload, MessageKind, u32)>,
     gossip_timer_armed: bool,
     base: Option<BaseState>,
     /// Counters the harness reads after the run.
@@ -297,8 +312,8 @@ impl SimNode {
 
     fn enqueue_gossip(
         &mut self,
-        ctx: &mut NodeCtx<'_, ScoopPayload>,
-        payload: ScoopPayload,
+        ctx: &mut NodeCtx<'_, SharedPayload>,
+        payload: SharedPayload,
         kind: MessageKind,
     ) {
         self.pending_gossip.push_back((payload, kind, 0));
@@ -311,7 +326,7 @@ impl SimNode {
 
     fn note_gossip_overheard(&mut self, payload: &ScoopPayload) {
         for (pending, _, heard) in self.pending_gossip.iter_mut() {
-            let same = match (pending, payload) {
+            let same = match (&**pending, payload) {
                 (ScoopPayload::Mapping(a), ScoopPayload::Mapping(b)) => {
                     a.chunk.version == b.chunk.version && a.chunk.index == b.chunk.index
                 }
@@ -324,7 +339,7 @@ impl SimNode {
         }
     }
 
-    fn flush_one_gossip(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>) {
+    fn flush_one_gossip(&mut self, ctx: &mut NodeCtx<'_, SharedPayload>) {
         while let Some((payload, kind, heard)) = self.pending_gossip.pop_front() {
             if heard >= GOSSIP_SUPPRESSION {
                 // Enough neighbors already repeated it: suppress ours.
@@ -345,7 +360,7 @@ impl SimNode {
     // Data path
     // ------------------------------------------------------------------
 
-    fn handle_sample(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>) {
+    fn handle_sample(&mut self, ctx: &mut NodeCtx<'_, SharedPayload>) {
         let now = ctx.now();
         let value = self.source.sample(self.id, now);
         let reading = Reading::new(self.id, self.cfg.workload.attribute, value, now);
@@ -405,7 +420,7 @@ impl SimNode {
         }
     }
 
-    fn flush_batch(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>) {
+    fn flush_batch(&mut self, ctx: &mut NodeCtx<'_, SharedPayload>) {
         let Some((owner, sid)) = self.batch_dest.take() else {
             return;
         };
@@ -425,7 +440,7 @@ impl SimNode {
     /// header, whose hop count bounds how much further it may travel).
     fn dispatch_data(
         &mut self,
-        ctx: &mut NodeCtx<'_, ScoopPayload>,
+        ctx: &mut NodeCtx<'_, SharedPayload>,
         msg: DataMessage,
         incoming: Option<&scoop_net::PacketMeta>,
     ) {
@@ -475,13 +490,17 @@ impl SimNode {
                 }
             }
             DataRoutingAction::Forward { next_hop, message } => {
+                // The routing rules may have rewritten owner/sid, so the
+                // payload allocation cannot be reused here; this is the one
+                // Arc::new on the data forwarding path.
+                let payload = Arc::new(ScoopPayload::Data(message));
                 match incoming {
                     // Forward the original packet so the origin fields and
                     // hop count survive the multihop path.
                     Some(meta) => ctx.forward(
                         Packet {
                             meta: *meta,
-                            payload: ScoopPayload::Data(message),
+                            payload,
                         },
                         scoop_net::LinkDst::Unicast(next_hop),
                     ),
@@ -489,7 +508,7 @@ impl SimNode {
                         next_hop,
                         MessageKind::Data,
                         self.routing.parent(),
-                        ScoopPayload::Data(message),
+                        payload,
                     ),
                 }
             }
@@ -510,7 +529,7 @@ impl SimNode {
     // Summaries
     // ------------------------------------------------------------------
 
-    fn send_summary(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>) {
+    fn send_summary(&mut self, ctx: &mut NodeCtx<'_, SharedPayload>) {
         let Some(parent) = self.routing.parent() else {
             return;
         };
@@ -540,7 +559,7 @@ impl SimNode {
             parent,
             MessageKind::Summary,
             Some(parent),
-            ScoopPayload::Summary(summary),
+            Arc::new(ScoopPayload::Summary(summary)),
         );
     }
 
@@ -548,7 +567,7 @@ impl SimNode {
     // Basestation: remap and queries
     // ------------------------------------------------------------------
 
-    fn remap(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>) {
+    fn remap(&mut self, ctx: &mut NodeCtx<'_, SharedPayload>) {
         let now = ctx.now();
         let cfg = Arc::clone(&self.cfg);
         let Some(base) = self.base.as_mut() else {
@@ -594,16 +613,16 @@ impl SimNode {
         let created_at = index.created_at();
         self.current_index = Some(index);
         for chunk in chunks {
-            let payload = ScoopPayload::Mapping(MappingChunk {
+            let payload = Arc::new(ScoopPayload::Mapping(MappingChunk {
                 chunk,
                 domain,
                 created_at,
-            });
+            }));
             ctx.send_broadcast(MessageKind::Mapping, None, payload);
         }
     }
 
-    fn issue_query(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>) {
+    fn issue_query(&mut self, ctx: &mut NodeCtx<'_, SharedPayload>) {
         let now = ctx.now();
         let policy = self.policy();
         let num_sensors = self.cfg.num_nodes;
@@ -675,7 +694,7 @@ impl SimNode {
             targets,
         };
         self.seen_queries.insert(query_id);
-        ctx.send_broadcast(MessageKind::Query, None, ScoopPayload::Query(msg));
+        ctx.send_broadcast(MessageKind::Query, None, Arc::new(ScoopPayload::Query(msg)));
     }
 
     // ------------------------------------------------------------------
@@ -684,17 +703,19 @@ impl SimNode {
 
     fn handle_payload(
         &mut self,
-        ctx: &mut NodeCtx<'_, ScoopPayload>,
-        packet: Packet<ScoopPayload>,
+        ctx: &mut NodeCtx<'_, SharedPayload>,
+        packet: Packet<SharedPayload>,
     ) {
         let meta = packet.meta;
-        match packet.payload {
+        match &*packet.payload {
             ScoopPayload::Beacon(beacon) => {
-                self.routing.on_beacon(meta.link_src, &beacon, ctx.now());
+                self.routing.on_beacon(meta.link_src, beacon, ctx.now());
             }
             ScoopPayload::Summary(summary) => {
                 if let Some(base) = self.base.as_mut() {
-                    base.stats.record_summary(summary);
+                    // The one place a summary needs ownership; everything on
+                    // the way here shared the arrival allocation.
+                    base.stats.record_summary(summary.clone());
                 } else {
                     // Forward up the tree; remember the child branch the
                     // origin lives under (only when it really arrived from
@@ -705,7 +726,7 @@ impl SimNode {
                             ctx.forward(
                                 Packet {
                                     meta,
-                                    payload: ScoopPayload::Summary(summary),
+                                    payload: Arc::clone(&packet.payload),
                                 },
                                 scoop_net::LinkDst::Unicast(parent),
                             );
@@ -713,12 +734,14 @@ impl SimNode {
                     }
                 }
             }
-            ScoopPayload::Mapping(chunk) => self.handle_mapping(ctx, chunk),
+            ScoopPayload::Mapping(chunk) => self.handle_mapping(ctx, chunk, &packet.payload),
             ScoopPayload::Data(data) => {
                 self.note_upward_route(&meta, ctx.now());
-                self.dispatch_data(ctx, data, Some(&meta));
+                // Routing may rewrite owner/sid before storing or forwarding,
+                // so the destination clones the message body once here.
+                self.dispatch_data(ctx, data.clone(), Some(&meta));
             }
-            ScoopPayload::Query(query) => self.handle_query(ctx, query),
+            ScoopPayload::Query(query) => self.handle_query(ctx, query, &packet.payload),
             ScoopPayload::Reply(reply) => {
                 if let Some(base) = self.base.as_mut() {
                     if let Some(outcome) = base.outstanding.get_mut(&reply.query_id) {
@@ -732,7 +755,7 @@ impl SimNode {
                             ctx.forward(
                                 Packet {
                                     meta,
-                                    payload: ScoopPayload::Reply(reply),
+                                    payload: Arc::clone(&packet.payload),
                                 },
                                 scoop_net::LinkDst::Unicast(parent),
                             );
@@ -757,7 +780,12 @@ impl SimNode {
         self.routing.note_routed_up(meta.origin, meta.link_src, now);
     }
 
-    fn handle_mapping(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>, mc: MappingChunk) {
+    fn handle_mapping(
+        &mut self,
+        ctx: &mut NodeCtx<'_, SharedPayload>,
+        mc: &MappingChunk,
+        payload: &SharedPayload,
+    ) {
         if self.base.is_some() || self.policy() != StoragePolicy::Scoop {
             return;
         }
@@ -766,8 +794,9 @@ impl SimNode {
         if !first_time {
             return;
         }
-        // Gossip the chunk onward (once, with suppression).
-        self.enqueue_gossip(ctx, ScoopPayload::Mapping(mc.clone()), MessageKind::Mapping);
+        // Gossip the chunk onward (once, with suppression), reusing the
+        // arrival's shared allocation.
+        self.enqueue_gossip(ctx, Arc::clone(payload), MessageKind::Mapping);
 
         // Only feed the assembler chunks newer than what we already hold.
         if StorageIndexId(mc.chunk.version as u32) <= self.newest_index_id() {
@@ -789,7 +818,12 @@ impl SimNode {
         }
     }
 
-    fn handle_query(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>, query: QueryMessage) {
+    fn handle_query(
+        &mut self,
+        ctx: &mut NodeCtx<'_, SharedPayload>,
+        query: &QueryMessage,
+        payload: &SharedPayload,
+    ) {
         if self.base.is_some() {
             return;
         }
@@ -805,7 +839,7 @@ impl SimNode {
                 .iter()
                 .any(|t| self.routing.is_neighbor(t) || self.routing.is_descendant(t));
         if useful {
-            self.enqueue_gossip(ctx, ScoopPayload::Query(query.clone()), MessageKind::Query);
+            self.enqueue_gossip(ctx, Arc::clone(payload), MessageKind::Query);
         }
 
         if query.targets.contains(self.id) {
@@ -823,7 +857,7 @@ impl SimNode {
                     parent,
                     MessageKind::Reply,
                     Some(parent),
-                    ScoopPayload::Reply(reply),
+                    Arc::new(ScoopPayload::Reply(reply)),
                 );
             }
         }
@@ -838,9 +872,9 @@ enum StoreReason {
 }
 
 impl NodeLogic for SimNode {
-    type Payload = ScoopPayload;
+    type Payload = SharedPayload;
 
-    fn on_init(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>) {
+    fn on_init(&mut self, ctx: &mut NodeCtx<'_, SharedPayload>) {
         // Beacons and maintenance run on every node from the very start, so
         // the tree forms during the warmup window.
         let beacon_offset = self.jitter(BEACON_INTERVAL.as_millis());
@@ -874,8 +908,8 @@ impl NodeLogic for SimNode {
 
     fn on_packet(
         &mut self,
-        ctx: &mut NodeCtx<'_, ScoopPayload>,
-        packet: Packet<ScoopPayload>,
+        ctx: &mut NodeCtx<'_, SharedPayload>,
+        packet: Packet<SharedPayload>,
         addressed: bool,
     ) {
         self.routing.observe_packet(&packet.meta, ctx.now());
@@ -893,14 +927,14 @@ impl NodeLogic for SimNode {
         self.handle_payload(ctx, packet);
     }
 
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, ScoopPayload>, token: TimerToken) {
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, SharedPayload>, token: TimerToken) {
         match token {
             TICK_BEACON => {
                 let beacon = self.routing.my_beacon();
                 ctx.send_broadcast(
                     MessageKind::Heartbeat,
                     self.routing.parent(),
-                    ScoopPayload::Beacon(beacon),
+                    Arc::new(ScoopPayload::Beacon(beacon)),
                 );
                 let next = BEACON_INTERVAL + self.jitter(5_000);
                 ctx.set_timer(next, TICK_BEACON);
@@ -934,11 +968,11 @@ impl NodeLogic for SimNode {
 
     fn on_send_result(
         &mut self,
-        _ctx: &mut NodeCtx<'_, ScoopPayload>,
+        _ctx: &mut NodeCtx<'_, SharedPayload>,
         delivered: bool,
-        packet: Packet<ScoopPayload>,
+        packet: Packet<SharedPayload>,
     ) {
-        if !delivered && matches!(packet.payload, ScoopPayload::Data(_)) {
+        if !delivered && matches!(&*packet.payload, ScoopPayload::Data(_)) {
             // The readings in a dropped data packet are lost; they stay
             // counted as sampled but never as stored, which is exactly the
             // storage-success gap the paper reports.

@@ -10,6 +10,19 @@ use crate::metrics::{MessageBreakdown, QueryMetrics, RunResult, StorageMetrics};
 use crate::node::SimNode;
 use scoop_net::{Engine, LinkModel, Topology};
 use scoop_types::{ExperimentConfig, MessageStats, NodeId, ScoopError, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of engine events dispatched by every experiment run
+/// (any thread). `run_built_experiment` — the single chokepoint every sweep,
+/// lab, and bench path funnels through — adds each finished engine's total
+/// here, so a harness can compute events-per-experiment as a snapshot delta
+/// without threading a counter through every experiment function.
+static EVENTS_DISPATCHED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide dispatched-event counter (monotonic).
+pub fn events_dispatched_total() -> u64 {
+    EVENTS_DISPATCHED.load(Ordering::Relaxed)
+}
 
 /// Builds the topology, link model, node state machines, and engine for one
 /// experiment run, as described by every axis of the spec.
@@ -105,6 +118,9 @@ pub fn run_built_experiment(
         answered_locally: local,
     };
 
+    let events_processed = engine.events_processed();
+    EVENTS_DISPATCHED.fetch_add(events_processed, Ordering::Relaxed);
+
     Ok(RunResult {
         config: config.clone(),
         messages: MessageBreakdown::from_stats(&network),
@@ -114,6 +130,7 @@ pub fn run_built_experiment(
         queries,
         indices_disseminated: base.indices_disseminated(),
         remaps_suppressed: base.remaps_suppressed(),
+        events_processed,
     })
 }
 
@@ -181,6 +198,7 @@ pub fn average_results(results: &[RunResult]) -> Option<RunResult> {
         },
         indices_disseminated: avg_u64(&|r| r.indices_disseminated),
         remaps_suppressed: avg_u64(&|r| r.remaps_suppressed),
+        events_processed: avg_u64(&|r| r.events_processed),
     })
 }
 

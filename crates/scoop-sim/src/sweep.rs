@@ -20,7 +20,6 @@ use crate::metrics::RunResult;
 use crate::runner::{average_results, run_experiment};
 use scoop_types::{ExperimentConfig, ScoopError};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One named point of a sweep.
 #[derive(Clone, Debug)]
@@ -179,24 +178,38 @@ impl SweepRunner {
             return configs.iter().map(run_experiment).collect();
         }
 
+        // Workers pull jobs off a shared counter but collect results into
+        // *per-worker* buffers tagged with the job index; the buffers are
+        // merged by index after every worker joins. No lock is taken per
+        // job (the old `Mutex<Vec<Option<..>>>` serialized every completion),
+        // and the output order still depends only on the job indices — never
+        // on scheduling.
         let next_job = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<Result<RunResult, ScoopError>>>> =
-            Mutex::new(vec![None; configs.len()]);
+        let mut slots: Vec<Option<Result<RunResult, ScoopError>>> =
+            (0..configs.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let job = next_job.fetch_add(1, Ordering::Relaxed);
-                    let Some(config) = configs.get(job) else {
-                        break;
-                    };
-                    let result = run_experiment(config);
-                    slots.lock().expect("sweep slots poisoned")[job] = Some(result);
-                });
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut completed: Vec<(usize, Result<RunResult, ScoopError>)> = Vec::new();
+                        loop {
+                            let job = next_job.fetch_add(1, Ordering::Relaxed);
+                            let Some(config) = configs.get(job) else {
+                                break;
+                            };
+                            completed.push((job, run_experiment(config)));
+                        }
+                        completed
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (job, result) in handle.join().expect("sweep worker panicked") {
+                    slots[job] = Some(result);
+                }
             }
         });
         slots
-            .into_inner()
-            .expect("sweep slots poisoned")
             .into_iter()
             .map(|slot| slot.expect("every job index is claimed exactly once"))
             .collect()

@@ -10,8 +10,17 @@
 //! * unit structs,
 //! * enums with unit and tuple variants (externally tagged, like serde).
 //!
-//! `#[serde(...)]` attributes and struct-variant enums are *not* supported;
-//! using them fails the build loudly rather than silently misbehaving.
+//! Two field-level `#[serde(...)]` attributes are supported on named-field
+//! structs, with the same semantics as real serde:
+//!
+//! * `#[serde(default)]` — a missing (or `null`) key deserializes to
+//!   `Default::default()` instead of erroring,
+//! * `#[serde(skip_serializing_if = "path")]` — the field is omitted from
+//!   the serialized object when `path(&self.field)` returns `true`.
+//!
+//! Any other `#[serde(...)]` attribute, and struct-variant enums, are *not*
+//! supported; using them fails the build loudly rather than silently
+//! misbehaving.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -25,15 +34,24 @@ struct Input {
     body: Body,
 }
 
+/// One named struct field plus its parsed `#[serde(...)]` attributes.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: tolerate a missing key on deserialize.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: predicate path, if any.
+    skip_serializing_if: Option<String>,
+}
+
 enum Body {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
     Enum(Vec<(String, usize)>),
 }
 
 /// Derives `serde::Serialize` via the shim's `to_value` data model.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     let (impl_generics, ty_generics, where_clause) = generics_for(&parsed, "Serialize");
@@ -43,13 +61,24 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::to_value(&self.{f})),"
-                    )
+                    let name = &f.name;
+                    match &f.skip_serializing_if {
+                        None => format!(
+                            "__pairs.push((::std::string::String::from(\"{name}\"), \
+                             ::serde::Serialize::to_value(&self.{name})));"
+                        ),
+                        Some(path) => format!(
+                            "if !({path})(&self.{name}) {{ \
+                             __pairs.push((::std::string::String::from(\"{name}\"), \
+                             ::serde::Serialize::to_value(&self.{name}))); }}"
+                        ),
+                    }
                 })
                 .collect();
-            format!("::serde::Value::Object(::std::vec![{pushes}])")
+            format!(
+                "let mut __pairs: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}\n::serde::Value::Object(__pairs)"
+            )
         }
         Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Body::Tuple(n) => {
@@ -99,7 +128,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` via the shim's `from_value` data model.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     let (impl_generics, ty_generics, where_clause) = generics_for(&parsed, "Deserialize");
@@ -109,10 +138,21 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                         v.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,"
-                    )
+                    let fname = &f.name;
+                    if f.default {
+                        format!(
+                            "{fname}: match v.get(\"{fname}\") {{\n\
+                                 ::std::option::Option::Some(val) if !val.is_null() => \
+                                     ::serde::Deserialize::from_value(val)?,\n\
+                                 _ => ::std::default::Default::default(),\n\
+                             }},"
+                        )
+                    } else {
+                        format!(
+                            "{fname}: ::serde::Deserialize::from_value(\
+                             v.get(\"{fname}\").unwrap_or(&::serde::Value::Null))?,"
+                        )
+                    }
                 })
                 .collect();
             format!("::std::result::Result::Ok({name} {{ {inits} }})")
@@ -297,11 +337,33 @@ fn parse(input: TokenStream) -> Input {
     }
 }
 
+/// Returns `true` if the attribute group (the `[...]` after a `#`) is a
+/// `#[serde(...)]` attribute.
+fn is_serde_attr(group: &proc_macro::Group) -> bool {
+    matches!(
+        group.stream().into_iter().next(),
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+    )
+}
+
 /// Advances past `#[...]` attributes and a `pub` / `pub(...)` visibility.
+///
+/// Only named-struct *fields* interpret `#[serde(...)]` (see
+/// [`take_field_attrs`]); everywhere this skipper runs — containers, enum
+/// variants, tuple fields — a serde attribute would be ignored, so its
+/// presence must fail the build loudly instead of silently misbehaving.
 fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if is_serde_attr(g) {
+                        panic!(
+                            "derive shim: #[serde(...)] is only supported on named \
+                             struct fields, not here"
+                        );
+                    }
+                }
                 *i += 2; // `#` plus the bracketed group
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -367,13 +429,87 @@ fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> (Vec<String>, Vec<Stri
     (type_params, lifetimes)
 }
 
-/// Extracts field names from the brace group of a named-field struct.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Parses the payload of one `#[serde(...)]` attribute into `field`,
+/// panicking on anything this shim does not implement.
+fn apply_serde_attr(stream: TokenStream, field: &mut Field) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                field.default = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => i += 1,
+                    other => {
+                        panic!("derive shim: skip_serializing_if needs `= \"path\"`, got {other:?}")
+                    }
+                }
+                let literal = match tokens.get(i) {
+                    Some(TokenTree::Literal(l)) => l.to_string(),
+                    other => panic!(
+                        "derive shim: skip_serializing_if needs a string path, got {other:?}"
+                    ),
+                };
+                field.skip_serializing_if = Some(literal.trim_matches('"').to_string());
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!(
+                "derive shim: unsupported #[serde(...)] attribute content `{other}` \
+                 (only `default` and `skip_serializing_if = \"path\"` are implemented)"
+            ),
+        }
+    }
+}
+
+/// Advances past a field's attributes and visibility, recording any
+/// `#[serde(...)]` attribute contents into `field`.
+fn take_field_attrs(tokens: &[TokenTree], i: &mut usize, field: &mut Field) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                        (inner.first(), inner.get(1))
+                    {
+                        if id.to_string() == "serde" {
+                            apply_serde_attr(args.stream(), field);
+                        }
+                    }
+                }
+                *i += 2; // `#` plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts fields (names plus serde attributes) from the brace group of a
+/// named-field struct.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let mut parsed = Field {
+            name: String::new(),
+            default: false,
+            skip_serializing_if: None,
+        };
+        take_field_attrs(&tokens, &mut i, &mut parsed);
         if i >= tokens.len() {
             break;
         }
@@ -386,7 +522,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
             other => panic!("derive shim: expected `:` after `{field}`, got {other}"),
         }
-        fields.push(field);
+        parsed.name = field;
+        fields.push(parsed);
         // Skip the type up to the next top-level comma.
         let mut angle_depth = 0usize;
         while i < tokens.len() {
@@ -417,6 +554,16 @@ fn count_tuple_fields(stream: TokenStream) -> usize {
     let mut angle_depth = 0usize;
     let mut trailing_comma = false;
     for (idx, t) in tokens.iter().enumerate() {
+        // A serde attribute on a tuple field would be ignored (only named
+        // fields parse them): fail loudly instead.
+        if let TokenTree::Group(g) = t {
+            if g.delimiter() == Delimiter::Bracket && is_serde_attr(g) {
+                panic!(
+                    "derive shim: #[serde(...)] is only supported on named \
+                     struct fields, not tuple fields"
+                );
+            }
+        }
         match t {
             TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
             TokenTree::Punct(p) if p.as_char() == '>' => {
