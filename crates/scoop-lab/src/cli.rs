@@ -6,6 +6,7 @@
 //! scoop-lab report [--results=DIR] [--out=FILE]
 //! scoop-lab diff   [--results=DIR]
 //! scoop-lab check  [--tolerance NAME] [--bless] [--baseline=FILE]
+//! scoop-lab calibrate [--smoke] [--trials=N] [--seed=N] [--out=FILE]
 //! scoop-lab trace  [policy] [source] [nodes]
 //! ```
 //!
@@ -19,10 +20,10 @@
 
 use crate::artifact::ArtifactStore;
 use crate::baselines::{paper_baseline, TolerancePreset};
+use crate::calibrate::{run_calibration, save_calibration, CalibrationOptions};
 use crate::check::{run_check, DEFAULT_BASELINE_PATH};
 use crate::diff::diff_rows;
 use crate::history::HistoryRecord;
-use crate::render::render_experiments_md;
 use crate::rows::RowSet;
 use crate::suite::{run_suite, ExperimentId, PointSet, Scale, SuiteOptions};
 use scoop_sim::MessageBreakdown;
@@ -35,19 +36,22 @@ pub const DEFAULT_RESULTS_DIR: &str = "results";
 /// Default path of the regenerated report.
 pub const DEFAULT_EXPERIMENTS_MD: &str = "EXPERIMENTS.md";
 
-const USAGE: &str = "usage: scoop-lab <run|report|diff|check|history|trace> [options]
+const USAGE: &str = "usage: scoop-lab <run|report|diff|check|calibrate|history|trace> [options]
   run    [--quick] [--trials=N] [--seed=N] [--results=DIR] [--history=FILE] [--json]
          [--set key=value]... [--show-spec] [experiment...]
   report [--results=DIR] [--out=FILE]
   diff   [--results=DIR]
   check  [--tolerance NAME] [--bless] [--baseline=FILE]   (NAME: strict|default|loose)
+  calibrate [--smoke] [--trials=N] [--seed=N] [--out=FILE] [--results=DIR]
   history [--file=FILE] [--max-regression=FRAC] [--gate]
   trace  [scoop|local|base|hash] [real|unique|equal|random|gaussian] [nodes]
 experiments: fig3-left fig3-middle fig3-right fig4 fig5 ablations sample-interval
              reliability link-calibration root-skew scaling scaling-256 (default: all)
 `--set` (repeatable) overrides one spec axis, e.g. --set topology=grid --set nodes=96
 --set link.loss_floor=0.05; an unknown key lists the valid axes. `--show-spec`
-prints the resolved base spec as JSON and exits without running.";
+prints the resolved base spec as JSON and exits without running. `calibrate`
+grid-searches the LinkSpec loss knobs against the paper's reliability targets
+and writes results/calibration.json (`--smoke`: tiny grid at quick scale).";
 
 /// Splits `--flag=value` / `--flag value` / bare `--flag` options out of
 /// `args`, rejecting anything not in the subcommand's allowlists (a typo'd
@@ -138,6 +142,7 @@ fn dispatch(args: &[String]) -> Result<i32, String> {
         "report" => cmd_report(rest),
         "diff" => cmd_diff(rest),
         "check" => cmd_check(rest),
+        "calibrate" => cmd_calibrate(rest),
         "history" => cmd_history(rest),
         "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
@@ -256,7 +261,16 @@ fn cmd_report(args: &[String]) -> Result<i32, String> {
     let artifacts = store
         .load_present(&ExperimentId::ALL)
         .map_err(|e| e.to_string())?;
-    let markdown = render_experiments_md(&artifacts).map_err(|e| e.to_string())?;
+    // The calibration artifact is optional (a store may predate it), but a
+    // present-and-unreadable one is an error, not a silently missing section.
+    let calibration_path = store.root().join(crate::calibrate::CALIBRATION_FILE);
+    let calibration = if calibration_path.exists() {
+        Some(crate::calibrate::load_calibration(&calibration_path).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    let markdown = crate::render::render_experiments_md_with(&artifacts, calibration.as_ref())
+        .map_err(|e| e.to_string())?;
     let out = lookup(&values, "out").unwrap_or(DEFAULT_EXPERIMENTS_MD);
     std::fs::write(out, markdown).map_err(|e| format!("{out}: {e}"))?;
     println!(
@@ -311,6 +325,53 @@ fn cmd_check(args: &[String]) -> Result<i32, String> {
         println!("blessed: wrote {}", baseline_path.display());
     }
     Ok(if outcome.failed() { 1 } else { 0 })
+}
+
+/// The link-model calibration grid search. Writes the schema-versioned
+/// calibration artifact (default `results/calibration.json`; `--out`
+/// overrides the full path, `--results` just the directory) and prints the
+/// scored grid plus whether the shipped `LinkSpec::default()` matches the
+/// measured argmin. `--smoke` runs the tiny grid at quick scale — the CI
+/// form that exercises the calibrate path per commit.
+fn cmd_calibrate(args: &[String]) -> Result<i32, String> {
+    let (positional, flags, values) =
+        parse(args, &["trials", "seed", "out", "results"], &["smoke"])?;
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let smoke = flags.iter().any(|f| f == "smoke");
+    let mut options = if smoke {
+        CalibrationOptions::smoke()
+    } else {
+        CalibrationOptions::paper_full()
+    };
+    if let Some(trials) = lookup(&values, "trials") {
+        options.trials = trials
+            .parse()
+            .ok()
+            .filter(|&t: &usize| t >= 1)
+            .ok_or_else(|| format!("bad --trials value `{trials}`"))?;
+    }
+    if let Some(seed) = lookup(&values, "seed") {
+        options.seed = seed
+            .parse()
+            .map_err(|_| format!("bad --seed value `{seed}`"))?;
+    }
+    let out = match lookup(&values, "out") {
+        Some(path) => PathBuf::from(path),
+        None => PathBuf::from(lookup(&values, "results").unwrap_or(DEFAULT_RESULTS_DIR))
+            .join(crate::calibrate::CALIBRATION_FILE),
+    };
+    let artifact = run_calibration(&options).map_err(|e| e.to_string())?;
+    print!("{}", artifact.render_text());
+    save_calibration(&out, &artifact).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} grid points in {:.2} s)",
+        out.display(),
+        artifact.rows.len(),
+        artifact.provenance.wall_clock_secs
+    );
+    Ok(0)
 }
 
 /// The perf-trajectory reader behind the CI throughput gate: prints the last

@@ -15,6 +15,11 @@
 //!   flattened metric view (including the figure-normalized ratios).
 //! * [`baselines`] — the paper's expected numbers with per-metric
 //!   tolerances, and regression baselines built from committed artifacts.
+//! * [`calibrate`] — the `scoop-lab calibrate` grid search over the
+//!   `LinkSpec` loss knobs: scores every point against the paper's
+//!   reliability prose numbers and Figure 3 cost ratio, persists
+//!   `results/calibration.json`, and backs the oracle test proving
+//!   `LinkSpec::default()` is the measured argmin.
 //! * [`diff`] — the engine classifying measured rows as `Match` / `Drift` /
 //!   `Missing` against a baseline.
 //! * [`render`] — regenerates `EXPERIMENTS.md` (measured-vs-paper tables
@@ -23,12 +28,14 @@
 //!   committed baseline file.
 //! * [`history`] — per-commit wall-clock records (`BENCH_history.jsonl`).
 //! * [`cli`] — the `scoop-lab` binary's `run | report | diff | check |
-//!   trace` subcommands (also driven by `examples/reproduce.rs`).
+//!   calibrate | history | trace` subcommands (also driven by
+//!   `examples/reproduce.rs`).
 
 #![warn(missing_docs)]
 
 pub mod artifact;
 pub mod baselines;
+pub mod calibrate;
 pub mod check;
 pub mod cli;
 pub mod diff;
@@ -39,6 +46,10 @@ pub mod suite;
 
 pub use artifact::{Artifact, ArtifactStore, Provenance, SCHEMA_VERSION};
 pub use baselines::{paper_baseline, paper_baselines, regression_baseline, TolerancePreset};
+pub use calibrate::{
+    load_calibration, run_calibration, save_calibration, CalibrationArtifact, CalibrationOptions,
+    CalibrationPoint, CalibrationRow, Objective, CALIBRATION_SCHEMA_VERSION,
+};
 pub use check::{run_check, CheckOutcome};
 pub use diff::{
     diff_rows, BaselineRow, BaselineSet, DiffReport, MetricCheck, RowStatus, Tolerance,

@@ -9,9 +9,10 @@
 
 use crate::artifact::Artifact;
 use crate::baselines::paper_baseline;
+use crate::calibrate::CalibrationArtifact;
 use crate::diff::{diff_rows, DiffReport, RowStatus};
 use crate::rows::MeasuredRow;
-use scoop_types::ScoopError;
+use scoop_types::{LinkSpec, ScoopError};
 
 /// Status badge used in the markdown tables.
 fn badge(status: Option<&RowStatus>) -> &'static str {
@@ -89,6 +90,68 @@ fn comparison_table(measured: &[MeasuredRow], report: &DiffReport) -> String {
         }
     }
     out
+}
+
+/// Renders the "Calibration" section from the committed calibration
+/// artifact: the scored grid, the winner, and whether the shipped
+/// `LinkSpec::default()` is the measured argmin.
+fn calibration_section(calibration: &CalibrationArtifact) -> String {
+    let mut out = String::new();
+    out.push_str("## Calibration\n\n");
+    out.push_str(&format!(
+        "`scoop-lab calibrate` grid-searched the `LinkSpec` knobs ({} points, \
+         {} scale, {} trial(s), SCOOP *and* BASE per point) against the paper \
+         targets: storage {:.0} %, query {:.0} %, destination accuracy \
+         {:.0} %, Figure 3 cost ratio {:.2}. The objective is the weighted L1 \
+         distance to those targets (weights {:.1}/{:.1}/{:.1}/{:.1}); the \
+         winning point ships as `LinkSpec::default()` and the committed \
+         `results/calibration.json` is enforced by the calibration-oracle \
+         test.\n\n",
+        calibration.rows.len(),
+        calibration.scale,
+        calibration.trials,
+        calibration.objective.targets.storage_success * 100.0,
+        calibration.objective.targets.query_success * 100.0,
+        calibration.objective.targets.destination_accuracy * 100.0,
+        calibration.objective.targets.cost_ratio,
+        calibration.objective.weights.storage_success,
+        calibration.objective.weights.query_success,
+        calibration.objective.weights.destination_accuracy,
+        calibration.objective.weights.cost_ratio,
+    ));
+    out.push_str("```text\n");
+    out.push_str(&calibration.render_text());
+    out.push_str("```\n\n");
+    let current = crate::calibrate::CalibrationPoint::from_spec(&LinkSpec::default());
+    if calibration.winner.same_knobs(&current) {
+        out.push_str(&format!(
+            "The shipped `LinkSpec::default()` ({}) **is** the grid argmin.\n\n",
+            current.label()
+        ));
+    } else {
+        out.push_str(&format!(
+            "**Warning:** the shipped `LinkSpec::default()` ({}) does **not** \
+             match this grid's argmin ({}) — rerun `scoop-lab calibrate` and \
+             re-baseline.\n\n",
+            current.label(),
+            calibration.winner.label()
+        ));
+    }
+    out
+}
+
+/// Renders the whole `EXPERIMENTS.md` from the given artifacts plus, when
+/// available, the committed calibration artifact (the "Calibration"
+/// section).
+pub fn render_experiments_md_with(
+    artifacts: &[Artifact],
+    calibration: Option<&CalibrationArtifact>,
+) -> Result<String, ScoopError> {
+    let mut out = render_experiments_md(artifacts)?;
+    if let Some(calibration) = calibration {
+        out.push_str(&calibration_section(calibration));
+    }
+    Ok(out)
 }
 
 /// Renders the whole `EXPERIMENTS.md` from the given artifacts (typically

@@ -1,12 +1,13 @@
-//! The cross-version byte-identity gate for the hot-path optimizations:
-//! running the quick-smoke suite through the optimized engine must reproduce
-//! the committed `baselines/smoke.json` **byte for byte** — not merely
-//! within the `scoop-lab check` tolerances, and without any `--bless`.
+//! The cross-version byte-identity gate: running the quick-smoke suite must
+//! reproduce the committed `baselines/smoke.json` **byte for byte** — not
+//! merely within the `scoop-lab check` tolerances, and without any
+//! `--bless`.
 //!
-//! The committed baseline predates the CSR neighbor table, the reusable
-//! command buffer, and the `Arc`-shared payloads, so byte equality here is
-//! the end-to-end proof that those optimizations preserved the engine's
-//! random stream and event ordering exactly.
+//! The committed baseline pins the *calibrated* link-model defaults (the
+//! link-calibration re-baseline was a deliberate `--bless`). The
+//! byte-identity proof for the pre-calibration engine lives on in
+//! `spec_equivalence.rs`, which replays the suite under the `link=legacy`
+//! preset against the preserved `baselines/smoke-legacy.json`.
 
 use scoop_lab::check::{baseline_file_content, run_smoke_suite};
 use std::path::PathBuf;

@@ -1,9 +1,15 @@
-//! Equivalence proof for the ScenarioSpec redesign: building an engine
-//! through `SimBuilder` from `ScenarioSpec::paper_defaults()` produces
-//! byte-identical artifacts to the pre-redesign construction path
-//! (`Topology::office_floor` + `LinkModel::from_topology` welded into the
-//! runner), which survives as explicit hand construction through
-//! `build_engine_with`.
+//! Equivalence proof for the ScenarioSpec redesign, kept alive across the
+//! link-model calibration: building an engine through `SimBuilder` from a
+//! spec with the **legacy** link model produces byte-identical artifacts to
+//! the pre-redesign construction path (`Topology::office_floor` +
+//! `LinkModel::from_topology` welded into the runner), which survives as
+//! explicit hand construction through `build_engine_with` — and the whole
+//! quick-smoke suite under `link=legacy` reproduces the committed
+//! pre-calibration baseline (`baselines/smoke-legacy.json`) byte for byte.
+//!
+//! `LinkSpec::default()` is the *calibrated* model since the calibration
+//! re-baseline; `LinkSpec::legacy()` (and the `link=legacy` axis preset) is
+//! the addressable handle to the historical behavior these proofs pin.
 
 use scoop_lab::artifact::{Artifact, Provenance};
 use scoop_lab::rows::RowSet;
@@ -43,8 +49,9 @@ fn artifact_for(result: &RunResult) -> Artifact {
 }
 
 #[test]
-fn paper_defaults_spec_path_is_byte_identical_to_legacy_construction() {
-    let spec = ScenarioSpec::paper_defaults();
+fn legacy_link_spec_path_is_byte_identical_to_legacy_construction() {
+    let mut spec = ScenarioSpec::paper_defaults();
+    spec.link = scoop_types::LinkSpec::legacy();
     let legacy = legacy_run(&spec);
     let through_spec = run_experiment(&spec).unwrap();
 
@@ -67,6 +74,7 @@ fn paper_defaults_spec_path_is_byte_identical_to_legacy_construction() {
 fn small_test_spec_path_is_byte_identical_across_policies() {
     for policy in scoop_types::StoragePolicy::ALL {
         let mut spec = ScenarioSpec::small_test();
+        spec.link = scoop_types::LinkSpec::legacy();
         spec.policy.kind = policy;
         spec.workload.data_source = scoop_types::DataSourceKind::Gaussian;
         let legacy = legacy_run(&spec);
@@ -77,6 +85,47 @@ fn small_test_spec_path_is_byte_identical_across_policies() {
             "{policy}: spec path drifted from legacy construction"
         );
     }
+}
+
+/// The calibration re-baseline flipped `LinkSpec::default()`, so the
+/// committed `baselines/smoke.json` now pins the *calibrated* behavior. This
+/// test keeps the pre-calibration byte-identity proofs alive: the quick-smoke
+/// suite run under the `link=legacy` axis preset must reproduce the
+/// pre-calibration baseline (`baselines/smoke-legacy.json`, the verbatim
+/// smoke.json from before the flip) byte for byte — same config hash, same
+/// rows, same serialization — once the parts that *name* the run differently
+/// (the overrides list, the masked provenance) are normalized away.
+#[test]
+fn legacy_link_preset_reproduces_the_pre_calibration_smoke_baseline() {
+    use scoop_lab::artifact::Provenance;
+    use scoop_lab::check::baseline_file_content;
+    use scoop_lab::suite::run_suite;
+
+    let mut options = SuiteOptions::quick_smoke();
+    options.overrides.push(("link".into(), "legacy".into()));
+    let mut artifacts = run_suite(&options, |_| ()).expect("legacy smoke suite runs");
+    for artifact in &mut artifacts {
+        artifact.provenance = Provenance::masked();
+        // The committed pre-calibration baseline was a no-override run; the
+        // `link=legacy` preset resolves to the *same* base config (the same
+        // config_hash proves it), so only the recorded override list differs.
+        artifact.overrides.clear();
+    }
+    let fresh = baseline_file_content(&artifacts).expect("serializes");
+    let committed_path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baselines/smoke-legacy.json");
+    let committed =
+        std::fs::read_to_string(committed_path).expect("committed smoke-legacy.json exists");
+    assert!(
+        fresh == committed,
+        "the legacy link preset no longer reproduces the pre-calibration smoke \
+         baseline byte for byte (first divergence at byte {})",
+        fresh
+            .bytes()
+            .zip(committed.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| fresh.len().min(committed.len()))
+    );
 }
 
 #[test]

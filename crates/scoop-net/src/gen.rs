@@ -118,7 +118,7 @@ mod tests {
         assert_eq!(topo_gen.radio_range(), topo_direct.radio_range());
 
         let links_gen = StdLinkGen
-            .generate(&LinkSpec::paper_defaults(), &topo_gen, 7)
+            .generate(&LinkSpec::legacy(), &topo_gen, 7)
             .unwrap();
         let links_direct = LinkModel::from_topology(&topo_direct, 7);
         for a in topo_direct.nodes() {

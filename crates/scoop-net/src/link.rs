@@ -78,9 +78,12 @@ impl LinkModelParams {
 
 impl Default for LinkModelParams {
     fn default() -> Self {
-        // Calibrated so connected pairs land in the paper's 25–90 % loss band
-        // (delivery 0.78 at distance 0, 0.10 at the range edge).
-        Self::from_spec(&LinkSpec::paper_defaults())
+        // The *legacy* knobs, deliberately: `LinkModel::from_topology` (and
+        // these params) replay the historical hardcoded model, which is what
+        // the pre-calibration byte-identity proofs compare against. The
+        // shipped calibrated model arrives through the `LinkSpec` path
+        // (`LinkModel::from_spec` with `LinkSpec::default()`).
+        Self::from_spec(&LinkSpec::legacy())
     }
 }
 

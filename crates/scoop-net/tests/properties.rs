@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use scoop_net::{LinkModel, Neighbor, StdTopologyGen, Topology, TopologyGen};
-use scoop_types::{NodeId, TopologyKind, TopologySpec};
+use scoop_types::{LinkSpec, NodeId, ScoopError, TopologyKind, TopologySpec};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -122,6 +122,132 @@ proptest! {
         }
     }
 
+    /// Reliability is monotone in the loss floor: with everything else held
+    /// fixed (topology, seed — hence the exact same per-pair noise draws —
+    /// edge delivery, exponent, noise level), lowering `loss_floor` toward 0
+    /// never lowers any directed link's delivery probability, for every
+    /// topology kind. This is the soundness property the calibration
+    /// subsystem leans on when it reads the grid: gentler floors cannot
+    /// secretly hurt delivery.
+    #[test]
+    fn delivery_is_monotone_as_loss_floor_falls(
+        kind_index in 0usize..TopologyKind::ALL.len(),
+        nodes in 4usize..48,
+        seed in 0u64..200,
+        floor_harsh in 0.05f64..0.8,
+        floor_scale in 0.0f64..1.0,
+    ) {
+        let spec = TopologySpec {
+            kind: TopologyKind::ALL[kind_index],
+            ..TopologySpec::office_floor()
+        };
+        let topo = StdTopologyGen.generate(&spec, nodes, seed).expect("within limits");
+        let defaults = LinkSpec::default();
+        let harsh_spec = LinkSpec {
+            loss_floor: floor_harsh,
+            edge_delivery: defaults.edge_delivery.min(1.0 - floor_harsh),
+            ..defaults
+        };
+        let gentle_spec = LinkSpec {
+            loss_floor: floor_harsh * floor_scale,
+            ..harsh_spec
+        };
+        let harsh = LinkModel::from_spec(&harsh_spec, &topo, seed).expect("valid spec");
+        let gentle = LinkModel::from_spec(&gentle_spec, &topo, seed).expect("valid spec");
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                prop_assert!(
+                    gentle.link(a, b).delivery_prob >= harsh.link(a, b).delivery_prob,
+                    "lowering loss_floor {floor_harsh} -> {} reduced delivery {a}->{b}",
+                    gentle_spec.loss_floor
+                );
+            }
+        }
+        prop_assert!(gentle.mean_loss() <= harsh.mean_loss());
+    }
+
+    /// Reliability is monotone in the edge delivery: raising `edge_delivery`
+    /// toward 1 (capped by `1 - loss_floor`) never lowers any directed
+    /// link's delivery probability, for every topology kind.
+    #[test]
+    fn delivery_is_monotone_as_edge_delivery_rises(
+        kind_index in 0usize..TopologyKind::ALL.len(),
+        nodes in 4usize..48,
+        seed in 0u64..200,
+        floor in 0.0f64..0.5,
+        edge_low in 0.01f64..0.4,
+        edge_lift in 0.0f64..1.0,
+    ) {
+        let spec = TopologySpec {
+            kind: TopologyKind::ALL[kind_index],
+            ..TopologySpec::office_floor()
+        };
+        let topo = StdTopologyGen.generate(&spec, nodes, seed).expect("within limits");
+        let low_spec = LinkSpec {
+            loss_floor: floor,
+            edge_delivery: edge_low.min(1.0 - floor),
+            ..LinkSpec::default()
+        };
+        let high_spec = LinkSpec {
+            edge_delivery: low_spec.edge_delivery
+                + edge_lift * (1.0 - floor - low_spec.edge_delivery),
+            ..low_spec
+        };
+        let low = LinkModel::from_spec(&low_spec, &topo, seed).expect("valid spec");
+        let high = LinkModel::from_spec(&high_spec, &topo, seed).expect("valid spec");
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                prop_assert!(
+                    high.link(a, b).delivery_prob >= low.link(a, b).delivery_prob,
+                    "raising edge_delivery {} -> {} reduced delivery {a}->{b}",
+                    low_spec.edge_delivery, high_spec.edge_delivery
+                );
+            }
+        }
+        prop_assert!(high.mean_loss() <= low.mean_loss());
+    }
+
+    /// Adversarially *extreme but valid* LinkSpec values — floors at the top
+    /// of the range, edge deliveries near the cap, exponents up to the
+    /// maximum, huge asymmetry noise — always yield a CSR neighbor table
+    /// whose pre-clamped probabilities land in [0, 1], for every topology
+    /// kind. The engine samples these without a per-draw clamp, so an
+    /// out-of-range entry here would corrupt the loss model silently.
+    #[test]
+    fn csr_probabilities_stay_in_unit_range_for_extreme_specs(
+        kind_index in 0usize..TopologyKind::ALL.len(),
+        nodes in 2usize..40,
+        seed in 0u64..200,
+        floor in 0.0f64..0.89,
+        exponent in 0.05f64..64.0,
+        noise in 0.0f64..10.0,
+    ) {
+        let spec = TopologySpec {
+            kind: TopologyKind::ALL[kind_index],
+            ..TopologySpec::office_floor()
+        };
+        let topo = StdTopologyGen.generate(&spec, nodes, seed).expect("within limits");
+        let link_spec = LinkSpec {
+            loss_floor: floor,
+            edge_delivery: (1.0 - floor).min(0.99),
+            distance_exponent: exponent,
+            asymmetry_noise: noise,
+            ..LinkSpec::default()
+        };
+        link_spec.validate().expect("spec is in the valid range");
+        let links = LinkModel::from_spec(&link_spec, &topo, seed).expect("valid spec");
+        for a in topo.nodes() {
+            for nb in links.neighbors(a) {
+                prop_assert!(
+                    (0.0..=1.0).contains(&nb.delivery_prob) && nb.delivery_prob > 0.0,
+                    "CSR entry {a}->{} carries probability {}",
+                    nb.node, nb.delivery_prob
+                );
+                prop_assert!(nb.delivery_prob.is_finite());
+            }
+        }
+    }
+
     /// The spec-driven generator — the path `SimBuilder` builds every
     /// experiment through — yields a connected topology for *every* placement
     /// family at any supported node count and seed: the basestation (node 0)
@@ -148,4 +274,48 @@ proptest! {
             );
         }
     }
+}
+
+/// Adversarial *invalid* LinkSpec values — NaN, negative, infinite, or
+/// absurdly large knobs — are rejected by `LinkModel::from_spec` with a
+/// typed `ScoopError::InvalidConfig`, never a panic and never a silently
+/// NaN-ridden link table.
+#[test]
+fn adversarial_link_specs_get_typed_errors_not_panics() {
+    let topo = Topology::grid(4, 10.0).expect("grid");
+    let poisons: &[fn(&mut LinkSpec)] = &[
+        |l| l.loss_floor = f64::NAN,
+        |l| l.loss_floor = -0.2,
+        |l| l.loss_floor = 1.0,
+        |l| l.loss_floor = f64::INFINITY,
+        |l| l.edge_delivery = f64::NAN,
+        |l| l.edge_delivery = 0.0,
+        |l| l.edge_delivery = -1.0,
+        |l| l.edge_delivery = 2.0,
+        |l| l.distance_exponent = f64::NAN,
+        |l| l.distance_exponent = 0.0,
+        |l| l.distance_exponent = -3.0,
+        |l| l.distance_exponent = f64::INFINITY,
+        |l| l.distance_exponent = 1e9,
+        |l| l.asymmetry_noise = f64::NAN,
+        |l| l.asymmetry_noise = -0.5,
+        |l| l.asymmetry_noise = f64::INFINITY,
+    ];
+    for (i, poison) in poisons.iter().enumerate() {
+        let mut spec = LinkSpec::default();
+        poison(&mut spec);
+        match LinkModel::from_spec(&spec, &topo, 1) {
+            Err(ScoopError::InvalidConfig(_)) => {}
+            other => panic!(
+                "poisoned spec #{i} ({spec:?}) must yield InvalidConfig, got {:?}",
+                other.map(|m| m.len())
+            ),
+        }
+    }
+    // The boundary itself stays accepted.
+    let spec = LinkSpec {
+        distance_exponent: LinkSpec::MAX_DISTANCE_EXPONENT,
+        ..LinkSpec::default()
+    };
+    assert!(LinkModel::from_spec(&spec, &topo, 1).is_ok());
 }

@@ -1,12 +1,14 @@
 //! The link-calibration ablation: how the reliability numbers respond to the
 //! [`LinkSpec`](scoop_types::LinkSpec) loss knobs.
 //!
-//! The reproduction's documented reliability drift (storage/query success
-//! ~56 %/~38 % vs the paper's ~93 %/~78 %) points at a too-aggressive loss
-//! model. This experiment sweeps the now-configurable knobs — the loss floor
-//! of the best links and the distance-decay exponent — and reports the
-//! reliability and cost at each point, turning the drift from a prose note
-//! into a measured surface that future calibration PRs can steer by.
+//! This sweep was the first measured attack on the reproduction's
+//! reliability drift (storage/query success ~56 %/~38 % under the legacy
+//! loss model vs the paper's ~93 %/~78 %); the full decision now lives in
+//! `scoop-lab calibrate`, which grid-searches all four knobs against an
+//! explicit objective and ships the winner as `LinkSpec::default()`. This
+//! experiment remains in the suite as the quick two-knob response surface
+//! (loss floor × decay exponent, the other knobs at the base spec's values)
+//! recorded in EXPERIMENTS.md next to the figures.
 
 use crate::sweep::{ScenarioSuite, SweepRunner};
 use scoop_types::{ExperimentConfig, ScoopError, StoragePolicy};
@@ -17,7 +19,8 @@ use serde::{Deserialize, Serialize};
 pub struct LinkCalibrationRow {
     /// Loss probability of the best (zero-distance) links.
     pub loss_floor: f64,
-    /// Distance-decay exponent (`1.0` is the calibrated linear decay).
+    /// Distance-decay exponent (`1.0` is the legacy linear decay, `2.0` the
+    /// calibrated quadratic one).
     pub distance_exponent: f64,
     /// Fraction of sampled readings stored somewhere.
     pub storage_success: f64,
@@ -28,8 +31,8 @@ pub struct LinkCalibrationRow {
     pub total_messages: u64,
 }
 
-/// The default sweep grid: the calibrated floor plus two gentler ones, each
-/// at linear and quadratic decay.
+/// The default sweep grid: the legacy floor (0.22), the calibrated floor
+/// (0.10), and a gentler one, each at linear and quadratic decay.
 pub fn default_grid() -> Vec<(f64, f64)> {
     let floors = [0.22, 0.10, 0.05];
     let exponents = [1.0, 2.0];
@@ -109,7 +112,11 @@ mod tests {
         assert_eq!(grid.len(), 6);
         assert!(
             grid.contains(&(0.22, 1.0)),
-            "the calibrated point anchors the sweep"
+            "the legacy point anchors the sweep"
+        );
+        assert!(
+            grid.contains(&(0.10, 2.0)),
+            "the calibrated floor/exponent pair is swept"
         );
         assert!(smoke_grid().len() < grid.len());
     }

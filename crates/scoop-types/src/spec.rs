@@ -233,8 +233,12 @@ pub struct LinkSpec {
 }
 
 impl LinkSpec {
-    /// The paper-calibrated distance-decay model (the pre-redesign behavior).
-    pub fn paper_defaults() -> Self {
+    /// The original hardcoded distance-decay model (the pre-calibration
+    /// default): linear decay from 78 % delivery at distance 0 to 10 % at
+    /// the range edge. Kept addressable — as this constructor and as the
+    /// `link=legacy` axis preset — so the byte-identity proofs of the
+    /// pre-calibration engine survive the default flip.
+    pub fn legacy() -> Self {
         LinkSpec {
             family: LinkFamily::DistanceDecay,
             loss_floor: 0.22,
@@ -242,6 +246,29 @@ impl LinkSpec {
             distance_exponent: 1.0,
             asymmetry_noise: 0.06,
         }
+    }
+
+    /// The calibrated distance-decay model: the argmin of the committed
+    /// `results/calibration.json` grid search against the paper's
+    /// reliability prose numbers and Figure 3 cost ratio (see
+    /// `scoop-lab calibrate`). Quadratic decay keeps near links good while
+    /// still reaching the paper's loss band toward the range edge; at paper
+    /// scale this point measures ~86 % storage / ~78 % query success with a
+    /// SCOOP/BASE cost ratio of ~0.75 — all three inside the paper
+    /// tolerances.
+    pub fn calibrated() -> Self {
+        LinkSpec {
+            family: LinkFamily::DistanceDecay,
+            loss_floor: 0.10,
+            edge_delivery: 0.20,
+            distance_exponent: 2.0,
+            asymmetry_noise: 0.06,
+        }
+    }
+
+    /// The defaults used to reproduce the paper — the calibrated model.
+    pub fn paper_defaults() -> Self {
+        Self::calibrated()
     }
 
     /// A loss-free model.
@@ -257,7 +284,20 @@ impl LinkSpec {
         1.0 - self.loss_floor
     }
 
+    /// Largest accepted `distance_exponent`. Beyond this the decay curve is
+    /// numerically a step function (every link is either pristine or at the
+    /// edge floor), which no physical radio model needs — and enormous
+    /// exponents are almost always a typo'd calibration value.
+    pub const MAX_DISTANCE_EXPONENT: f64 = 64.0;
+
     /// Validates the calibration knobs.
+    ///
+    /// Every comparison is written so that a `NaN` knob *fails* it (a `NaN`
+    /// compares false against everything, so the checks assert the valid
+    /// range rather than testing for the invalid one), and the exponent is
+    /// additionally capped at [`Self::MAX_DISTANCE_EXPONENT`] and required
+    /// finite. Adversarial specs get a typed [`ScoopError::InvalidConfig`],
+    /// never a panic or a silently-NaN link table.
     pub fn validate(&self) -> Result<(), ScoopError> {
         if !(0.0..1.0).contains(&self.loss_floor) {
             return Err(ScoopError::InvalidConfig(
@@ -269,19 +309,23 @@ impl LinkSpec {
                 "link.edge_delivery must be in (0, 1]".into(),
             ));
         }
+        // `loss_floor` and `edge_delivery` are already known finite here, so
+        // a plain comparison is NaN-safe.
         if self.edge_delivery > self.max_delivery() {
             return Err(ScoopError::InvalidConfig(
                 "link.edge_delivery must not exceed 1 - link.loss_floor".into(),
             ));
         }
-        if self.distance_exponent <= 0.0 {
-            return Err(ScoopError::InvalidConfig(
-                "link.distance_exponent must be > 0".into(),
-            ));
+        if !(self.distance_exponent > 0.0 && self.distance_exponent <= Self::MAX_DISTANCE_EXPONENT)
+        {
+            return Err(ScoopError::InvalidConfig(format!(
+                "link.distance_exponent must be in (0, {}]",
+                Self::MAX_DISTANCE_EXPONENT
+            )));
         }
-        if self.asymmetry_noise < 0.0 {
+        if !(self.asymmetry_noise >= 0.0 && self.asymmetry_noise.is_finite()) {
             return Err(ScoopError::InvalidConfig(
-                "link.asymmetry_noise must be >= 0".into(),
+                "link.asymmetry_noise must be finite and >= 0".into(),
             ));
         }
         Ok(())
@@ -644,7 +688,8 @@ pub const AXES: &[AxisDoc] = &[
     },
     AxisDoc {
         key: "link",
-        doc: "loss-model family: distance|perfect",
+        doc: "loss-model family or preset: distance|perfect|calibrated|legacy \
+              (presets also set the four knobs)",
     },
     AxisDoc {
         key: "link.loss_floor",
@@ -802,10 +847,20 @@ impl ScenarioSpec {
             "topology.range_factor" => {
                 self.topology.range_factor = parse_num(key, value, "a multiplier")?
             }
-            "link" => {
-                self.link.family = LinkFamily::from_name(value)
-                    .ok_or_else(|| bad_value(key, value, "distance|perfect"))?
-            }
+            // `link` accepts either a bare family (keeps the current knobs)
+            // or a named preset that pins family *and* knobs: `calibrated`
+            // is the shipped default, `legacy` the pre-calibration model —
+            // the handle the byte-identity equivalence tests address the old
+            // behavior by.
+            "link" => match value {
+                "calibrated" => self.link = LinkSpec::calibrated(),
+                "legacy" => self.link = LinkSpec::legacy(),
+                family => {
+                    self.link.family = LinkFamily::from_name(family).ok_or_else(|| {
+                        bad_value(key, value, "distance|perfect|calibrated|legacy")
+                    })?
+                }
+            },
             "link.loss_floor" => self.link.loss_floor = parse_num(key, value, "a probability")?,
             "link.edge_delivery" => {
                 self.link.edge_delivery = parse_num(key, value, "a probability")?
@@ -877,7 +932,8 @@ mod tests {
         assert_eq!(spec.policy.scoop.remap_interval.as_secs(), 240);
         assert_eq!(spec.topology.kind, TopologyKind::OfficeFloor);
         assert_eq!(spec.link.family, LinkFamily::DistanceDecay);
-        assert!((spec.link.max_delivery() - 0.78).abs() < 1e-12);
+        assert_eq!(spec.link, LinkSpec::calibrated());
+        assert!((spec.link.max_delivery() - 0.90).abs() < 1e-12);
         assert!(spec.faults.is_empty());
         assert_eq!(spec.workload.data_source, DataSourceKind::Real);
         assert_eq!(spec.policy.kind, StoragePolicy::Scoop);
@@ -1050,6 +1106,65 @@ mod tests {
         assert_eq!(spec.faults.windows[1].nodes, vec![3, 7]);
         spec.set_axis("fault.clear", "1").unwrap();
         assert!(spec.faults.is_empty());
+    }
+
+    #[test]
+    fn link_presets_pin_family_and_knobs() {
+        // The shipped default *is* the calibrated point.
+        assert_eq!(LinkSpec::default(), LinkSpec::calibrated());
+        assert_eq!(LinkSpec::paper_defaults(), LinkSpec::calibrated());
+        // The legacy preset is the exact pre-calibration model.
+        let legacy = LinkSpec::legacy();
+        assert_eq!(legacy.family, LinkFamily::DistanceDecay);
+        assert!((legacy.loss_floor - 0.22).abs() < 1e-12);
+        assert!((legacy.edge_delivery - 0.10).abs() < 1e-12);
+        assert!((legacy.distance_exponent - 1.0).abs() < 1e-12);
+        assert!((legacy.asymmetry_noise - 0.06).abs() < 1e-12);
+        legacy.validate().unwrap();
+        LinkSpec::calibrated().validate().unwrap();
+
+        // Axis presets set the whole link spec; bare families keep the knobs.
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.set_axis("link", "legacy").unwrap();
+        assert_eq!(spec.link, LinkSpec::legacy());
+        spec.set_axis("link", "calibrated").unwrap();
+        assert_eq!(spec.link, LinkSpec::calibrated());
+        spec.set_axis("link.loss_floor", "0.4").unwrap();
+        spec.set_axis("link", "perfect").unwrap();
+        assert_eq!(spec.link.family, LinkFamily::Perfect);
+        assert!((spec.link.loss_floor - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_adversarial_link_knobs() {
+        let adversarial: &[fn(&mut LinkSpec)] = &[
+            |l| l.loss_floor = f64::NAN,
+            |l| l.loss_floor = -0.1,
+            |l| l.loss_floor = f64::INFINITY,
+            |l| l.edge_delivery = f64::NAN,
+            |l| l.edge_delivery = 0.0,
+            |l| l.edge_delivery = 1.5,
+            |l| l.distance_exponent = f64::NAN,
+            |l| l.distance_exponent = -2.0,
+            |l| l.distance_exponent = 0.0,
+            |l| l.distance_exponent = f64::INFINITY,
+            |l| l.distance_exponent = LinkSpec::MAX_DISTANCE_EXPONENT * 2.0,
+            |l| l.asymmetry_noise = f64::NAN,
+            |l| l.asymmetry_noise = -0.01,
+            |l| l.asymmetry_noise = f64::INFINITY,
+        ];
+        for (i, poison) in adversarial.iter().enumerate() {
+            let mut link = LinkSpec::calibrated();
+            poison(&mut link);
+            assert!(
+                matches!(link.validate(), Err(ScoopError::InvalidConfig(_))),
+                "adversarial knob #{i} must be rejected with a typed error: {link:?}"
+            );
+        }
+        // The cap itself is still accepted.
+        let mut link = LinkSpec::calibrated();
+        link.distance_exponent = LinkSpec::MAX_DISTANCE_EXPONENT;
+        link.validate().unwrap();
     }
 
     #[test]
