@@ -68,6 +68,13 @@ impl<'a> CostModel<'a> {
         let n = stats.total_nodes();
         // Clone the store once to drive its lazy cache; cheaper than
         // recomputing Dijkstra per query and keeps the public API immutable.
+        //
+        // This dense all-pairs table is the one deliberately remaining n²
+        // structure in the workspace: it exists only while the basestation
+        // runs a Scoop remap (never under Base/Local/Hash policies, which is
+        // what the 32k scaling scenarios use), and the remap's own main loop
+        // is O(V · n²) anyway. Making the *remap* sub-quadratic is part of
+        // the remaining 100k+-node work noted in the ROADMAP.
         let mut warm = stats.clone();
         let mut xmits = vec![vec![0.0; n]; n];
         for (a, row) in xmits.iter_mut().enumerate() {

@@ -35,9 +35,15 @@ pub struct StatsStore {
     history: Vec<SummaryMessage>,
     /// Routing-tree parent learned from packet headers.
     parent_of: Vec<Option<NodeId>>,
-    /// Directed link quality knowledge: `quality[a][b]` is the best known
-    /// delivery probability for a transmission from `a` heard by `b`.
-    quality: Vec<Vec<f64>>,
+    /// Undirected link-quality knowledge as a sparse adjacency: `adj[a]`
+    /// holds `(b, q)` pairs sorted by ascending `b`, where `q` is the best
+    /// delivery probability reported for the pair in *either* direction.
+    /// Only the two-direction maximum is ever consumed (the xmits graph is
+    /// made undirected by taking the better direction), so max-merging at
+    /// ingest loses nothing — and the store is O(known links) instead of the
+    /// dense `n × n` matrix, which was 8.6 GB at 32k nodes and was allocated
+    /// on the basestation under every storage policy.
+    adj: Vec<Vec<(u32, f64)>>,
     /// Per-value count of observed queries covering that value.
     query_value_counts: Vec<u64>,
     /// Total queries observed.
@@ -45,9 +51,11 @@ pub struct StatsStore {
     /// When the first / last query was observed.
     first_query: Option<SimTime>,
     last_query: Option<SimTime>,
-    /// Cached all-pairs xmits estimates, invalidated when topology knowledge
-    /// changes.
-    xmits_cache: Option<Vec<Vec<f64>>>,
+    /// Cached per-source xmits rows, computed lazily on first use of each
+    /// source (`None` = invalidated by new topology knowledge). The dense
+    /// era ran Dijkstra from *every* source eagerly; most callers only ever
+    /// ask about a handful of sources (the basestation, query owners).
+    xmits_cache: Option<std::collections::HashMap<usize, Vec<f64>>>,
 }
 
 impl StatsStore {
@@ -60,7 +68,7 @@ impl StatsStore {
             latest: vec![None; total_nodes],
             history: Vec::new(),
             parent_of: vec![None; total_nodes],
-            quality: vec![vec![0.0; total_nodes]; total_nodes],
+            adj: vec![Vec::new(); total_nodes],
             query_value_counts: vec![0; domain.width() as usize],
             query_count: 0,
             first_query: None,
@@ -90,14 +98,13 @@ impl StatsStore {
             return;
         }
         // Topology: the reporter hears each listed neighbor with the given
-        // quality, i.e. a directed link neighbor → reporter.
+        // quality, i.e. a directed link neighbor → reporter. Stored
+        // undirected (max over both directions) — the only consumer of this
+        // knowledge, the xmits graph, takes exactly that maximum.
         for nb in &summary.neighbors {
             if nb.node.index() < self.n {
                 let q = nb.quality.clamp(0.0, 1.0);
-                let slot = &mut self.quality[nb.node.index()][idx];
-                if q > *slot {
-                    *slot = q;
-                }
+                self.merge_link_quality(nb.node.index(), idx, q);
             }
         }
         if let Some(parent) = summary.parent {
@@ -120,10 +127,25 @@ impl StatsStore {
         }
         // A tree edge implies a usable link in both directions; assume a
         // conservative quality if we have nothing better from summaries.
-        for (a, b) in [(origin, parent), (parent, origin)] {
-            let slot = &mut self.quality[a.index()][b.index()];
-            if *slot < 0.5 {
-                *slot = 0.5;
+        self.merge_link_quality(origin.index(), parent.index(), 0.5);
+    }
+
+    /// Raises the undirected link quality of the pair `{a, b}` to at least
+    /// `q`, keeping both adjacency rows sorted by ascending neighbor id.
+    /// Zero-quality reports are not links and are never stored.
+    fn merge_link_quality(&mut self, a: usize, b: usize, q: f64) {
+        if a == b || q <= 0.0 {
+            return;
+        }
+        for (x, y) in [(a, b), (b, a)] {
+            let row = &mut self.adj[x];
+            match row.binary_search_by_key(&(y as u32), |&(id, _)| id) {
+                Ok(i) => {
+                    if q > row[i].1 {
+                        row[i].1 = q;
+                    }
+                }
+                Err(i) => row.insert(i, (y as u32, q)),
             }
         }
     }
@@ -281,8 +303,8 @@ impl StatsStore {
         if a.index() >= self.n || b.index() >= self.n {
             return UNKNOWN_PATH_XMITS;
         }
-        self.ensure_xmits_cache();
-        self.xmits_cache.as_ref().expect("cache just built")[a.index()][b.index()]
+        let dst = b.index();
+        self.xmits_row(a.index())[dst]
     }
 
     /// Round-trip estimate `xmits(base → o → base)` from Figure 2.
@@ -290,39 +312,31 @@ impl StatsStore {
         2.0 * self.xmits(NodeId::BASESTATION, o)
     }
 
-    fn ensure_xmits_cache(&mut self) {
-        if self.xmits_cache.is_some() {
-            return;
-        }
-        // Undirected ETX graph: weight = 1 / max(quality in either direction).
-        let n = self.n;
-        let mut weight = vec![vec![f64::INFINITY; n]; n];
-        for (a, row) in weight.iter_mut().enumerate() {
-            for (b, w) in row.iter_mut().enumerate() {
-                if a == b {
-                    continue;
-                }
-                let q = self.quality[a][b].max(self.quality[b][a]);
-                if q > 0.0 {
-                    *w = 1.0 / q;
-                }
-            }
-        }
-        // Dijkstra from every source.
-        let mut all = vec![vec![UNKNOWN_PATH_XMITS; n]; n];
-        for (src, row) in all.iter_mut().enumerate() {
-            let dist = dijkstra(&weight, src);
-            for (dst, d) in dist.into_iter().enumerate() {
-                row[dst] = if d.is_finite() { d } else { UNKNOWN_PATH_XMITS };
-            }
-        }
-        self.xmits_cache = Some(all);
+    /// The cached xmits row for one source, running Dijkstra on first use.
+    ///
+    /// Per-source lazy caching replaces the dense era's eager all-pairs
+    /// `Vec<Vec<f64>>` (another n² table): each row is the *identical*
+    /// Dijkstra the dense code ran — the sparse adjacency stores neighbors
+    /// in ascending id order with the same `1 / max(quality)` weights, so
+    /// relaxations happen in the same order with the same float operands and
+    /// every distance is bit-identical.
+    fn xmits_row(&mut self, src: usize) -> &[f64] {
+        let cache = self
+            .xmits_cache
+            .get_or_insert_with(std::collections::HashMap::new);
+        cache.entry(src).or_insert_with(|| {
+            dijkstra(&self.adj, src)
+                .into_iter()
+                .map(|d| if d.is_finite() { d } else { UNKNOWN_PATH_XMITS })
+                .collect()
+        })
     }
 }
 
-/// Simple binary-heap Dijkstra over a dense weight matrix.
-fn dijkstra(weight: &[Vec<f64>], src: usize) -> Vec<f64> {
-    let n = weight.len();
+/// Simple binary-heap Dijkstra over the sparse undirected ETX adjacency
+/// (`weight = 1 / quality`, neighbors ascending).
+fn dijkstra(adj: &[Vec<(u32, f64)>], src: usize) -> Vec<f64> {
+    let n = adj.len();
     let mut dist = vec![f64::INFINITY; n];
     dist[src] = 0.0;
     // BinaryHeap is a max-heap over ordered keys; store negated distances as
@@ -334,12 +348,9 @@ fn dijkstra(weight: &[Vec<f64>], src: usize) -> Vec<f64> {
         if d > dist[u] + 1e-9 {
             continue;
         }
-        for v in 0..n {
-            let w = weight[u][v];
-            if !w.is_finite() {
-                continue;
-            }
-            let nd = dist[u] + w;
+        for &(v, q) in &adj[u] {
+            let v = v as usize;
+            let nd = dist[u] + 1.0 / q;
             if nd + 1e-12 < dist[v] {
                 dist[v] = nd;
                 heap.push((-(nd * 1e6) as i64, v));
@@ -468,6 +479,98 @@ mod tests {
         assert_eq!(st.newest_complete_index(NodeId(2)), StorageIndexId(5));
         assert_eq!(st.max_from_summaries(), Some(80));
         assert_eq!(st.min_from_summaries(), Some(10));
+    }
+
+    /// The dense-era pipeline, reimplemented verbatim as an oracle: a
+    /// directed n×n quality matrix, an undirected ETX weight matrix, and a
+    /// dense-scan Dijkstra. The sparse store must reproduce its distances
+    /// bit-for-bit (same relaxation order, same float operands).
+    fn dense_oracle_xmits(events: &[(u16, u16, f64)], n: usize) -> Vec<Vec<f64>> {
+        let mut quality = vec![vec![0.0f64; n]; n];
+        for &(a, b, q) in events {
+            let slot = &mut quality[a as usize][b as usize];
+            if q > *slot {
+                *slot = q;
+            }
+        }
+        let mut weight = vec![vec![f64::INFINITY; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let q = quality[a][b].max(quality[b][a]);
+                if q > 0.0 {
+                    weight[a][b] = 1.0 / q;
+                }
+            }
+        }
+        (0..n)
+            .map(|src| {
+                let mut dist = vec![f64::INFINITY; n];
+                dist[src] = 0.0;
+                let mut heap: BinaryHeap<(i64, usize)> = BinaryHeap::new();
+                heap.push((0, src));
+                while let Some((neg_d, u)) = heap.pop() {
+                    let d = -(neg_d as f64) / 1e6;
+                    if d > dist[u] + 1e-9 {
+                        continue;
+                    }
+                    for v in 0..n {
+                        if !weight[u][v].is_finite() {
+                            continue;
+                        }
+                        let nd = dist[u] + weight[u][v];
+                        if nd + 1e-12 < dist[v] {
+                            dist[v] = nd;
+                            heap.push((-(nd * 1e6) as i64, v));
+                        }
+                    }
+                }
+                dist.into_iter()
+                    .map(|d| if d.is_finite() { d } else { UNKNOWN_PATH_XMITS })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparse_xmits_is_bit_identical_to_the_dense_oracle() {
+        // A pseudo-random batch of directed quality reports over 30 nodes,
+        // including repeated pairs (max-merge) and asymmetric directions.
+        let n = 30usize;
+        let mut state = 0xdead_beef_u64;
+        let mut events = Vec::new();
+        for _ in 0..400 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = ((state >> 33) % n as u64) as u16;
+            let b = ((state >> 13) % n as u64) as u16;
+            if a == b {
+                continue;
+            }
+            let q = ((state >> 3) % 1000) as f64 / 1000.0;
+            events.push((a, b, q));
+        }
+        let mut st = StatsStore::new(n, domain());
+        for &(a, b, q) in &events {
+            // Feed each report through the public ingest path: a summary
+            // from `b` listing `a` as heard with quality `q` writes the
+            // directed slot `a → b`, exactly like the oracle.
+            st.record_summary(summary(b, &[5], &[(a, q)], None));
+        }
+        let oracle = dense_oracle_xmits(&events, n);
+        for (a, oracle_row) in oracle.iter().enumerate() {
+            for (b, &dense) in oracle_row.iter().enumerate() {
+                let want = if a == b { 0.0 } else { dense };
+                let got = st.xmits(NodeId(a as u16), NodeId(b as u16));
+                assert!(
+                    got == want,
+                    "xmits({a} → {b}): sparse {got} != dense {want}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct Provenance {
     /// the `engine_hot_path` bench and `BENCH_history.jsonl` track.
     #[serde(default, skip_serializing_if = "is_zero_f64")]
     pub events_per_sec: f64,
+    /// Peak resident set size of the process in bytes when the experiment
+    /// finished (Linux `VmHWM`, a monotone high-water mark — so this bounds
+    /// the experiment's own footprint from above). `0` means unrecorded:
+    /// masked provenance, a pre-memory artifact, or a platform without
+    /// procfs.
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub peak_rss_bytes: u64,
 }
 
 /// `skip_serializing_if` predicate: unrecorded event counts stay off disk.
@@ -72,6 +79,7 @@ impl Provenance {
             } else {
                 0.0
             },
+            peak_rss_bytes: peak_rss_bytes(),
         }
     }
 
@@ -84,8 +92,26 @@ impl Provenance {
             threads: 0,
             events_processed: 0,
             events_per_sec: 0.0,
+            peak_rss_bytes: 0,
         }
     }
+}
+
+/// Peak resident set size of this process in bytes: the `VmHWM` line of
+/// `/proc/self/status`, scaled from kB. Returns 0 where procfs is absent
+/// (non-Linux), which serializes as "unrecorded".
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
 }
 
 /// One persisted experiment run.
@@ -359,6 +385,25 @@ mod tests {
     }
 
     #[test]
+    fn peak_rss_is_captured_and_masked() {
+        // On Linux procfs is always there and a running test has touched
+        // memory, so the high-water mark must be positive and plausible.
+        let peak = peak_rss_bytes();
+        assert!(peak > 0, "VmHWM should be readable on Linux");
+        assert!(peak < 1 << 42, "VmHWM parse produced garbage: {peak}");
+        let captured = Provenance::capture(0.5, 1_000);
+        assert!(
+            captured.peak_rss_bytes >= 1024,
+            "{}",
+            captured.peak_rss_bytes
+        );
+        assert_eq!(Provenance::masked().peak_rss_bytes, 0);
+        // Masked JSON omits the field entirely (the committed-baseline form).
+        let json = serde_json::to_string(&Provenance::masked()).unwrap();
+        assert!(!json.contains("peak_rss_bytes"), "{json}");
+    }
+
+    #[test]
     fn config_hash_is_stable_and_sensitive() {
         let a = Scale::Quick.base_config();
         let mut b = a.clone();
@@ -378,6 +423,7 @@ mod tests {
             threads: 8,
             events_processed: 123_456,
             events_per_sec: 1_247.0,
+            peak_rss_bytes: 512 * 1024 * 1024,
         };
         assert_eq!(
             artifact.deterministic_json().unwrap(),

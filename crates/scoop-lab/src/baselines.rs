@@ -193,12 +193,15 @@ pub fn paper_baseline(id: ExperimentId) -> Option<BaselineSet> {
         ),
         // No quantitative figure to compare against: the sample-interval /
         // root-skew / scaling studies are prose-only in the paper, and the
-        // link-calibration + 256-node scenarios go beyond it by design.
+        // link-calibration + large-scale grid scenarios go beyond it by
+        // design.
         ExperimentId::SampleInterval
         | ExperimentId::RootSkew
         | ExperimentId::Scaling
         | ExperimentId::LinkCalibration
-        | ExperimentId::Scaling256 => return None,
+        | ExperimentId::Scaling256
+        | ExperimentId::Scaling4096
+        | ExperimentId::Scaling32768 => return None,
     };
     Some(BaselineSet {
         experiment: id.slug().to_string(),

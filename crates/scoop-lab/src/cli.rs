@@ -46,7 +46,8 @@ const USAGE: &str = "usage: scoop-lab <run|report|diff|check|calibrate|history|t
   history [--file=FILE] [--max-regression=FRAC] [--gate]
   trace  [scoop|local|base|hash] [real|unique|equal|random|gaussian] [nodes]
 experiments: fig3-left fig3-middle fig3-right fig4 fig5 ablations sample-interval
-             reliability link-calibration root-skew scaling scaling-256 (default: all)
+             reliability link-calibration root-skew scaling scaling-256
+             scaling-4096 scaling-32768 (default: all)
 `--set` (repeatable) overrides one spec axis, e.g. --set topology=grid --set nodes=96
 --set link.loss_floor=0.05; an unknown key lists the valid axes. `--show-spec`
 prints the resolved base spec as JSON and exits without running. `calibrate`

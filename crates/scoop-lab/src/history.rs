@@ -32,6 +32,11 @@ pub struct ExperimentTiming {
     /// Events per wall-clock second (0 in pre-throughput records).
     #[serde(default)]
     pub events_per_sec: f64,
+    /// Process peak RSS in bytes when the experiment finished (0 in
+    /// pre-memory records). A monotone high-water mark: within one run it
+    /// only grows across experiments.
+    #[serde(default)]
+    pub peak_rss_bytes: u64,
 }
 
 /// One appended line of `BENCH_history.jsonl`.
@@ -50,6 +55,10 @@ pub struct HistoryRecord {
     /// Sum of per-experiment dispatched events (0 in pre-throughput records).
     #[serde(default)]
     pub total_events_processed: u64,
+    /// Peak RSS in bytes over the whole run — the maximum of the
+    /// per-experiment high-water marks (0 in pre-memory records).
+    #[serde(default)]
+    pub peak_rss_bytes: u64,
     /// Per-experiment timings, in suite order.
     pub experiments: Vec<ExperimentTiming>,
 }
@@ -66,6 +75,7 @@ impl HistoryRecord {
                 wall_clock_secs: a.provenance.wall_clock_secs,
                 events_processed: a.provenance.events_processed,
                 events_per_sec: a.provenance.events_per_sec,
+                peak_rss_bytes: a.provenance.peak_rss_bytes,
             })
             .collect();
         Some(HistoryRecord {
@@ -75,6 +85,11 @@ impl HistoryRecord {
             threads: first.provenance.threads,
             total_wall_clock_secs: experiments.iter().map(|e| e.wall_clock_secs).sum(),
             total_events_processed: experiments.iter().map(|e| e.events_processed).sum(),
+            peak_rss_bytes: experiments
+                .iter()
+                .map(|e| e.peak_rss_bytes)
+                .max()
+                .unwrap_or(0),
             experiments,
         })
     }
@@ -171,7 +186,7 @@ impl HistoryDelta {
         let latest = &self.latest;
         out.push_str(&format!(
             "latest record: rev `{}` scale={} trials={} — {:.2} s total, \
-             {} events ({:.0} events/s)\n",
+             {} events ({:.0} events/s)",
             latest.git_rev,
             latest.scale,
             latest.trials,
@@ -179,6 +194,13 @@ impl HistoryDelta {
             latest.total_events_processed,
             latest.events_per_sec(),
         ));
+        if latest.peak_rss_bytes > 0 {
+            out.push_str(&format!(
+                ", peak RSS {:.1} MiB",
+                latest.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+            ));
+        }
+        out.push('\n');
         for e in &latest.experiments {
             out.push_str(&format!(
                 "  {:<18} {:>7.2} s  {:>10} events  {:>10.0} events/s\n",
@@ -251,6 +273,7 @@ mod tests {
             threads: 1,
             total_wall_clock_secs: wall,
             total_events_processed: (wall * 1_000_000.0) as u64,
+            peak_rss_bytes: 64 * 1024 * 1024,
             experiments: (0..experiments)
                 .map(|i| ExperimentTiming {
                     experiment: format!("exp-{i}"),
@@ -258,6 +281,7 @@ mod tests {
                     wall_clock_secs: wall / experiments as f64,
                     events_processed: 1000,
                     events_per_sec: 1000.0,
+                    peak_rss_bytes: 64 * 1024 * 1024,
                 })
                 .collect(),
         }
@@ -301,8 +325,28 @@ mod tests {
             .replace('\n', "");
         let back: HistoryRecord = serde_json::from_str(&line).unwrap();
         assert_eq!(back.total_events_processed, 0);
+        assert_eq!(back.peak_rss_bytes, 0);
         assert_eq!(back.experiments[0].events_processed, 0);
         assert_eq!(back.experiments[0].events_per_sec, 0.0);
+        assert_eq!(back.experiments[0].peak_rss_bytes, 0);
+    }
+
+    #[test]
+    fn record_carries_the_run_peak_and_renders_it() {
+        let mut options = SuiteOptions::quick_smoke();
+        options.experiments.truncate(1);
+        let artifacts = run_suite(&options, |_| ()).unwrap();
+        let record = HistoryRecord::from_artifacts(&artifacts).unwrap();
+        assert_eq!(
+            record.peak_rss_bytes, artifacts[0].provenance.peak_rss_bytes,
+            "run peak is the max over per-experiment high-water marks"
+        );
+        assert!(record.peak_rss_bytes > 0, "VmHWM is readable on Linux");
+        let delta = HistoryDelta {
+            latest: record,
+            previous: None,
+        };
+        assert!(delta.render_text(0.25).contains("peak RSS"));
     }
 
     #[test]

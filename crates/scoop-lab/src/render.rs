@@ -336,6 +336,7 @@ mod tests {
             threads: 2,
             events_processed: 3_000_000,
             events_per_sec: 2_000_000.0,
+            peak_rss_bytes: 256 * 1024 * 1024,
         };
         let md = render_experiments_md(&artifacts).unwrap();
         assert!(md.contains("abc123def456"));

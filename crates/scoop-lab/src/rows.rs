@@ -90,7 +90,7 @@ impl RowSet {
             RowSet::SampleInterval(rows) => report::sample_interval_table(rows),
             RowSet::Reliability(rows) => report::reliability_table(rows),
             RowSet::RootSkew(rows) => report::root_skew_table(rows),
-            RowSet::Scaling(rows) => report::scaling_table(rows),
+            RowSet::Scaling(rows) => report::scaling_table(title, rows),
             RowSet::LinkCalibration(rows) => report::link_calibration_table(rows),
         }
     }

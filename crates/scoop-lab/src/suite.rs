@@ -76,11 +76,16 @@ pub enum ExperimentId {
     LinkCalibration,
     /// The 256-node grid scaling scenario (exercises the raised MAX_NODES).
     Scaling256,
+    /// The 4096-node grid stress scenario under the HASH policy.
+    Scaling4096,
+    /// The 32k-node grid stress scenario: 32,767 sensors plus the
+    /// basestation fill the raised `MAX_NODES` cap exactly.
+    Scaling32768,
 }
 
 impl ExperimentId {
     /// Every experiment, in the order `run`/`report` process them.
-    pub const ALL: [ExperimentId; 12] = [
+    pub const ALL: [ExperimentId; 14] = [
         ExperimentId::Fig3Left,
         ExperimentId::Fig3Middle,
         ExperimentId::Fig3Right,
@@ -93,6 +98,8 @@ impl ExperimentId {
         ExperimentId::RootSkew,
         ExperimentId::Scaling,
         ExperimentId::Scaling256,
+        ExperimentId::Scaling4096,
+        ExperimentId::Scaling32768,
     ];
 
     /// Stable slug used for CLI selection and artifact file names.
@@ -110,6 +117,8 @@ impl ExperimentId {
             ExperimentId::Scaling => "scaling",
             ExperimentId::LinkCalibration => "link-calibration",
             ExperimentId::Scaling256 => "scaling-256",
+            ExperimentId::Scaling4096 => "scaling-4096",
+            ExperimentId::Scaling32768 => "scaling-32768",
         }
     }
 
@@ -128,6 +137,8 @@ impl ExperimentId {
             ExperimentId::Scaling => "Scaling study",
             ExperimentId::LinkCalibration => "Link calibration (LinkSpec loss knobs)",
             ExperimentId::Scaling256 => "Scaling to 256 nodes (grid topology)",
+            ExperimentId::Scaling4096 => "Scaling to 4096 nodes (grid, HASH policy)",
+            ExperimentId::Scaling32768 => "Scaling to 32k nodes (grid, HASH policy)",
         }
     }
 
@@ -321,6 +332,46 @@ pub fn run_experiment(
             };
             let sources = [DataSourceKind::Gaussian];
             experiments::scaling(&grid_base, &sizes, &sources, trials).map(RowSet::Scaling)
+        }
+        ExperimentId::Scaling4096 | ExperimentId::Scaling32768 => {
+            // The engine-scalability stress points. HASH keeps these runs
+            // feasible: its storage index is static (no summaries, no remap,
+            // no dense cost table at the basestation), so memory and event
+            // volume grow with the network, not with its square. Durations
+            // are trimmed so the event count stays proportional to node
+            // count — the interesting figures are peak RSS and events/s in
+            // the provenance block, not the message totals.
+            let mut grid_base = base.clone();
+            grid_base.topology = scoop_types::TopologySpec {
+                kind: scoop_types::TopologyKind::Grid,
+                ..grid_base.topology
+            };
+            let sizes: Vec<usize> = match (id, points) {
+                (ExperimentId::Scaling4096, PointSet::Smoke) => vec![512],
+                // 512 — the pre-PR-6 MAX_NODES cap — rides along so the
+                // committed artifact spans old ceiling → new stress point.
+                (ExperimentId::Scaling4096, PointSet::Full) => vec![512, 1024, 4096],
+                (_, PointSet::Smoke) => vec![2048],
+                // 32,767 sensors + the basestation = 32,768 nodes, the
+                // raised MAX_NODES cap exactly.
+                (_, PointSet::Full) => vec![32_767],
+            };
+            if id == ExperimentId::Scaling32768 {
+                grid_base.warmup = scoop_types::SimDuration::from_secs(90);
+                grid_base.duration = scoop_types::SimDuration::from_secs(210);
+            } else {
+                grid_base.warmup = scoop_types::SimDuration::from_secs(120);
+                grid_base.duration = scoop_types::SimDuration::from_secs(360);
+            }
+            let sources = [DataSourceKind::Gaussian];
+            experiments::scaling_with_policy(
+                &grid_base,
+                &sizes,
+                &sources,
+                StoragePolicy::Hash,
+                trials,
+            )
+            .map(RowSet::Scaling)
         }
     }
 }

@@ -73,6 +73,12 @@ pub struct EngineConfig {
     /// If `true`, nodes overhear unicast packets addressed to other nodes
     /// (needed for the paper's snooping-based link estimation).
     pub enable_snooping: bool,
+    /// Number of region shards for the event queue: nodes are partitioned
+    /// into this many contiguous id ranges, each with its own heap, merged
+    /// deterministically on pop. Any value produces byte-identical results
+    /// (see the [`event`](crate::event) module docs); values above the node
+    /// count are clamped. Default 1 — the classic single global queue.
+    pub num_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +88,7 @@ impl Default for EngineConfig {
             max_unicast_retries: 3,
             tx_slot: SimDuration::from_millis(30),
             enable_snooping: true,
+            num_shards: 1,
         }
     }
 }
@@ -218,15 +225,23 @@ impl<L: NodeLogic> Engine<L> {
             ));
         }
         let n = topology.len();
+        let num_shards = config.num_shards.clamp(1, n);
+        let nodes_per_shard = n.div_ceil(num_shards);
+        // Pre-size each shard by expected in-flight event density, not a
+        // blanket multiple of the node count: steady state carries a few
+        // pending events per node (timers plus arrivals in flight), so a
+        // handful of slots per region node covers warm-up for typical runs
+        // while the heap still grows on demand for denser workloads —
+        // capacity is recycled across `run_until` calls and plateaus either
+        // way (asserted by the zero-allocation gate). The cap keeps a
+        // 32k-node single-shard engine from reserving a ~524k-slot heap up
+        // front like the old `16 * n` rule did.
+        let cap_per_shard = (4 * nodes_per_shard + 64).min(16_384);
         Ok(Engine {
             topology,
             links,
             nodes,
-            // Pre-size the queue so steady-state dispatch never grows it:
-            // pending events scale with node count (timers, in-flight
-            // arrivals), and BinaryHeap capacity is recycled across
-            // `run_until` calls — it never shrinks.
-            queue: EventQueue::with_capacity(16 * n + 64),
+            queue: EventQueue::sharded(num_shards, nodes_per_shard, cap_per_shard),
             now: SimTime::ZERO,
             stats: NetworkStats::new(n),
             seqnos: vec![SeqNo::default(); n],
@@ -281,11 +296,17 @@ impl<L: NodeLogic> Engine<L> {
         self.events_processed
     }
 
-    /// Current allocated capacity of the event queue (diagnostics). Once the
-    /// simulation reaches steady state this must stop growing: the queue's
-    /// backing storage is recycled across `run_until` calls.
+    /// Current allocated capacity of the event queue (diagnostics) — summed
+    /// over all region shards. Once the simulation reaches steady state this
+    /// must stop growing: each shard's backing storage is recycled across
+    /// `run_until` calls.
     pub fn queue_capacity(&self) -> usize {
         self.queue.capacity()
+    }
+
+    /// Number of region shards the event queue runs with (diagnostics).
+    pub fn queue_shards(&self) -> usize {
+        self.queue.num_shards()
     }
 
     /// Current allocated capacity of the reusable command buffer

@@ -97,20 +97,20 @@ pub struct Neighbor {
     pub delivery_prob: f64,
 }
 
-/// Delivery probabilities for every directed pair of nodes.
+/// Delivery probabilities for the usable directed links of a deployment.
 ///
-/// Alongside the dense matrix (the source of truth for [`LinkModel::link`]
-/// and serialization), the model maintains a CSR-style neighbor table built
-/// once at construction: per transmitter, the usable outgoing links in
-/// ascending destination order. The engine's transmit loop iterates that
-/// table instead of scanning a dense row and allocating a listener `Vec` per
-/// attempt — same order, same probabilities, zero allocation.
+/// The model stores only usable links (delivery probability > 0) in a
+/// CSR-style neighbor table: per transmitter, the outgoing links in ascending
+/// destination order. That table is the *single* source of truth — there is
+/// no dense matrix. A dense `n × n` f64 matrix was 8.6 GB at 32,768 nodes;
+/// the CSR table is O(usable links), a few MB for geometric topologies whose
+/// per-node degree is bounded by radio range. [`LinkModel::link`] lookups
+/// binary-search the transmitter's row; the engine's transmit loop iterates
+/// the row slice directly — same listeners, same ascending order, same
+/// pre-clamped probabilities as the historical dense-row scan.
 #[derive(Clone, Debug)]
 pub struct LinkModel {
     n: usize,
-    /// Row-major `n × n` matrix of delivery probabilities. Entry `(i, j)` is
-    /// the probability that a packet transmitted by `i` is received by `j`.
-    delivery: Vec<f64>,
     params: LinkModelParams,
     /// CSR row offsets into `nbr_entries`; `nbr_offsets[i]..nbr_offsets[i+1]`
     /// is transmitter `i`'s slice. Length `n + 1`.
@@ -127,20 +127,22 @@ impl LinkModel {
     }
 
     /// Derives a link model from a topology with explicit parameters.
+    ///
+    /// The CSR table is built directly from the topology's neighbor lists.
+    /// Those lists are exactly the in-range destinations in ascending order —
+    /// the same pairs, in the same order, the historical dense `n × n` loop
+    /// visited — so the two noise draws per directed in-range pair consume
+    /// the seeded RNG stream identically and every probability is
+    /// bit-identical to the dense-matrix era.
     pub fn with_params(topo: &Topology, seed: u64, params: LinkModelParams) -> Self {
         let n = topo.len();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x11d4_11d4);
-        let mut delivery = vec![0.0; n * n];
+        let mut nbr_offsets = Vec::with_capacity(n + 1);
+        let mut nbr_entries = Vec::new();
+        nbr_offsets.push(0u32);
         for i in 0..n {
             let a = NodeId(i as u16);
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                let b = NodeId(j as u16);
-                if !topo.in_range(a, b) {
-                    continue;
-                }
+            for &b in topo.neighbors(a) {
                 let d = topo.distance(a, b).unwrap_or(f64::INFINITY);
                 let frac = (d / topo.radio_range()).clamp(0.0, 1.0);
                 // Decay from max_delivery at distance 0 to min_delivery at the
@@ -159,11 +161,22 @@ impl LinkModel {
                 let noise: f64 = (rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0)) / 2.0
                     * params.asymmetry_noise
                     * 2.0;
-                delivery[i * n + j] =
-                    (base + noise).clamp(params.min_delivery * 0.5, params.max_delivery);
+                let p = (base + noise).clamp(params.min_delivery * 0.5, params.max_delivery);
+                if p > 0.0 {
+                    nbr_entries.push(Neighbor {
+                        node: b,
+                        delivery_prob: p.clamp(0.0, 1.0),
+                    });
+                }
             }
+            nbr_offsets.push(nbr_entries.len() as u32);
         }
-        LinkModel::from_parts(n, delivery, params)
+        LinkModel {
+            n,
+            params,
+            nbr_offsets,
+            nbr_entries,
+        }
     }
 
     /// A loss-free link model over a topology: every in-range directed link
@@ -171,60 +184,56 @@ impl LinkModel {
     /// logic from loss.
     pub fn perfect(topo: &Topology) -> Self {
         let n = topo.len();
-        let mut delivery = vec![0.0; n * n];
+        let mut nbr_offsets = Vec::with_capacity(n + 1);
+        let mut nbr_entries = Vec::new();
+        nbr_offsets.push(0u32);
         for i in 0..n {
-            for j in 0..n {
-                if i != j && topo.in_range(NodeId(i as u16), NodeId(j as u16)) {
-                    delivery[i * n + j] = 1.0;
-                }
+            for &b in topo.neighbors(NodeId(i as u16)) {
+                nbr_entries.push(Neighbor {
+                    node: b,
+                    delivery_prob: 1.0,
+                });
             }
+            nbr_offsets.push(nbr_entries.len() as u32);
         }
-        LinkModel::from_parts(
+        LinkModel {
             n,
-            delivery,
-            LinkModelParams {
+            params: LinkModelParams {
                 max_delivery: 1.0,
                 min_delivery: 1.0,
                 asymmetry_noise: 0.0,
                 distance_exponent: 1.0,
             },
-        )
+            nbr_offsets,
+            nbr_entries,
+        }
     }
 
-    /// Assembles a model from its dense matrix, building the CSR neighbor
-    /// table. Every constructor (and deserialization) funnels through here so
-    /// the table can never be stale.
-    fn from_parts(n: usize, delivery: Vec<f64>, params: LinkModelParams) -> Self {
+    /// Assembles a model from a dense row-major `n × n` delivery matrix —
+    /// the v1 wire schema. Usable entries (`p > 0`, off-diagonal) become CSR
+    /// entries in the same ascending-destination order the dense scan used.
+    fn from_dense(n: usize, delivery: Vec<f64>, params: LinkModelParams) -> Self {
         debug_assert_eq!(delivery.len(), n * n);
-        let mut model = LinkModel {
-            n,
-            delivery,
-            params,
-            nbr_offsets: Vec::new(),
-            nbr_entries: Vec::new(),
-        };
-        model.rebuild_neighbor_table();
-        model
-    }
-
-    /// (Re)derives the CSR neighbor table from the dense matrix.
-    fn rebuild_neighbor_table(&mut self) {
-        let n = self.n;
-        self.nbr_offsets.clear();
-        self.nbr_offsets.reserve(n + 1);
-        self.nbr_entries.clear();
-        self.nbr_offsets.push(0);
+        let mut nbr_offsets = Vec::with_capacity(n + 1);
+        let mut nbr_entries = Vec::new();
+        nbr_offsets.push(0u32);
         for i in 0..n {
             for j in 0..n {
-                let p = self.delivery[i * n + j];
+                let p = delivery[i * n + j];
                 if i != j && p > 0.0 {
-                    self.nbr_entries.push(Neighbor {
+                    nbr_entries.push(Neighbor {
                         node: NodeId(j as u16),
                         delivery_prob: p.clamp(0.0, 1.0),
                     });
                 }
             }
-            self.nbr_offsets.push(self.nbr_entries.len() as u32);
+            nbr_offsets.push(nbr_entries.len() as u32);
+        }
+        LinkModel {
+            n,
+            params,
+            nbr_offsets,
+            nbr_entries,
         }
     }
 
@@ -260,24 +269,72 @@ impl LinkModel {
         self.params
     }
 
+    /// The `nbr_entries` range holding transmitter `i`'s row.
+    #[inline]
+    fn row_bounds(&self, i: usize) -> (usize, usize) {
+        (
+            self.nbr_offsets[i] as usize,
+            self.nbr_offsets[i + 1] as usize,
+        )
+    }
+
+    /// Position of the `from → to` entry: `Ok(index into nbr_entries)` if the
+    /// link is stored, `Err(insertion index)` otherwise. Rows are sorted by
+    /// ascending destination, so this is a binary search of `from`'s slice.
+    fn entry_position(&self, from: usize, to: NodeId) -> Result<usize, usize> {
+        let (lo, hi) = self.row_bounds(from);
+        self.nbr_entries[lo..hi]
+            .binary_search_by(|e| e.node.cmp(&to))
+            .map(|p| lo + p)
+            .map_err(|p| lo + p)
+    }
+
     /// Quality of the directed link `from → to`.
     pub fn link(&self, from: NodeId, to: NodeId) -> LinkQuality {
         if from.index() >= self.n || to.index() >= self.n || from == to {
             return LinkQuality::DEAD;
         }
-        LinkQuality {
-            delivery_prob: self.delivery[from.index() * self.n + to.index()],
+        match self.entry_position(from.index(), to) {
+            Ok(i) => LinkQuality {
+                delivery_prob: self.nbr_entries[i].delivery_prob,
+            },
+            Err(_) => LinkQuality::DEAD,
         }
     }
 
     /// Overrides the delivery probability of one directed link (used by tests
-    /// and by failure-injection experiments).
+    /// and by failure-injection experiments). Setting a zero probability
+    /// removes the entry; setting a positive probability on a previously
+    /// unusable pair inserts one — even between nodes out of radio range,
+    /// exactly like writes into the old dense matrix.
     pub fn set_link(&mut self, from: NodeId, to: NodeId, delivery_prob: f64) {
-        if from.index() < self.n && to.index() < self.n && from != to {
-            self.delivery[from.index() * self.n + to.index()] = delivery_prob.clamp(0.0, 1.0);
-            // Overrides happen during scenario setup, never inside the event
-            // loop; a full rebuild keeps the table trivially consistent.
-            self.rebuild_neighbor_table();
+        if from.index() >= self.n || to.index() >= self.n || from == to {
+            return;
+        }
+        let p = delivery_prob.clamp(0.0, 1.0);
+        // Overrides happen during scenario setup, never inside the event
+        // loop; the O(links) offset shift on insert/remove is irrelevant.
+        match self.entry_position(from.index(), to) {
+            Ok(i) if p > 0.0 => self.nbr_entries[i].delivery_prob = p,
+            Ok(i) => {
+                self.nbr_entries.remove(i);
+                for off in &mut self.nbr_offsets[from.index() + 1..] {
+                    *off -= 1;
+                }
+            }
+            Err(i) if p > 0.0 => {
+                self.nbr_entries.insert(
+                    i,
+                    Neighbor {
+                        node: to,
+                        delivery_prob: p,
+                    },
+                );
+                for off in &mut self.nbr_offsets[from.index() + 1..] {
+                    *off += 1;
+                }
+            }
+            Err(_) => {}
         }
     }
 
@@ -304,22 +361,11 @@ impl LinkModel {
 
     /// Mean loss probability over all usable directed links.
     pub fn mean_loss(&self) -> f64 {
-        let mut total = 0.0;
-        let mut count = 0usize;
-        for i in 0..self.n {
-            for j in 0..self.n {
-                let p = self.delivery[i * self.n + j];
-                if i != j && p > 0.0 {
-                    total += 1.0 - p;
-                    count += 1;
-                }
-            }
+        if self.nbr_entries.is_empty() {
+            return 0.0;
         }
-        if count == 0 {
-            0.0
-        } else {
-            total / count as f64
-        }
+        let total: f64 = self.nbr_entries.iter().map(|e| 1.0 - e.delivery_prob).sum();
+        total / self.nbr_entries.len() as f64
     }
 
     /// Total number of usable directed links (size of the neighbor table).
@@ -329,16 +375,30 @@ impl LinkModel {
 
     /// Fraction of usable link pairs whose two directions differ by more than
     /// `threshold` in delivery probability — a measure of asymmetry.
+    ///
+    /// Enumerates unordered pairs `{i, j}` with at least one usable direction
+    /// by walking the CSR entries: each `i → j` entry with `j > i` covers the
+    /// pairs whose forward direction is usable; each `j → i` entry (`i < j`)
+    /// whose reverse is *not* stored covers the rest, so every pair is
+    /// counted exactly once.
     pub fn asymmetric_fraction(&self, threshold: f64) -> f64 {
         let mut asym = 0usize;
         let mut count = 0usize;
         for i in 0..self.n {
-            for j in (i + 1)..self.n {
-                let a = self.delivery[i * self.n + j];
-                let b = self.delivery[j * self.n + i];
-                if a > 0.0 || b > 0.0 {
+            let (lo, hi) = self.row_bounds(i);
+            for e in &self.nbr_entries[lo..hi] {
+                let j = e.node.index();
+                let reverse = self.link(e.node, NodeId(i as u16)).delivery_prob;
+                if j > i {
                     count += 1;
-                    if (a - b).abs() > threshold {
+                    if (e.delivery_prob - reverse).abs() > threshold {
+                        asym += 1;
+                    }
+                } else if reverse == 0.0 {
+                    // Only this (higher → lower) direction exists; the pair
+                    // was not seen when scanning row `j`.
+                    count += 1;
+                    if e.delivery_prob > threshold {
                         asym += 1;
                     }
                 }
@@ -352,18 +412,25 @@ impl LinkModel {
     }
 }
 
-// Hand-written (de)serialization: the wire schema is exactly the historical
-// derived one — `{n, delivery, params}` — because the CSR neighbor table is
-// derived state. Serializing it would bloat files with redundant data, and
-// deserializing it blindly could leave the table inconsistent with the
-// matrix; instead deserialization funnels through `from_parts`, which
-// rebuilds the table.
+// Hand-written (de)serialization. The v2 wire schema is sparse — `{n,
+// params, offsets, targets, probs}`, the CSR split into parallel arrays — so
+// file size scales with usable links, not n². Deserialization still accepts
+// the historical dense v1 schema `{n, delivery, params}` (detected by its
+// `delivery` key) and converts it through `from_dense`, so every committed
+// artifact and golden file written before the sparse rewrite keeps loading.
 impl Serialize for LinkModel {
     fn to_value(&self) -> serde::Value {
+        let targets: Vec<u16> = self.nbr_entries.iter().map(|e| e.node.0).collect();
+        let probs: Vec<f64> = self.nbr_entries.iter().map(|e| e.delivery_prob).collect();
         serde::Value::Object(vec![
             ("n".to_string(), Serialize::to_value(&self.n)),
-            ("delivery".to_string(), Serialize::to_value(&self.delivery)),
             ("params".to_string(), Serialize::to_value(&self.params)),
+            (
+                "offsets".to_string(),
+                Serialize::to_value(&self.nbr_offsets),
+            ),
+            ("targets".to_string(), Serialize::to_value(&targets)),
+            ("probs".to_string(), Serialize::to_value(&probs)),
         ])
     }
 }
@@ -372,15 +439,73 @@ impl Deserialize for LinkModel {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         let null = serde::Value::Null;
         let n: usize = Deserialize::from_value(v.get("n").unwrap_or(&null))?;
-        let delivery: Vec<f64> = Deserialize::from_value(v.get("delivery").unwrap_or(&null))?;
         let params: LinkModelParams = Deserialize::from_value(v.get("params").unwrap_or(&null))?;
-        if delivery.len() != n * n {
+        if let Some(dense) = v.get("delivery") {
+            // v1 compat: the dense row-major matrix.
+            let delivery: Vec<f64> = Deserialize::from_value(dense)?;
+            if delivery.len() != n * n {
+                return Err(serde::Error::custom(format!(
+                    "LinkModel: delivery matrix has {} entries for n = {n}",
+                    delivery.len()
+                )));
+            }
+            return Ok(LinkModel::from_dense(n, delivery, params));
+        }
+        let nbr_offsets: Vec<u32> = Deserialize::from_value(v.get("offsets").unwrap_or(&null))?;
+        let targets: Vec<u16> = Deserialize::from_value(v.get("targets").unwrap_or(&null))?;
+        let probs: Vec<f64> = Deserialize::from_value(v.get("probs").unwrap_or(&null))?;
+        if nbr_offsets.len() != n + 1 || nbr_offsets.first() != Some(&0) {
             return Err(serde::Error::custom(format!(
-                "LinkModel: delivery matrix has {} entries for n = {n}",
-                delivery.len()
+                "LinkModel: {} offsets for n = {n}",
+                nbr_offsets.len()
             )));
         }
-        Ok(LinkModel::from_parts(n, delivery, params))
+        if targets.len() != probs.len() || *nbr_offsets.last().unwrap() as usize != targets.len() {
+            return Err(serde::Error::custom(
+                "LinkModel: offsets/targets/probs disagree on link count".to_string(),
+            ));
+        }
+        let mut nbr_entries = Vec::with_capacity(targets.len());
+        for i in 0..n {
+            let lo = nbr_offsets[i] as usize;
+            let hi = nbr_offsets[i + 1] as usize;
+            if lo > hi || hi > targets.len() {
+                return Err(serde::Error::custom(format!(
+                    "LinkModel: row {i} offsets are not monotonic"
+                )));
+            }
+            let mut prev: Option<u16> = None;
+            for k in lo..hi {
+                let t = targets[k];
+                let p = probs[k];
+                if (t as usize) >= n || t as usize == i {
+                    return Err(serde::Error::custom(format!(
+                        "LinkModel: row {i} targets node {t} outside the model"
+                    )));
+                }
+                if prev.is_some_and(|pv| pv >= t) {
+                    return Err(serde::Error::custom(format!(
+                        "LinkModel: row {i} destinations are not ascending"
+                    )));
+                }
+                if !(p > 0.0 && p <= 1.0) {
+                    return Err(serde::Error::custom(format!(
+                        "LinkModel: row {i} stores unusable probability {p}"
+                    )));
+                }
+                prev = Some(t);
+                nbr_entries.push(Neighbor {
+                    node: NodeId(t),
+                    delivery_prob: p,
+                });
+            }
+        }
+        Ok(LinkModel {
+            n,
+            params,
+            nbr_offsets,
+            nbr_entries,
+        })
     }
 }
 
@@ -551,19 +676,80 @@ mod tests {
     fn serialization_round_trips_and_rebuilds_the_table() {
         let (_, links) = testbed();
         let json = serde_json::to_string(&links).unwrap();
-        // The wire schema stays the historical `{n, delivery, params}`: the
-        // derived CSR table must not leak into files.
+        // The v2 wire schema is the sparse CSR split into parallel arrays —
+        // no dense matrix anywhere in the file.
         assert!(json.starts_with("{\"n\":"));
-        assert!(!json.contains("nbr_"));
+        assert!(json.contains("\"offsets\":"));
+        assert!(!json.contains("\"delivery\":"));
         let back: LinkModel = serde_json::from_str(&json).unwrap();
         assert_eq!(back.len(), links.len());
         for a in 0..links.len() {
             let a = NodeId(a as u16);
             assert_eq!(back.neighbors(a), links.neighbors(a), "{a}");
         }
-        // A corrupt matrix length is rejected instead of building a bogus table.
+        // A corrupt node count is rejected instead of building a bogus table.
         let bad = json.replacen("\"n\":63", "\"n\":62", 1);
         assert!(serde_json::from_str::<LinkModel>(&bad).is_err());
+    }
+
+    #[test]
+    fn deserialization_accepts_the_dense_v1_schema() {
+        // Reconstruct what the pre-sparse code wrote — `{n, delivery,
+        // params}` with a dense row-major matrix — and check it loads into
+        // the same model the sparse schema describes.
+        let (_, links) = testbed();
+        let n = links.len();
+        let mut delivery = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                delivery[i * n + j] = links.link(NodeId(i as u16), NodeId(j as u16)).delivery_prob;
+            }
+        }
+        let v1 = serde::Value::Object(vec![
+            ("n".to_string(), serde::Serialize::to_value(&n)),
+            (
+                "delivery".to_string(),
+                serde::Serialize::to_value(&delivery),
+            ),
+            (
+                "params".to_string(),
+                serde::Serialize::to_value(&links.params()),
+            ),
+        ]);
+        let v1_json = serde_json::to_string(&v1).unwrap();
+        assert!(v1_json.contains("\"delivery\":"));
+        let back: LinkModel = serde_json::from_str(&v1_json).unwrap();
+        assert_eq!(back.len(), links.len());
+        for a in 0..n {
+            let a = NodeId(a as u16);
+            assert_eq!(back.neighbors(a), links.neighbors(a), "{a}");
+        }
+        // The corrupt-length rejection from the v1 era still holds.
+        let bad = v1_json.replacen("\"n\":63", "\"n\":62", 1);
+        assert!(serde_json::from_str::<LinkModel>(&bad).is_err());
+    }
+
+    #[test]
+    fn set_link_inserts_out_of_range_pairs() {
+        // The dense matrix allowed overriding *any* directed pair; the
+        // sparse table must too (failure-injection scenarios rely on it).
+        let topo = Topology::grid(3, 10.0).unwrap();
+        let mut links = LinkModel::perfect(&topo);
+        let (a, b) = (NodeId(0), NodeId(8)); // opposite corners, out of range
+        assert!(!links.link(a, b).is_usable());
+        let before = links.usable_link_count();
+        links.set_link(a, b, 0.6);
+        assert_eq!(links.usable_link_count(), before + 1);
+        assert!((links.link(a, b).delivery_prob - 0.6).abs() < 1e-12);
+        assert_eq!(links.neighbors(a), dense_scan(&links, a).as_slice());
+        // Other rows' slices are untouched by the offset shift.
+        for i in 1..9 {
+            let i = NodeId(i as u16);
+            assert_eq!(links.neighbors(i), dense_scan(&links, i).as_slice());
+        }
+        links.set_link(a, b, 0.0);
+        assert_eq!(links.usable_link_count(), before);
+        assert!(!links.link(a, b).is_usable());
     }
 
     #[test]

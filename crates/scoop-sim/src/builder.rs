@@ -100,6 +100,7 @@ pub fn assemble(
     let total = topology.len();
     let engine_cfg = EngineConfig {
         seed: spec.seed,
+        num_shards: engine_shards_from_env(),
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(topology, links, nodes, engine_cfg)?;
@@ -108,6 +109,19 @@ pub fn assemble(
         engine.set_fault_schedule(faults);
     }
     Ok(engine)
+}
+
+/// Region-shard count for the engine's event queue, from the
+/// `SCOOP_ENGINE_SHARDS` environment variable (default 1). Like
+/// `SCOOP_SWEEP_THREADS`, this is an execution knob, not part of the
+/// experiment spec: any value yields byte-identical results (proven by the
+/// `shard_determinism` integration test), so it never belongs in artifacts.
+fn engine_shards_from_env() -> usize {
+    std::env::var("SCOOP_ENGINE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
 }
 
 /// Resolves the declarative fault axis into concrete per-node outage windows.

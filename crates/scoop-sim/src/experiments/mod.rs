@@ -35,6 +35,6 @@ pub use fig4::{fig4_selectivity, Fig4Row};
 pub use fig5::{fig5_query_interval, Fig5Row};
 pub use link_calibration::{link_calibration, LinkCalibrationRow};
 pub use prose::{
-    reliability, root_skew, sample_interval_sweep, scaling, ReliabilityRow, RootSkewRow,
-    SampleIntervalRow, ScalingRow,
+    reliability, root_skew, sample_interval_sweep, scaling, scaling_with_policy, ReliabilityRow,
+    RootSkewRow, SampleIntervalRow, ScalingRow,
 };

@@ -170,13 +170,27 @@ pub fn scaling(
     sources: &[DataSourceKind],
     trials: usize,
 ) -> Result<Vec<ScalingRow>, ScoopError> {
+    scaling_with_policy(base, sizes, sources, StoragePolicy::Scoop, trials)
+}
+
+/// The scaling study under an explicit storage policy. The large-scale
+/// scenarios (thousands of nodes) run HASH: its storage index is static, so
+/// the basestation never builds the dense all-pairs cost table a Scoop remap
+/// needs — which is what makes 32k-node networks feasible in memory.
+pub fn scaling_with_policy(
+    base: &ExperimentConfig,
+    sizes: &[usize],
+    sources: &[DataSourceKind],
+    policy: StoragePolicy,
+    trials: usize,
+) -> Result<Vec<ScalingRow>, ScoopError> {
     let grid: Vec<(DataSourceKind, usize)> = sources
         .iter()
         .flat_map(|&src| sizes.iter().map(move |&n| (src, n)))
         .collect();
     let suite = ScenarioSuite::from_grid("scaling", trials, grid.iter().copied(), |(source, n)| {
         let mut cfg = base.clone();
-        cfg.policy.kind = StoragePolicy::Scoop;
+        cfg.policy.kind = policy;
         cfg.workload.data_source = source;
         cfg.num_nodes = n;
         (format!("{source}/{n}-nodes"), cfg)
@@ -253,5 +267,20 @@ mod tests {
             rows[1].total_messages > rows[0].total_messages,
             "more nodes, more traffic"
         );
+    }
+
+    #[test]
+    fn scaling_with_policy_runs_the_hash_baseline() {
+        let rows = scaling_with_policy(
+            &quick_base(),
+            &[8],
+            &[DataSourceKind::Gaussian],
+            StoragePolicy::Hash,
+            1,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].total_messages > 0);
+        assert!(rows[0].storage_success > 0.0 && rows[0].storage_success <= 1.0);
     }
 }

@@ -156,9 +156,10 @@ pub fn root_skew_table(rows: &[RootSkewRow]) -> String {
     out
 }
 
-/// Formats the scaling rows.
-pub fn scaling_table(rows: &[ScalingRow]) -> String {
-    let mut out = String::from("Scaling (SCOOP)\n");
+/// Formats the scaling rows, titled `title` (the scaling grid runs under
+/// more than one policy, so the heading cannot be hardcoded).
+pub fn scaling_table(title: &str, rows: &[ScalingRow]) -> String {
+    let mut out = format!("{title}\n");
     out.push_str(&format!(
         "{:<10} {:>8} {:>12} {:>16} {:>16}\n",
         "source", "nodes", "messages", "msgs per node", "storage success"
@@ -238,7 +239,7 @@ mod tests {
         assert!(fig4_table(&[]).contains("Figure 4"));
         assert!(reliability_table(&[]).contains("Reliability"));
         assert!(root_skew_table(&[]).contains("Root-node skew"));
-        assert!(scaling_table(&[]).contains("Scaling"));
+        assert!(scaling_table("Scaling study", &[]).contains("Scaling"));
         assert!(ablation_table(&[]).contains("Ablations"));
         assert!(sample_interval_table(&[]).contains("Sample-interval"));
     }

@@ -1,5 +1,5 @@
-//! Node, sequence-number, and storage-index identifiers, plus the fixed-size
-//! node bitmap the basestation embeds in query packets.
+//! Node, sequence-number, and storage-index identifiers, plus the node
+//! bitmap the basestation embeds in query packets.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -8,10 +8,13 @@ use std::fmt;
 ///
 /// The paper's query packets carry a bitmap with one bit per node, which
 /// "puts an upper bound to the size of the sensor network; 128 nodes in our
-/// current implementation" (Section 5.5). We widen the bitmap to 512 so the
-/// scaling scenarios (e.g. the 256-node grid) fit; the mechanism — one bit
-/// per addressable node in every query packet — is unchanged.
-pub const MAX_NODES: usize = 512;
+/// current implementation" (Section 5.5). We widen the limit to 32,768 so the
+/// large scaling scenarios fit; the mechanism — one bit per addressable node
+/// in every query packet — is unchanged, and the bitmap allocates words only
+/// up to the highest selected id, so small deployments pay for their own
+/// size, not for the limit. Raising this further requires widening
+/// [`NodeId`] past `u16` (the remaining step toward 100k+ nodes).
+pub const MAX_NODES: usize = 32_768;
 
 /// Identifier of a sensor node.
 ///
@@ -114,23 +117,26 @@ impl StorageIndexId {
     }
 }
 
-/// Fixed-size bitmap with one bit per addressable node.
+/// Bitmap with one bit per addressable node, heap-backed and sized to the
+/// highest selected id.
 ///
 /// The basestation sets the bit of every node it wants an answer from and
 /// embeds the bitmap in the query packet; Scoop's modified Trickle uses it
 /// (together with neighbor and descendants lists) to decide whether
 /// re-broadcasting a query packet is useful (Section 5.5).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Invariant: `words` never ends in a zero word, so two bitmaps selecting
+/// the same nodes are represented identically and the derived
+/// `PartialEq`/`Hash` stay correct regardless of insertion history.
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct NodeBitmap {
-    words: [u64; MAX_NODES / 64],
+    words: Vec<u64>,
 }
 
 impl NodeBitmap {
-    /// An empty bitmap (no nodes selected).
+    /// An empty bitmap (no nodes selected). Allocates nothing.
     pub const fn empty() -> Self {
-        NodeBitmap {
-            words: [0; MAX_NODES / 64],
-        }
+        NodeBitmap { words: Vec::new() }
     }
 
     /// A bitmap with every node in `0..n` selected.
@@ -156,16 +162,23 @@ impl NodeBitmap {
     pub fn insert(&mut self, node: NodeId) {
         let i = node.index();
         if i < MAX_NODES {
-            self.words[i / 64] |= 1 << (i % 64);
+            let w = i / 64;
+            if w >= self.words.len() {
+                self.words.resize(w + 1, 0);
+            }
+            self.words[w] |= 1 << (i % 64);
         }
     }
 
     /// Deselects `node`.
     #[inline]
     pub fn remove(&mut self, node: NodeId) {
-        let i = node.index();
-        if i < MAX_NODES {
-            self.words[i / 64] &= !(1 << (i % 64));
+        let w = node.index() / 64;
+        if w < self.words.len() {
+            self.words[w] &= !(1 << (node.index() % 64));
+            while self.words.last() == Some(&0) {
+                self.words.pop();
+            }
         }
     }
 
@@ -173,7 +186,10 @@ impl NodeBitmap {
     #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
         let i = node.index();
-        i < MAX_NODES && self.words[i / 64] & (1 << (i % 64)) != 0
+        match self.words.get(i / 64) {
+            Some(w) => w & (1 << (i % 64)) != 0,
+            None => false,
+        }
     }
 
     /// Number of selected nodes.
@@ -183,14 +199,16 @@ impl NodeBitmap {
 
     /// Returns `true` if no node is selected.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words.is_empty()
     }
 
     /// Iterates over the selected node ids in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..MAX_NODES)
-            .filter(move |&i| self.words[i / 64] & (1 << (i % 64)) != 0)
-            .map(|i| NodeId(i as u16))
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| NodeId((wi * 64 + b) as u16))
+        })
     }
 
     /// Returns `true` if any selected node is also in `other`.
@@ -199,6 +217,31 @@ impl NodeBitmap {
             .iter()
             .zip(other.words.iter())
             .any(|(a, b)| a & b != 0)
+    }
+}
+
+// Hand-written (de)serialization: the wire schema is the historical derived
+// one — `{"words": [u64, ...]}` — but deserialization must re-establish the
+// no-trailing-zero-words invariant, because bitmaps written by the old
+// fixed-array representation padded with zero words up to the compile-time
+// limit.
+impl Serialize for NodeBitmap {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![(
+            "words".to_string(),
+            Serialize::to_value(&self.words),
+        )])
+    }
+}
+
+impl Deserialize for NodeBitmap {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let null = serde::Value::Null;
+        let mut words: Vec<u64> = Deserialize::from_value(v.get("words").unwrap_or(&null))?;
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        Ok(NodeBitmap { words })
     }
 }
 
@@ -273,9 +316,49 @@ mod tests {
     #[test]
     fn bitmap_out_of_range_is_ignored() {
         let mut bm = NodeBitmap::empty();
-        bm.insert(NodeId(600));
+        bm.insert(NodeId(40_000)); // above MAX_NODES, still a valid u16
         assert!(bm.is_empty());
-        assert!(!bm.contains(NodeId(600)));
+        assert!(!bm.contains(NodeId(40_000)));
+    }
+
+    #[test]
+    fn bitmap_storage_tracks_highest_selected_id() {
+        // Heap-backed: an empty bitmap holds no words, and removing the
+        // highest bit shrinks the storage back so equality/hashing never
+        // see stale trailing zeros.
+        let mut bm = NodeBitmap::empty();
+        bm.insert(NodeId(3));
+        bm.insert(NodeId(9_000));
+        bm.remove(NodeId(9_000));
+        assert_eq!(bm, NodeBitmap::from_nodes([NodeId(3)]));
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |b: &NodeBitmap| {
+            let mut s = DefaultHasher::new();
+            b.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&bm), h(&NodeBitmap::from_nodes([NodeId(3)])));
+    }
+
+    #[test]
+    fn bitmap_serde_reads_fixed_array_era_words() {
+        // Bitmaps written by the old `[u64; 8]` representation carry
+        // trailing zero words; deserialization must trim them so the
+        // round-tripped value equals a freshly built one.
+        let legacy = format!(
+            "{{\"words\":[{}]}}",
+            std::iter::once("9".to_string())
+                .chain(std::iter::repeat_n("0".to_string(), 7))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let bm: NodeBitmap = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(bm, NodeBitmap::from_nodes([NodeId(0), NodeId(3)]));
+        let json = serde_json::to_string(&bm).unwrap();
+        assert_eq!(json, "{\"words\":[9]}");
+        let back: NodeBitmap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, bm);
     }
 
     #[test]

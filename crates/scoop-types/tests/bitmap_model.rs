@@ -1,0 +1,106 @@
+//! Property-based model test for the heap-backed [`NodeBitmap`].
+//!
+//! The reference model is a `BTreeSet<u16>`: any interleaving of inserts and
+//! removes over node ids up to the full `MAX_NODES` range must leave the
+//! bitmap agreeing with the set on membership, length, iteration order, and
+//! equality/serde round-trips. This is the contract the query path relies on
+//! now that the bitmap's storage grows with the highest selected id instead
+//! of being a fixed `MAX_NODES`-bit array.
+
+use proptest::prelude::*;
+use scoop_types::{NodeBitmap, NodeId, MAX_NODES};
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random insert/remove interleavings agree with the `BTreeSet` model.
+    #[test]
+    fn bitmap_matches_btreeset_model(
+        // Bias the universe so small, mid, and full-range bitmaps all occur;
+        // `span` caps the ids one run draws from (2..=MAX_NODES).
+        span_exp in 1u32..16,
+        ops in proptest::collection::vec((0u32..MAX_NODES as u32, 0u8..2), 1..200),
+    ) {
+        let span = (1usize << span_exp).min(MAX_NODES);
+        let mut bitmap = NodeBitmap::empty();
+        let mut model: BTreeSet<u16> = BTreeSet::new();
+        for &(raw, op) in &ops {
+            let id = (raw as usize % span) as u16;
+            if op == 1 {
+                bitmap.insert(NodeId(id));
+                model.insert(id);
+            } else {
+                bitmap.remove(NodeId(id));
+                model.remove(&id);
+            }
+        }
+        prop_assert_eq!(bitmap.len(), model.len());
+        prop_assert_eq!(bitmap.is_empty(), model.is_empty());
+        for &id in &model {
+            prop_assert!(bitmap.contains(NodeId(id)));
+        }
+        // Iteration yields exactly the model's ids, ascending.
+        let iterated: Vec<u16> = bitmap.iter().map(|n| n.0).collect();
+        let expected: Vec<u16> = model.iter().copied().collect();
+        prop_assert_eq!(iterated, expected);
+    }
+
+    /// `from_nodes` equals element-wise insertion, and two bitmaps with the
+    /// same members are equal regardless of construction history (the
+    /// no-trailing-zero-words invariant).
+    #[test]
+    fn from_nodes_and_equality_are_history_independent(
+        ids in proptest::collection::vec(0u32..MAX_NODES as u32, 0..64),
+        scratch in proptest::collection::vec(0u32..MAX_NODES as u32, 0..32),
+    ) {
+        let built = NodeBitmap::from_nodes(ids.iter().map(|&i| NodeId(i as u16)));
+        let mut inserted = NodeBitmap::empty();
+        for &i in &ids {
+            inserted.insert(NodeId(i as u16));
+        }
+        prop_assert_eq!(&built, &inserted);
+
+        // Insert-then-remove churn on ids outside the final membership must
+        // not perturb equality (trailing words shrink back).
+        let mut churned = built.clone();
+        for &i in &scratch {
+            let id = NodeId(i as u16);
+            if !built.contains(id) {
+                churned.insert(id);
+                churned.remove(id);
+            }
+        }
+        prop_assert_eq!(&churned, &built);
+    }
+
+    /// Serde round-trips preserve membership, and the wire form is readable
+    /// whether or not it carries the fixed-array era's trailing zero words.
+    #[test]
+    fn serde_round_trips_and_reads_padded_words(
+        ids in proptest::collection::vec(0u32..MAX_NODES as u32, 0..48),
+        padding in 0usize..4,
+    ) {
+        let bitmap = NodeBitmap::from_nodes(ids.iter().map(|&i| NodeId(i as u16)));
+        let json = serde_json::to_string(&bitmap).unwrap();
+        let back: NodeBitmap = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &bitmap);
+
+        // Splice trailing zero words into the serialized form — the layout
+        // every pre-heap bitmap (fixed `[u64; MAX_NODES/64]`) used — and
+        // check the deserializer trims them to the canonical representation.
+        let padded = if padding == 0 {
+            json.clone()
+        } else {
+            let zeros = vec!["0"; padding].join(",");
+            if json.contains("[]") {
+                json.replace("[]", &format!("[{zeros}]"))
+            } else {
+                json.replace(']', &format!(",{zeros}]"))
+            }
+        };
+        let from_padded: NodeBitmap = serde_json::from_str(&padded).unwrap();
+        prop_assert_eq!(&from_padded, &bitmap);
+        prop_assert_eq!(serde_json::to_string(&from_padded).unwrap(), json);
+    }
+}
