@@ -16,6 +16,7 @@
 use crate::stats_store::StatsStore;
 use scoop_types::{NodeId, Value};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Parameters of one cost evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -55,33 +56,22 @@ pub struct CostModel<'a> {
     /// Cached `(producer, rate, owner-independent)` list: producers with a
     /// non-zero data rate, so the inner loop skips silent nodes.
     producers: Vec<(NodeId, f64)>,
-    /// Cached xmits matrix lookups go through a RefCell-free copy of the
-    /// stats store because `xmits` needs `&mut` for its lazy cache; we force
-    /// the cache eagerly instead.
-    xmits: Vec<Vec<f64>>,
+    /// Private copy of the stats store driving its per-source lazy Dijkstra
+    /// cache; `xmits` needs `&mut`, so interior mutability keeps the cost
+    /// model's public API immutable. Rows materialize on first touch —
+    /// constructing a model allocates nothing quadratic, so a policy that
+    /// never prices a placement (Base/Local/Hash at 32k nodes) never pays
+    /// for one.
+    warm: RefCell<StatsStore>,
 }
 
 impl<'a> CostModel<'a> {
-    /// Builds a cost model. Forces the all-pairs xmits cache once so that the
-    /// `O(V · n²)` main loop performs only table lookups.
+    /// Builds a cost model. Cheap at any scale: xmits rows are computed
+    /// lazily per source, so nothing `O(n²)` is allocated up front — the
+    /// `O(V · n²)` remap loop is the only thing that can materialize many
+    /// rows, and only when it actually runs.
     pub fn new(stats: &'a StatsStore, params: CostParams) -> Self {
         let n = stats.total_nodes();
-        // Clone the store once to drive its lazy cache; cheaper than
-        // recomputing Dijkstra per query and keeps the public API immutable.
-        //
-        // This dense all-pairs table is the one deliberately remaining n²
-        // structure in the workspace: it exists only while the basestation
-        // runs a Scoop remap (never under Base/Local/Hash policies, which is
-        // what the 32k scaling scenarios use), and the remap's own main loop
-        // is O(V · n²) anyway. Making the *remap* sub-quadratic is part of
-        // the remaining 100k+-node work noted in the ROADMAP.
-        let mut warm = stats.clone();
-        let mut xmits = vec![vec![0.0; n]; n];
-        for (a, row) in xmits.iter_mut().enumerate() {
-            for (b, x) in row.iter_mut().enumerate() {
-                *x = warm.xmits(NodeId(a as u16), NodeId(b as u16));
-            }
-        }
         let producers = (0..n)
             .map(|i| NodeId(i as u16))
             .map(|p| (p, stats.data_rate(p)))
@@ -91,7 +81,7 @@ impl<'a> CostModel<'a> {
             stats,
             params,
             producers,
-            xmits,
+            warm: RefCell::new(stats.clone()),
         }
     }
 
@@ -100,9 +90,19 @@ impl<'a> CostModel<'a> {
         self.params
     }
 
-    /// Expected transmissions to get one packet from `a` to `b`.
+    /// Expected transmissions to get one packet from `a` to `b`. The first
+    /// lookup from a given `a` runs that source's Dijkstra and caches the
+    /// row; the values are bit-identical to the dense-table era because each
+    /// row was always an independent single-source computation.
     pub fn xmits(&self, a: NodeId, b: NodeId) -> f64 {
-        self.xmits[a.index()][b.index()]
+        self.warm.borrow_mut().xmits(a, b)
+    }
+
+    /// How many per-source xmits rows have been materialized so far. A cost
+    /// model that priced nothing reports zero — the guard the 32k-node
+    /// HASH/Base/Local scenarios rely on.
+    pub fn rows_materialized(&self) -> usize {
+        self.warm.borrow().xmits_rows_cached()
     }
 
     /// The paper's `cost(o, v)`: expected messages per second if value `v` is
@@ -273,6 +273,22 @@ mod tests {
         // Very chatty queries: store-local becomes much more expensive.
         let busy = CostModel::new(&st, CostParams::with_query_rate(1.0));
         assert!(busy.store_local_cost() > busy.send_to_base_cost());
+    }
+
+    #[test]
+    fn construction_is_lazy_even_at_hash_scale() {
+        // 32k nodes plus the basestation. The eager era allocated an
+        // n² table (8+ GiB at this size) in `new`; construction must stay
+        // O(n) and materialize xmits rows only when a lookup demands them.
+        let st = StatsStore::new(32_769, ValueRange::new(0, 99));
+        let model = CostModel::new(&st, CostParams::with_query_rate(0.0));
+        assert_eq!(model.rows_materialized(), 0, "no lookups, no rows");
+        let x = model.xmits(NodeId(17), NodeId(29));
+        assert!(x > 0.0, "disconnected nodes get the unknown-path penalty");
+        assert_eq!(model.rows_materialized(), 1, "one source probed, one row");
+        // A second lookup from the same source reuses the cached row.
+        let _ = model.xmits(NodeId(17), NodeId(31_000));
+        assert_eq!(model.rows_materialized(), 1);
     }
 
     #[test]

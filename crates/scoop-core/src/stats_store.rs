@@ -312,6 +312,13 @@ impl StatsStore {
         2.0 * self.xmits(NodeId::BASESTATION, o)
     }
 
+    /// How many per-source xmits rows are currently cached. Lets callers
+    /// (and the [`crate::cost::CostModel`] lazy-construction guard test)
+    /// verify that nothing quadratic was materialized behind their back.
+    pub fn xmits_rows_cached(&self) -> usize {
+        self.xmits_cache.as_ref().map_or(0, |c| c.len())
+    }
+
     /// The cached xmits row for one source, running Dijkstra on first use.
     ///
     /// Per-source lazy caching replaces the dense era's eager all-pairs

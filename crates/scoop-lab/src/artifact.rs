@@ -196,7 +196,7 @@ pub fn config_hash(config: &ExperimentConfig) -> String {
 }
 
 /// The short revision of the enclosing git repository, or `"unknown"`.
-fn workspace_git_rev() -> String {
+pub(crate) fn workspace_git_rev() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short=12", "HEAD"])
         .output()

@@ -36,7 +36,8 @@ pub const DEFAULT_RESULTS_DIR: &str = "results";
 /// Default path of the regenerated report.
 pub const DEFAULT_EXPERIMENTS_MD: &str = "EXPERIMENTS.md";
 
-const USAGE: &str = "usage: scoop-lab <run|report|diff|check|calibrate|history|trace> [options]
+const USAGE: &str =
+    "usage: scoop-lab <run|report|diff|check|calibrate|history|store|trace> [options]
   run    [--quick] [--trials=N] [--seed=N] [--results=DIR] [--history=FILE] [--json]
          [--set key=value]... [--show-spec] [experiment...]
   report [--results=DIR] [--out=FILE]
@@ -44,6 +45,7 @@ const USAGE: &str = "usage: scoop-lab <run|report|diff|check|calibrate|history|t
   check  [--tolerance NAME] [--bless] [--baseline=FILE]   (NAME: strict|default|loose)
   calibrate [--smoke] [--trials=N] [--seed=N] [--out=FILE] [--results=DIR]
   history [--file=FILE] [--max-regression=FRAC] [--gate]
+  store  <ingest|query|stats> --db DIR [options]   (durable basestation store)
   trace  [scoop|local|base|hash] [real|unique|equal|random|gaussian] [nodes]
 experiments: fig3-left fig3-middle fig3-right fig4 fig5 ablations sample-interval
              reliability link-calibration root-skew scaling scaling-256
@@ -145,6 +147,7 @@ fn dispatch(args: &[String]) -> Result<i32, String> {
         "check" => cmd_check(rest),
         "calibrate" => cmd_calibrate(rest),
         "history" => cmd_history(rest),
+        "store" => crate::store_cli::cmd_store(rest, parse),
         "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

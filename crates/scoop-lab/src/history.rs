@@ -59,8 +59,30 @@ pub struct HistoryRecord {
     /// per-experiment high-water marks (0 in pre-memory records).
     #[serde(default)]
     pub peak_rss_bytes: u64,
+    /// Records ingested into the durable store (only set on `scale:"store"`
+    /// records appended by `scoop-lab store ingest --history`; elided as 0
+    /// on simulation records so their lines are unchanged).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub store_records: u64,
+    /// Durable-store ingest throughput, records per second.
+    #[serde(default, skip_serializing_if = "is_zero_f64")]
+    pub store_ingest_records_per_sec: f64,
+    /// Wall-clock seconds spent building learned indexes during the ingest.
+    #[serde(default, skip_serializing_if = "is_zero_f64")]
+    pub store_index_build_secs: f64,
+    /// Bytes the store occupies on disk after the ingest.
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub store_disk_bytes: u64,
     /// Per-experiment timings, in suite order.
     pub experiments: Vec<ExperimentTiming>,
+}
+
+fn is_zero_u64(v: &u64) -> bool {
+    *v == 0
+}
+
+fn is_zero_f64(v: &f64) -> bool {
+    *v == 0.0
 }
 
 impl HistoryRecord {
@@ -90,8 +112,35 @@ impl HistoryRecord {
                 .map(|e| e.peak_rss_bytes)
                 .max()
                 .unwrap_or(0),
+            store_records: 0,
+            store_ingest_records_per_sec: 0.0,
+            store_index_build_secs: 0.0,
+            store_disk_bytes: 0,
             experiments,
         })
+    }
+
+    /// Summarizes one `scoop-lab store ingest` for the perf trajectory.
+    /// `scale` is `"store"`, so the history gate never compares these
+    /// records against simulation runs.
+    pub fn from_store_ingest(
+        report: &scoop_store::IngestReport,
+        stats: &scoop_store::StoreStats,
+    ) -> HistoryRecord {
+        HistoryRecord {
+            git_rev: crate::artifact::workspace_git_rev(),
+            scale: "store".to_string(),
+            trials: 1,
+            threads: 1,
+            total_wall_clock_secs: report.ingest_secs,
+            total_events_processed: 0,
+            peak_rss_bytes: crate::artifact::peak_rss_bytes(),
+            store_records: report.records,
+            store_ingest_records_per_sec: report.records_per_sec,
+            store_index_build_secs: stats.index_build_secs,
+            store_disk_bytes: stats.disk_bytes,
+            experiments: Vec::new(),
+        }
     }
 
     /// Aggregate events per second over the whole run.
@@ -201,6 +250,16 @@ impl HistoryDelta {
             ));
         }
         out.push('\n');
+        if latest.store_records > 0 {
+            out.push_str(&format!(
+                "  durable store: {} record(s) at {:.0} records/s, \
+                 index built in {:.4} s, {} bytes on disk\n",
+                latest.store_records,
+                latest.store_ingest_records_per_sec,
+                latest.store_index_build_secs,
+                latest.store_disk_bytes
+            ));
+        }
         for e in &latest.experiments {
             out.push_str(&format!(
                 "  {:<18} {:>7.2} s  {:>10} events  {:>10.0} events/s\n",
@@ -274,6 +333,10 @@ mod tests {
             total_wall_clock_secs: wall,
             total_events_processed: (wall * 1_000_000.0) as u64,
             peak_rss_bytes: 64 * 1024 * 1024,
+            store_records: 0,
+            store_ingest_records_per_sec: 0.0,
+            store_index_build_secs: 0.0,
+            store_disk_bytes: 0,
             experiments: (0..experiments)
                 .map(|i| ExperimentTiming {
                     experiment: format!("exp-{i}"),

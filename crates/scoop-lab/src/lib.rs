@@ -42,6 +42,7 @@ pub mod diff;
 pub mod history;
 pub mod render;
 pub mod rows;
+mod store_cli;
 pub mod suite;
 
 pub use artifact::{Artifact, ArtifactStore, Provenance, SCHEMA_VERSION};

@@ -18,8 +18,10 @@
 
 pub mod data_buffer;
 pub mod flash;
+pub mod persist;
 pub mod ring;
 
 pub use data_buffer::{DataBuffer, StoredReading};
 pub use flash::FlashModel;
+pub use persist::{InMemoryBackend, PersistenceBackend};
 pub use ring::RecentReadings;

@@ -1,0 +1,98 @@
+//! Pluggable persistence behind the basestation store.
+//!
+//! Everything the simulator stores lives in in-memory [`DataBuffer`]s and
+//! dies with the process. [`PersistenceBackend`] is the seam that changes
+//! that *without touching the simulation*: a backend receives batches of
+//! [`StoredReading`]s after (or outside) a run and makes them durable. The
+//! in-memory default, [`InMemoryBackend`], reproduces today's behavior
+//! exactly — readings are held in RAM and lost on drop — so attaching a
+//! backend is strictly opt-in and the simulation's byte-identity is
+//! untouched. The disk implementation lives in the `scoop-store` crate
+//! (crash-safe segment log + learned time index).
+//!
+//! [`DataBuffer`]: crate::DataBuffer
+
+use crate::data_buffer::StoredReading;
+use scoop_types::ScoopError;
+
+/// A sink that makes basestation readings durable.
+///
+/// Implementations must tolerate empty batches and must make `sync` a
+/// commit point: after `sync` returns `Ok`, every previously appended
+/// reading survives a crash of the process (for backends that persist at
+/// all — the in-memory default trivially "commits" to RAM).
+pub trait PersistenceBackend {
+    /// Appends a batch of readings. Batches arrive in the order the caller
+    /// drains them; time-ordering requirements (if any) are the backend's
+    /// own contract.
+    fn append_batch(&mut self, batch: &[StoredReading]) -> Result<(), ScoopError>;
+
+    /// Commits everything appended so far.
+    fn sync(&mut self) -> Result<(), ScoopError>;
+
+    /// Total readings accepted by `append_batch` over this backend's life.
+    fn records_persisted(&self) -> u64;
+}
+
+/// The default backend: readings stay in memory, exactly as before this
+/// trait existed. Useful as a test double and as the explicit statement
+/// that persistence is opt-in.
+#[derive(Debug, Default)]
+pub struct InMemoryBackend {
+    readings: Vec<StoredReading>,
+}
+
+impl InMemoryBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        InMemoryBackend::default()
+    }
+
+    /// Everything appended so far, in arrival order.
+    pub fn readings(&self) -> &[StoredReading] {
+        &self.readings
+    }
+}
+
+impl PersistenceBackend for InMemoryBackend {
+    fn append_batch(&mut self, batch: &[StoredReading]) -> Result<(), ScoopError> {
+        self.readings.extend_from_slice(batch);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), ScoopError> {
+        Ok(())
+    }
+
+    fn records_persisted(&self) -> u64 {
+        self.readings.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataBuffer;
+    use scoop_types::{Attribute, NodeId, Reading, SimTime, StorageIndexId};
+
+    #[test]
+    fn in_memory_backend_accumulates_and_counts() {
+        let mut buf = DataBuffer::new(8);
+        for t in 0..5u64 {
+            buf.store(
+                Reading::new(NodeId(1), Attribute::Light, t as i32, SimTime::from_secs(t)),
+                SimTime::from_secs(t),
+                StorageIndexId(1),
+            );
+        }
+        let batch: Vec<StoredReading> = buf.iter().copied().collect();
+
+        let mut backend = InMemoryBackend::new();
+        backend.append_batch(&[]).unwrap();
+        backend.append_batch(&batch).unwrap();
+        backend.sync().unwrap();
+        assert_eq!(backend.records_persisted(), 5);
+        assert_eq!(backend.readings().len(), 5);
+        assert_eq!(backend.readings()[0].reading.value, 0);
+    }
+}

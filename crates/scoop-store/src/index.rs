@@ -1,0 +1,316 @@
+//! The two-level time index: sparse block directory + piecewise-linear
+//! learned index.
+//!
+//! Level one is the **block directory** — one [`BlockMeta`] per block, held
+//! in memory once a segment is open. Level two is a **learned index** in the
+//! PGM style: a greedy shrinking-cone pass fits piecewise-linear segments
+//! over `(last_time_ms of block i, i)` with a hard error bound, so a lookup
+//! costs one binary search over a handful of line segments, one multiply,
+//! and a bounded fence correction against the directory — all in memory.
+//! The disk is touched only for the one data block the corrected position
+//! names, which is the "at most one block read" property the integration
+//! tests assert with the store's block-read counter.
+//!
+//! [`BTreeRefIndex`] is the dumb-but-obviously-correct reference the learned
+//! index is model-tested against (`tests/index_model.rs`).
+
+use crate::block::BlockMeta;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hard bound on the learned index's prediction error, in blocks. Small so
+/// the fence correction stays a short scan; large enough that segments stay
+/// few on drifty-but-smooth time series.
+pub const DEFAULT_MAX_ERROR: u32 = 4;
+
+/// Answers "which block should I read first for timestamp `t`?" against a
+/// block directory. Implementations must agree exactly; the learned index is
+/// model-tested against the B-tree reference.
+pub trait TimeIndex {
+    /// The index of the first block whose last record time is `>= t` — the
+    /// partition point of `t` over the directory's `last_time_ms` column.
+    /// Returns `dir.len()` when every block ends before `t`.
+    fn first_block_for(&self, t: u64, dir: &[BlockMeta]) -> usize;
+
+    /// Short implementation name for stats and test output.
+    fn name(&self) -> &'static str;
+}
+
+/// One fitted line: positions `start_pos..` are approximated as
+/// `start_pos + slope * (key - start_key)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlaSegment {
+    /// First key (block `last_time_ms`) the segment covers.
+    pub start_key: u64,
+    /// Block index at `start_key`.
+    pub start_pos: u64,
+    /// Blocks per millisecond.
+    pub slope: f64,
+}
+
+/// The piecewise-linear learned index over the time column.
+#[derive(Debug)]
+pub struct LearnedTimeIndex {
+    segments: Vec<PlaSegment>,
+    max_error: u32,
+    blocks: usize,
+    /// Lookups where the error-bounded window missed and a full binary
+    /// search was needed. Stays zero unless the fit is buggy; exported so
+    /// tests can prove the bound holds.
+    fallback_lookups: AtomicU64,
+}
+
+impl LearnedTimeIndex {
+    /// Fits the index over a directory with the default error bound.
+    pub fn build(dir: &[BlockMeta]) -> Self {
+        Self::build_with_error(dir, DEFAULT_MAX_ERROR)
+    }
+
+    /// Fits the index with an explicit error bound (`max_error >= 1`).
+    ///
+    /// Greedy shrinking-cone fit: a segment keeps absorbing points while
+    /// some slope keeps *every* absorbed point within `max_error` blocks of
+    /// its prediction; when the feasible slope cone empties, the segment is
+    /// frozen at the midpoint slope and a new one starts.
+    pub fn build_with_error(dir: &[BlockMeta], max_error: u32) -> Self {
+        assert!(max_error >= 1);
+        let err = max_error as f64;
+        let mut segments: Vec<PlaSegment> = Vec::new();
+        let mut i = 0usize;
+        while i < dir.len() {
+            let start_key = dir[i].last_time_ms;
+            let start_pos = i as u64;
+            // Feasible slope cone; shrinks as points are absorbed.
+            let mut lo = 0.0f64;
+            let mut hi = f64::INFINITY;
+            let mut j = i + 1;
+            while j < dir.len() {
+                let dx = (dir[j].last_time_ms - start_key) as f64;
+                let dy = (j - i) as f64;
+                if dx == 0.0 {
+                    // Duplicate key: the prediction for this key is fixed at
+                    // `start_pos`, so the point fits iff it is within the
+                    // error bound of it.
+                    if dy > err {
+                        break;
+                    }
+                    j += 1;
+                    continue;
+                }
+                let new_lo = lo.max((dy - err) / dx);
+                let new_hi = hi.min((dy + err) / dx);
+                if new_lo > new_hi {
+                    break;
+                }
+                lo = new_lo;
+                hi = new_hi;
+                j += 1;
+            }
+            let slope = if hi.is_infinite() {
+                // Single-point segment (or all duplicates): any slope works.
+                lo
+            } else {
+                (lo + hi) / 2.0
+            };
+            segments.push(PlaSegment {
+                start_key,
+                start_pos,
+                slope,
+            });
+            i = j;
+        }
+        LearnedTimeIndex {
+            segments,
+            max_error,
+            blocks: dir.len(),
+            fallback_lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// Rebuilds from previously serialized parts (see the segment index
+    /// region format in `docs/STORE_FORMAT.md`).
+    pub fn from_parts(segments: Vec<PlaSegment>, max_error: u32, blocks: usize) -> Self {
+        LearnedTimeIndex {
+            segments,
+            max_error,
+            blocks,
+            fallback_lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// The fitted line segments, in key order.
+    pub fn segments(&self) -> &[PlaSegment] {
+        &self.segments
+    }
+
+    /// The error bound the fit guarantees, in blocks.
+    pub fn max_error(&self) -> u32 {
+        self.max_error
+    }
+
+    /// How many lookups fell back to a full binary search (expected: 0).
+    pub fn fallback_lookups(&self) -> u64 {
+        self.fallback_lookups.load(Ordering::Relaxed)
+    }
+
+    /// Predicted block position for `t`, before fence correction. Clamped
+    /// to the owning line segment's position span so that a `t` falling in
+    /// a key gap (between one segment's last key and the next segment's
+    /// first) cannot extrapolate past the next segment's start.
+    fn predict(&self, t: u64) -> f64 {
+        // Last segment with start_key <= t; t below the first key predicts 0.
+        let idx = self.segments.partition_point(|s| s.start_key <= t);
+        if idx == 0 {
+            return 0.0;
+        }
+        let seg = &self.segments[idx - 1];
+        let raw = seg.start_pos as f64 + seg.slope * (t - seg.start_key) as f64;
+        let ceiling = self
+            .segments
+            .get(idx)
+            .map(|next| next.start_pos as f64)
+            .unwrap_or(self.blocks.saturating_sub(1) as f64);
+        raw.clamp(seg.start_pos as f64, ceiling)
+    }
+}
+
+/// Exact partition point of `t` over `dir[lo..hi]`'s `last_time_ms` column.
+fn partition_in(dir: &[BlockMeta], t: u64, lo: usize, hi: usize) -> usize {
+    lo + dir[lo..hi].partition_point(|b| b.last_time_ms < t)
+}
+
+impl TimeIndex for LearnedTimeIndex {
+    fn first_block_for(&self, t: u64, dir: &[BlockMeta]) -> usize {
+        debug_assert_eq!(dir.len(), self.blocks);
+        if dir.is_empty() {
+            return 0;
+        }
+        let pred = self.predict(t);
+        // The fit bounds the error at the built keys; for a query key
+        // between two built keys the true answer can drift one more block,
+        // hence the +1.
+        let slack = self.max_error as usize + 1;
+        let center = pred.round().max(0.0) as usize;
+        let lo = center.saturating_sub(slack).min(dir.len());
+        let hi = (center + slack + 1).min(dir.len());
+        let ans = partition_in(dir, t, lo, hi);
+        // The window answer is exact iff both its fences hold; a violated
+        // fence means the true partition point lies outside the window.
+        let left_ok = ans == 0 || dir[ans - 1].last_time_ms < t;
+        let right_ok = ans == dir.len() || dir[ans].last_time_ms >= t;
+        if left_ok && right_ok {
+            return ans;
+        }
+        self.fallback_lookups.fetch_add(1, Ordering::Relaxed);
+        partition_in(dir, t, 0, dir.len())
+    }
+
+    fn name(&self) -> &'static str {
+        "learned-pla"
+    }
+}
+
+/// The reference index: a `BTreeMap` from block `last_time_ms` to the
+/// smallest block index carrying it. Obviously correct, used as the model in
+/// property tests and available at runtime for A/B checking.
+#[derive(Debug, Default)]
+pub struct BTreeRefIndex {
+    by_last_time: BTreeMap<u64, usize>,
+}
+
+impl BTreeRefIndex {
+    /// Builds the reference index over a directory.
+    pub fn build(dir: &[BlockMeta]) -> Self {
+        let mut by_last_time = BTreeMap::new();
+        // Iterate in reverse so the smallest index for a duplicate key wins.
+        for (i, meta) in dir.iter().enumerate().rev() {
+            by_last_time.insert(meta.last_time_ms, i);
+        }
+        BTreeRefIndex { by_last_time }
+    }
+}
+
+impl TimeIndex for BTreeRefIndex {
+    fn first_block_for(&self, t: u64, dir: &[BlockMeta]) -> usize {
+        self.by_last_time
+            .range(t..)
+            .next()
+            .map(|(_, &i)| i)
+            .unwrap_or(dir.len())
+    }
+
+    fn name(&self) -> &'static str {
+        "btree-ref"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir_of(times: &[(u64, u64)]) -> Vec<BlockMeta> {
+        times
+            .iter()
+            .map(|&(first, last)| BlockMeta {
+                first_time_ms: first,
+                last_time_ms: last,
+                count: 1,
+            })
+            .collect()
+    }
+
+    fn assert_agree(dir: &[BlockMeta], probes: impl Iterator<Item = u64>) -> u64 {
+        let learned = LearnedTimeIndex::build(dir);
+        let reference = BTreeRefIndex::build(dir);
+        for t in probes {
+            assert_eq!(
+                learned.first_block_for(t, dir),
+                reference.first_block_for(t, dir),
+                "diverged at t={t}"
+            );
+        }
+        learned.fallback_lookups()
+    }
+
+    #[test]
+    fn empty_and_single_block() {
+        let empty: Vec<BlockMeta> = vec![];
+        assert_eq!(assert_agree(&empty, [0, 1, u64::MAX].into_iter()), 0);
+        let one = dir_of(&[(5, 9)]);
+        assert_eq!(assert_agree(&one, 0..20), 0);
+    }
+
+    #[test]
+    fn linear_directory_fits_one_segment() {
+        let dir = dir_of(&(0..1000).map(|i| (i * 10, i * 10 + 9)).collect::<Vec<_>>());
+        let learned = LearnedTimeIndex::build(&dir);
+        assert_eq!(learned.segments().len(), 1, "perfectly linear keys");
+        // A smooth workload must stay inside the error window: no fallbacks.
+        assert_eq!(assert_agree(&dir, (0..11_000).step_by(7)), 0);
+    }
+
+    #[test]
+    fn drifting_rates_and_duplicate_keys() {
+        // Bursty: rate changes, plus runs of blocks sharing a last time.
+        let mut times = Vec::new();
+        let mut t = 0u64;
+        for i in 0..300u64 {
+            let step = if i % 50 < 25 { 1 } else { 97 };
+            t += step;
+            times.push((t, t));
+            if i % 40 == 0 {
+                times.push((t, t)); // duplicate last_time across blocks
+            }
+        }
+        let dir = dir_of(&times);
+        // Agreement with the reference is unconditional; the in-memory
+        // binary-search fallback may fire on pathological shapes but must
+        // stay rare (it never costs disk I/O either way).
+        let probes = t + 10;
+        let fallbacks = assert_agree(&dir, 0..probes);
+        assert!(
+            fallbacks * 20 < probes,
+            "{fallbacks} fallbacks in {probes} lookups"
+        );
+    }
+}

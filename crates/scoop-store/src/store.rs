@@ -1,0 +1,576 @@
+//! The multi-segment store: a directory of sealed segments plus one active
+//! writer, with point/range query-at-rest and ingest/query statistics.
+//!
+//! Layout on disk: `<db>/seg-<id>.scoop`, ids strictly increasing. Sealed
+//! segments are immutable; compaction (see [`crate::compact`]) replaces a
+//! tier of them with one merged segment under a fresh id, via a `.tmp` file
+//! and an atomic rename. `open` recovers every unsealed segment (torn tails
+//! truncated, survivor resealed) and removes stale `.tmp` leftovers, so a
+//! crash at *any* point leaves exactly the committed prefix readable.
+//!
+//! Query results are returned in the canonical record order (time-major,
+//! then node/attribute/value — [`DurableRecord`]'s `Ord`), which makes them
+//! independent of segment layout: the same data answers the same bytes
+//! before and after compaction, restarts, or re-ingest batching.
+
+use crate::compact::{self, CompactionJob};
+use crate::error::{io_err, Result, StoreError};
+use crate::segment::{RecoveryOutcome, ScanOutcome, Segment, SegmentWriter, DEFAULT_BLOCK_SIZE};
+use scoop_types::DurableRecord;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Tuning knobs for a store. The defaults suit paper-scale runs.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// Bytes per data block (the unit of read I/O and durability).
+    pub block_size: usize,
+    /// Seal the active segment once it holds this many records.
+    pub seal_after_records: u64,
+    /// Compact when a size tier accumulates this many sealed segments.
+    pub compact_tier_segments: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            block_size: DEFAULT_BLOCK_SIZE,
+            seal_after_records: 262_144,
+            compact_tier_segments: 4,
+        }
+    }
+}
+
+/// A snapshot of store-wide statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StoreStats {
+    /// Sealed segments currently on disk.
+    pub segments: usize,
+    /// Data blocks across all sealed segments.
+    pub blocks: usize,
+    /// Committed records across all sealed segments.
+    pub records: u64,
+    /// Bytes the store occupies on disk.
+    pub disk_bytes: u64,
+    /// Piecewise-linear segments across all learned indexes.
+    pub pla_segments: usize,
+    /// Data blocks fetched from disk since this store was opened.
+    pub blocks_read: u64,
+    /// Learned-index lookups that fell back to a full binary search
+    /// (expected to stay 0; the model tests prove the bound).
+    pub index_fallback_lookups: u64,
+    /// Wall-clock seconds spent building learned indexes since open.
+    pub index_build_secs: f64,
+    /// Earliest committed timestamp (ms), 0 when empty.
+    pub min_time_ms: u64,
+    /// Latest committed timestamp (ms), 0 when empty.
+    pub max_time_ms: u64,
+}
+
+/// What one `append_batch`/`ingest` call did, for provenance records.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IngestReport {
+    /// Records accepted.
+    pub records: u64,
+    /// Wall-clock seconds the ingest took (append + seal + fsync).
+    pub ingest_secs: f64,
+    /// `records / ingest_secs` (0 for an empty batch).
+    pub records_per_sec: f64,
+}
+
+/// A persistent, crash-safe store of [`DurableRecord`]s.
+pub struct Store {
+    dir: PathBuf,
+    options: StoreOptions,
+    /// Sealed segments, in id order. Ids only grow; compaction outputs get
+    /// fresh ids, so id order is also recency order.
+    segments: Vec<(u64, Segment)>,
+    active: Option<(u64, SegmentWriter)>,
+    next_id: u64,
+    blocks_read: u64,
+    /// Counters carried over from segments retired by compaction.
+    retired_fallbacks: u64,
+    retired_index_build_secs: f64,
+    recovery_report: Vec<(PathBuf, RecoveryOutcome)>,
+    compaction: Option<CompactionJob>,
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:08}.scoop"))
+}
+
+fn parse_segment_id(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".scoop")?;
+    rest.parse().ok()
+}
+
+impl Store {
+    /// Opens (creating if absent) the store in `dir`, recovering every
+    /// segment and discarding stale compaction temporaries.
+    pub fn open(dir: &Path, options: StoreOptions) -> Result<Store> {
+        if options.block_size < crate::block::MIN_BLOCK_SIZE {
+            return Err(StoreError::InvalidOptions(format!(
+                "block size {} is below the minimum {}",
+                options.block_size,
+                crate::block::MIN_BLOCK_SIZE
+            )));
+        }
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let mut ids = Vec::new();
+        for entry in std::fs::read_dir(dir).map_err(|e| io_err(dir, e))? {
+            let entry = entry.map_err(|e| io_err(dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".tmp") && name.starts_with("seg-") {
+                // An interrupted compaction; its inputs are all still here.
+                std::fs::remove_file(entry.path()).map_err(|e| io_err(&entry.path(), e))?;
+            } else if let Some(id) = parse_segment_id(&name) {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        let mut segments = Vec::new();
+        let mut recovery_report = Vec::new();
+        for id in &ids {
+            let path = segment_path(dir, *id);
+            if let Some(segment) = Segment::open(&path)? {
+                recovery_report.push((path, segment.recovery()));
+                segments.push((*id, segment));
+            }
+        }
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            options,
+            segments,
+            active: None,
+            next_id: ids.last().map(|id| id + 1).unwrap_or(0),
+            blocks_read: 0,
+            retired_fallbacks: 0,
+            retired_index_build_secs: 0.0,
+            recovery_report,
+            compaction: None,
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The options the store was opened with.
+    pub fn options(&self) -> &StoreOptions {
+        &self.options
+    }
+
+    /// What `open` found, per segment file (sealed vs recovered).
+    pub fn recovery_report(&self) -> &[(PathBuf, RecoveryOutcome)] {
+        &self.recovery_report
+    }
+
+    fn ensure_active(&mut self) -> Result<&mut SegmentWriter> {
+        if self.active.is_none() {
+            let id = self.next_id;
+            self.next_id += 1;
+            let writer =
+                SegmentWriter::create(&segment_path(&self.dir, id), self.options.block_size)?;
+            self.active = Some((id, writer));
+        }
+        Ok(&mut self.active.as_mut().expect("just ensured").1)
+    }
+
+    fn append_one(&mut self, record: DurableRecord) -> Result<()> {
+        // A record older than the active segment's tail rolls to a fresh
+        // segment: each segment stays internally time-ordered, and queries
+        // merge across segments.
+        let writer = self.ensure_active()?;
+        match writer.append(record) {
+            Ok(()) => {}
+            Err(StoreError::OutOfOrder { .. }) => {
+                self.seal_active()?;
+                self.ensure_active()?.append(record)?;
+            }
+            Err(e) => return Err(e),
+        }
+        if self
+            .active
+            .as_ref()
+            .map(|(_, w)| w.record_count() >= self.options.seal_after_records)
+            .unwrap_or(false)
+        {
+            self.seal_active()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a batch. The batch is sorted into canonical record order
+    /// first, so callers can hand over readings in any order. Returns an
+    /// [`IngestReport`] with throughput for provenance.
+    pub fn append_batch(&mut self, batch: &[DurableRecord]) -> Result<IngestReport> {
+        let started = Instant::now();
+        let mut sorted = batch.to_vec();
+        sorted.sort_unstable();
+        for record in sorted {
+            self.append_one(record)?;
+        }
+        self.sync()?;
+        let ingest_secs = started.elapsed().as_secs_f64();
+        Ok(IngestReport {
+            records: batch.len() as u64,
+            ingest_secs,
+            records_per_sec: if ingest_secs > 0.0 {
+                batch.len() as f64 / ingest_secs
+            } else {
+                0.0
+            },
+        })
+    }
+
+    /// Makes everything appended so far durable without sealing.
+    pub fn sync(&mut self) -> Result<()> {
+        if let Some((_, writer)) = &mut self.active {
+            writer.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the active segment (no-op when there is none or it is empty).
+    pub fn seal_active(&mut self) -> Result<()> {
+        if let Some((id, writer)) = self.active.take() {
+            if writer.record_count() == 0 {
+                let path = segment_path(&self.dir, id);
+                drop(writer);
+                // An empty writer leaves a header-only file; remove it.
+                std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+                return Ok(());
+            }
+            let segment = writer.seal()?;
+            self.segments.push((id, segment));
+            self.maybe_compact()?;
+        }
+        Ok(())
+    }
+
+    fn maybe_compact(&mut self) -> Result<()> {
+        if self.compaction.is_some() {
+            return Ok(()); // one at a time; the running job will be finished first
+        }
+        if compact::plan_tier(&self.segments, self.options.compact_tier_segments).is_some() {
+            self.start_compaction()?;
+            self.finish_compaction()?;
+        }
+        Ok(())
+    }
+
+    /// Starts a background compaction if a tier is due. Returns `true` when
+    /// a job was started. The job merges *sealed, immutable* files by path
+    /// in a worker thread; call [`Store::finish_compaction`] to install the
+    /// result.
+    pub fn start_compaction(&mut self) -> Result<bool> {
+        if self.compaction.is_some() {
+            return Err(StoreError::Busy("a compaction is already running".into()));
+        }
+        let Some(tier) = compact::plan_tier(&self.segments, self.options.compact_tier_segments)
+        else {
+            return Ok(false);
+        };
+        let output_id = self.next_id;
+        self.next_id += 1;
+        let inputs: Vec<(u64, PathBuf)> = tier
+            .iter()
+            .map(|&i| (self.segments[i].0, self.segments[i].1.path().to_path_buf()))
+            .collect();
+        let output_path = segment_path(&self.dir, output_id);
+        self.compaction = Some(compact::start(
+            inputs,
+            output_id,
+            output_path,
+            self.options,
+        )?);
+        Ok(true)
+    }
+
+    /// Waits for the running compaction (if any) and swaps the merged
+    /// segment in for its inputs. Idempotent when none is running.
+    pub fn finish_compaction(&mut self) -> Result<()> {
+        let Some(job) = self.compaction.take() else {
+            return Ok(());
+        };
+        let done = job.join()?;
+        // Retire the inputs: carry their counters over, then delete their
+        // files (the merged output is already durable under its own name).
+        let input_ids: std::collections::HashSet<u64> = done.input_ids.iter().copied().collect();
+        let mut kept = Vec::new();
+        let mut retired_paths = Vec::new();
+        for (id, segment) in self.segments.drain(..) {
+            if input_ids.contains(&id) {
+                self.retired_fallbacks += segment.learned_index().fallback_lookups();
+                self.retired_index_build_secs += segment.index_build_secs();
+                retired_paths.push(segment.path().to_path_buf());
+            } else {
+                kept.push((id, segment));
+            }
+        }
+        self.segments = kept;
+        for path in &retired_paths {
+            std::fs::remove_file(path).map_err(|e| io_err(path, e))?;
+        }
+        self.segments.push((done.output_id, done.segment));
+        self.segments.sort_by_key(|(id, _)| *id);
+        Ok(())
+    }
+
+    /// Merges every sealed segment into one, synchronously. Used by tests
+    /// and the CLI's explicit `--compact`.
+    pub fn compact_all_blocking(&mut self) -> Result<bool> {
+        self.seal_active()?;
+        if self.segments.len() < 2 {
+            return Ok(false);
+        }
+        if self.compaction.is_some() {
+            return Err(StoreError::Busy("a compaction is already running".into()));
+        }
+        let output_id = self.next_id;
+        self.next_id += 1;
+        let inputs: Vec<(u64, PathBuf)> = self
+            .segments
+            .iter()
+            .map(|(id, seg)| (*id, seg.path().to_path_buf()))
+            .collect();
+        let output_path = segment_path(&self.dir, output_id);
+        self.compaction = Some(compact::start(
+            inputs,
+            output_id,
+            output_path,
+            self.options,
+        )?);
+        self.finish_compaction()?;
+        Ok(true)
+    }
+
+    /// Commits buffered writes so queries see them: seals the active
+    /// segment. Queries are served from sealed segments only.
+    pub fn commit(&mut self) -> Result<()> {
+        self.seal_active()
+    }
+
+    fn merged_query<F>(&mut self, mut per_segment: F) -> Result<ScanOutcome>
+    where
+        F: FnMut(&Segment) -> Result<ScanOutcome>,
+    {
+        self.commit()?;
+        let mut merged = ScanOutcome::default();
+        for (_, segment) in &self.segments {
+            let outcome = per_segment(segment)?;
+            merged.blocks_read += outcome.blocks_read;
+            merged.records.extend(outcome.records);
+        }
+        self.blocks_read += merged.blocks_read;
+        merged.records.sort_unstable();
+        Ok(merged)
+    }
+
+    /// All records with timestamp exactly `t`, in canonical order.
+    pub fn query_point(&mut self, t: u64) -> Result<ScanOutcome> {
+        self.merged_query(|segment| {
+            if segment.record_count() > 0
+                && (t < segment.min_time_ms() || t > segment.max_time_ms())
+            {
+                return Ok(ScanOutcome::default());
+            }
+            segment.query_point(t)
+        })
+    }
+
+    /// All records with `t0 <= time <= t1`, in canonical order.
+    pub fn query_range(&mut self, t0: u64, t1: u64) -> Result<ScanOutcome> {
+        self.merged_query(|segment| {
+            if t1 < segment.min_time_ms() || t0 > segment.max_time_ms() {
+                return Ok(ScanOutcome::default());
+            }
+            segment.query_range(t0, t1)
+        })
+    }
+
+    /// Every committed record, in canonical order.
+    pub fn scan_all(&mut self) -> Result<ScanOutcome> {
+        self.merged_query(|segment| segment.scan_all())
+    }
+
+    /// Store-wide statistics.
+    pub fn stats(&self) -> Result<StoreStats> {
+        let mut stats = StoreStats {
+            segments: self.segments.len(),
+            blocks_read: self.blocks_read,
+            index_fallback_lookups: self.retired_fallbacks,
+            index_build_secs: self.retired_index_build_secs,
+            min_time_ms: u64::MAX,
+            ..StoreStats::default()
+        };
+        for (_, segment) in &self.segments {
+            stats.blocks += segment.block_count();
+            stats.records += segment.record_count();
+            stats.disk_bytes += segment.disk_bytes()?;
+            stats.pla_segments += segment.learned_index().segments().len();
+            stats.index_fallback_lookups += segment.learned_index().fallback_lookups();
+            stats.index_build_secs += segment.index_build_secs();
+            if segment.record_count() > 0 {
+                stats.min_time_ms = stats.min_time_ms.min(segment.min_time_ms());
+                stats.max_time_ms = stats.max_time_ms.max(segment.max_time_ms());
+            }
+        }
+        if stats.records == 0 {
+            stats.min_time_ms = 0;
+        }
+        Ok(stats)
+    }
+
+    /// The sealed segments, for inspection in tests.
+    pub fn segments(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.iter().map(|(_, s)| s)
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Best effort: don't leave a joinable thread behind.
+        if let Some(job) = self.compaction.take() {
+            let _ = job.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("segments", &self.segments.len())
+            .field("active", &self.active.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_types::NodeId;
+
+    fn record(t: u64, node: u16, v: i32) -> DurableRecord {
+        DurableRecord {
+            time_ms: t,
+            node: NodeId(node),
+            attribute: 0,
+            value: v,
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "scoop-store-storetest-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_options() -> StoreOptions {
+        StoreOptions {
+            block_size: 8 + 16 * 4,
+            seal_after_records: 32,
+            compact_tier_segments: 1000, // effectively off unless asked
+        }
+    }
+
+    #[test]
+    fn ingest_restart_query() {
+        let dir = tmp_dir("restart");
+        {
+            let mut store = Store::open(&dir, small_options()).unwrap();
+            let batch: Vec<DurableRecord> = (0..100u64)
+                .map(|t| record(t, (t % 7) as u16, t as i32))
+                .collect();
+            let report = store.append_batch(&batch).unwrap();
+            assert_eq!(report.records, 100);
+            store.commit().unwrap();
+        }
+        let mut store = Store::open(&dir, small_options()).unwrap();
+        assert!(store
+            .recovery_report()
+            .iter()
+            .all(|(_, r)| *r == RecoveryOutcome::Sealed));
+        let hit = store.query_point(42).unwrap();
+        assert_eq!(hit.records.len(), 1);
+        assert_eq!(hit.records[0].value, 42);
+        let range = store.query_range(10, 19).unwrap();
+        assert_eq!(range.records.len(), 10);
+        let all = store.scan_all().unwrap();
+        assert_eq!(all.records.len(), 100);
+        assert!(all.records.windows(2).all(|w| w[0] <= w[1]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_batches_roll_segments_and_still_answer() {
+        let dir = tmp_dir("rolling");
+        let mut store = Store::open(&dir, small_options()).unwrap();
+        store
+            .append_batch(
+                &(50..100u64)
+                    .map(|t| record(t, 1, t as i32))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        store.commit().unwrap();
+        // Older data arrives later — lands in a second segment.
+        store
+            .append_batch(
+                &(0..50u64)
+                    .map(|t| record(t, 2, t as i32))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        let all = store.scan_all().unwrap();
+        assert_eq!(all.records.len(), 100);
+        assert!(all.records.windows(2).all(|w| w[0] <= w[1]));
+        let hit = store.query_point(25).unwrap();
+        assert_eq!(hit.records.len(), 1);
+        assert_eq!(hit.records[0].node, NodeId(2));
+
+        // Compaction folds both segments into one; answers are unchanged.
+        let before = store.scan_all().unwrap().records;
+        assert!(store.compact_all_blocking().unwrap());
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.segments, 1);
+        assert_eq!(stats.records, 100);
+        let after = store.scan_all().unwrap().records;
+        assert_eq!(before, after);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn point_lookup_reads_at_most_one_block_per_segment() {
+        let dir = tmp_dir("onetouch");
+        let mut store = Store::open(&dir, small_options()).unwrap();
+        let batch: Vec<DurableRecord> = (0..500u64).map(|t| record(t * 3, 1, t as i32)).collect();
+        store.append_batch(&batch).unwrap();
+        store.commit().unwrap();
+        store.compact_all_blocking().unwrap();
+        assert_eq!(store.stats().unwrap().segments, 1);
+        for t in [0u64, 3, 300, 1497] {
+            let hit = store.query_point(t).unwrap();
+            assert_eq!(hit.records.len(), 1, "t={t}");
+            assert!(
+                hit.blocks_read <= 1,
+                "t={t} read {} blocks",
+                hit.blocks_read
+            );
+        }
+        // Absent timestamps may touch one block (the candidate) at most.
+        for t in [1u64, 299, 5000] {
+            let miss = store.query_point(t).unwrap();
+            assert!(miss.records.is_empty());
+            assert!(miss.blocks_read <= 1);
+        }
+        assert_eq!(store.stats().unwrap().index_fallback_lookups, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,232 @@
+//! Crash-recovery harness: write N records, then truncate or corrupt the
+//! file at every block boundary (and inside the header, blocks, index
+//! region, and footer), and assert `open()` recovers exactly the committed
+//! prefix — or surfaces a typed error — and never panics.
+
+use scoop_store::{RecoveryOutcome, Segment, SegmentWriter, StoreError, HEADER_LEN};
+use scoop_types::{DurableRecord, NodeId};
+use std::path::{Path, PathBuf};
+
+const BLOCK_SIZE: usize = 8 + 16 * 4; // 4 records per block
+const RECORDS: u64 = 18; // 5 blocks: 4+4+4+4+2
+
+fn record(t: u64) -> DurableRecord {
+    DurableRecord {
+        time_ms: t * 10,
+        node: NodeId((t % 5) as u16 + 1),
+        attribute: (t % 3) as u8,
+        value: t as i32 * 7,
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scoop-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A sealed segment file plus the records it committed, for mutation.
+fn sealed_fixture(dir: &Path) -> (PathBuf, Vec<DurableRecord>, usize) {
+    let path = dir.join("seg-fixture.scoop");
+    let mut writer = SegmentWriter::create(&path, BLOCK_SIZE).unwrap();
+    let records: Vec<DurableRecord> = (0..RECORDS).map(record).collect();
+    writer.append_batch(&records).unwrap();
+    let segment = writer.seal().unwrap();
+    let blocks = segment.block_count();
+    assert_eq!(blocks, 5);
+    drop(segment);
+    (path, records, blocks)
+}
+
+/// Records that survive a truncation to `len` bytes: every record of every
+/// block that fits entirely under the cut.
+fn committed_prefix(records: &[DurableRecord], len: usize, blocks: usize) -> Vec<DurableRecord> {
+    let whole_blocks = len.saturating_sub(HEADER_LEN) / BLOCK_SIZE;
+    let per_block = (BLOCK_SIZE - 8) / 16;
+    let survivors = whole_blocks.min(blocks) * per_block;
+    records
+        .iter()
+        .copied()
+        .take(survivors.min(records.len()))
+        .collect()
+}
+
+#[test]
+fn truncation_at_every_boundary_recovers_the_committed_prefix() {
+    let dir = scratch("truncate");
+    let (fixture, records, blocks) = sealed_fixture(&dir);
+    let sealed_bytes = std::fs::read(&fixture).unwrap();
+    let file_len = sealed_bytes.len();
+
+    // Every block boundary, one byte each side of it, mid-header,
+    // mid-block, mid-index-region, and mid-footer.
+    let mut cuts: Vec<usize> = vec![0, 1, HEADER_LEN / 2, HEADER_LEN];
+    for b in 0..=blocks {
+        let boundary = HEADER_LEN + b * BLOCK_SIZE;
+        cuts.extend([boundary.saturating_sub(1), boundary, boundary + 1]);
+    }
+    cuts.extend([file_len - 64, file_len - 32, file_len - 1]);
+    cuts.retain(|&c| c < file_len);
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    for cut in cuts {
+        let path = dir.join(format!("seg-cut{cut}.scoop"));
+        std::fs::write(&path, &sealed_bytes[..cut]).unwrap();
+        let expected = committed_prefix(&records, cut, blocks);
+        match Segment::open(&path) {
+            Ok(Some(segment)) => {
+                assert!(
+                    matches!(segment.recovery(), RecoveryOutcome::Resealed { .. }),
+                    "cut at {cut}: a truncated file can never be cleanly sealed"
+                );
+                let recovered = segment.scan_all().unwrap().records;
+                assert_eq!(recovered, expected, "cut at {cut}");
+                drop(segment);
+                // Recovery must converge: the second open is clean.
+                let segment = Segment::open(&path)
+                    .unwrap()
+                    .expect("resealed file persists");
+                assert_eq!(segment.recovery(), RecoveryOutcome::Sealed, "cut at {cut}");
+                assert_eq!(segment.scan_all().unwrap().records, expected);
+            }
+            Ok(None) => {
+                assert!(
+                    expected.is_empty(),
+                    "cut at {cut} silently dropped {} committed records",
+                    expected.len()
+                );
+                assert!(!path.exists(), "empty recovery removes the file");
+            }
+            Err(e) => panic!("cut at {cut}: open must recover, got error: {e}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mid_footer_corruption_triggers_full_recovery() {
+    let dir = scratch("footer");
+    let (fixture, records, _) = sealed_fixture(&dir);
+    let sealed_bytes = std::fs::read(&fixture).unwrap();
+    let file_len = sealed_bytes.len();
+
+    // Flip one byte at every offset inside the 64-byte footer.
+    for offset in (file_len - 64)..file_len {
+        let path = dir.join(format!("seg-foot{offset}.scoop"));
+        let mut bytes = sealed_bytes.clone();
+        bytes[offset] ^= 0x5A;
+        std::fs::write(&path, &bytes).unwrap();
+        let segment = Segment::open(&path)
+            .unwrap_or_else(|e| panic!("footer flip at {offset}: {e}"))
+            .expect("data blocks are intact");
+        assert!(
+            matches!(segment.recovery(), RecoveryOutcome::Resealed { .. }),
+            "footer flip at {offset} must invalidate the commit record"
+        );
+        assert_eq!(
+            segment.scan_all().unwrap().records,
+            records,
+            "flip at {offset}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn data_corruption_is_a_typed_error_under_a_valid_footer() {
+    let dir = scratch("datacorrupt");
+    let (fixture, _, blocks) = sealed_fixture(&dir);
+    let sealed_bytes = std::fs::read(&fixture).unwrap();
+
+    for block in 0..blocks {
+        let path = dir.join(format!("seg-blk{block}.scoop"));
+        let mut bytes = sealed_bytes.clone();
+        // Flip a payload byte in the middle of this block.
+        bytes[HEADER_LEN + block * BLOCK_SIZE + BLOCK_SIZE / 2] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        // The footer is valid, so the segment opens (blocks verify lazily)…
+        let segment = Segment::open(&path).unwrap().expect("footer is intact");
+        assert_eq!(segment.recovery(), RecoveryOutcome::Sealed);
+        // …and reading the damaged block is a typed error, never a panic.
+        match segment.read_block(block) {
+            Err(StoreError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("checksum"), "block {block}: {detail}")
+            }
+            other => panic!("block {block}: expected Corrupt, got {other:?}"),
+        }
+        assert!(segment.scan_all().is_err());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unsealed_corruption_truncates_to_the_last_valid_block() {
+    let dir = scratch("unsealed");
+    let (fixture, records, blocks) = sealed_fixture(&dir);
+    let sealed_bytes = std::fs::read(&fixture).unwrap();
+    let per_block = (BLOCK_SIZE - 8) / 16;
+
+    for block in 0..blocks {
+        let path = dir.join(format!("seg-unsealed{block}.scoop"));
+        let mut bytes = sealed_bytes.clone();
+        bytes[HEADER_LEN + block * BLOCK_SIZE + 9] ^= 0x08; // damage block payload
+        let len = bytes.len();
+        bytes[len - 1] ^= 0xFF; // …and the footer, forcing a recovery scan
+        std::fs::write(&path, &bytes).unwrap();
+        let expected: Vec<DurableRecord> =
+            records.iter().copied().take(block * per_block).collect();
+        match Segment::open(&path) {
+            Ok(Some(segment)) => {
+                assert_eq!(
+                    segment.scan_all().unwrap().records,
+                    expected,
+                    "corrupt block {block}"
+                );
+            }
+            Ok(None) => assert!(expected.is_empty(), "corrupt block {block} lost data"),
+            Err(e) => panic!("corrupt block {block}: {e}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn store_open_survives_a_torn_tail_and_answers_queries() {
+    use scoop_store::{Store, StoreOptions};
+    let dir = scratch("store-torn");
+    let db = dir.join("db");
+    let options = StoreOptions {
+        block_size: BLOCK_SIZE,
+        ..StoreOptions::default()
+    };
+    {
+        let mut store = Store::open(&db, options).unwrap();
+        let batch: Vec<DurableRecord> = (0..RECORDS).map(record).collect();
+        store.append_batch(&batch).unwrap();
+        store.commit().unwrap();
+    }
+    // Tear the tail of the (only) sealed segment: chop the footer and the
+    // last, partial block.
+    let seg_path = std::fs::read_dir(&db)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|x| x == "scoop"))
+        .expect("one sealed segment");
+    let bytes = std::fs::read(&seg_path).unwrap();
+    std::fs::write(&seg_path, &bytes[..HEADER_LEN + 4 * BLOCK_SIZE - 3]).unwrap();
+
+    let mut store = Store::open(&db, options).unwrap();
+    assert_eq!(store.recovery_report().len(), 1);
+    assert!(matches!(
+        store.recovery_report()[0].1,
+        RecoveryOutcome::Resealed { .. }
+    ));
+    // Blocks 0..3 survive: 12 records; the 4th block was cut mid-write.
+    let all = store.scan_all().unwrap();
+    assert_eq!(all.records.len(), 12);
+    let hit = store.query_point(record(5).time_ms).unwrap();
+    assert_eq!(hit.records.len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

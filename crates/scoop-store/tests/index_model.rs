@@ -1,0 +1,129 @@
+//! Property-based model test: the learned (piecewise-linear) time index must
+//! agree with the `BTreeMap` reference index on every lookup, over arbitrary
+//! monotone workloads — including the empty, single-block, and
+//! duplicate-timestamp edges — and a segment queried through either index
+//! must return identical point and range results.
+
+use proptest::prelude::*;
+use scoop_store::{BTreeRefIndex, BlockMeta, LearnedTimeIndex, SegmentWriter, TimeIndex};
+use scoop_types::{DurableRecord, NodeId};
+use std::path::PathBuf;
+
+/// Folds `(gap, span, count)` triples into a valid monotone block directory:
+/// each block starts at or after the previous block's last timestamp (a zero
+/// gap produces duplicate timestamps across block boundaries).
+fn directory(shape: &[(u64, u64, u16)]) -> Vec<BlockMeta> {
+    let mut dir = Vec::with_capacity(shape.len());
+    let mut clock = 0u64;
+    for &(gap, span, count) in shape {
+        let first = clock + gap;
+        let last = first + span;
+        clock = last;
+        dir.push(BlockMeta {
+            first_time_ms: first,
+            last_time_ms: last,
+            count: count.max(1) as u32,
+        });
+    }
+    dir
+}
+
+/// Query times worth probing: every key, its neighbours, and the far edges.
+fn probes(dir: &[BlockMeta]) -> Vec<u64> {
+    let mut probes = vec![0, 1, u64::MAX];
+    for meta in dir {
+        for key in [meta.first_time_ms, meta.last_time_ms] {
+            probes.extend([key.saturating_sub(1), key, key + 1]);
+        }
+    }
+    probes
+}
+
+fn scratch(name: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "scoop-idxmodel-{}-{name}.scoop",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `first_block_for` agrees with the reference on arbitrary monotone
+    /// directories, for every error bound, at every interesting query time.
+    #[test]
+    fn learned_index_matches_reference_on_lookup(
+        shape in proptest::collection::vec((0u64..20, 0u64..20, 1u16..512), 0..64),
+        max_error in 1u32..9,
+        extra in proptest::collection::vec(0u64..2_000, 0..16),
+    ) {
+        let dir = directory(&shape);
+        let learned = LearnedTimeIndex::build_with_error(&dir, max_error);
+        let reference = BTreeRefIndex::build(&dir);
+        let mut times = probes(&dir);
+        times.extend(extra);
+        for t in times {
+            prop_assert_eq!(
+                learned.first_block_for(t, &dir),
+                reference.first_block_for(t, &dir),
+                "t={} over {} blocks (max_error {})", t, dir.len(), max_error
+            );
+        }
+    }
+
+    /// A real sealed segment answers point and range queries identically
+    /// through the learned and the reference index, and both match a naive
+    /// in-memory filter over the ingested records.
+    #[test]
+    fn segment_queries_agree_with_naive_model(
+        deltas in proptest::collection::vec(0u64..30, 1..300),
+        windows in proptest::collection::vec((0u64..4_000, 0u64..500), 1..12),
+        case in 0u64..u64::MAX,
+    ) {
+        let mut records = Vec::with_capacity(deltas.len());
+        let mut clock = 0u64;
+        for (i, &delta) in deltas.iter().enumerate() {
+            clock += delta; // delta 0 => duplicate timestamps
+            records.push(DurableRecord {
+                time_ms: clock,
+                node: NodeId((i % 7) as u16 + 1),
+                attribute: (i % 3) as u8,
+                value: i as i32,
+            });
+        }
+        records.sort_unstable();
+
+        let path = scratch(case);
+        let _ = std::fs::remove_file(&path);
+        let mut writer = SegmentWriter::create(&path, 8 + 16 * 4).unwrap();
+        writer.append_batch(&records).unwrap();
+        let segment = writer.seal().unwrap();
+
+        for &(start, width) in &windows {
+            let (t0, t1) = (start, start.saturating_add(width));
+            let expected: Vec<DurableRecord> = records
+                .iter()
+                .copied()
+                .filter(|r| (t0..=t1).contains(&r.time_ms))
+                .collect();
+            let learned = segment
+                .scan_matching(t0, t1, segment.learned_index())
+                .unwrap();
+            let reference = segment
+                .scan_matching(t0, t1, segment.reference_index())
+                .unwrap();
+            prop_assert_eq!(&learned.records, &expected, "range [{}, {}]", t0, t1);
+            prop_assert_eq!(&reference.records, &expected, "range [{}, {}]", t0, t1);
+            // Point queries at both window edges.
+            for t in [t0, t1] {
+                let expected_point: Vec<DurableRecord> = records
+                    .iter()
+                    .copied()
+                    .filter(|r| r.time_ms == t)
+                    .collect();
+                prop_assert_eq!(&segment.query_point(t).unwrap().records, &expected_point);
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

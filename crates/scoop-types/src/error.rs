@@ -35,6 +35,9 @@ pub enum ScoopError {
     Serialization(String),
     /// An experiment artifact could not be read from or written to disk.
     Artifact(String),
+    /// The durable basestation store hit an I/O failure, detected corruption,
+    /// or was handed records it cannot accept (e.g. out of time order).
+    Store(String),
 }
 
 impl fmt::Display for ScoopError {
@@ -51,6 +54,7 @@ impl fmt::Display for ScoopError {
             ScoopError::Simulation(msg) => write!(f, "simulation error: {msg}"),
             ScoopError::Serialization(msg) => write!(f, "serialization error: {msg}"),
             ScoopError::Artifact(msg) => write!(f, "artifact error: {msg}"),
+            ScoopError::Store(msg) => write!(f, "store error: {msg}"),
         }
     }
 }

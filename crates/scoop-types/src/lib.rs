@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod durable;
 pub mod error;
 pub mod ids;
 pub mod message;
@@ -24,6 +25,7 @@ pub mod value;
 pub use config::{
     DataSourceKind, ExperimentConfig, QueryWorkloadConfig, ScoopParams, StoragePolicy,
 };
+pub use durable::{attribute_code, attribute_from_code, DurableRecord, DURABLE_RECORD_LEN};
 pub use error::ScoopError;
 pub use ids::{NodeBitmap, NodeId, SeqNo, StorageIndexId, MAX_NODES};
 pub use message::{MessageKind, MessageStats};

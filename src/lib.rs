@@ -12,6 +12,7 @@ pub use scoop_net as net;
 pub use scoop_routing as routing;
 pub use scoop_sim as sim;
 pub use scoop_storage as storage;
+pub use scoop_store as store;
 pub use scoop_trickle as trickle;
 pub use scoop_types as types;
 pub use scoop_workload as workload;
