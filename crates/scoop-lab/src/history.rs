@@ -73,6 +73,20 @@ pub struct HistoryRecord {
     /// Bytes the store occupies on disk after the ingest.
     #[serde(default, skip_serializing_if = "is_zero_u64")]
     pub store_disk_bytes: u64,
+    /// Queries completed by a `scoop-serve bench` run (only set on
+    /// `scale:"serve"` records; elided as 0 elsewhere so simulation and
+    /// store lines are unchanged).
+    #[serde(default, skip_serializing_if = "is_zero_u64")]
+    pub serve_queries: u64,
+    /// Serving throughput, completed queries per wall-clock second.
+    #[serde(default, skip_serializing_if = "is_zero_f64")]
+    pub serve_qps: f64,
+    /// Median served-request latency, in milliseconds.
+    #[serde(default, skip_serializing_if = "is_zero_f64")]
+    pub serve_p50_ms: f64,
+    /// 99th-percentile served-request latency, in milliseconds.
+    #[serde(default, skip_serializing_if = "is_zero_f64")]
+    pub serve_p99_ms: f64,
     /// Per-experiment timings, in suite order.
     pub experiments: Vec<ExperimentTiming>,
 }
@@ -116,6 +130,10 @@ impl HistoryRecord {
             store_ingest_records_per_sec: 0.0,
             store_index_build_secs: 0.0,
             store_disk_bytes: 0,
+            serve_queries: 0,
+            serve_qps: 0.0,
+            serve_p50_ms: 0.0,
+            serve_p99_ms: 0.0,
             experiments,
         })
     }
@@ -139,6 +157,42 @@ impl HistoryRecord {
             store_ingest_records_per_sec: report.records_per_sec,
             store_index_build_secs: stats.index_build_secs,
             store_disk_bytes: stats.disk_bytes,
+            serve_queries: 0,
+            serve_qps: 0.0,
+            serve_p50_ms: 0.0,
+            serve_p99_ms: 0.0,
+            experiments: Vec::new(),
+        }
+    }
+
+    /// Summarizes one `scoop-serve bench` run. `scale` is `"serve"` and the
+    /// query count participates in comparability, so serving latency is
+    /// gated only against runs of the same workload size and concurrency —
+    /// never against simulation events/s records.
+    pub fn from_serve_bench(
+        queries: u64,
+        wall_clock_secs: f64,
+        qps: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+        concurrency: usize,
+    ) -> HistoryRecord {
+        HistoryRecord {
+            git_rev: crate::artifact::workspace_git_rev(),
+            scale: "serve".to_string(),
+            trials: 1,
+            threads: concurrency,
+            total_wall_clock_secs: wall_clock_secs,
+            total_events_processed: 0,
+            peak_rss_bytes: crate::artifact::peak_rss_bytes(),
+            store_records: 0,
+            store_ingest_records_per_sec: 0.0,
+            store_index_build_secs: 0.0,
+            store_disk_bytes: 0,
+            serve_queries: queries,
+            serve_qps: qps,
+            serve_p50_ms: p50_ms,
+            serve_p99_ms: p99_ms,
             experiments: Vec::new(),
         }
     }
@@ -207,6 +261,11 @@ impl HistoryDelta {
                     && r.trials == latest.trials
                     && r.threads == latest.threads
                     && r.experiments.len() == latest.experiments.len()
+                    // Serving records additionally match on workload size, so
+                    // a smoke-sized serve run is never judged against the
+                    // million-query bench (0 == 0 keeps every older record
+                    // kind comparable exactly as before).
+                    && r.serve_queries == latest.serve_queries
             })
             .cloned();
         Some(HistoryDelta { latest, previous })
@@ -222,10 +281,24 @@ impl HistoryDelta {
         Some(self.latest.total_wall_clock_secs / previous.total_wall_clock_secs)
     }
 
+    /// Tail-latency ratio `latest / previous` of served-request p99
+    /// (`> 1` is a slowdown), if both records are serve records with
+    /// positive p99s.
+    pub fn serve_p99_ratio(&self) -> Option<f64> {
+        let previous = self.previous.as_ref()?;
+        if previous.serve_p99_ms <= 0.0 || self.latest.serve_p99_ms <= 0.0 {
+            return None;
+        }
+        Some(self.latest.serve_p99_ms / previous.serve_p99_ms)
+    }
+
     /// Whether the latest run regressed by more than `max_regression`
     /// (e.g. `0.25` fails anything over 1.25× the previous wall clock).
+    /// Serve records are additionally gated on p99 latency — a serving-tier
+    /// tail-latency regression fails even when total wall clock hides it.
     pub fn regressed(&self, max_regression: f64) -> bool {
-        matches!(self.wall_clock_ratio(), Some(ratio) if ratio > 1.0 + max_regression)
+        let over = |ratio: Option<f64>| matches!(ratio, Some(r) if r > 1.0 + max_regression);
+        over(self.wall_clock_ratio()) || over(self.serve_p99_ratio())
     }
 
     /// Human-readable summary: per-experiment wall clock and events/sec of
@@ -250,6 +323,12 @@ impl HistoryDelta {
             ));
         }
         out.push('\n');
+        if latest.serve_queries > 0 {
+            out.push_str(&format!(
+                "  serving: {} queries at {:.0} q/s, p50 {:.3} ms, p99 {:.3} ms\n",
+                latest.serve_queries, latest.serve_qps, latest.serve_p50_ms, latest.serve_p99_ms
+            ));
+        }
         if latest.store_records > 0 {
             out.push_str(&format!(
                 "  durable store: {} record(s) at {:.0} records/s, \
@@ -282,6 +361,14 @@ impl HistoryDelta {
                         "within threshold"
                     },
                 ));
+                if let Some(p99_ratio) = self.serve_p99_ratio() {
+                    out.push_str(&format!(
+                        "serve p99 delta: {:+.1} % ({:.3} ms -> {:.3} ms)\n",
+                        (p99_ratio - 1.0) * 100.0,
+                        previous.serve_p99_ms,
+                        self.latest.serve_p99_ms
+                    ));
+                }
             }
             _ => out.push_str(
                 "no comparable previous record (same scale/trials/threads/experiments) — \
@@ -337,6 +424,10 @@ mod tests {
             store_ingest_records_per_sec: 0.0,
             store_index_build_secs: 0.0,
             store_disk_bytes: 0,
+            serve_queries: 0,
+            serve_qps: 0.0,
+            serve_p50_ms: 0.0,
+            serve_p99_ms: 0.0,
             experiments: (0..experiments)
                 .map(|i| ExperimentTiming {
                     experiment: format!("exp-{i}"),
@@ -377,6 +468,64 @@ mod tests {
         assert!(!delta.regressed(0.0), "no baseline, nothing to fail");
         assert!(delta.render_text(0.25).contains("no comparable previous"));
         assert!(HistoryDelta::from_records(&[]).is_none());
+    }
+
+    fn serve_record(queries: u64, wall: f64, p99_ms: f64) -> HistoryRecord {
+        let mut r = HistoryRecord::from_serve_bench(
+            queries,
+            wall,
+            queries as f64 / wall,
+            p99_ms / 2.0,
+            p99_ms,
+            32,
+        );
+        r.git_rev = format!("serve-{wall}-{p99_ms}");
+        r
+    }
+
+    #[test]
+    fn serve_records_compare_only_against_same_sized_serve_runs() {
+        // A serve record must skip simulation and store records, and also a
+        // serve run of a different query count, when picking its baseline.
+        let records = vec![
+            record("quick", 1, 2.0, 2),
+            serve_record(1_000_000, 10.0, 4.0),
+            serve_record(5_000, 0.1, 3.0),
+            serve_record(1_000_000, 11.0, 4.2),
+        ];
+        let delta = HistoryDelta::from_records(&records).unwrap();
+        let previous = delta.previous.as_ref().unwrap();
+        assert_eq!(previous.serve_queries, 1_000_000);
+        assert_eq!(previous.total_wall_clock_secs, 10.0);
+        let p99 = delta.serve_p99_ratio().unwrap();
+        assert!((p99 - 1.05).abs() < 1e-9, "{p99}");
+        assert!(!delta.regressed(0.25));
+        let text = delta.render_text(0.25);
+        assert!(text.contains("serving: 1000000 queries"), "{text}");
+        assert!(text.contains("serve p99 delta"), "{text}");
+
+        // A simulation record never grows a serve baseline, and vice versa.
+        let records = vec![serve_record(5_000, 0.1, 3.0), record("quick", 1, 2.0, 2)];
+        let delta = HistoryDelta::from_records(&records).unwrap();
+        assert!(delta.previous.is_none());
+        assert!(delta.serve_p99_ratio().is_none());
+    }
+
+    #[test]
+    fn serve_p99_regression_gates_even_when_wall_clock_is_flat() {
+        let records = vec![
+            serve_record(1_000_000, 10.0, 4.0),
+            serve_record(1_000_000, 10.0, 9.0),
+        ];
+        let delta = HistoryDelta::from_records(&records).unwrap();
+        assert_eq!(delta.wall_clock_ratio(), Some(1.0), "wall clock is flat");
+        assert!(delta.regressed(1.0), "p99 more than doubled");
+        assert!(!delta.regressed(1.5), "within a generous threshold");
+        assert!(
+            delta.render_text(1.0).contains("REGRESSION"),
+            "{}",
+            delta.render_text(1.0)
+        );
     }
 
     #[test]

@@ -365,6 +365,21 @@ impl<L: NodeLogic> Engine<L> {
         self.run_until(target);
     }
 
+    /// Schedules a timer event for `node` at absolute simulated time `at`
+    /// from *outside* any node callback — the hook an external driver (the
+    /// `scoop-serve` front end) uses to make its stimulus part of the run.
+    ///
+    /// The event is an ordinary [`Event::TimerFire`] pushed through the same
+    /// (sharded) queue as node-armed timers, so it participates in the
+    /// deterministic merge order like any internal event: a run with injected
+    /// timers is byte-identical at any shard count, and two runs injecting
+    /// the same `(at, node, token)` sequence dispatch identically. Times in
+    /// the past are clamped to `now` (the queue never travels backwards).
+    pub fn inject_timer(&mut self, node: NodeId, at: SimTime, token: TimerToken) {
+        let at = if at > self.now { at } else { self.now };
+        self.queue.push(at, Event::TimerFire { node, token });
+    }
+
     fn dispatch(&mut self, event: Event<L::Payload>) {
         match event {
             Event::PacketArrival {
@@ -749,6 +764,48 @@ mod tests {
             eng.stats().total_tx()
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn injected_timers_fire_like_ordinary_events() {
+        const EXTERNAL: TimerToken = 99;
+        // TestApp asserts token == TICK in on_timer; use a bespoke app that
+        // records what fires and when.
+        struct Recorder {
+            fired: Vec<(u64, TimerToken)>,
+        }
+        impl NodeLogic for Recorder {
+            type Payload = ();
+            fn on_init(&mut self, ctx: &mut NodeCtx<'_, ()>) {
+                ctx.set_timer(SimDuration::from_secs(3), TICK);
+            }
+            fn on_packet(&mut self, _ctx: &mut NodeCtx<'_, ()>, _p: Packet<()>, _a: bool) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_, ()>, token: TimerToken) {
+                self.fired.push((ctx.now().as_millis(), token));
+            }
+        }
+        let topo = Topology::grid(2, 10.0).unwrap();
+        let links = LinkModel::perfect(&topo);
+        let nodes = (0..topo.len())
+            .map(|_| Recorder { fired: Vec::new() })
+            .collect();
+        let mut eng = Engine::new(topo, links, nodes, EngineConfig::default()).unwrap();
+
+        // Inject before the first run (queue not yet started) and between
+        // runs; both must dispatch at their requested times, interleaved
+        // with the node-armed timer in time order.
+        eng.inject_timer(NodeId(1), SimTime::from_secs(2), EXTERNAL);
+        eng.run_until(SimTime::from_secs(4));
+        // A past target clamps to `now` instead of running backwards.
+        eng.inject_timer(NodeId(1), SimTime::from_secs(1), EXTERNAL);
+        eng.run_until(SimTime::from_secs(10));
+
+        assert_eq!(
+            eng.node(NodeId(1)).fired,
+            vec![(2_000, EXTERNAL), (3_000, TICK), (4_000, EXTERNAL)]
+        );
+        // Other nodes saw only their own armed timer.
+        assert_eq!(eng.node(NodeId(2)).fired, vec![(3_000, TICK)]);
     }
 
     #[test]

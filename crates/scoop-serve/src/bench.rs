@@ -1,0 +1,269 @@
+//! The load generator: millions of queries against one served network.
+//!
+//! `scoop-serve bench` drives a [`ServeServer`] over the in-memory transport
+//! path as hard as the machine allows: every tick it submits a full admission
+//! queue's worth of requests from `concurrency` independent deterministic
+//! query streams, runs the tick, and measures each request's wall-clock
+//! latency from submission to response-frame emission. Latency percentiles
+//! are honest about batching — a request admitted early in a tick waits for
+//! the whole tick, and that wait is in its number.
+//!
+//! Every response frame (including immediate `Overloaded` rejections) is
+//! folded into an FNV-1a digest in emission order. Running the same options
+//! with the cache off and on must produce the same digest; the `bench`
+//! command does exactly that and refuses to report if the bytes differ, so
+//! every published number doubles as a byte-identity proof.
+
+use crate::core::CoreStats;
+use crate::server::{ServeOptions, ServeServer};
+use scoop_types::{
+    append_overloaded_frame, ScenarioSpec, ScoopError, ServeRequest, SimDuration, SimTime,
+};
+use scoop_workload::QueryGenerator;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of one bench run.
+#[derive(Clone)]
+pub struct BenchOptions {
+    /// The simulated network to serve.
+    pub spec: ScenarioSpec,
+    /// Simulated time per admission tick.
+    pub tick: SimDuration,
+    /// Admission queue bound (also the per-tick submission batch).
+    pub queue_capacity: usize,
+    /// Answer-cache entries; 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Total queries to complete.
+    pub total_queries: u64,
+    /// Independent client query streams submitting round-robin.
+    pub concurrency: usize,
+    /// Seed for the query streams (client `i` uses `seed + i`).
+    pub seed: u64,
+    /// Query time windows are snapped to multiples of this, so identical
+    /// predicates recur across ticks and the cache genuinely engages.
+    pub window_quantum: SimDuration,
+}
+
+impl BenchOptions {
+    /// Paper-scale defaults: the 62-node network, 1-second ticks, a
+    /// 1024-deep queue, 4096 cached answers, 1M queries from 32 streams.
+    pub fn paper_scale() -> Self {
+        BenchOptions {
+            spec: ScenarioSpec::paper_defaults(),
+            tick: SimDuration::from_secs(1),
+            queue_capacity: 1024,
+            cache_capacity: 4096,
+            total_queries: 1_000_000,
+            concurrency: 32,
+            seed: 42,
+            window_quantum: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// What one bench run measured.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Queries completed (answered + rejected); equals the requested total.
+    pub total_queries: u64,
+    /// Queries answered with rows.
+    pub answered: u64,
+    /// Queries rejected `Overloaded`.
+    pub overloaded: u64,
+    /// Admission ticks run.
+    pub ticks: u64,
+    /// Simulated time covered, in milliseconds.
+    pub simulated_ms: u64,
+    /// Wall-clock of the whole run, in seconds.
+    pub wall_secs: f64,
+    /// Completed queries per wall-clock second.
+    pub qps: f64,
+    /// Median request latency, in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, in milliseconds.
+    pub p99_ms: f64,
+    /// FNV-1a digest over every response frame in emission order.
+    pub digest: String,
+    /// Readings drained from node buffers into the index.
+    pub readings_drained: u64,
+    /// Rows returned across all answers.
+    pub rows_returned: u64,
+    /// Unique predicates evaluated after coalescing.
+    pub coalesced_groups: u64,
+    /// Cache hits (0 when the cache is off).
+    pub cache_hits: u64,
+    /// Cache misses (also counts lookups with the cache off as 0).
+    pub cache_misses: u64,
+    /// Cache entries dropped by invalidation.
+    pub cache_invalidated: u64,
+}
+
+/// Running FNV-1a 64 over frame bytes (same idiom as scoop-lab's config
+/// hashes, so digests render recognizably as `fnv1a:<16 hex>`).
+pub(crate) struct Digest(u64);
+
+impl Digest {
+    pub(crate) fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn fold(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    pub(crate) fn render(&self) -> String {
+        format!("fnv1a:{:016x}", self.0)
+    }
+}
+
+/// Snaps a timestamp down to a multiple of `quantum`.
+pub(crate) fn quantize(t: SimTime, quantum: SimDuration) -> SimTime {
+    let q = quantum.as_millis().max(1);
+    SimTime::from_millis((t.as_millis() / q) * q)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Runs one bench configuration to completion and reports.
+pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, ScoopError> {
+    let mut serve = ServeOptions::new(options.spec.clone());
+    serve.tick = options.tick;
+    serve.queue_capacity = options.queue_capacity;
+    serve.cache_capacity = options.cache_capacity;
+    let mut server = ServeServer::new(serve)?;
+
+    let concurrency = options.concurrency.max(1);
+    let mut generators: Vec<QueryGenerator> = (0..concurrency)
+        .map(|i| QueryGenerator::from_spec(&options.spec.workload, options.seed + i as u64))
+        .collect();
+
+    let total = options.total_queries;
+    let mut starts: Vec<Instant> = Vec::with_capacity(total as usize);
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(total as usize);
+    let mut digest = Digest::new();
+    let mut frames: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut rejection = Vec::new();
+    let mut overloaded = 0u64;
+    let began = Instant::now();
+
+    let mut submitted = 0u64;
+    while submitted < total {
+        let batch = (total - submitted).min(options.queue_capacity as u64);
+        for _ in 0..batch {
+            let client = (submitted % concurrency as u64) as usize;
+            let q = generators[client].next_query(server.now());
+            let req = ServeRequest {
+                id: submitted,
+                values: q.values,
+                time_lo: quantize(q.time_lo, options.window_quantum),
+                time_hi: quantize(q.time_hi, options.window_quantum),
+            };
+            starts.push(Instant::now());
+            if let Err(over) = server.submit(client as u64, req) {
+                // Rejections are responses too: digest the frame and count
+                // the round trip, which completed immediately.
+                rejection.clear();
+                append_overloaded_frame(&over, &mut rejection);
+                digest.fold(&rejection);
+                latencies_ms.push(starts[submitted as usize].elapsed().as_secs_f64() * 1e3);
+                overloaded += 1;
+            }
+            submitted += 1;
+        }
+        frames.clear();
+        server.tick(&mut frames)?;
+        for (_, frame) in &frames {
+            digest.fold(frame);
+            let id = u64::from_le_bytes(frame[0..8].try_into().expect("frame has an id"));
+            latencies_ms.push(starts[id as usize].elapsed().as_secs_f64() * 1e3);
+        }
+    }
+
+    let wall_secs = began.elapsed().as_secs_f64();
+    latencies_ms.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let stats = *server.stats();
+    let core: CoreStats = server.core_stats();
+    Ok(BenchReport {
+        total_queries: total,
+        answered: stats.answered,
+        overloaded,
+        ticks: stats.ticks,
+        simulated_ms: server.now().as_millis(),
+        wall_secs,
+        qps: if wall_secs > 0.0 {
+            total as f64 / wall_secs
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        digest: digest.render(),
+        readings_drained: stats.readings_drained,
+        rows_returned: core.rows_returned,
+        coalesced_groups: stats.coalesced_groups,
+        cache_hits: core.cache_hits,
+        cache_misses: core.cache_misses,
+        cache_invalidated: core.cache_invalidated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchOptions {
+        let mut o = BenchOptions::paper_scale();
+        o.spec = ScenarioSpec::small_test();
+        o.total_queries = 3_000;
+        o.queue_capacity = 256;
+        o.concurrency = 4;
+        // 12 ticks x 30 s = 360 simulated s, well past small_test's 2-minute
+        // warmup, so answers carry real rows and depend on the predicates.
+        o.tick = SimDuration::from_secs(30);
+        // Windows stay put for 4 consecutive ticks, so repeated predicates
+        // can genuinely hit the cache across ticks.
+        o.window_quantum = SimDuration::from_secs(120);
+        o
+    }
+
+    #[test]
+    fn bench_completes_every_query_and_modes_are_byte_identical() {
+        let mut uncached = tiny();
+        uncached.cache_capacity = 0;
+        let mut cached = tiny();
+        cached.cache_capacity = 512;
+
+        let a = run_bench(&uncached).unwrap();
+        let b = run_bench(&cached).unwrap();
+        assert_eq!(a.answered + a.overloaded, a.total_queries);
+        assert_eq!(b.answered + b.overloaded, b.total_queries);
+        assert_eq!(a.digest, b.digest, "cache must not change a single byte");
+        assert_eq!(a.rows_returned, b.rows_returned);
+        assert_eq!(a.cache_hits, 0, "uncached run has no cache");
+        assert!(b.cache_hits > 0, "cached run actually hit the cache");
+        assert!(a.p50_ms <= a.p99_ms);
+    }
+
+    #[test]
+    fn bench_is_deterministic_per_seed() {
+        let o = tiny();
+        let a = run_bench(&o).unwrap();
+        let b = run_bench(&o).unwrap();
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.readings_drained, b.readings_drained);
+        let mut other = tiny();
+        other.seed += 1;
+        let c = run_bench(&other).unwrap();
+        assert_ne!(a.digest, c.digest, "different streams, different bytes");
+    }
+}

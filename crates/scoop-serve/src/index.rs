@@ -1,0 +1,229 @@
+//! The server-side query index: every served reading, bucketed by value.
+//!
+//! The simulated network distributes readings across node flash according to
+//! Scoop's storage index; the *server* additionally keeps one consolidated
+//! view so external queries are answered at memory speed instead of at radio
+//! speed. The structure mirrors the query shape: predicates are narrow value
+//! ranges (1–5 % of the domain) with a time window, so readings live in one
+//! `Vec` per value, each kept in canonical [`DurableRecord`] order — a query
+//! binary-searches the few buckets its range touches and merges.
+
+use scoop_types::{DurableRecord, Value, ValueRange};
+
+/// Consolidated, value-bucketed view of every reading drained from the
+/// simulated network (plus anything preloaded from a durable store).
+pub struct ServeIndex {
+    domain: ValueRange,
+    /// One time-ordered bucket per domain value (`value - domain.lo`).
+    /// Out-of-domain values (possible when a preloaded store was written
+    /// under a different spec) go to `overflow`.
+    buckets: Vec<Vec<DurableRecord>>,
+    overflow: Vec<DurableRecord>,
+    len: u64,
+}
+
+impl ServeIndex {
+    /// An empty index over `domain`.
+    pub fn new(domain: ValueRange) -> Self {
+        let width = domain.width().max(1) as usize;
+        ServeIndex {
+            domain,
+            buckets: (0..width).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Readings indexed so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of(&self, value: Value) -> Option<usize> {
+        if self.domain.contains(value) {
+            Some((value - self.domain.lo) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts a batch, restoring per-bucket canonical order afterwards.
+    ///
+    /// Batches arrive once per server tick in node-id order, so a bucket's
+    /// tail is usually *almost* sorted; `sort_unstable` on just the touched
+    /// buckets keeps the cost proportional to the tick's new data.
+    pub fn insert_batch(&mut self, records: &[DurableRecord]) {
+        let mut touched: Vec<usize> = Vec::new();
+        for rec in records {
+            self.len += 1;
+            match self.bucket_of(rec.value) {
+                Some(b) => {
+                    // `sorted` tracks whether the push kept the bucket
+                    // ordered; only disordered buckets pay a sort.
+                    let bucket = &mut self.buckets[b];
+                    let was_ordered = bucket.last().map(|last| last <= rec).unwrap_or(true);
+                    bucket.push(*rec);
+                    if !was_ordered && !touched.contains(&b) {
+                        touched.push(b);
+                    }
+                }
+                None => {
+                    let was_ordered = self.overflow.last().map(|last| last <= rec).unwrap_or(true);
+                    self.overflow.push(*rec);
+                    if !was_ordered && !touched.contains(&usize::MAX) {
+                        touched.push(usize::MAX);
+                    }
+                }
+            }
+        }
+        for b in touched {
+            if b == usize::MAX {
+                self.overflow.sort_unstable();
+            } else {
+                self.buckets[b].sort_unstable();
+            }
+        }
+    }
+
+    /// Appends every record matching `(values, [time_lo_ms, time_hi_ms])` to
+    /// `out`, then sorts `out` into canonical global order. The time filter
+    /// binary-searches each bucket (they are time-major sorted); the final
+    /// sort merges the few touched buckets.
+    pub fn query_into(
+        &self,
+        values: &ValueRange,
+        time_lo_ms: u64,
+        time_hi_ms: u64,
+        out: &mut Vec<DurableRecord>,
+    ) {
+        let from = out.len();
+        let clipped = match self.domain.intersect(values) {
+            Some(r) => r,
+            None => {
+                // The whole range is outside the domain; only overflow
+                // records (if any) can match.
+                Self::scan_sorted(&self.overflow, values, time_lo_ms, time_hi_ms, out);
+                out[from..].sort_unstable();
+                return;
+            }
+        };
+        for v in clipped.lo..=clipped.hi {
+            let b = (v - self.domain.lo) as usize;
+            Self::scan_sorted(&self.buckets[b], values, time_lo_ms, time_hi_ms, out);
+        }
+        if !self.overflow.is_empty() {
+            Self::scan_sorted(&self.overflow, values, time_lo_ms, time_hi_ms, out);
+        }
+        out[from..].sort_unstable();
+    }
+
+    /// Pushes the slice of `bucket` within the time window (and value range,
+    /// for the mixed-value overflow bucket) onto `out`.
+    fn scan_sorted(
+        bucket: &[DurableRecord],
+        values: &ValueRange,
+        time_lo_ms: u64,
+        time_hi_ms: u64,
+        out: &mut Vec<DurableRecord>,
+    ) {
+        let lo = bucket.partition_point(|r| r.time_ms < time_lo_ms);
+        let hi = bucket.partition_point(|r| r.time_ms <= time_hi_ms);
+        out.extend(
+            bucket[lo..hi]
+                .iter()
+                .filter(|r| values.contains(r.value))
+                .copied(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_types::NodeId;
+
+    fn rec(time_ms: u64, node: u16, value: Value) -> DurableRecord {
+        DurableRecord {
+            time_ms,
+            node: NodeId(node),
+            attribute: 0,
+            value,
+        }
+    }
+
+    #[test]
+    fn query_returns_canonical_order_across_buckets() {
+        let mut idx = ServeIndex::new(ValueRange::new(0, 9));
+        // Deliberately out of time order and across several values.
+        idx.insert_batch(&[
+            rec(30, 1, 3),
+            rec(10, 2, 4),
+            rec(20, 3, 3),
+            rec(10, 1, 4),
+            rec(40, 1, 5),
+            rec(10, 1, 9),
+        ]);
+        assert_eq!(idx.len(), 6);
+
+        let mut out = Vec::new();
+        idx.query_into(&ValueRange::new(3, 4), 10, 30, &mut out);
+        assert_eq!(
+            out,
+            vec![rec(10, 1, 4), rec(10, 2, 4), rec(20, 3, 3), rec(30, 1, 3)],
+            "time-major canonical order, value 5/9 and t=40 excluded"
+        );
+
+        out.clear();
+        idx.query_into(&ValueRange::new(9, 9), 0, 100, &mut out);
+        assert_eq!(out, vec![rec(10, 1, 9)], "point query");
+    }
+
+    #[test]
+    fn incremental_batches_equal_one_big_batch() {
+        let records: Vec<DurableRecord> = (0..200)
+            .map(|i| rec((i * 37) % 100, (i % 5) as u16, (i % 10) as Value))
+            .collect();
+        let mut one = ServeIndex::new(ValueRange::new(0, 9));
+        one.insert_batch(&records);
+        let mut many = ServeIndex::new(ValueRange::new(0, 9));
+        for chunk in records.chunks(7) {
+            many.insert_batch(chunk);
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        one.query_into(&ValueRange::new(0, 9), 0, 100, &mut a);
+        many.query_into(&ValueRange::new(0, 9), 0, 100, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn out_of_domain_records_are_kept_and_queryable() {
+        let mut idx = ServeIndex::new(ValueRange::new(0, 4));
+        idx.insert_batch(&[rec(10, 1, 2), rec(20, 1, 99), rec(5, 2, -3)]);
+        assert_eq!(idx.len(), 3);
+        let mut out = Vec::new();
+        idx.query_into(&ValueRange::new(90, 100), 0, 100, &mut out);
+        assert_eq!(out, vec![rec(20, 1, 99)], "query entirely outside domain");
+        out.clear();
+        idx.query_into(&ValueRange::new(-5, 2), 0, 100, &mut out);
+        assert_eq!(out, vec![rec(5, 2, -3), rec(10, 1, 2)]);
+    }
+
+    #[test]
+    fn time_window_is_inclusive_on_both_ends() {
+        let mut idx = ServeIndex::new(ValueRange::new(0, 4));
+        idx.insert_batch(&[rec(10, 1, 1), rec(20, 1, 1), rec(30, 1, 1)]);
+        let mut out = Vec::new();
+        idx.query_into(&ValueRange::new(1, 1), 10, 30, &mut out);
+        assert_eq!(out.len(), 3);
+        out.clear();
+        idx.query_into(&ValueRange::new(1, 1), 11, 29, &mut out);
+        assert_eq!(out, vec![rec(20, 1, 1)]);
+    }
+}

@@ -1,0 +1,267 @@
+//! The `scoop-serve` binary.
+//!
+//! ```text
+//! scoop-serve bench [--queries=N] [--concurrency=N] [--queue=N] [--cache=N]
+//!                   [--tick-ms=N] [--seed=N] [--scale=paper|small]
+//!                   [--history=FILE]
+//! scoop-serve smoke [--json]
+//! scoop-serve serve --addr=HOST:PORT [--queue=N] [--cache=N] [--tick-ms=N]
+//!                   [--scale=paper|small] [--persist=DIR]
+//! ```
+//!
+//! `bench` is the load generator: it runs the same workload twice — cache
+//! off, then cache on — refuses to report unless both response streams are
+//! byte-identical, prints p50/p99 and queries/s, and (with `--history`)
+//! appends one `scale:"serve"` record to `BENCH_history.jsonl` for the CI
+//! latency gate. `smoke` prints the deterministic golden report CI compares.
+//! `serve` puts the simulated network behind a real TCP socket, pacing
+//! simulated ticks against the wall clock.
+
+use scoop_serve::bench::{run_bench, BenchOptions, BenchReport};
+use scoop_serve::server::{pump_once, ServeOptions, ServeServer};
+use scoop_serve::smoke::{run_smoke, SmokeOptions};
+use scoop_serve::tcp::TcpServerTransport;
+use scoop_types::{ScenarioSpec, SimDuration};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: scoop-serve <bench|smoke|serve> [options]
+  bench  [--queries=N] [--concurrency=N] [--queue=N] [--cache=N] [--tick-ms=N]
+         [--seed=N] [--scale=paper|small] [--history=FILE]
+  smoke  [--json]
+  serve  --addr=HOST:PORT [--queue=N] [--cache=N] [--tick-ms=N]
+         [--scale=paper|small] [--persist=DIR]
+`bench` drives >= --queries point/range queries through the in-memory
+transport path twice (cache off/on), proves the response streams
+byte-identical, and reports p50/p99 latency and queries/s. `smoke` runs the
+fixed-seed hermetic mix CI checks against its committed golden. `serve`
+exposes the server over length-prefixed TCP frames; `--persist` additionally
+journals drained readings through the flash-accounted seam into a scoop-store
+segment log at DIR and preloads it on restart.";
+
+/// `--key=value` pairs and bare `--flag`s, in command-line order.
+type ParsedArgs = (Vec<(String, String)>, Vec<String>);
+
+/// Parses `--key=value` and bare `--flag` options against an allowlist.
+fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<ParsedArgs, String> {
+    let mut values = Vec::new();
+    let mut flags = Vec::new();
+    for arg in args {
+        if let Some(rest) = arg.strip_prefix("--") {
+            if let Some((name, value)) = rest.split_once('=') {
+                if !value_flags.contains(&name) {
+                    return Err(format!("unknown option `--{name}`"));
+                }
+                values.push((name.to_string(), value.to_string()));
+            } else if bool_flags.contains(&rest) {
+                flags.push(rest.to_string());
+            } else if value_flags.contains(&rest) {
+                return Err(format!("--{rest} needs a value (--{rest}=...)"));
+            } else {
+                return Err(format!("unknown option `--{rest}`"));
+            }
+        } else {
+            return Err(format!("unexpected argument `{arg}`"));
+        }
+    }
+    Ok((values, flags))
+}
+
+fn lookup<'a>(values: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    values
+        .iter()
+        .rev()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn numeric<T: std::str::FromStr>(
+    values: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match lookup(values, name) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("bad --{name} value `{raw}`")),
+        None => Ok(default),
+    }
+}
+
+fn scale_spec(values: &[(String, String)]) -> Result<ScenarioSpec, String> {
+    match lookup(values, "scale").unwrap_or("paper") {
+        "paper" => Ok(ScenarioSpec::paper_defaults()),
+        "small" => Ok(ScenarioSpec::small_test()),
+        other => Err(format!("bad --scale value `{other}` (paper|small)")),
+    }
+}
+
+fn render_report(label: &str, r: &BenchReport) -> String {
+    format!(
+        "{label}: {} queries in {:.2} s -> {:.0} q/s\n\
+         \x20 latency p50 {:.3} ms, p99 {:.3} ms ({} ticks over {:.0} simulated s)\n\
+         \x20 answered {} / overloaded {} / coalesced groups {} / rows {}\n\
+         \x20 cache: {} hits, {} misses, {} invalidated\n\
+         \x20 drained {} readings; digest {}",
+        r.total_queries,
+        r.wall_secs,
+        r.qps,
+        r.p50_ms,
+        r.p99_ms,
+        r.ticks,
+        r.simulated_ms as f64 / 1e3,
+        r.answered,
+        r.overloaded,
+        r.coalesced_groups,
+        r.rows_returned,
+        r.cache_hits,
+        r.cache_misses,
+        r.cache_invalidated,
+        r.readings_drained,
+        r.digest
+    )
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let (values, _) = parse(
+        args,
+        &[
+            "queries",
+            "concurrency",
+            "queue",
+            "cache",
+            "tick-ms",
+            "seed",
+            "scale",
+            "history",
+        ],
+        &[],
+    )?;
+    let mut options = BenchOptions::paper_scale();
+    options.spec = scale_spec(&values)?;
+    options.total_queries = numeric(&values, "queries", options.total_queries)?;
+    options.concurrency = numeric(&values, "concurrency", options.concurrency)?;
+    options.queue_capacity = numeric(&values, "queue", options.queue_capacity)?;
+    options.cache_capacity = numeric(&values, "cache", options.cache_capacity)?;
+    options.seed = numeric(&values, "seed", options.seed)?;
+    options.tick = SimDuration::from_millis(numeric(&values, "tick-ms", 1_000u64)?);
+
+    let mut uncached_options = options.clone();
+    uncached_options.cache_capacity = 0;
+    println!(
+        "running {} queries x2 (cache off, then on), {} streams, queue {}...",
+        options.total_queries, options.concurrency, options.queue_capacity
+    );
+    let uncached = run_bench(&uncached_options).map_err(|e| e.to_string())?;
+    println!("{}", render_report("uncached", &uncached));
+    let cached = run_bench(&options).map_err(|e| e.to_string())?;
+    println!("{}", render_report("cached  ", &cached));
+    if uncached.digest != cached.digest {
+        return Err(format!(
+            "BYTE-IDENTITY VIOLATION: cached digest {} != uncached digest {}",
+            cached.digest, uncached.digest
+        ));
+    }
+    println!(
+        "cache on/off response streams are byte-identical ({})",
+        cached.digest
+    );
+
+    if let Some(path) = lookup(&values, "history") {
+        let record = scoop_lab::HistoryRecord::from_serve_bench(
+            cached.total_queries,
+            cached.wall_secs,
+            cached.qps,
+            cached.p50_ms,
+            cached.p99_ms,
+            options.concurrency,
+        );
+        record
+            .append_to(std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+        println!("appended scale=\"serve\" record to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_smoke(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse(args, &[], &["json"])?;
+    let report = run_smoke(&SmokeOptions::default()).map_err(|e| e.to_string())?;
+    if flags.iter().any(|f| f == "json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "serve smoke: {} queries -> {} answered, {} overloaded, {} rows; \
+             cache {} hits / {} misses / {} invalidated; digest {}",
+            report.queries,
+            report.answered,
+            report.overloaded,
+            report.rows_returned,
+            report.cache_hits,
+            report.cache_misses,
+            report.cache_invalidated,
+            report.digest
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (values, _) = parse(
+        args,
+        &["addr", "queue", "cache", "tick-ms", "scale", "persist"],
+        &[],
+    )?;
+    let addr = lookup(&values, "addr").ok_or("serve needs --addr=HOST:PORT")?;
+    let mut options = ServeOptions::new(scale_spec(&values)?);
+    options.queue_capacity = numeric(&values, "queue", options.queue_capacity)?;
+    options.cache_capacity = numeric(&values, "cache", options.cache_capacity)?;
+    let tick_ms: u64 = numeric(&values, "tick-ms", 1_000)?;
+    options.tick = SimDuration::from_millis(tick_ms);
+    options.persist_dir = lookup(&values, "persist").map(std::path::PathBuf::from);
+
+    let mut server = ServeServer::new(options).map_err(|e| e.to_string())?;
+    let mut transport = TcpServerTransport::bind(addr).map_err(|e| e.to_string())?;
+    println!(
+        "serving on {} (tick {} ms, queue {}, preloaded {} records) — ctrl-c to stop",
+        transport.local_addr().map_err(|e| e.to_string())?,
+        tick_ms,
+        server.queue_capacity(),
+        server.stats().readings_preloaded
+    );
+
+    // Pace simulated ticks against the wall clock so external clients see a
+    // network that advances in real time.
+    let mut reqs = Vec::new();
+    let mut frames = Vec::new();
+    let tick_wall = Duration::from_millis(tick_ms);
+    loop {
+        let began = Instant::now();
+        pump_once(&mut server, &mut transport, &mut reqs, &mut frames)
+            .map_err(|e| e.to_string())?;
+        server.sync().map_err(|e| e.to_string())?;
+        if let Some(rest) = tick_wall.checked_sub(began.elapsed()) {
+            std::thread::sleep(rest);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("smoke") => cmd_smoke(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    if let Err(message) = result {
+        eprintln!("scoop-serve: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,351 @@
+//! Length-prefixed TCP carrying the serve wire schema.
+//!
+//! Framing is a little-endian `u32` byte length followed by that many bytes:
+//! requests are [`SERVE_REQUEST_LEN`]-byte encoded [`ServeRequest`]s, responses
+//! are the frames [`ServeResponse`] encodes. The server side is fully
+//! non-blocking and single-threaded — [`TcpServerTransport::poll`] accepts new
+//! connections, reads whatever bytes are available, and surfaces every
+//! complete request; partial reads and writes simply resume on the next poll.
+//! Everything above the [`Transport`] trait is byte-for-byte the code the
+//! in-memory transport runs, which is what keeps the hermetic CI proofs
+//! meaningful for the socket path.
+
+use crate::transport::{ClientId, Transport};
+use scoop_types::{ScoopError, ServeRequest, ServeResponse, SERVE_REQUEST_LEN};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+/// Upper bound on a framed payload; anything larger is a corrupt or hostile
+/// stream and drops the connection.
+const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+fn io_err(what: &str, e: std::io::Error) -> ScoopError {
+    ScoopError::Simulation(format!("tcp transport: {what}: {e}"))
+}
+
+/// Appends `payload` as one length-prefixed frame.
+fn push_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into whole frames.
+    inbuf: Vec<u8>,
+    /// Frames queued for this connection but not yet fully written.
+    outbuf: Vec<u8>,
+    /// How much of `outbuf` is already on the wire.
+    written: usize,
+    /// Set when the peer vanished; reaped at the end of the poll.
+    dead: bool,
+}
+
+impl Conn {
+    /// Moves every complete frame out of `inbuf` as a decoded request.
+    fn parse_requests(&mut self, client: ClientId, out: &mut Vec<(ClientId, ServeRequest)>) {
+        let mut consumed = 0;
+        while self.inbuf.len() - consumed >= 4 {
+            let len = u32::from_le_bytes(
+                self.inbuf[consumed..consumed + 4]
+                    .try_into()
+                    .expect("4 bytes"),
+            );
+            if len > MAX_FRAME_BYTES || len as usize != SERVE_REQUEST_LEN {
+                self.dead = true;
+                break;
+            }
+            let end = consumed + 4 + len as usize;
+            if self.inbuf.len() < end {
+                break;
+            }
+            let body: &[u8; SERVE_REQUEST_LEN] = self.inbuf[consumed + 4..end]
+                .try_into()
+                .expect("length checked above");
+            match ServeRequest::decode(body) {
+                Ok(req) => out.push((client, req)),
+                Err(_) => {
+                    // A malformed request poisons the stream: drop the
+                    // connection rather than guess at resynchronization.
+                    self.dead = true;
+                    break;
+                }
+            }
+            consumed = end;
+        }
+        if consumed > 0 {
+            self.inbuf.drain(..consumed);
+        }
+    }
+
+    /// Reads whatever the socket has; true EOF marks the connection dead.
+    fn fill(&mut self) {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Writes as much of the pending output as the socket will take.
+    fn flush_pending(&mut self) {
+        while self.written < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.written > 0 && self.written == self.outbuf.len() {
+            self.outbuf.clear();
+            self.written = 0;
+        }
+    }
+}
+
+/// The server half of the TCP transport: accepts connections and frames.
+pub struct TcpServerTransport {
+    listener: TcpListener,
+    conns: HashMap<ClientId, Conn>,
+    next_client: ClientId,
+}
+
+impl TcpServerTransport {
+    /// Binds a non-blocking listener on `addr`.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> Result<Self, ScoopError> {
+        let listener = TcpListener::bind(addr).map_err(|e| io_err("bind", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err("set_nonblocking", e))?;
+        Ok(TcpServerTransport {
+            listener,
+            conns: HashMap::new(),
+            next_client: 0,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, ScoopError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| io_err("local_addr", e))
+    }
+
+    /// Connections currently open.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn accept_new(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let id = self.next_client;
+                    self.next_client += 1;
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            inbuf: Vec::new(),
+                            outbuf: Vec::new(),
+                            written: 0,
+                            dead: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl Transport for TcpServerTransport {
+    fn poll(&mut self, out: &mut Vec<(ClientId, ServeRequest)>) -> Result<(), ScoopError> {
+        self.accept_new();
+        // Deterministic order within one server: iterate clients by id.
+        let mut ids: Vec<ClientId> = self.conns.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let conn = self.conns.get_mut(&id).expect("listed connection");
+            conn.flush_pending();
+            conn.fill();
+            conn.parse_requests(id, out);
+        }
+        self.conns.retain(|_, c| !c.dead);
+        Ok(())
+    }
+
+    fn deliver(&mut self, client: ClientId, frame: &[u8]) -> Result<(), ScoopError> {
+        // A client that disconnected mid-flight just misses its answer;
+        // sockets are lossy and that is not a server error.
+        if let Some(conn) = self.conns.get_mut(&client) {
+            push_frame(&mut conn.outbuf, frame);
+            conn.flush_pending();
+        }
+        Ok(())
+    }
+}
+
+/// A simple blocking client for tests and the load generator's TCP mode.
+pub struct TcpClient {
+    stream: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects (blocking) to a serving process.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ScoopError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| io_err("set_nodelay", e))?;
+        Ok(TcpClient { stream })
+    }
+
+    /// Sends one request as a length-prefixed frame.
+    pub fn send(&mut self, req: &ServeRequest) -> Result<(), ScoopError> {
+        let mut frame = Vec::with_capacity(4 + SERVE_REQUEST_LEN);
+        let mut body = [0u8; SERVE_REQUEST_LEN];
+        req.encode_into(&mut body);
+        push_frame(&mut frame, &body);
+        self.stream.write_all(&frame).map_err(|e| io_err("send", e))
+    }
+
+    /// Blocks until one whole response frame arrives and decodes it.
+    pub fn recv(&mut self) -> Result<ServeResponse, ScoopError> {
+        let mut len = [0u8; 4];
+        self.stream
+            .read_exact(&mut len)
+            .map_err(|e| io_err("recv length", e))?;
+        let len = u32::from_le_bytes(len);
+        if len > MAX_FRAME_BYTES {
+            return Err(ScoopError::Simulation(format!(
+                "tcp transport: oversized response frame ({len} bytes)"
+            )));
+        }
+        let mut body = vec![0u8; len as usize];
+        self.stream
+            .read_exact(&mut body)
+            .map_err(|e| io_err("recv body", e))?;
+        ServeResponse::decode(&body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scoop_types::{SimTime, ValueRange};
+
+    fn req(id: u64) -> ServeRequest {
+        ServeRequest {
+            id,
+            values: ValueRange::new(0, 5),
+            time_lo: SimTime::ZERO,
+            time_hi: SimTime::from_secs(60),
+        }
+    }
+
+    /// Polls until `want` requests arrived or the deadline passes. The
+    /// kernel delivers loopback bytes asynchronously, so one poll may race
+    /// the client's write.
+    fn poll_until(
+        transport: &mut TcpServerTransport,
+        out: &mut Vec<(ClientId, ServeRequest)>,
+        want: usize,
+    ) {
+        for _ in 0..2000 {
+            transport.poll(out).unwrap();
+            if out.len() >= want {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("requests never arrived: got {} of {want}", out.len());
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip_over_a_real_socket() {
+        let mut server = TcpServerTransport::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut client = TcpClient::connect(addr).unwrap();
+        client.send(&req(7)).unwrap();
+        client.send(&req(8)).unwrap();
+
+        let mut out = Vec::new();
+        poll_until(&mut server, &mut out, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1.id, 7);
+        assert_eq!(out[1].1.id, 8);
+        let cid = out[0].0;
+        assert_eq!(out[1].0, cid, "same connection, same client id");
+
+        // Echo back two frames; the blocking client reads them in order.
+        let mut frame = Vec::new();
+        scoop_types::append_rows_frame(
+            7,
+            &{
+                let mut p = Vec::new();
+                scoop_types::append_rows_payload(&[], &mut p);
+                p
+            },
+            &mut frame,
+        );
+        server.deliver(cid, &frame).unwrap();
+        let got = client.recv().unwrap();
+        assert_eq!(got.id(), 7);
+
+        // Unknown client delivery is a no-op, not an error.
+        server.deliver(9999, &frame).unwrap();
+    }
+
+    #[test]
+    fn malformed_frames_drop_the_connection_not_the_server() {
+        let mut server = TcpServerTransport::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut bad = TcpStream::connect(addr).unwrap();
+        // A frame whose length is not SERVE_REQUEST_LEN.
+        bad.write_all(&3u32.to_le_bytes()).unwrap();
+        bad.write_all(&[1, 2, 3]).unwrap();
+        bad.flush().unwrap();
+
+        let mut out = Vec::new();
+        for _ in 0..2000 {
+            server.poll(&mut out).unwrap();
+            if server.connections() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(out.is_empty());
+        assert_eq!(server.connections(), 0, "poisoned connection reaped");
+
+        // The server still accepts and serves a well-formed client.
+        let mut good = TcpClient::connect(addr).unwrap();
+        good.send(&req(1)).unwrap();
+        poll_until(&mut server, &mut out, 1);
+        assert_eq!(out[0].1.id, 1);
+    }
+}

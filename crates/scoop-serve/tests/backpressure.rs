@@ -1,0 +1,96 @@
+//! The backpressure contract, end to end: over-budget bursts yield typed
+//! `Overloaded` responses — never a panic, never a silent drop — every
+//! request gets exactly one response, and the server recovers fully on the
+//! next tick.
+
+use scoop_serve::server::{pump_once, ServeOptions, ServeServer};
+use scoop_serve::transport::InMemoryHub;
+use scoop_types::{ScenarioSpec, ServeRequest, ServeResponse, SimDuration, SimTime, ValueRange};
+
+fn small_server(queue_capacity: usize) -> ServeServer {
+    let mut options = ServeOptions::new(ScenarioSpec::small_test());
+    options.tick = SimDuration::from_secs(30);
+    options.queue_capacity = queue_capacity;
+    options.cache_capacity = 16;
+    ServeServer::new(options).expect("server builds")
+}
+
+fn request(id: u64) -> ServeRequest {
+    ServeRequest {
+        id,
+        values: ValueRange::new(0, 149),
+        time_lo: SimTime::ZERO,
+        time_hi: SimTime::from_mins(10),
+    }
+}
+
+#[test]
+fn burst_over_budget_yields_typed_overloaded_for_every_excess_request() {
+    let mut server = small_server(16);
+    let hub = InMemoryHub::new();
+    let client = hub.client();
+    let mut transport = hub.transport();
+
+    // A burst of 50 against a queue of 16: 16 admitted, 34 rejected.
+    for id in 0..50 {
+        client.submit(request(id));
+    }
+    let (mut reqs, mut frames) = (Vec::new(), Vec::new());
+    pump_once(&mut server, &mut transport, &mut reqs, &mut frames).expect("pump never panics");
+
+    let responses = client.drain_responses().expect("all frames decode");
+    assert_eq!(responses.len(), 50, "exactly one response per request");
+
+    let mut rows = 0;
+    let mut overloaded = Vec::new();
+    for response in &responses {
+        match response {
+            ServeResponse::Rows(_) => rows += 1,
+            ServeResponse::Overloaded(o) => {
+                assert_eq!(o.capacity, 16);
+                assert_eq!(o.queued, 16, "rejected exactly at the full mark");
+                overloaded.push(o.id);
+            }
+        }
+    }
+    assert_eq!(rows, 16);
+    assert_eq!(overloaded.len(), 34);
+    // Admission is in arrival order, so the rejected ids are the tail.
+    assert_eq!(overloaded, (16..50).collect::<Vec<u64>>());
+    assert_eq!(server.stats().overloaded, 34);
+    assert_eq!(server.stats().answered, 16);
+
+    // The next tick starts with a drained queue: capacity is fully back.
+    for id in 100..116 {
+        client.submit(request(id));
+    }
+    pump_once(&mut server, &mut transport, &mut reqs, &mut frames).expect("pump");
+    let responses = client.drain_responses().expect("frames decode");
+    assert_eq!(responses.len(), 16);
+    assert!(
+        responses
+            .iter()
+            .all(|r| matches!(r, ServeResponse::Rows(_))),
+        "no lingering backpressure after the burst drained"
+    );
+}
+
+#[test]
+fn direct_submission_reports_queue_depth_at_rejection_time() {
+    let mut server = small_server(4);
+    for id in 0..4 {
+        assert!(server.submit(0, request(id)).is_ok());
+    }
+    let err = server.submit(0, request(99)).expect_err("queue is full");
+    assert_eq!(err.id, 99);
+    assert_eq!(err.queued, 4);
+    assert_eq!(err.capacity, 4);
+    let shown = err.to_string();
+    assert!(shown.contains("admission queue full (4/4)"), "{shown}");
+
+    // Draining via a tick restores the whole budget.
+    let mut frames = Vec::new();
+    server.tick(&mut frames).expect("tick");
+    assert_eq!(frames.len(), 4);
+    assert!(server.submit(0, request(100)).is_ok());
+}

@@ -1,0 +1,99 @@
+//! The persistence seam, end to end: a serving process journals drained
+//! readings through the flash-accounted backend into a scoop-store segment
+//! log, and a *new* process over the same directory answers queries about
+//! data it never simulated — serving across restarts.
+
+use scoop_serve::server::{ServeOptions, ServeServer};
+use scoop_types::{ScenarioSpec, ServeRequest, SimDuration, SimTime, ValueRange};
+use std::path::{Path, PathBuf};
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scoop-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn options(dir: &Path) -> ServeOptions {
+    let mut options = ServeOptions::new(ScenarioSpec::small_test());
+    options.tick = SimDuration::from_secs(30);
+    options.persist_dir = Some(dir.to_path_buf());
+    options
+}
+
+#[test]
+fn a_restarted_server_answers_from_the_durable_store() {
+    let dir = scratch_dir("restart");
+
+    // First life: run past warmup so real readings flow, then sync and stop.
+    let mut first = ServeServer::new(options(&dir)).expect("first server");
+    let mut frames = Vec::new();
+    for _ in 0..10 {
+        first.tick(&mut frames).expect("tick");
+    }
+    first.sync().expect("sync");
+    let drained = first.stats().readings_drained;
+    let persisted = first.stats().records_persisted;
+    assert!(drained > 0, "300 simulated s crosses the 2-minute warmup");
+    assert_eq!(persisted, drained, "every drained reading reached the seam");
+    let ledger = first.flash_ledger().expect("persistence is on");
+    assert_eq!(ledger.total_writes(), drained, "flash charged per reading");
+    assert!(ledger.total_write_energy_joules() > 0.0);
+    drop(first);
+
+    // Second life: same directory, fresh simulation. The index starts
+    // preloaded and a query over the first life's time span returns rows
+    // before the new network has produced anything past its warmup.
+    let mut second = ServeServer::new(options(&dir)).expect("second server");
+    assert_eq!(
+        second.stats().readings_preloaded,
+        drained,
+        "everything synced in the first life is served in the second"
+    );
+    second
+        .submit(
+            1,
+            ServeRequest {
+                id: 7,
+                values: ValueRange::new(-1_000, 1_000),
+                time_lo: SimTime::ZERO,
+                time_hi: SimTime::from_mins(10),
+            },
+        )
+        .expect("queue is empty");
+    frames.clear();
+    second.tick(&mut frames).expect("tick");
+    assert_eq!(frames.len(), 1);
+    let response = scoop_types::ServeResponse::decode(&frames[0].1).expect("frame decodes");
+    match response {
+        scoop_types::ServeResponse::Rows(rows) => {
+            assert_eq!(rows.id, 7);
+            assert_eq!(
+                rows.rows.len() as u64,
+                drained,
+                "the whole first life is visible through the restart"
+            );
+            assert!(
+                rows.rows.windows(2).all(|w| w[0] <= w[1]),
+                "canonical time-major order survives the round trip"
+            );
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn without_persistence_nothing_survives_and_nothing_is_charged() {
+    let mut options = ServeOptions::new(ScenarioSpec::small_test());
+    options.tick = SimDuration::from_secs(30);
+    let mut server = ServeServer::new(options).expect("server");
+    let mut frames = Vec::new();
+    for _ in 0..10 {
+        server.tick(&mut frames).expect("tick");
+    }
+    assert!(server.stats().readings_drained > 0);
+    assert_eq!(server.stats().records_persisted, 0);
+    assert!(server.flash_ledger().is_none());
+    server.sync().expect("sync is a no-op without a backend");
+}

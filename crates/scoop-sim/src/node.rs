@@ -66,6 +66,12 @@ const TICK_REMAP: TimerToken = 4;
 const TICK_QUERY: TimerToken = 5;
 const TICK_MAINTENANCE: TimerToken = 6;
 const TICK_GOSSIP: TimerToken = 7;
+/// Timer token reserved for the external serving tier: `scoop-serve` injects
+/// one `TimerFire` with this token into the basestation per admission tick
+/// (via `Engine::inject_timer`), so every admitted query batch is an ordinary
+/// event in the deterministic stream. Public because the injector lives in a
+/// different crate; nodes never arm it themselves.
+pub const TICK_SERVE: TimerToken = 8;
 
 /// Interval between routing-tree beacons.
 const BEACON_INTERVAL: SimDuration = SimDuration::from_secs(25);
@@ -100,6 +106,9 @@ pub struct NodeLocalMetrics {
     pub stored_local_default: u64,
     /// Replies this node sent.
     pub replies_sent: u64,
+    /// Serving-tier admission ticks dispatched to this node (injected by
+    /// `scoop-serve`; always 0 in plain simulation runs).
+    pub serve_ticks: u64,
 }
 
 /// Basestation-side query bookkeeping.
@@ -961,6 +970,12 @@ impl NodeLogic for SimNode {
             }
             TICK_GOSSIP => {
                 self.flush_one_gossip(ctx);
+            }
+            TICK_SERVE => {
+                // Injected by the serving tier; the node only acknowledges it
+                // in its counters. The timer is one-shot and never re-armed
+                // here, so plain simulation runs are untouched.
+                self.metrics.serve_ticks += 1;
             }
             _ => {}
         }

@@ -124,6 +124,29 @@ impl DataBuffer {
     pub fn iter(&self) -> impl Iterator<Item = &StoredReading> {
         self.slots.iter()
     }
+
+    /// Copies every reading written after the point captured by `cursor` — a
+    /// value previously returned by this method, or `0` for "from the
+    /// beginning" — into `out`, in write order, and returns the new cursor.
+    ///
+    /// This is how an external consumer (the serving tier feeding its query
+    /// index, or a persistence drain) follows the buffer incrementally
+    /// without rescanning it: keep the returned cursor, call again later.
+    /// The buffer is circular, so if more than `capacity` writes happened
+    /// since the cursor was taken the overwritten readings are gone — only
+    /// the surviving newest ones are copied, and the shortfall
+    /// `(writes - cursor) - copied` counts the misses.
+    pub fn read_new_since(&self, cursor: u64, out: &mut Vec<StoredReading>) -> u64 {
+        // Write number `w` (0-based) lives in slot `w % capacity`: during the
+        // fill phase `w < len <= capacity` so the modulo is the identity, and
+        // once full the overwrite pointer advances exactly one slot per
+        // write. Only the last `len` writes are still present.
+        let start = cursor.max(self.writes.saturating_sub(self.slots.len() as u64));
+        for w in start..self.writes {
+            out.push(self.slots[(w % self.capacity as u64) as usize]);
+        }
+        self.writes
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +228,72 @@ mod tests {
         assert_eq!(stored.len(), 1);
         assert_eq!(stored[0].index_epoch, StorageIndexId(4));
         assert_eq!(stored[0].stored_at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn cursor_follows_writes_incrementally() {
+        let mut buf = DataBuffer::new(100);
+        let mut out = Vec::new();
+        assert_eq!(buf.read_new_since(0, &mut out), 0);
+        assert!(out.is_empty());
+
+        for t in 0..4 {
+            buf.store(
+                reading(1, t as Value, t),
+                SimTime::from_secs(t),
+                StorageIndexId(1),
+            );
+        }
+        let cursor = buf.read_new_since(0, &mut out);
+        assert_eq!(cursor, 4);
+        assert_eq!(
+            out.iter().map(|s| s.reading.value).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "write order"
+        );
+
+        // Nothing new: the cursor is a fixed point.
+        out.clear();
+        assert_eq!(buf.read_new_since(cursor, &mut out), 4);
+        assert!(out.is_empty());
+
+        // Two more writes: only those are returned.
+        for t in 4..6 {
+            buf.store(
+                reading(1, t as Value, t),
+                SimTime::from_secs(t),
+                StorageIndexId(1),
+            );
+        }
+        let cursor = buf.read_new_since(cursor, &mut out);
+        assert_eq!(cursor, 6);
+        assert_eq!(
+            out.iter().map(|s| s.reading.value).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+    }
+
+    #[test]
+    fn cursor_skips_readings_lost_to_circular_overwrite() {
+        let mut buf = DataBuffer::new(5);
+        for t in 0..12 {
+            buf.store(
+                reading(1, t as Value, t),
+                SimTime::from_secs(t),
+                StorageIndexId(1),
+            );
+        }
+        // Cursor 2 is 10 writes behind on a 5-slot buffer: writes 2..7 were
+        // overwritten, only the surviving last 5 come back, still in order.
+        let mut out = Vec::new();
+        let cursor = buf.read_new_since(2, &mut out);
+        assert_eq!(cursor, 12);
+        assert_eq!(
+            out.iter().map(|s| s.reading.value).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10, 11]
+        );
+        let missed = (12 - 2) - out.len() as u64;
+        assert_eq!(missed, 5);
     }
 
     #[test]

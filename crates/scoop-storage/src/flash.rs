@@ -6,6 +6,7 @@
 //! "substantially cheaper". At a 10 Hz sample rate a megabyte therefore holds
 //! about 1,000 minutes of history.
 
+use scoop_types::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// Capacity and energy model of a node's flash chip.
@@ -70,6 +71,80 @@ impl FlashModel {
     }
 }
 
+/// Per-node flash write accounting against one shared [`FlashModel`] — the
+/// piece that connects the paper's energy arithmetic to the persistence seam.
+///
+/// Every batch a node drains toward a [`PersistenceBackend`] is charged to
+/// that node's chip here: total writes, write energy in joules, and whether
+/// the chip has wrapped (more lifetime writes than `capacity_readings()`,
+/// i.e. the circular buffer is overwriting history). The ledger is pure
+/// bookkeeping — it never refuses a write, exactly like the simulated
+/// [`DataBuffer`](crate::DataBuffer) it mirrors.
+///
+/// [`PersistenceBackend`]: crate::PersistenceBackend
+#[derive(Clone, Debug)]
+pub struct FlashLedger {
+    model: FlashModel,
+    writes: Vec<u64>,
+}
+
+impl FlashLedger {
+    /// A ledger for `nodes` nodes (including the basestation), all sharing
+    /// the same chip model. Charging a node beyond the initial count grows
+    /// the ledger on demand.
+    pub fn new(model: FlashModel, nodes: usize) -> Self {
+        FlashLedger {
+            model,
+            writes: vec![0; nodes],
+        }
+    }
+
+    /// The chip model the charges are priced against.
+    pub fn model(&self) -> &FlashModel {
+        &self.model
+    }
+
+    /// Charges `readings` flash writes to `node`'s chip.
+    pub fn charge_writes(&mut self, node: NodeId, readings: u64) {
+        let i = node.index();
+        if i >= self.writes.len() {
+            self.writes.resize(i + 1, 0);
+        }
+        self.writes[i] += readings;
+    }
+
+    /// Lifetime readings written to `node`'s chip.
+    pub fn writes(&self, node: NodeId) -> u64 {
+        self.writes.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// Energy `node` has spent writing flash, in joules.
+    pub fn write_energy_joules(&self, node: NodeId) -> f64 {
+        self.model.write_energy_joules(self.writes(node))
+    }
+
+    /// Lifetime readings written across every node.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// Total flash write energy across every node, in joules.
+    pub fn total_write_energy_joules(&self) -> f64 {
+        self.model.write_energy_joules(self.total_writes())
+    }
+
+    /// Nodes whose lifetime writes exceed the chip capacity — their circular
+    /// buffers have started overwriting history.
+    pub fn wrapped_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let cap = self.model.capacity_readings();
+        self.writes
+            .iter()
+            .enumerate()
+            .filter(move |(_, &w)| w > cap)
+            .map(|(i, _)| NodeId(i as u16))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +188,44 @@ mod tests {
     fn zero_sample_rate_means_unbounded_history() {
         let f = FlashModel::default();
         assert!(f.history_seconds(0.0).is_infinite());
+    }
+
+    #[test]
+    fn ledger_charges_per_node_and_prices_energy() {
+        let mut ledger = FlashLedger::new(FlashModel::default(), 3);
+        ledger.charge_writes(NodeId(1), 1_000);
+        ledger.charge_writes(NodeId(2), 500);
+        ledger.charge_writes(NodeId(1), 1);
+        assert_eq!(ledger.writes(NodeId(1)), 1_001);
+        assert_eq!(ledger.writes(NodeId(2)), 500);
+        assert_eq!(ledger.writes(NodeId(0)), 0);
+        assert_eq!(ledger.total_writes(), 1_501);
+        assert_eq!(
+            ledger.write_energy_joules(NodeId(1)),
+            ledger.model().write_energy_joules(1_001)
+        );
+        assert_eq!(
+            ledger.total_write_energy_joules(),
+            ledger.model().write_energy_joules(1_501)
+        );
+        // Charging past the initial node count grows the ledger on demand.
+        ledger.charge_writes(NodeId(9), 7);
+        assert_eq!(ledger.writes(NodeId(9)), 7);
+        assert_eq!(ledger.writes(NodeId(20)), 0, "unknown nodes read as zero");
+    }
+
+    #[test]
+    fn wrapped_nodes_are_the_ones_past_chip_capacity() {
+        // A tiny 16-byte chip: capacity_readings = 128 bits / 12 ≈ 10.
+        let model = FlashModel {
+            bytes: 16,
+            ..FlashModel::default()
+        };
+        let cap = model.capacity_readings();
+        let mut ledger = FlashLedger::new(model, 3);
+        ledger.charge_writes(NodeId(1), cap);
+        ledger.charge_writes(NodeId(2), cap + 1);
+        let wrapped: Vec<NodeId> = ledger.wrapped_nodes().collect();
+        assert_eq!(wrapped, vec![NodeId(2)], "exactly-full is not wrapped");
     }
 }

@@ -22,6 +22,6 @@ pub mod persist;
 pub mod ring;
 
 pub use data_buffer::{DataBuffer, StoredReading};
-pub use flash::FlashModel;
-pub use persist::{InMemoryBackend, PersistenceBackend};
+pub use flash::{FlashLedger, FlashModel};
+pub use persist::{FlashPersistence, InMemoryBackend, PersistenceBackend};
 pub use ring::RecentReadings;

@@ -18,6 +18,7 @@ pub mod error;
 pub mod ids;
 pub mod message;
 pub mod reading;
+pub mod serve;
 pub mod spec;
 pub mod time;
 pub mod value;
@@ -30,6 +31,10 @@ pub use error::ScoopError;
 pub use ids::{NodeBitmap, NodeId, SeqNo, StorageIndexId, MAX_NODES};
 pub use message::{MessageKind, MessageStats};
 pub use reading::Reading;
+pub use serve::{
+    append_overloaded_frame, append_rows_frame, append_rows_payload, Overloaded, QueryPredicate,
+    ServeRequest, ServeResponse, ServeRows, SERVE_REQUEST_LEN,
+};
 pub use spec::{
     axis_help, AxisDoc, FaultSpec, FaultWindow, LinkFamily, LinkSpec, PolicySpec, ScenarioSpec,
     TopologyKind, TopologySpec, WorkloadSpec, AXES,

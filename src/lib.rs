@@ -10,6 +10,7 @@ pub use scoop_core as core;
 pub use scoop_lab as lab;
 pub use scoop_net as net;
 pub use scoop_routing as routing;
+pub use scoop_serve as serve;
 pub use scoop_sim as sim;
 pub use scoop_storage as storage;
 pub use scoop_store as store;
