@@ -26,8 +26,10 @@ pub fn hash_index(domain: ValueRange, num_sensors: usize, created_at: SimTime) -
 }
 
 /// A small, deterministic integer hash (SplitMix64 finalizer) so the HASH
-/// baseline does not depend on the experiment seed.
-fn splitmix(mut x: u64) -> u64 {
+/// baseline does not depend on the experiment seed. Public because the
+/// multi-sink federation reuses it to partition attribute ownership across
+/// basestations (the "existing hash" of the fault-model contract).
+pub fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -41,7 +41,9 @@ pub mod summary;
 pub use cost::{CostModel, CostParams};
 pub use histogram::SummaryHistogram;
 pub use index::{IndexBuilder, IndexEntry, StorageIndex};
-pub use messages::{DataMessage, MappingChunk, QueryMessage, ReplyMessage, ScoopPayload};
+pub use messages::{
+    DataMessage, MappingChunk, QueryMessage, ReplyMessage, ScoopPayload, SinkAliveMessage,
+};
 pub use query_plan::{QueryPlan, QueryPlanner};
 pub use routing_rules::{route_data, DataRoutingAction, LocalNodeView};
 pub use stats_store::StatsStore;

@@ -82,6 +82,21 @@ pub struct ReplyMessage {
     pub readings: Vec<Reading>,
 }
 
+/// Multi-sink federation only: a sink's epoch-stamped liveness beacon,
+/// gossiped network-wide so surviving sinks can detect a dead peer and take
+/// over its attribute range after the failover timeout. Carried as
+/// [`MessageKind::Heartbeat`](scoop_types::MessageKind::Heartbeat), so — like
+/// routing beacons — it never counts against the paper's message metrics.
+/// Never sent in the classic single-sink mode.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SinkAliveMessage {
+    /// The beaconing sink.
+    pub sink: NodeId,
+    /// Strictly increasing per sink; a restarted sink resumes from its
+    /// pre-crash epoch, so fresh beacons always win gossip dedup.
+    pub epoch: u64,
+}
+
 /// Every application payload exchanged in a simulation run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ScoopPayload {
@@ -97,6 +112,8 @@ pub enum ScoopPayload {
     Query(QueryMessage),
     /// A query reply being routed back to the basestation.
     Reply(ReplyMessage),
+    /// A sink's liveness beacon (see [`SinkAliveMessage`]).
+    SinkAlive(SinkAliveMessage),
 }
 
 impl ScoopPayload {
@@ -109,6 +126,7 @@ impl ScoopPayload {
             ScoopPayload::Data(_) => "data",
             ScoopPayload::Query(_) => "query",
             ScoopPayload::Reply(_) => "reply",
+            ScoopPayload::SinkAlive { .. } => "sink-alive",
         }
     }
 }

@@ -193,15 +193,18 @@ pub fn paper_baseline(id: ExperimentId) -> Option<BaselineSet> {
         ),
         // No quantitative figure to compare against: the sample-interval /
         // root-skew / scaling studies are prose-only in the paper, and the
-        // link-calibration + large-scale grid scenarios go beyond it by
-        // design.
+        // link-calibration + large-scale grid scenarios and the chaos fault
+        // family go beyond it by design.
         ExperimentId::SampleInterval
         | ExperimentId::RootSkew
         | ExperimentId::Scaling
         | ExperimentId::LinkCalibration
         | ExperimentId::Scaling256
         | ExperimentId::Scaling4096
-        | ExperimentId::Scaling32768 => return None,
+        | ExperimentId::Scaling32768
+        | ExperimentId::ChaosPartition
+        | ExperimentId::ChaosSinkFailover
+        | ExperimentId::ChaosChurn => return None,
     };
     Some(BaselineSet {
         experiment: id.slug().to_string(),

@@ -17,6 +17,11 @@ use std::path::Path;
 /// Path of the committed smoke baseline, relative to the workspace root.
 pub const DEFAULT_BASELINE_PATH: &str = "crates/scoop-lab/baselines/smoke.json";
 
+/// Path of the committed chaos baseline (the chaos scenario family runs as
+/// its own gate with its own baseline file, so extending the fault model
+/// never perturbs the classic smoke baseline).
+pub const DEFAULT_CHAOS_BASELINE_PATH: &str = "crates/scoop-lab/baselines/chaos.json";
+
 /// The outcome of one `scoop-lab check`.
 #[derive(Clone, Debug)]
 pub struct CheckOutcome {
@@ -51,7 +56,17 @@ impl CheckOutcome {
 /// Runs the smoke suite and returns its artifacts (provenance masked, so the
 /// baseline file is stable across machines and commits).
 pub fn run_smoke_suite() -> Result<Vec<Artifact>, ScoopError> {
-    let mut artifacts = run_suite(&SuiteOptions::quick_smoke(), |_| ())?;
+    run_masked(&SuiteOptions::quick_smoke())
+}
+
+/// Runs the chaos smoke suite (the three chaos scenarios at quick scale)
+/// and returns its artifacts, provenance masked like [`run_smoke_suite`].
+pub fn run_chaos_suite() -> Result<Vec<Artifact>, ScoopError> {
+    run_masked(&SuiteOptions::chaos_smoke())
+}
+
+fn run_masked(options: &SuiteOptions) -> Result<Vec<Artifact>, ScoopError> {
+    let mut artifacts = run_suite(options, |_| ())?;
     for artifact in &mut artifacts {
         artifact.provenance = Provenance::masked();
     }
@@ -128,7 +143,49 @@ pub fn run_check(
     preset: TolerancePreset,
     bless: bool,
 ) -> Result<CheckOutcome, ScoopError> {
-    let measured = run_smoke_suite()?;
+    check_measured(run_smoke_suite()?, baseline_path, preset, bless)
+}
+
+/// Same gate over the chaos suite and its own baseline file.
+pub fn run_chaos_check(
+    baseline_path: &Path,
+    preset: TolerancePreset,
+    bless: bool,
+) -> Result<CheckOutcome, ScoopError> {
+    run_chaos_check_with_history(baseline_path, preset, bless, None)
+}
+
+/// The chaos gate with an optional perf-history side effect: before the
+/// provenance is masked for the baseline comparison, one `scale:"chaos"`
+/// record (real wall clock, events/sec, peak RSS) is appended to `history`.
+/// The scale override keeps the comparability filter honest — chaos wall
+/// clocks are only ever gated against earlier chaos records, never against
+/// the classic quick suite, store ingests, or serve benches.
+pub fn run_chaos_check_with_history(
+    baseline_path: &Path,
+    preset: TolerancePreset,
+    bless: bool,
+    history: Option<&Path>,
+) -> Result<CheckOutcome, ScoopError> {
+    let mut artifacts = run_suite(&SuiteOptions::chaos_smoke(), |_| ())?;
+    if let Some(path) = history {
+        if let Some(mut record) = crate::history::HistoryRecord::from_artifacts(&artifacts) {
+            record.scale = "chaos".to_string();
+            record.append_to(path)?;
+        }
+    }
+    for artifact in &mut artifacts {
+        artifact.provenance = Provenance::masked();
+    }
+    check_measured(artifacts, baseline_path, preset, bless)
+}
+
+fn check_measured(
+    measured: Vec<Artifact>,
+    baseline_path: &Path,
+    preset: TolerancePreset,
+    bless: bool,
+) -> Result<CheckOutcome, ScoopError> {
     if bless {
         if let Some(parent) = baseline_path.parent() {
             std::fs::create_dir_all(parent)
@@ -233,5 +290,39 @@ mod tests {
             .rows
             .iter()
             .all(|(_, s)| matches!(s, RowStatus::Missing)));
+    }
+
+    #[test]
+    fn chaos_gate_appends_a_chaos_scale_history_record() {
+        let tmp = std::env::temp_dir().join(format!("scoop-chaos-hist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::fs::create_dir_all(&tmp).unwrap();
+        let baseline = tmp.join("chaos-baseline.json");
+        let history = tmp.join("history.jsonl");
+
+        // Bless against a fresh baseline so the gate passes regardless of
+        // CWD, while the unmasked run feeds the history side effect.
+        let outcome =
+            run_chaos_check_with_history(&baseline, TolerancePreset::Default, true, Some(&history))
+                .unwrap();
+        assert!(!outcome.failed(), "{}", outcome.render_text());
+
+        let records = crate::history::load_history(&history).unwrap();
+        assert_eq!(records.len(), 1);
+        let record = &records[0];
+        assert_eq!(record.scale, "chaos");
+        assert_eq!(record.experiments.len(), 3, "one timing per scenario");
+        assert!(
+            record.total_wall_clock_secs > 0.0,
+            "the record keeps real provenance even though the gate compares masked"
+        );
+        assert!(record.total_events_processed > 0);
+        // The blessed baseline itself stays masked and machine-independent.
+        let blessed = load_baseline(&baseline).unwrap();
+        assert!(blessed
+            .iter()
+            .all(|a| a.provenance.wall_clock_secs == 0.0 && a.provenance.git_rev.is_empty()));
+
+        let _ = std::fs::remove_dir_all(&tmp);
     }
 }

@@ -21,7 +21,9 @@
 use crate::artifact::ArtifactStore;
 use crate::baselines::{paper_baseline, TolerancePreset};
 use crate::calibrate::{run_calibration, save_calibration, CalibrationOptions};
-use crate::check::{run_check, DEFAULT_BASELINE_PATH};
+use crate::check::{
+    run_chaos_check_with_history, run_check, DEFAULT_BASELINE_PATH, DEFAULT_CHAOS_BASELINE_PATH,
+};
 use crate::diff::diff_rows;
 use crate::history::HistoryRecord;
 use crate::rows::RowSet;
@@ -42,14 +44,18 @@ const USAGE: &str =
          [--set key=value]... [--show-spec] [experiment...]
   report [--results=DIR] [--out=FILE]
   diff   [--results=DIR]
-  check  [--tolerance NAME] [--bless] [--baseline=FILE]   (NAME: strict|default|loose)
+  check  [--tolerance NAME] [--bless] [--baseline=FILE] [--chaos]
+         [--history=FILE]
+         (NAME: strict|default|loose; --chaos gates the chaos suite instead
+          and with --history also appends one scale=\"chaos\" perf record)
   calibrate [--smoke] [--trials=N] [--seed=N] [--out=FILE] [--results=DIR]
   history [--file=FILE] [--max-regression=FRAC] [--gate]
   store  <ingest|query|stats> --db DIR [options]   (durable basestation store)
   trace  [scoop|local|base|hash] [real|unique|equal|random|gaussian] [nodes]
 experiments: fig3-left fig3-middle fig3-right fig4 fig5 ablations sample-interval
              reliability link-calibration root-skew scaling scaling-256
-             scaling-4096 scaling-32768 (default: all)
+             scaling-4096 scaling-32768 chaos-partition chaos-failover
+             chaos-churn (default: all)
 `--set` (repeatable) overrides one spec axis, e.g. --set topology=grid --set nodes=96
 --set link.loss_floor=0.05; an unknown key lists the valid axes. `--show-spec`
 prints the resolved base spec as JSON and exits without running. `calibrate`
@@ -314,7 +320,11 @@ fn cmd_diff(args: &[String]) -> Result<i32, String> {
 }
 
 fn cmd_check(args: &[String]) -> Result<i32, String> {
-    let (positional, flags, values) = parse(args, &["tolerance", "baseline"], &["bless"])?;
+    let (positional, flags, values) = parse(
+        args,
+        &["tolerance", "baseline", "history"],
+        &["bless", "chaos"],
+    )?;
     if let Some(extra) = positional.first() {
         return Err(format!("unexpected argument `{extra}`"));
     }
@@ -322,8 +332,27 @@ fn cmd_check(args: &[String]) -> Result<i32, String> {
     let preset = TolerancePreset::from_name(preset_name)
         .ok_or_else(|| format!("unknown tolerance `{preset_name}` (strict|default|loose)"))?;
     let bless = flags.iter().any(|f| f == "bless");
-    let baseline_path = PathBuf::from(lookup(&values, "baseline").unwrap_or(DEFAULT_BASELINE_PATH));
-    let outcome = run_check(&baseline_path, preset, bless).map_err(|e| e.to_string())?;
+    let chaos = flags.iter().any(|f| f == "chaos");
+    let history = lookup(&values, "history").map(PathBuf::from);
+    if history.is_some() && !chaos {
+        return Err(
+            "--history only applies to `check --chaos` (the classic smoke \
+                    suite's record is appended by `run --history`)"
+                .to_string(),
+        );
+    }
+    let default_path = if chaos {
+        DEFAULT_CHAOS_BASELINE_PATH
+    } else {
+        DEFAULT_BASELINE_PATH
+    };
+    let baseline_path = PathBuf::from(lookup(&values, "baseline").unwrap_or(default_path));
+    let outcome = if chaos {
+        run_chaos_check_with_history(&baseline_path, preset, bless, history.as_deref())
+    } else {
+        run_check(&baseline_path, preset, bless)
+    }
+    .map_err(|e| e.to_string())?;
     print!("{}", outcome.render_text());
     if bless {
         println!("blessed: wrote {}", baseline_path.display());

@@ -470,6 +470,30 @@ mod tests {
         assert!(HistoryDelta::from_records(&[]).is_none());
     }
 
+    #[test]
+    fn chaos_records_compare_only_against_chaos_records() {
+        // The chaos gate's record carries the same experiment count (3) as a
+        // hypothetical trimmed quick run could; only the scale override
+        // keeps the two trajectories apart. A chaos record must reach past
+        // quick, paper, and same-shaped foreign records to the previous
+        // chaos one — and a quick record must never see a chaos baseline.
+        let records = vec![
+            record("chaos", 1, 4.0, 3),
+            record("quick", 1, 2.0, 3),
+            record("chaos", 1, 4.4, 3),
+        ];
+        let delta = HistoryDelta::from_records(&records).unwrap();
+        let previous = delta.previous.as_ref().unwrap();
+        assert_eq!(previous.scale, "chaos");
+        assert_eq!(previous.total_wall_clock_secs, 4.0);
+        let ratio = delta.wall_clock_ratio().unwrap();
+        assert!((ratio - 1.1).abs() < 1e-9, "{ratio}");
+
+        let records = vec![record("chaos", 1, 4.0, 3), record("quick", 1, 2.0, 3)];
+        let delta = HistoryDelta::from_records(&records).unwrap();
+        assert!(delta.previous.is_none(), "quick never gates against chaos");
+    }
+
     fn serve_record(queries: u64, wall: f64, p99_ms: f64) -> HistoryRecord {
         let mut r = HistoryRecord::from_serve_bench(
             queries,

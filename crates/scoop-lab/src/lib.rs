@@ -51,7 +51,7 @@ pub use calibrate::{
     load_calibration, run_calibration, save_calibration, CalibrationArtifact, CalibrationOptions,
     CalibrationPoint, CalibrationRow, Objective, CALIBRATION_SCHEMA_VERSION,
 };
-pub use check::{run_check, CheckOutcome};
+pub use check::{run_chaos_check, run_check, CheckOutcome};
 pub use diff::{
     diff_rows, BaselineRow, BaselineSet, DiffReport, MetricCheck, RowStatus, Tolerance,
 };

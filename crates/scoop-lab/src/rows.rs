@@ -10,8 +10,8 @@
 //! between the paper's testbed and this simulator.
 
 use scoop_sim::experiments::{
-    AblationRow, Fig3Row, Fig4Row, Fig5Row, LinkCalibrationRow, ReliabilityRow, RootSkewRow,
-    SampleIntervalRow, ScalingRow,
+    AblationRow, ChaosRow, Fig3Row, Fig4Row, Fig5Row, LinkCalibrationRow, ReliabilityRow,
+    RootSkewRow, SampleIntervalRow, ScalingRow,
 };
 use scoop_sim::report;
 use serde::{Deserialize, Serialize};
@@ -37,6 +37,8 @@ pub enum RowSet {
     Scaling(Vec<ScalingRow>),
     /// The link-calibration ablation.
     LinkCalibration(Vec<LinkCalibrationRow>),
+    /// A chaos scenario (per-phase reliability under scheduled faults).
+    Chaos(Vec<ChaosRow>),
 }
 
 /// One row of any experiment, flattened to named numeric metrics.
@@ -71,6 +73,7 @@ impl RowSet {
             RowSet::RootSkew(r) => r.len(),
             RowSet::Scaling(r) => r.len(),
             RowSet::LinkCalibration(r) => r.len(),
+            RowSet::Chaos(r) => r.len(),
         }
     }
 
@@ -92,6 +95,7 @@ impl RowSet {
             RowSet::RootSkew(rows) => report::root_skew_table(rows),
             RowSet::Scaling(rows) => report::scaling_table(title, rows),
             RowSet::LinkCalibration(rows) => report::link_calibration_table(rows),
+            RowSet::Chaos(rows) => report::chaos_table(title, rows),
         }
     }
 
@@ -109,6 +113,7 @@ impl RowSet {
             RowSet::RootSkew(rows) => report::to_json(rows),
             RowSet::Scaling(rows) => report::to_json(rows),
             RowSet::LinkCalibration(rows) => report::to_json(rows),
+            RowSet::Chaos(rows) => report::to_json(rows),
         }
     }
 
@@ -256,6 +261,18 @@ impl RowSet {
                         ("storage_success".into(), r.storage_success),
                         ("query_success".into(), r.query_success),
                         ("total_messages".into(), r.total_messages as f64),
+                    ],
+                })
+                .collect(),
+            RowSet::Chaos(rows) => rows
+                .iter()
+                .map(|r| MeasuredRow {
+                    key: format!("{}/{}", r.scenario, r.phase),
+                    metrics: vec![
+                        ("storage_success".into(), r.storage_success),
+                        ("query_success".into(), r.query_success),
+                        ("control_storage_success".into(), r.control_storage_success),
+                        ("control_query_success".into(), r.control_query_success),
                     ],
                 })
                 .collect(),

@@ -81,11 +81,17 @@ pub enum ExperimentId {
     /// The 32k-node grid stress scenario: 32,767 sensors plus the
     /// basestation fill the raised `MAX_NODES` cap exactly.
     Scaling32768,
+    /// Chaos: per-phase reliability across a seeded network partition.
+    ChaosPartition,
+    /// Chaos: a promoted second sink crashes; the root takes over.
+    ChaosSinkFailover,
+    /// Chaos: mass churn (25 % killed, 25 % fresh joiners).
+    ChaosChurn,
 }
 
 impl ExperimentId {
     /// Every experiment, in the order `run`/`report` process them.
-    pub const ALL: [ExperimentId; 14] = [
+    pub const ALL: [ExperimentId; 17] = [
         ExperimentId::Fig3Left,
         ExperimentId::Fig3Middle,
         ExperimentId::Fig3Right,
@@ -100,6 +106,16 @@ impl ExperimentId {
         ExperimentId::Scaling256,
         ExperimentId::Scaling4096,
         ExperimentId::Scaling32768,
+        ExperimentId::ChaosPartition,
+        ExperimentId::ChaosSinkFailover,
+        ExperimentId::ChaosChurn,
+    ];
+
+    /// The chaos scenario family, in suite order.
+    pub const CHAOS: [ExperimentId; 3] = [
+        ExperimentId::ChaosPartition,
+        ExperimentId::ChaosSinkFailover,
+        ExperimentId::ChaosChurn,
     ];
 
     /// Stable slug used for CLI selection and artifact file names.
@@ -119,6 +135,9 @@ impl ExperimentId {
             ExperimentId::Scaling256 => "scaling-256",
             ExperimentId::Scaling4096 => "scaling-4096",
             ExperimentId::Scaling32768 => "scaling-32768",
+            ExperimentId::ChaosPartition => "chaos-partition",
+            ExperimentId::ChaosSinkFailover => "chaos-failover",
+            ExperimentId::ChaosChurn => "chaos-churn",
         }
     }
 
@@ -139,6 +158,9 @@ impl ExperimentId {
             ExperimentId::Scaling256 => "Scaling to 256 nodes (grid topology)",
             ExperimentId::Scaling4096 => "Scaling to 4096 nodes (grid, HASH policy)",
             ExperimentId::Scaling32768 => "Scaling to 32k nodes (grid, HASH policy)",
+            ExperimentId::ChaosPartition => "Chaos: network partition (50 % isolated, healed)",
+            ExperimentId::ChaosSinkFailover => "Chaos: basestation failover (2-sink federation)",
+            ExperimentId::ChaosChurn => "Chaos: mass churn (25 % killed, 25 % joined)",
         }
     }
 
@@ -230,6 +252,21 @@ impl SuiteOptions {
                 ExperimentId::LinkCalibration,
                 ExperimentId::Scaling256,
             ],
+            overrides: Vec::new(),
+        }
+    }
+
+    /// The chaos gate suite: the three chaos scenarios at quick scale,
+    /// deterministic and single-trial, compared against their own committed
+    /// baseline (`crates/scoop-lab/baselines/chaos.json`) so the classic
+    /// smoke baseline stays untouched by fault-model work.
+    pub fn chaos_smoke() -> Self {
+        SuiteOptions {
+            scale: Scale::Quick,
+            trials: 1,
+            seed: 1,
+            points: PointSet::Smoke,
+            experiments: ExperimentId::CHAOS.to_vec(),
             overrides: Vec::new(),
         }
     }
@@ -372,6 +409,17 @@ pub fn run_experiment(
                 trials,
             )
             .map(RowSet::Scaling)
+        }
+        ExperimentId::ChaosPartition => {
+            experiments::chaos(base, experiments::ChaosScenario::Partition, trials)
+                .map(RowSet::Chaos)
+        }
+        ExperimentId::ChaosSinkFailover => {
+            experiments::chaos(base, experiments::ChaosScenario::SinkFailover, trials)
+                .map(RowSet::Chaos)
+        }
+        ExperimentId::ChaosChurn => {
+            experiments::chaos(base, experiments::ChaosScenario::Churn, trials).map(RowSet::Chaos)
         }
     }
 }

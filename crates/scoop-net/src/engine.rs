@@ -402,6 +402,13 @@ impl<L: NodeLogic> Engine<L> {
                 self.with_ctx(node, |logic, ctx| logic.on_packet(ctx, packet, addressed));
             }
             Event::TimerFire { node, token } => {
+                // A halted CPU (crashed sink) fires nothing; the timer is
+                // deferred to the halt's end, so a restarted node resumes its
+                // periodic duties with state intact.
+                if let Some(until) = self.faults.halted_until(node, self.now) {
+                    self.queue.push(until, Event::TimerFire { node, token });
+                    return;
+                }
                 self.with_ctx(node, |logic, ctx| logic.on_timer(ctx, token));
             }
             Event::SendResult {
@@ -409,6 +416,17 @@ impl<L: NodeLogic> Engine<L> {
                 delivered,
                 packet,
             } => {
+                if let Some(until) = self.faults.halted_until(node, self.now) {
+                    self.queue.push(
+                        until,
+                        Event::SendResult {
+                            node,
+                            delivered,
+                            packet,
+                        },
+                    );
+                    return;
+                }
                 self.with_ctx(node, |logic, ctx| {
                     logic.on_send_result(ctx, delivered, packet)
                 });
@@ -499,7 +517,11 @@ impl<L: NodeLogic> Engine<L> {
                 self.stats.record_tx(src, kind);
                 let arrival = self.now + self.config.tx_slot;
                 let Engine {
-                    links, rng, queue, ..
+                    links,
+                    rng,
+                    queue,
+                    faults,
+                    ..
                 } = self;
                 for &Neighbor {
                     node: listener,
@@ -507,6 +529,12 @@ impl<L: NodeLogic> Engine<L> {
                 } in links.neighbors(src)
                 {
                     if rng.gen_bool(delivery_prob) {
+                        // A partition cut severs the link *after* the loss
+                        // roll, so scheduling one never shifts the random
+                        // stream of the surviving links.
+                        if faults.is_cut(src, listener, arrival) {
+                            continue;
+                        }
                         queue.push(
                             arrival,
                             Event::PacketArrival {
@@ -546,8 +574,10 @@ impl<L: NodeLogic> Engine<L> {
                         if listener == dst {
                             // A destination whose radio is down at delivery
                             // time cannot acknowledge: the attempt fails and
-                            // the retry loop continues, exactly like loss.
-                            if faults.is_down(dst, arrival) {
+                            // the retry loop continues, exactly like loss. A
+                            // partition cut between the endpoints fails the
+                            // attempt the same way.
+                            if faults.is_down(dst, arrival) || faults.is_cut(src, dst, arrival) {
                                 continue;
                             }
                             queue.push(
@@ -560,6 +590,9 @@ impl<L: NodeLogic> Engine<L> {
                             );
                             delivered = true;
                         } else if config.enable_snooping {
+                            if faults.is_cut(src, listener, arrival) {
+                                continue;
+                            }
                             queue.push(
                                 arrival,
                                 Event::PacketArrival {
@@ -818,5 +851,102 @@ mod tests {
         assert_eq!(eng.now(), SimTime::from_secs(42));
         eng.run_for(SimDuration::from_secs(8));
         assert_eq!(eng.now(), SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn partition_severs_cross_side_delivery_and_heals() {
+        // Grid of 4, all in range: node 0 broadcasts every second. Cut node
+        // 3 away during [1.5s, 3.5s): it must miss exactly the broadcasts
+        // sent at 2s and 3s while nodes 1 and 2 hear everything.
+        let mut eng = perfect_engine(2);
+        let mut faults = FaultSchedule::empty();
+        faults.add_partition(
+            SimTime::from_millis(1_500),
+            SimTime::from_millis(3_500),
+            vec![false, false, false, true],
+        );
+        eng.set_fault_schedule(faults);
+        eng.run_until(SimTime::from_secs(10));
+
+        let broadcasts = |i: u16| {
+            eng.node(NodeId(i))
+                .received
+                .iter()
+                .filter(|&&v| v <= 100)
+                .copied()
+                .collect::<Vec<u32>>()
+        };
+        assert_eq!(broadcasts(1), vec![1, 2, 3, 4, 5]);
+        assert_eq!(broadcasts(2), vec![1, 2, 3, 4, 5]);
+        assert_eq!(
+            broadcasts(3),
+            vec![1, 4, 5],
+            "cut side misses exactly the in-window broadcasts"
+        );
+    }
+
+    #[test]
+    fn partition_fails_unicast_attempts_like_loss() {
+        // Node 2 forwards each broadcast it hears to node 1 as a unicast.
+        // Cutting {1} away from everyone makes those unicasts fail (after
+        // retries) while node 2 keeps hearing the broadcasts.
+        let mut eng = perfect_engine(2);
+        let mut faults = FaultSchedule::empty();
+        faults.add_partition(
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+            vec![false, true, false, false],
+        );
+        eng.set_fault_schedule(faults);
+        eng.run_until(SimTime::from_secs(10));
+        assert_eq!(eng.node(NodeId(1)).received, Vec::<u32>::new());
+        assert_eq!(eng.node(NodeId(2)).send_failures, 5);
+        assert_eq!(eng.node(NodeId(2)).send_successes, 0);
+    }
+
+    #[test]
+    fn halted_nodes_defer_timers_to_the_window_end() {
+        // Node 0's heartbeat timer ticks once per second from 1s. Halting
+        // its CPU during [1.5s, 4.5s) defers the 2s tick to 4.5s; the chain
+        // then resumes (each tick re-arms +1s), so ticks land at 1, 4.5,
+        // 5.5, 6.5, 7.5 seconds — still five in total.
+        let mut eng = perfect_engine(2);
+        let mut faults = FaultSchedule::empty();
+        faults.add_halt(
+            NodeId(0),
+            SimTime::from_millis(1_500),
+            SimTime::from_millis(4_500),
+        );
+        eng.set_fault_schedule(faults);
+        eng.run_until(SimTime::from_secs(10));
+        assert_eq!(eng.node(NodeId(0)).timers, 5, "no tick is lost");
+        // Every other node still hears all five broadcasts.
+        for i in 1..4 {
+            let broadcasts = eng
+                .node(NodeId(i))
+                .received
+                .iter()
+                .filter(|&&v| v <= 100)
+                .count();
+            assert_eq!(broadcasts, 5, "node {i}");
+        }
+    }
+
+    #[test]
+    fn empty_new_fault_kinds_leave_runs_byte_identical() {
+        // A schedule with no cuts or halts must not perturb anything —
+        // including the RNG stream — relative to no schedule at all.
+        let mut plain = perfect_engine(2);
+        plain.run_until(SimTime::from_secs(10));
+        let mut scheduled = perfect_engine(2);
+        scheduled.set_fault_schedule(FaultSchedule::empty());
+        scheduled.run_until(SimTime::from_secs(10));
+        for i in 0..4 {
+            assert_eq!(
+                plain.node(NodeId(i)).received,
+                scheduled.node(NodeId(i)).received
+            );
+        }
+        assert_eq!(plain.events_processed(), scheduled.events_processed());
     }
 }

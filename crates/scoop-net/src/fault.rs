@@ -1,16 +1,41 @@
-//! Scheduled radio outages: the engine-level realization of a
+//! Scheduled faults: the engine-level realization of a
 //! [`FaultSpec`](scoop_types::FaultSpec).
 //!
-//! A [`FaultSchedule`] lists concrete `(node, from, until)` outage windows.
-//! While a node's window is open its radio is dead — it transmits nothing
-//! (and nothing it sends is counted) and every packet addressed to or
-//! overheard by it is dropped — but its CPU stays alive: timers keep firing,
-//! so a node whose window closes rejoins the network with its protocol state
-//! intact (churn). The empty schedule is the default and leaves the engine's
-//! behavior, including its random stream, byte-identical to a fault-free
-//! build.
+//! A [`FaultSchedule`] lists three concrete fault kinds:
+//!
+//! - **Outages** — `(node, from, until)` radio windows. While a node's window
+//!   is open its radio is dead — it transmits nothing (and nothing it sends
+//!   is counted) and every packet addressed to or overheard by it is dropped
+//!   — but its CPU stays alive: timers keep firing, so a node whose window
+//!   closes rejoins the network with its protocol state intact (churn).
+//! - **Partition cuts** — `(from, until, side)` windows. While the cut is
+//!   open no packet crosses from a node on one side to a node on the other,
+//!   in either direction; same-side links are untouched. Cuts compose with
+//!   link loss *after* the delivery roll, so scheduling a cut never perturbs
+//!   the engine's random stream.
+//! - **Halts** — `(node, from, until)` CPU windows. A halted node's timers
+//!   and send-completions are deferred to the window's end instead of firing,
+//!   modelling a crash-restart with state intact (used for basestation
+//!   failover). Halts are usually paired with an outage over the same window
+//!   so the dead node's radio is off too.
+//!
+//! The empty schedule is the default and leaves the engine's behavior,
+//! including its random stream, byte-identical to a fault-free build.
 
 use scoop_types::{NodeId, SimTime};
+
+/// One scheduled partition: while open, no packet crosses between a node
+/// with `side[i] == true` and one with `side[i] == false`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionCut {
+    /// When the cut opens.
+    pub from: SimTime,
+    /// When the cut heals (exclusive).
+    pub until: SimTime,
+    /// Side membership, indexed by node id. Nodes beyond the vector are on
+    /// the `false` (majority) side.
+    pub side: Vec<bool>,
+}
 
 /// One node's outage window: down at `from`, back up at `until` (exclusive).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -38,17 +63,21 @@ pub struct FaultSchedule {
     /// the highest scheduled one have no slot at all, so the empty schedule
     /// costs a single failed `get`.
     per_node: Vec<Vec<(SimTime, SimTime)>>,
+    /// Scheduled partition cuts, consulted per delivery only when non-empty.
+    cuts: Vec<PartitionCut>,
+    /// `halted[i]` holds node `i`'s CPU-halt `(from, until)` windows.
+    halted: Vec<Vec<(SimTime, SimTime)>>,
 }
 
 impl FaultSchedule {
-    /// A schedule with no outages (the default engine behavior).
+    /// A schedule with no faults (the default engine behavior).
     pub fn empty() -> Self {
         FaultSchedule::default()
     }
 
-    /// Whether any outage is scheduled.
+    /// Whether any fault of any kind is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.outages.is_empty()
+        self.outages.is_empty() && self.cuts.is_empty() && self.halted.iter().all(Vec::is_empty)
     }
 
     /// Number of scheduled outages.
@@ -67,6 +96,26 @@ impl FaultSchedule {
         }
     }
 
+    /// Schedules one partition cut; `side[i]` puts node `i` on the isolated
+    /// side. Inverted windows and one-sided cuts (nobody isolated, or
+    /// everybody) are ignored as no-ops.
+    pub fn add_partition(&mut self, from: SimTime, until: SimTime, side: Vec<bool>) {
+        let isolated = side.iter().filter(|&&s| s).count();
+        if from < until && isolated > 0 && isolated < side.len() {
+            self.cuts.push(PartitionCut { from, until, side });
+        }
+    }
+
+    /// Schedules one CPU-halt window for `node`.
+    pub fn add_halt(&mut self, node: NodeId, from: SimTime, until: SimTime) {
+        if from < until {
+            if self.halted.len() <= node.index() {
+                self.halted.resize(node.index() + 1, Vec::new());
+            }
+            self.halted[node.index()].push((from, until));
+        }
+    }
+
     /// Returns `true` if `node`'s radio is down at `now`.
     #[inline]
     pub fn is_down(&self, node: NodeId, now: SimTime) -> bool {
@@ -78,9 +127,42 @@ impl FaultSchedule {
         }
     }
 
+    /// Returns `true` if a packet from `a` to `b` is severed by an open
+    /// partition cut at `now`. Overlapping cuts union: one open cut
+    /// separating the pair is enough.
+    #[inline]
+    pub fn is_cut(&self, a: NodeId, b: NodeId, now: SimTime) -> bool {
+        if self.cuts.is_empty() {
+            return false;
+        }
+        self.cuts.iter().any(|cut| {
+            cut.from <= now
+                && now < cut.until
+                && cut.side.get(a.index()).copied().unwrap_or(false)
+                    != cut.side.get(b.index()).copied().unwrap_or(false)
+        })
+    }
+
+    /// If `node`'s CPU is halted at `now`, returns when the longest open
+    /// halt window ends (when a deferred event should fire instead).
+    #[inline]
+    pub fn halted_until(&self, node: NodeId, now: SimTime) -> Option<SimTime> {
+        let windows = self.halted.get(node.index())?;
+        windows
+            .iter()
+            .filter(|&&(from, until)| from <= now && now < until)
+            .map(|&(_, until)| until)
+            .max()
+    }
+
     /// Iterates over the scheduled outages.
     pub fn iter(&self) -> impl Iterator<Item = &Outage> {
         self.outages.iter()
+    }
+
+    /// Iterates over the scheduled partition cuts.
+    pub fn cuts(&self) -> impl Iterator<Item = &PartitionCut> {
+        self.cuts.iter()
     }
 }
 
@@ -123,5 +205,93 @@ mod tests {
             assert!(s.is_down(NodeId(1), SimTime::from_secs(t)), "t={t}");
         }
         assert!(!s.is_down(NodeId(1), SimTime::from_secs(30)));
+    }
+
+    #[test]
+    fn partition_cuts_sever_only_cross_side_pairs_inside_the_window() {
+        let mut s = FaultSchedule::empty();
+        // Nodes 1 and 3 isolated; 0, 2 and everything beyond on the other
+        // side.
+        s.add_partition(
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+            vec![false, true, false, true],
+        );
+        assert!(!s.is_empty());
+        let t = SimTime::from_secs(15);
+        assert!(s.is_cut(NodeId(0), NodeId(1), t));
+        assert!(s.is_cut(NodeId(1), NodeId(0), t), "cuts are symmetric");
+        assert!(s.is_cut(NodeId(3), NodeId(99), t), "beyond-vec is majority");
+        assert!(!s.is_cut(NodeId(1), NodeId(3), t), "same side unaffected");
+        assert!(!s.is_cut(NodeId(0), NodeId(2), t));
+        // Half-open window bounds, like outages.
+        assert!(!s.is_cut(NodeId(0), NodeId(1), SimTime::from_secs(9)));
+        assert!(s.is_cut(NodeId(0), NodeId(1), SimTime::from_secs(10)));
+        assert!(!s.is_cut(NodeId(0), NodeId(1), SimTime::from_secs(20)));
+    }
+
+    #[test]
+    fn degenerate_partitions_are_noops() {
+        let mut s = FaultSchedule::empty();
+        // Inverted window, nobody isolated, everybody isolated.
+        s.add_partition(
+            SimTime::from_secs(20),
+            SimTime::from_secs(10),
+            vec![true, false],
+        );
+        s.add_partition(
+            SimTime::from_secs(0),
+            SimTime::from_secs(10),
+            vec![false, false],
+        );
+        s.add_partition(
+            SimTime::from_secs(0),
+            SimTime::from_secs(10),
+            vec![true, true],
+        );
+        assert!(s.is_empty());
+        assert!(!s.is_cut(NodeId(0), NodeId(1), SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn overlapping_partitions_union() {
+        let mut s = FaultSchedule::empty();
+        s.add_partition(
+            SimTime::from_secs(0),
+            SimTime::from_secs(15),
+            vec![false, true],
+        );
+        s.add_partition(
+            SimTime::from_secs(10),
+            SimTime::from_secs(30),
+            vec![false, true],
+        );
+        for t in [0, 14, 15, 29] {
+            assert!(
+                s.is_cut(NodeId(0), NodeId(1), SimTime::from_secs(t)),
+                "t={t}"
+            );
+        }
+        assert!(!s.is_cut(NodeId(0), NodeId(1), SimTime::from_secs(30)));
+    }
+
+    #[test]
+    fn halts_report_the_latest_open_window_end() {
+        let mut s = FaultSchedule::empty();
+        s.add_halt(NodeId(2), SimTime::from_secs(10), SimTime::from_secs(20));
+        s.add_halt(NodeId(2), SimTime::from_secs(15), SimTime::from_secs(40));
+        assert_eq!(s.halted_until(NodeId(2), SimTime::from_secs(5)), None);
+        assert_eq!(
+            s.halted_until(NodeId(2), SimTime::from_secs(12)),
+            Some(SimTime::from_secs(20))
+        );
+        assert_eq!(
+            s.halted_until(NodeId(2), SimTime::from_secs(16)),
+            Some(SimTime::from_secs(40)),
+            "overlapping halts defer to the farthest end"
+        );
+        assert_eq!(s.halted_until(NodeId(2), SimTime::from_secs(40)), None);
+        assert_eq!(s.halted_until(NodeId(7), SimTime::from_secs(12)), None);
+        assert!(!s.is_empty());
     }
 }

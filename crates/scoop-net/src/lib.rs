@@ -35,7 +35,7 @@ pub mod topology;
 pub use energy::{EnergyModel, EnergyReport};
 pub use engine::{Engine, EngineConfig, NodeCtx, NodeLogic, TimerToken};
 pub use event::{Event, EventQueue};
-pub use fault::{FaultSchedule, Outage};
+pub use fault::{FaultSchedule, Outage, PartitionCut};
 pub use gen::{LinkGen, StdLinkGen, StdTopologyGen, TopologyGen};
 pub use link::{LinkModel, LinkModelParams, LinkQuality, Neighbor};
 pub use packet::{LinkDst, Packet, PacketMeta};

@@ -3,8 +3,8 @@
 //! seed.
 
 use proptest::prelude::*;
-use scoop_net::{LinkModel, Neighbor, StdTopologyGen, Topology, TopologyGen};
-use scoop_types::{LinkSpec, NodeId, ScoopError, TopologyKind, TopologySpec};
+use scoop_net::{FaultSchedule, LinkModel, Neighbor, StdTopologyGen, Topology, TopologyGen};
+use scoop_types::{LinkSpec, NodeId, ScoopError, SimTime, TopologyKind, TopologySpec};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -272,6 +272,56 @@ proptest! {
                 "node {n} cannot reach the basestation ({:?}, {} nodes, seed {})",
                 spec.kind, nodes, seed
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Overlapping partition cuts union: a pair is severed at `t` iff at
+    /// least one cut, applied alone, severs it at `t`. Composing cuts can
+    /// only widen the blackout — never narrow, shift, or cancel it — for
+    /// any mix of windows (overlapping, nested, disjoint, inverted) and any
+    /// side assignment, including degenerate all-on-one-side cuts.
+    #[test]
+    fn partition_cuts_union_like_their_singletons(
+        cuts in proptest::collection::vec(
+            (
+                0u64..120,
+                0u64..120,
+                proptest::collection::vec((0u8..2).prop_map(|b| b == 1), 2..10),
+            ),
+            1..5,
+        ),
+        probe_t in 0u64..140,
+    ) {
+        let mut combined = FaultSchedule::empty();
+        let mut singles = Vec::new();
+        for (a, b, side) in &cuts {
+            let (from, until) = (SimTime::from_secs(*a), SimTime::from_secs(*b));
+            combined.add_partition(from, until, side.clone());
+            let mut single = FaultSchedule::empty();
+            single.add_partition(from, until, side.clone());
+            singles.push(single);
+        }
+        let t = SimTime::from_secs(probe_t);
+        // Probe every pair, including ids beyond the side vectors (which
+        // belong to the majority side by definition).
+        let n = cuts.iter().map(|(_, _, s)| s.len()).max().unwrap_or(0) as u16 + 2;
+        for i in 0..n {
+            for j in 0..n {
+                let expected = singles.iter().any(|s| s.is_cut(NodeId(i), NodeId(j), t));
+                prop_assert_eq!(
+                    combined.is_cut(NodeId(i), NodeId(j), t), expected,
+                    "pair ({i}, {j}) at t={probe_t}: union diverges from singleton OR"
+                );
+                prop_assert_eq!(
+                    combined.is_cut(NodeId(i), NodeId(j), t),
+                    combined.is_cut(NodeId(j), NodeId(i), t),
+                    "cuts must stay symmetric"
+                );
+            }
         }
     }
 }

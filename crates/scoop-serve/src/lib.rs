@@ -48,5 +48,5 @@ pub use core::{AnswerCore, CoreStats};
 pub use index::ServeIndex;
 pub use server::{pump_once, ServeOptions, ServeServer, ServeStats};
 pub use smoke::{run_smoke, SmokeOptions, SmokeReport};
-pub use tcp::{TcpClient, TcpServerTransport};
+pub use tcp::{QueryError, RetriesExhausted, RetryPolicy, TcpClient, TcpServerTransport};
 pub use transport::{ClientId, InMemoryClient, InMemoryHub, InMemoryTransport, Transport};

@@ -7,6 +7,8 @@
 //! scoop-serve smoke [--json]
 //! scoop-serve serve --addr=HOST:PORT [--queue=N] [--cache=N] [--tick-ms=N]
 //!                   [--scale=paper|small] [--persist=DIR]
+//! scoop-serve query --addr=HOST:PORT [--id=N] [--lo=N] [--hi=N]
+//!                   [--from-ms=N] [--to-ms=N] [--retry=N] [--seed=N]
 //! ```
 //!
 //! `bench` is the load generator: it runs the same workload twice — cache
@@ -15,28 +17,36 @@
 //! appends one `scale:"serve"` record to `BENCH_history.jsonl` for the CI
 //! latency gate. `smoke` prints the deterministic golden report CI compares.
 //! `serve` puts the simulated network behind a real TCP socket, pacing
-//! simulated ticks against the wall clock.
+//! simulated ticks against the wall clock. `query` is the matching one-shot
+//! TCP client; `--retry=N` opts into bounded retry with seeded jittered
+//! backoff when the server answers `Overloaded`, and exhausting the budget
+//! exits with the typed give-up error instead of dropping the query.
 
 use scoop_serve::bench::{run_bench, BenchOptions, BenchReport};
 use scoop_serve::server::{pump_once, ServeOptions, ServeServer};
 use scoop_serve::smoke::{run_smoke, SmokeOptions};
-use scoop_serve::tcp::TcpServerTransport;
-use scoop_types::{ScenarioSpec, SimDuration};
+use scoop_serve::tcp::{RetryPolicy, TcpClient, TcpServerTransport};
+use scoop_types::{ScenarioSpec, ServeRequest, SimDuration, SimTime, ValueRange};
 use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: scoop-serve <bench|smoke|serve> [options]
+const USAGE: &str = "usage: scoop-serve <bench|smoke|serve|query> [options]
   bench  [--queries=N] [--concurrency=N] [--queue=N] [--cache=N] [--tick-ms=N]
          [--seed=N] [--scale=paper|small] [--history=FILE]
   smoke  [--json]
   serve  --addr=HOST:PORT [--queue=N] [--cache=N] [--tick-ms=N]
          [--scale=paper|small] [--persist=DIR]
+  query  --addr=HOST:PORT [--id=N] [--lo=N] [--hi=N] [--from-ms=N] [--to-ms=N]
+         [--retry=N] [--seed=N]
 `bench` drives >= --queries point/range queries through the in-memory
 transport path twice (cache off/on), proves the response streams
 byte-identical, and reports p50/p99 latency and queries/s. `smoke` runs the
 fixed-seed hermetic mix CI checks against its committed golden. `serve`
 exposes the server over length-prefixed TCP frames; `--persist` additionally
 journals drained readings through the flash-accounted seam into a scoop-store
-segment log at DIR and preloads it on restart.";
+segment log at DIR and preloads it on restart. `query` sends one value/time
+range query to a serving process; `--retry=N` opts into bounded retry with
+seeded jittered backoff on `Overloaded`, failing with the typed give-up
+error once the budget is spent.";
 
 /// `--key=value` pairs and bare `--flag`s, in command-line order.
 type ParsedArgs = (Vec<(String, String)>, Vec<String>);
@@ -237,15 +247,64 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut reqs = Vec::new();
     let mut frames = Vec::new();
     let tick_wall = Duration::from_millis(tick_ms);
+    let mut degrade_reported = false;
     loop {
         let began = Instant::now();
         pump_once(&mut server, &mut transport, &mut reqs, &mut frames)
             .map_err(|e| e.to_string())?;
         server.sync().map_err(|e| e.to_string())?;
+        // A dying disk degrades persistence to a typed error; the server
+        // keeps answering from memory. Say so exactly once.
+        if !degrade_reported {
+            if let Some(e) = server.persistence_error() {
+                eprintln!("scoop-serve: persistence degraded, serving from memory: {e}");
+                degrade_reported = true;
+            }
+        }
         if let Some(rest) = tick_wall.checked_sub(began.elapsed()) {
             std::thread::sleep(rest);
         }
     }
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (values, _) = parse(
+        args,
+        &[
+            "addr", "id", "lo", "hi", "from-ms", "to-ms", "retry", "seed",
+        ],
+        &[],
+    )?;
+    let addr = lookup(&values, "addr").ok_or("query needs --addr=HOST:PORT")?;
+    let req = ServeRequest {
+        id: numeric(&values, "id", 1u64)?,
+        values: ValueRange::new(
+            numeric(&values, "lo", 0)?,
+            numeric(&values, "hi", i32::MAX)?,
+        ),
+        time_lo: SimTime::from_millis(numeric(&values, "from-ms", 0u64)?),
+        time_hi: SimTime::from_millis(numeric(&values, "to-ms", u64::MAX / 2)?),
+    };
+    let policy = RetryPolicy::new(
+        numeric(&values, "retry", 0u32)?,
+        numeric(&values, "seed", 1u64)?,
+    );
+    let mut client = TcpClient::connect(addr).map_err(|e| e.to_string())?;
+    let (rows, attempts) = client
+        .query_with_retry(&req, &policy)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "request {} answered on attempt {attempts}: {} rows",
+        rows.id,
+        rows.rows.len()
+    );
+    for row in &rows.rows {
+        println!(
+            "  t={} ms node={} attr={} value={}",
+            row.time_ms, row.node.0, row.attribute, row.value
+        );
+    }
+    Ok(())
 }
 
 fn main() {
@@ -254,6 +313,7 @@ fn main() {
         Some("bench") => cmd_bench(&args[1..]),
         Some("smoke") => cmd_smoke(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())

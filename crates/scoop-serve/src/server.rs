@@ -26,7 +26,7 @@ use crate::core::{AnswerCore, CoreStats};
 use crate::transport::{ClientId, Transport};
 use scoop_net::Engine;
 use scoop_sim::{SimBuilder, SimNode, TICK_SERVE};
-use scoop_storage::{FlashModel, FlashPersistence, StoredReading};
+use scoop_storage::{FlashLedger, FlashModel, FlashPersistence, PersistenceBackend, StoredReading};
 use scoop_store::{DiskBackend, Store, StoreOptions};
 use scoop_types::append_overloaded_frame;
 use scoop_types::{
@@ -91,6 +91,42 @@ pub struct ServeStats {
     pub records_persisted: u64,
 }
 
+/// The flash-accounted persistence seam as the server sees it, erased over
+/// the concrete backend so tests can wire in fault-injecting ones (see
+/// `scoop_storage::FailpointBackend`) without changing the serving loop.
+trait PersistSeam: Send {
+    fn append_node_batch(
+        &mut self,
+        owner: NodeId,
+        batch: &[StoredReading],
+    ) -> Result<(), ScoopError>;
+    fn sync(&mut self) -> Result<(), ScoopError>;
+    fn records_persisted(&self) -> u64;
+    fn ledger(&self) -> &FlashLedger;
+}
+
+impl<B: PersistenceBackend + Send> PersistSeam for FlashPersistence<B> {
+    fn append_node_batch(
+        &mut self,
+        owner: NodeId,
+        batch: &[StoredReading],
+    ) -> Result<(), ScoopError> {
+        FlashPersistence::append_node_batch(self, owner, batch)
+    }
+
+    fn sync(&mut self) -> Result<(), ScoopError> {
+        FlashPersistence::sync(self)
+    }
+
+    fn records_persisted(&self) -> u64 {
+        FlashPersistence::records_persisted(self)
+    }
+
+    fn ledger(&self) -> &FlashLedger {
+        FlashPersistence::ledger(self)
+    }
+}
+
 /// A long-running server owning one simulated network.
 pub struct ServeServer {
     engine: Engine<SimNode>,
@@ -98,7 +134,10 @@ pub struct ServeServer {
     admission: AdmissionQueue,
     /// Per-node data-buffer cursors, indexed by node id.
     cursors: Vec<u64>,
-    persistence: Option<FlashPersistence<DiskBackend>>,
+    persistence: Option<Box<dyn PersistSeam>>,
+    /// Set when the persistence seam failed and the server degraded to
+    /// memory-only serving; the seam itself is dropped at that point.
+    persist_error: Option<ScoopError>,
     tick: SimDuration,
     stats: ServeStats,
     // Reused per-tick scratch.
@@ -119,17 +158,17 @@ impl ServeServer {
 
         let mut core = AnswerCore::new(domain, options.cache_capacity);
         let mut stats = ServeStats::default();
-        let persistence = match options.persist_dir {
+        let persistence: Option<Box<dyn PersistSeam>> = match options.persist_dir {
             Some(dir) => {
                 let mut store = Store::open(&dir, StoreOptions::default())?;
                 let preloaded = store.scan_all()?;
                 stats.readings_preloaded = preloaded.records.len() as u64;
                 core.ingest(&preloaded.records);
-                Some(FlashPersistence::new(
+                Some(Box::new(FlashPersistence::new(
                     DiskBackend::from_store(store),
                     options.flash,
                     total_nodes,
-                ))
+                )))
             }
             None => None,
         };
@@ -140,12 +179,30 @@ impl ServeServer {
             admission: AdmissionQueue::new(options.queue_capacity),
             cursors: vec![0; total_nodes],
             persistence,
+            persist_error: None,
             tick: options.tick,
             stats,
             drain_readings: Vec::new(),
             drain_records: Vec::new(),
             batch: Vec::new(),
         })
+    }
+
+    /// Builds the simulated network over an explicit persistence backend
+    /// (flash-accounted like the disk path, no preload). This is how fault
+    /// models are wired into the seam: wrap any backend in a
+    /// [`scoop_storage::FailpointBackend`] and hand it here.
+    pub fn with_backend<B: PersistenceBackend + Send + 'static>(
+        options: ServeOptions,
+        backend: B,
+    ) -> Result<Self, ScoopError> {
+        let mut options = options;
+        options.persist_dir = None;
+        let flash = options.flash;
+        let mut server = ServeServer::new(options)?;
+        let nodes = server.cursors.len();
+        server.persistence = Some(Box::new(FlashPersistence::new(backend, flash, nodes)));
+        Ok(server)
     }
 
     /// Current simulated time of the owned network.
@@ -174,8 +231,20 @@ impl ServeServer {
     }
 
     /// Per-node flash accounting, when persistence is configured.
-    pub fn flash_ledger(&self) -> Option<&scoop_storage::FlashLedger> {
+    pub fn flash_ledger(&self) -> Option<&FlashLedger> {
         self.persistence.as_ref().map(|p| p.ledger())
+    }
+
+    /// True while the persistence seam is attached and healthy.
+    pub fn persistence_active(&self) -> bool {
+        self.persistence.is_some()
+    }
+
+    /// The typed error that degraded persistence, if it has failed. Once
+    /// set, the seam is detached and the server keeps serving from memory;
+    /// ticks and syncs never propagate the failure.
+    pub fn persistence_error(&self) -> Option<&ScoopError> {
+        self.persist_error.as_ref()
     }
 
     /// The owned engine (read-only, for inspection).
@@ -216,8 +285,19 @@ impl ServeServer {
                 .node(node)
                 .data_buffer()
                 .read_new_since(cursor, &mut self.drain_readings);
-            if let Some(persist) = &mut self.persistence {
-                persist.append_node_batch(node, &self.drain_readings[before..])?;
+            // A failing seam degrades the server to memory-only serving:
+            // the typed error is kept, the seam is dropped, and the tick —
+            // with every query in it — carries on.
+            if let Some(mut persist) = self.persistence.take() {
+                match persist.append_node_batch(node, &self.drain_readings[before..]) {
+                    Ok(()) => self.persistence = Some(persist),
+                    Err(e) => {
+                        // Count whatever landed (a torn write's prefix is
+                        // still durable) before letting the seam go.
+                        self.stats.records_persisted = persist.records_persisted();
+                        self.persist_error = Some(e);
+                    }
+                }
             }
         }
         self.stats.readings_drained += self.drain_readings.len() as u64;
@@ -256,12 +336,20 @@ impl ServeServer {
         Ok(())
     }
 
-    /// Commits everything appended to the persistence seam so far.
+    /// Commits everything appended to the persistence seam so far. A failing
+    /// commit point degrades the server exactly like a failing append: the
+    /// typed error is retained under [`persistence_error`] and serving
+    /// continues from memory — `sync` itself never fails the caller.
+    ///
+    /// [`persistence_error`]: Self::persistence_error
     pub fn sync(&mut self) -> Result<(), ScoopError> {
-        match &mut self.persistence {
-            Some(p) => p.sync(),
-            None => Ok(()),
+        if let Some(mut persist) = self.persistence.take() {
+            match persist.sync() {
+                Ok(()) => self.persistence = Some(persist),
+                Err(e) => self.persist_error = Some(e),
+            }
         }
+        Ok(())
     }
 }
 

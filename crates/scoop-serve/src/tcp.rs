@@ -11,10 +11,13 @@
 //! meaningful for the socket path.
 
 use crate::transport::{ClientId, Transport};
-use scoop_types::{ScoopError, ServeRequest, ServeResponse, SERVE_REQUEST_LEN};
+use scoop_types::{
+    Overloaded, ScoopError, ServeRequest, ServeResponse, ServeRows, SERVE_REQUEST_LEN,
+};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Upper bound on a framed payload; anything larger is a corrupt or hostile
 /// stream and drops the connection.
@@ -234,6 +237,47 @@ impl TcpClient {
         self.stream.write_all(&frame).map_err(|e| io_err("send", e))
     }
 
+    /// Sends `req` and retries on `Overloaded` under `policy`: each
+    /// rejection sleeps the next seeded-jittered backoff delay and resends.
+    ///
+    /// Returns the rows together with the number of attempts made, or a
+    /// typed [`QueryError`]: either the transport failed outright, or the
+    /// retry budget ran out and [`RetriesExhausted`] carries the last
+    /// rejection. With `policy.max_retries == 0` this is exactly
+    /// [`send`](Self::send) + [`recv`](Self::recv) — the first `Overloaded`
+    /// surfaces immediately as the typed give-up error, never a silent drop.
+    pub fn query_with_retry(
+        &mut self,
+        req: &ServeRequest,
+        policy: &RetryPolicy,
+    ) -> Result<(ServeRows, u32), QueryError> {
+        for attempt in 0..=policy.max_retries {
+            self.send(req).map_err(QueryError::Transport)?;
+            let response = self.recv().map_err(QueryError::Transport)?;
+            if response.id() != req.id {
+                return Err(QueryError::Transport(ScoopError::Simulation(format!(
+                    "tcp transport: response id {} does not answer request {}",
+                    response.id(),
+                    req.id
+                ))));
+            }
+            match response {
+                ServeResponse::Rows(rows) => return Ok((rows, attempt + 1)),
+                ServeResponse::Overloaded(last) => {
+                    if attempt == policy.max_retries {
+                        return Err(QueryError::RetriesExhausted(RetriesExhausted {
+                            id: req.id,
+                            attempts: attempt + 1,
+                            last,
+                        }));
+                    }
+                    std::thread::sleep(policy.backoff(attempt));
+                }
+            }
+        }
+        unreachable!("the loop returns on every path")
+    }
+
     /// Blocks until one whole response frame arrives and decodes it.
     pub fn recv(&mut self) -> Result<ServeResponse, ScoopError> {
         let mut len = [0u8; 4];
@@ -253,6 +297,100 @@ impl TcpClient {
         ServeResponse::decode(&body)
     }
 }
+
+/// Bounded retry with seeded, jittered exponential backoff for `Overloaded`
+/// rejections. Opt-in: the default budget of zero retries reproduces the
+/// plain send/recv behavior exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt; `0` means never retry.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt up to `cap`.
+    pub base: Duration,
+    /// Ceiling on any single backoff delay.
+    pub cap: Duration,
+    /// Seeds the jitter so a retry schedule is reproducible.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries under the given jitter seed,
+    /// backing off from 50 ms up to 2 s.
+    pub fn new(max_retries: u32, seed: u64) -> Self {
+        RetryPolicy {
+            max_retries,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed,
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based): exponential
+    /// `base << attempt` capped at `cap`, scaled by a deterministic jitter
+    /// factor in `[0.5, 1.0)` drawn from `(seed, attempt)`. Full-throttle
+    /// synchronization is what kills an overloaded server, so every client
+    /// seed spreads its retries differently — but the same seed always
+    /// produces the same schedule.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        let jitter =
+            0.5 + (mix64(self.seed ^ u64::from(attempt)) >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        exp.mul_f64(jitter)
+    }
+}
+
+/// SplitMix64 finalizer: one 64-bit hash step, for jitter only.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The typed give-up error: every attempt in the retry budget was rejected
+/// `Overloaded`. Carries the last rejection so the caller can see the queue
+/// pressure it lost to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetriesExhausted {
+    /// The request that never got through.
+    pub id: u64,
+    /// Attempts made (initial try plus retries).
+    pub attempts: u32,
+    /// The final `Overloaded` rejection.
+    pub last: Overloaded,
+}
+
+impl std::fmt::Display for RetriesExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "request {} gave up after {} attempts: {}",
+            self.id, self.attempts, self.last
+        )
+    }
+}
+
+/// Why [`TcpClient::query_with_retry`] did not return rows.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The socket or the wire protocol failed; retrying cannot help.
+    Transport(ScoopError),
+    /// The server kept rejecting until the retry budget ran out.
+    RetriesExhausted(RetriesExhausted),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Transport(e) => write!(f, "{e}"),
+            QueryError::RetriesExhausted(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 #[cfg(test)]
 mod tests {
@@ -347,5 +485,133 @@ mod tests {
         good.send(&req(1)).unwrap();
         poll_until(&mut server, &mut out, 1);
         assert_eq!(out[0].1.id, 1);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_bounded_and_jittered() {
+        let policy = RetryPolicy::new(8, 42);
+        let again = RetryPolicy::new(8, 42);
+        let other = RetryPolicy::new(8, 43);
+        let mut any_seed_difference = false;
+        for attempt in 0..8 {
+            let d = policy.backoff(attempt);
+            assert_eq!(d, again.backoff(attempt), "same seed, same schedule");
+            any_seed_difference |= d != other.backoff(attempt);
+            // Jitter stays inside [exp/2, exp), and exp itself is capped.
+            let exp = policy.base.saturating_mul(1 << attempt).min(policy.cap);
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} under the floor");
+            assert!(d < exp, "attempt {attempt}: {d:?} over the ceiling");
+        }
+        assert!(any_seed_difference, "different seeds must spread retries");
+        // Far-out attempts saturate at the cap instead of overflowing.
+        assert!(policy.backoff(60) <= policy.cap);
+    }
+
+    /// A scripted responder: answers each request `Overloaded` until its id
+    /// has been seen `relent_after` times, then answers empty rows. Runs the
+    /// real server transport on a background thread until dropped.
+    struct Responder {
+        stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+        handle: Option<std::thread::JoinHandle<HashMap<u64, u32>>>,
+        addr: SocketAddr,
+    }
+
+    impl Responder {
+        fn start(relent_after: u32) -> Self {
+            let mut server = TcpServerTransport::bind("127.0.0.1:0").unwrap();
+            let addr = server.local_addr().unwrap();
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let flag = std::sync::Arc::clone(&stop);
+            let handle = std::thread::spawn(move || {
+                let mut seen: HashMap<u64, u32> = HashMap::new();
+                let mut out = Vec::new();
+                while !flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    out.clear();
+                    server.poll(&mut out).unwrap();
+                    for (client, request) in out.drain(..) {
+                        let attempts = seen.entry(request.id).or_insert(0);
+                        *attempts += 1;
+                        let mut frame = Vec::new();
+                        if *attempts <= relent_after {
+                            scoop_types::append_overloaded_frame(
+                                &Overloaded {
+                                    id: request.id,
+                                    queued: 9,
+                                    capacity: 9,
+                                },
+                                &mut frame,
+                            );
+                        } else {
+                            let mut payload = Vec::new();
+                            scoop_types::append_rows_payload(&[], &mut payload);
+                            scoop_types::append_rows_frame(request.id, &payload, &mut frame);
+                        }
+                        server.deliver(client, &frame).unwrap();
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                seen
+            });
+            Responder {
+                stop,
+                handle: Some(handle),
+                addr,
+            }
+        }
+
+        fn finish(mut self) -> HashMap<u64, u32> {
+            self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            self.handle.take().expect("not yet joined").join().unwrap()
+        }
+    }
+
+    fn fast_policy(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(5),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn retry_rides_out_transient_overload() {
+        let responder = Responder::start(2);
+        let mut client = TcpClient::connect(responder.addr).unwrap();
+        let (rows, attempts) = client
+            .query_with_retry(&req(11), &fast_policy(5))
+            .expect("relents on the third attempt");
+        assert_eq!(rows.id, 11);
+        assert_eq!(attempts, 3, "two rejections, then rows");
+        let seen = responder.finish();
+        assert_eq!(seen.get(&11), Some(&3), "server saw every attempt");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_typed_give_up_error() {
+        let responder = Responder::start(u32::MAX);
+        let mut client = TcpClient::connect(responder.addr).unwrap();
+        let err = client
+            .query_with_retry(&req(5), &fast_policy(3))
+            .expect_err("the responder never relents");
+        match err {
+            QueryError::RetriesExhausted(gave_up) => {
+                assert_eq!(gave_up.id, 5);
+                assert_eq!(gave_up.attempts, 4, "initial try plus three retries");
+                assert_eq!(gave_up.last.capacity, 9);
+                let shown = gave_up.to_string();
+                assert!(shown.contains("gave up after 4 attempts"), "{shown}");
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        // Zero retries: the first rejection is the typed error, immediately.
+        let err = client
+            .query_with_retry(&req(6), &fast_policy(0))
+            .expect_err("no budget");
+        match err {
+            QueryError::RetriesExhausted(gave_up) => assert_eq!(gave_up.attempts, 1),
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        responder.finish();
     }
 }

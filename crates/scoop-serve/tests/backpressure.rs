@@ -4,8 +4,12 @@
 //! next tick.
 
 use scoop_serve::server::{pump_once, ServeOptions, ServeServer};
+use scoop_serve::tcp::{QueryError, RetryPolicy, TcpClient, TcpServerTransport};
 use scoop_serve::transport::InMemoryHub;
 use scoop_types::{ScenarioSpec, ServeRequest, ServeResponse, SimDuration, SimTime, ValueRange};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn small_server(queue_capacity: usize) -> ServeServer {
     let mut options = ServeOptions::new(ScenarioSpec::small_test());
@@ -93,4 +97,94 @@ fn direct_submission_reports_queue_depth_at_rejection_time() {
     server.tick(&mut frames).expect("tick");
     assert_eq!(frames.len(), 4);
     assert!(server.submit(0, request(100)).is_ok());
+}
+
+/// The retry half of the contract, over a real socket: more concurrent
+/// clients than the admission queue holds drive it full, rejected requests
+/// come back as typed `Overloaded` frames, and bounded seeded retry rides
+/// the pressure out — every query either answers with rows or returns the
+/// typed give-up error. Nothing is ever dropped silently.
+#[test]
+fn retrying_clients_drain_a_saturated_queue_or_fail_typed() {
+    let mut server = small_server(2);
+    let mut transport = TcpServerTransport::bind("127.0.0.1:0").expect("bind");
+    let addr = transport.local_addr().expect("addr");
+
+    // Serve on a background thread until every client is done.
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let server_thread = std::thread::spawn(move || {
+        let (mut reqs, mut frames) = (Vec::new(), Vec::new());
+        while !flag.load(Ordering::Relaxed) {
+            pump_once(&mut server, &mut transport, &mut reqs, &mut frames)
+                .expect("the server must survive saturation");
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        *server.stats()
+    });
+
+    // 8 clients against a queue of 2, each issuing 4 queries with a
+    // generous retry budget seeded per client.
+    const CLIENTS: u64 = 8;
+    const QUERIES_PER_CLIENT: u64 = 4;
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(addr).expect("connect");
+                let policy = RetryPolicy {
+                    max_retries: 200,
+                    base: Duration::from_micros(200),
+                    cap: Duration::from_millis(4),
+                    seed: c,
+                };
+                let mut attempts_total = 0u32;
+                let mut answered = 0u64;
+                for q in 0..QUERIES_PER_CLIENT {
+                    match client.query_with_retry(&request(c * 100 + q), &policy) {
+                        Ok((rows, attempts)) => {
+                            assert_eq!(rows.id, c * 100 + q);
+                            attempts_total += attempts;
+                            answered += 1;
+                        }
+                        // The typed give-up error is an acceptable outcome;
+                        // a transport error or a missing response is not.
+                        Err(QueryError::RetriesExhausted(gave_up)) => {
+                            assert_eq!(gave_up.id, c * 100 + q);
+                            attempts_total += gave_up.attempts;
+                        }
+                        Err(QueryError::Transport(e)) => panic!("transport failed: {e}"),
+                    }
+                }
+                (answered, attempts_total)
+            })
+        })
+        .collect();
+
+    let mut answered = 0;
+    let mut attempts = 0;
+    for handle in clients {
+        let (a, t) = handle.join().expect("client thread");
+        answered += a;
+        attempts += u64::from(t);
+    }
+    stop.store(true, Ordering::Relaxed);
+    let stats = server_thread.join().expect("server thread");
+
+    let total = CLIENTS * QUERIES_PER_CLIENT;
+    assert_eq!(
+        answered, total,
+        "with a 200-retry budget every query must eventually answer"
+    );
+    assert!(
+        attempts > total,
+        "8 clients vs a queue of 2 must trigger at least one retry"
+    );
+    assert!(
+        stats.overloaded > 0,
+        "the queue never filled; the test exercised nothing"
+    );
+    // Exactly one response per attempt: rows for every admission, a typed
+    // rejection for everything else — no silent drops anywhere.
+    assert_eq!(stats.answered, answered);
+    assert_eq!(stats.answered + stats.overloaded, attempts);
 }

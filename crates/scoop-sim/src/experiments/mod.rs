@@ -8,6 +8,7 @@
 //! numbers next to the paper's.
 
 pub mod ablations;
+pub mod chaos;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
@@ -30,6 +31,7 @@ pub fn quick_base() -> ExperimentConfig {
 }
 
 pub use ablations::{ablation_rows, AblationRow};
+pub use chaos::{chaos, ChaosRow, ChaosScenario};
 pub use fig3::{fig3_left, fig3_middle, fig3_right, Fig3Row};
 pub use fig4::{fig4_selectivity, Fig4Row};
 pub use fig5::{fig5_query_interval, Fig5Row};

@@ -37,7 +37,7 @@ use scoop_core::routing_rules::{route_data, DataRoutingAction, LocalNodeView};
 use scoop_core::summary::ReportedNeighbor;
 use scoop_core::{
     CostParams, DataMessage, IndexBuilder, MappingChunk, QueryMessage, QueryPlanner, ReplyMessage,
-    ScoopPayload, StatsStore, StorageIndex, SummaryMessage,
+    ScoopPayload, SinkAliveMessage, StatsStore, StorageIndex, SummaryMessage,
 };
 use scoop_net::{NodeCtx, NodeLogic, Packet, TimerToken};
 use scoop_routing::{RoutingConfig, RoutingState};
@@ -119,19 +119,95 @@ struct QueryOutcome {
     readings: u64,
 }
 
-/// State only the basestation carries.
+/// State only a sink (basestation) carries.
 struct BaseState {
     stats: StatsStore,
     planner: QueryPlanner,
     query_gen: QueryGenerator,
     next_query_id: u32,
     next_index_id: StorageIndexId,
+    /// Stride between consecutive ids issued here: 1 classically; in the
+    /// multi-sink federation the query stride is the sink count and the
+    /// index stride is [`RANK_STRIDE`], so ids never collide across sinks
+    /// and `id % RANK_STRIDE` recovers the issuing sink's rank.
+    query_id_stride: u32,
+    index_id_stride: u32,
     last_disseminated: Option<StorageIndex>,
     outstanding: HashMap<u32, QueryOutcome>,
     indices_disseminated: u64,
     remaps_suppressed: u64,
     queries_answered_locally: u64,
+    /// Federation state; `None` in the classic single-sink mode.
+    multi: Option<MultiSinkState>,
 }
+
+/// Index ids advance by this stride per sink in multi-sink mode, reserving
+/// the low bits for the issuing sink's rank (`MAX_SINKS` ranks).
+const RANK_STRIDE: u32 = 64;
+
+/// Per-sink federation state: liveness tracking for the peers.
+struct MultiSinkState {
+    /// This sink's rank in the sorted sink list.
+    rank: usize,
+    /// Epoch of the next liveness beacon; strictly increasing.
+    epoch: u64,
+    /// When each rank was last heard from (beacon or mapping chunk). `None`
+    /// until first contact, which counts as "alive" — the grace period that
+    /// stops every sink from "failing over" at startup.
+    last_heard: Vec<Option<SimTime>>,
+}
+
+impl MultiSinkState {
+    /// Ranks considered alive at `now`: self, plus every peer heard from
+    /// within the failover timeout (or not yet expected to have spoken).
+    fn live_ranks(&self, now: SimTime, timeout: SimDuration) -> Vec<usize> {
+        (0..self.last_heard.len())
+            .filter(|&r| {
+                r == self.rank || now.since(self.last_heard[r].unwrap_or(SimTime::ZERO)) <= timeout
+            })
+            .collect()
+    }
+}
+
+/// Which live sink rank owns value `v`: the existing hash, reduced over the
+/// live ranks in ascending order. Every value always has exactly one owner,
+/// and a dead sink's share redistributes deterministically over the
+/// survivors.
+fn owning_rank(v: scoop_types::Value, live: &[usize]) -> usize {
+    live[(scoop_core::baselines::splitmix(v as u64) % live.len() as u64) as usize]
+}
+
+/// Restricts `index` to the maximal runs of consecutive values that `rank`
+/// owns under the live-rank hash partition, preserving each run's owner.
+/// Empty when the peers own everything this index covers.
+fn filter_entries_to_rank(index: &StorageIndex, rank: usize, live: &[usize]) -> Vec<IndexEntry> {
+    let mut owned: Vec<IndexEntry> = Vec::new();
+    for entry in index.entries() {
+        let mut v = entry.range.lo;
+        loop {
+            if owning_rank(v, live) == rank {
+                match owned.last_mut() {
+                    Some(last) if last.owner == entry.owner && last.range.hi + 1 == v => {
+                        last.range.hi = v;
+                    }
+                    _ => owned.push(IndexEntry {
+                        range: ValueRange::point(v),
+                        owner: entry.owner,
+                    }),
+                }
+            }
+            if v == entry.range.hi {
+                break;
+            }
+            v += 1;
+        }
+    }
+    owned
+}
+
+/// One sink rank's chunk assembler plus the pending domain/created-at
+/// metadata of the index it is currently assembling.
+type RankAssembler = (ChunkAssembler<IndexEntry>, Option<(ValueRange, SimTime)>);
 
 /// The per-node protocol state machine (see module docs).
 pub struct SimNode {
@@ -159,6 +235,21 @@ pub struct SimNode {
     pending_gossip: VecDeque<(SharedPayload, MessageKind, u32)>,
     gossip_timer_armed: bool,
     base: Option<BaseState>,
+    /// The sorted sink set in multi-sink mode; empty classically. Non-empty
+    /// switches every node to per-rank index assembly and sink-liveness
+    /// gossip.
+    sinks: Vec<NodeId>,
+    /// Multi-sink only: one chunk assembler (and pending domain/created-at
+    /// metadata) per sink rank, because each sink versions its own chunk
+    /// stream and a single assembler would let the streams preempt each
+    /// other.
+    rank_assemblers: Vec<RankAssembler>,
+    /// Multi-sink only: the newest complete index per sink rank. Owner
+    /// lookups scan these newest-first; `current_index` mirrors the newest
+    /// overall so the routing rules keep working unchanged.
+    sink_indices: Vec<Option<StorageIndex>>,
+    /// Sink-liveness beacons already gossiped, keyed by (sink, epoch).
+    seen_alive: HashSet<(u16, u64)>,
     /// Counters the harness reads after the run.
     pub metrics: NodeLocalMetrics,
 }
@@ -179,23 +270,54 @@ impl SimNode {
             summary_neighbors: cfg.policy.scoop.summary_neighbors,
             ..RoutingConfig::default()
         };
-        let is_base = id.is_basestation();
+        let sink_set = cfg.policy.sink_ids();
+        let is_multi = sink_set.len() > 1;
+        let is_base = if is_multi {
+            sink_set.contains(&id)
+        } else {
+            id.is_basestation()
+        };
         let base = if is_base {
             let total = cfg.num_nodes + 1;
+            let rank = sink_set.iter().position(|&s| s == id).unwrap_or(0);
+            // Rank 0 (node 0) keeps the classic seed and id sequences, so a
+            // single-sink run is byte-identical to the pre-federation code.
+            let query_seed = cfg.seed ^ (rank as u64).wrapping_mul(0x51ab_a11e_0000_0001);
             Some(BaseState {
                 stats: StatsStore::new(total, cfg.workload.value_domain),
                 planner: QueryPlanner::new(),
-                query_gen: QueryGenerator::from_spec(&cfg.workload, cfg.seed),
-                next_query_id: 1,
-                next_index_id: StorageIndexId(1),
+                query_gen: QueryGenerator::from_spec(&cfg.workload, query_seed),
+                next_query_id: 1 + rank as u32,
+                next_index_id: if is_multi {
+                    StorageIndexId(RANK_STRIDE + rank as u32)
+                } else {
+                    StorageIndexId(1)
+                },
+                query_id_stride: if is_multi { sink_set.len() as u32 } else { 1 },
+                index_id_stride: if is_multi { RANK_STRIDE } else { 1 },
                 last_disseminated: None,
                 outstanding: HashMap::new(),
                 indices_disseminated: 0,
                 remaps_suppressed: 0,
                 queries_answered_locally: 0,
+                multi: is_multi.then(|| MultiSinkState {
+                    rank,
+                    epoch: 1,
+                    last_heard: vec![None; sink_set.len()],
+                }),
             })
         } else {
             None
+        };
+        let (sinks, rank_assemblers, sink_indices) = if is_multi {
+            let n = sink_set.len();
+            (
+                sink_set,
+                (0..n).map(|_| (ChunkAssembler::new(), None)).collect(),
+                vec![None; n],
+            )
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
         };
 
         // Static indices known a priori under the HASH and BASE policies.
@@ -230,6 +352,10 @@ impl SimNode {
             pending_gossip: VecDeque::new(),
             gossip_timer_armed: false,
             base,
+            sinks,
+            rank_assemblers,
+            sink_indices,
+            seen_alive: HashSet::new(),
             metrics: NodeLocalMetrics::default(),
             cfg,
         }
@@ -304,7 +430,17 @@ impl SimNode {
     }
 
     fn is_sensor(&self) -> bool {
-        !self.id.is_basestation()
+        // In multi-sink mode promoted sinks stop sampling and take on the
+        // basestation duties instead; classically only node 0 is the sink.
+        self.base.is_none()
+    }
+
+    /// The sink a reply to `query_id` must reach. Query ids are issued with
+    /// stride `nsinks` starting at `1 + rank`, so the rank is recoverable
+    /// from the id alone and repliers need no extra routing state.
+    fn reply_sink(&self, query_id: u32) -> NodeId {
+        let rank = (query_id.wrapping_sub(1) as usize) % self.sinks.len().max(1);
+        self.sinks[rank]
     }
 
     fn policy(&self) -> StoragePolicy {
@@ -340,6 +476,7 @@ impl SimNode {
                     a.chunk.version == b.chunk.version && a.chunk.index == b.chunk.index
                 }
                 (ScoopPayload::Query(a), ScoopPayload::Query(b)) => a.query_id == b.query_id,
+                (ScoopPayload::SinkAlive(a), ScoopPayload::SinkAlive(b)) => a == b,
                 _ => false,
             };
             if same {
@@ -369,6 +506,33 @@ impl SimNode {
     // Data path
     // ------------------------------------------------------------------
 
+    /// Resolves the owner (and the index that named it) for a freshly
+    /// sampled value. Classically this is a lookup in the one current index;
+    /// in multi-sink mode each sink's index covers only its owned slice of
+    /// the domain, so the lookup scans the per-rank indices newest-first and
+    /// the first hit wins.
+    fn lookup_owner(&self, value: scoop_types::Value) -> (NodeId, StorageIndexId) {
+        if self.sinks.is_empty() {
+            return match &self.current_index {
+                Some(idx) => match idx.lookup(value) {
+                    Some(owner) => (owner, idx.id()),
+                    None => (self.id, idx.id()),
+                },
+                // No complete index yet: store locally (Section 5.3).
+                None => (self.id, StorageIndexId::NONE),
+            };
+        }
+        let mut held: Vec<&StorageIndex> = self.sink_indices.iter().flatten().collect();
+        held.sort_by_key(|i| (i.created_at(), i.id()));
+        for idx in held.iter().rev() {
+            if let Some(owner) = idx.lookup(value) {
+                return (owner, idx.id());
+            }
+        }
+        let newest = held.last().map(|i| i.id()).unwrap_or(StorageIndexId::NONE);
+        (self.id, newest)
+    }
+
     fn handle_sample(&mut self, ctx: &mut NodeCtx<'_, SharedPayload>) {
         let now = ctx.now();
         let value = self.source.sample(self.id, now);
@@ -382,14 +546,7 @@ impl SimNode {
             return;
         }
 
-        let (owner, sid) = match &self.current_index {
-            Some(idx) => match idx.lookup(value) {
-                Some(owner) => (owner, idx.id()),
-                None => (self.id, idx.id()),
-            },
-            // No complete index yet: store locally (Section 5.3).
-            None => (self.id, StorageIndexId::NONE),
-        };
+        let (owner, sid) = self.lookup_owner(value);
 
         if owner == self.id {
             self.store_reading(reading, sid, StoreReason::Owner);
@@ -579,9 +736,30 @@ impl SimNode {
     fn remap(&mut self, ctx: &mut NodeCtx<'_, SharedPayload>) {
         let now = ctx.now();
         let cfg = Arc::clone(&self.cfg);
+        let my_id = self.id;
         let Some(base) = self.base.as_mut() else {
             return;
         };
+        // Multi-sink: every remap round opens with an epoch-stamped liveness
+        // beacon (even when dissemination ends up suppressed below) and a
+        // fresh view of which peers are still alive. A restarted sink's
+        // deferred remap timer fires right after the halt ends, so this
+        // beacon is also what announces the heal.
+        let mut live: Vec<usize> = Vec::new();
+        let mut my_rank = 0usize;
+        let is_multi = base.multi.is_some();
+        if let Some(m) = base.multi.as_mut() {
+            let epoch = m.epoch;
+            m.epoch += 1;
+            my_rank = m.rank;
+            live = m.live_ranks(now, cfg.policy.scoop.effective_failover_timeout());
+            self.seen_alive.insert((my_id.0, epoch));
+            let beacon = Arc::new(ScoopPayload::SinkAlive(SinkAliveMessage {
+                sink: my_id,
+                epoch,
+            }));
+            ctx.send_broadcast(MessageKind::Heartbeat, self.routing.parent(), beacon);
+        }
         if base.stats.nodes_reporting() == 0 {
             // Nothing to optimize against yet.
             return;
@@ -591,7 +769,7 @@ impl SimNode {
             allow_store_local_fallback: cfg.policy.scoop.allow_store_local_fallback,
         });
         let decision = builder.build(&base.stats, params, base.next_index_id, now);
-        let index = match decision {
+        let mut index = match decision {
             IndexDecision::UseIndex(index) => index,
             IndexDecision::StoreLocal { .. } => {
                 // The store-local policy is cheaper: do not disseminate
@@ -600,6 +778,20 @@ impl SimNode {
                 return;
             }
         };
+
+        if is_multi {
+            // Keep only the value runs this sink owns under the live-rank
+            // hash partition; the live peers disseminate the rest. A dead
+            // peer's share folds into the survivors automatically because it
+            // has dropped out of `live` — that IS the failover.
+            let owned = filter_entries_to_rank(&index, my_rank, &live);
+            if owned.is_empty() {
+                base.remaps_suppressed += 1;
+                return;
+            }
+            index =
+                StorageIndex::from_entries(index.id(), index.domain(), owned, index.created_at());
+        }
 
         if cfg.policy.scoop.suppress_unchanged_index {
             if let Some(prev) = &base.last_disseminated {
@@ -610,7 +802,7 @@ impl SimNode {
             }
         }
 
-        base.next_index_id = base.next_index_id.next();
+        base.next_index_id = StorageIndexId(base.next_index_id.0 + base.index_id_stride);
         base.planner.record_index(index.clone());
         base.last_disseminated = Some(index.clone());
         base.indices_disseminated += 1;
@@ -620,7 +812,18 @@ impl SimNode {
         let chunks = chunker.split(index.id().0 as u64, index.entries());
         let domain = index.domain();
         let created_at = index.created_at();
-        self.current_index = Some(index);
+        if is_multi {
+            // Our own chunks must not be re-gossiped when neighbors echo
+            // them back, and our own slice joins the per-rank merge like any
+            // peer's would.
+            for chunk in &chunks {
+                self.seen_chunks.insert((chunk.version, chunk.index));
+            }
+            self.sink_indices[my_rank] = Some(index);
+            self.refresh_current_index();
+        } else {
+            self.current_index = Some(index);
+        }
         for chunk in chunks {
             let payload = Arc::new(ScoopPayload::Mapping(MappingChunk {
                 chunk,
@@ -640,6 +843,9 @@ impl SimNode {
         } else {
             None
         };
+        // Multi-sink: promoted sinks occupy sensor-range ids but hold no
+        // sampled data, so query floods must skip them.
+        let sink_set = self.sinks.clone();
         let Some(base) = self.base.as_mut() else {
             return;
         };
@@ -665,7 +871,11 @@ impl SimNode {
             StoragePolicy::Scoop => {
                 if base.planner.is_empty() {
                     // No index ever disseminated: every node stores locally.
-                    NodeBitmap::from_nodes((1..=num_sensors).map(|i| NodeId(i as u16)))
+                    NodeBitmap::from_nodes(
+                        (1..=num_sensors)
+                            .map(|i| NodeId(i as u16))
+                            .filter(|n| !sink_set.contains(n)),
+                    )
                 } else {
                     let plan = base.planner.plan(
                         &spec.values,
@@ -686,7 +896,7 @@ impl SimNode {
         }
 
         let query_id = base.next_query_id;
-        base.next_query_id += 1;
+        base.next_query_id += base.query_id_stride;
         base.outstanding.insert(
             query_id,
             QueryOutcome {
@@ -725,10 +935,15 @@ impl SimNode {
                     // The one place a summary needs ownership; everything on
                     // the way here shared the arrival allocation.
                     base.stats.record_summary(summary.clone());
-                } else {
-                    // Forward up the tree; remember the child branch the
-                    // origin lives under (only when it really arrived from
-                    // below — never learn "descendants" through our parent).
+                }
+                // Non-sinks forward up the tree; a promoted sink does too
+                // (after recording), because summaries climb towards node 0
+                // and stopping them here would starve the sinks above us.
+                // Node 0 itself is the root and keeps its classic behaviour.
+                if self.base.is_none() || !self.id.is_basestation() {
+                    // Remember the child branch the origin lives under (only
+                    // when it really arrived from below — never learn
+                    // "descendants" through our parent).
                     self.note_upward_route(&meta, ctx.now());
                     if meta.hops < MAX_FORWARD_HOPS {
                         if let Some(parent) = self.routing.parent() {
@@ -752,25 +967,73 @@ impl SimNode {
             }
             ScoopPayload::Query(query) => self.handle_query(ctx, query, &packet.payload),
             ScoopPayload::Reply(reply) => {
+                let mut consumed = false;
                 if let Some(base) = self.base.as_mut() {
                     if let Some(outcome) = base.outstanding.get_mut(&reply.query_id) {
                         outcome.replies += 1;
                         outcome.readings += reply.readings.len() as u64;
+                        consumed = true;
+                    } else {
+                        // Classically an unknown reply at the sink is stale
+                        // and dies here; in multi-sink mode it belongs to a
+                        // peer and must keep travelling.
+                        consumed = self.sinks.is_empty();
                     }
-                } else {
+                }
+                if !consumed {
                     self.note_upward_route(&meta, ctx.now());
                     if meta.hops < MAX_FORWARD_HOPS {
-                        if let Some(parent) = self.routing.parent() {
+                        let next = if self.sinks.is_empty() {
+                            self.routing.parent()
+                        } else {
+                            // Route towards the sink that issued the query
+                            // (recovered from the id), not blindly up-tree —
+                            // a promoted sink is rarely an ancestor of the
+                            // replier.
+                            let sink = self.reply_sink(reply.query_id);
+                            match self
+                                .routing
+                                .next_hop_for(sink, self.cfg.policy.scoop.neighbor_shortcut)
+                            {
+                                scoop_routing::NextHop::Neighbor(h)
+                                | scoop_routing::NextHop::DownTree(h)
+                                | scoop_routing::NextHop::UpTree(h) => Some(h),
+                                scoop_routing::NextHop::Local | scoop_routing::NextHop::Stuck => {
+                                    None
+                                }
+                            }
+                        };
+                        if let Some(hop) = next {
                             ctx.forward(
                                 Packet {
                                     meta,
                                     payload: Arc::clone(&packet.payload),
                                 },
-                                scoop_net::LinkDst::Unicast(parent),
+                                scoop_net::LinkDst::Unicast(hop),
                             );
                         }
                     }
                 }
+            }
+            ScoopPayload::SinkAlive(alive) => {
+                if self.sinks.is_empty() {
+                    // Never sent in single-sink mode; ignore defensively.
+                    return;
+                }
+                if !self.seen_alive.insert((alive.sink.0, alive.epoch)) {
+                    return;
+                }
+                let now = ctx.now();
+                if let Some(rank) = self.sinks.iter().position(|s| *s == alive.sink) {
+                    if let Some(m) = self.base.as_mut().and_then(|b| b.multi.as_mut()) {
+                        if rank != m.rank {
+                            m.last_heard[rank] = Some(now);
+                        }
+                    }
+                }
+                // Flood network-wide by polite gossip so every sink hears
+                // every peer even across tree branches.
+                self.enqueue_gossip(ctx, Arc::clone(&packet.payload), MessageKind::Heartbeat);
             }
         }
     }
@@ -795,36 +1058,100 @@ impl SimNode {
         mc: &MappingChunk,
         payload: &SharedPayload,
     ) {
-        if self.base.is_some() || self.policy() != StoragePolicy::Scoop {
+        if self.policy() != StoragePolicy::Scoop {
             return;
         }
+        if self.sinks.is_empty() {
+            if self.base.is_some() {
+                return;
+            }
+            let key = (mc.chunk.version, mc.chunk.index);
+            let first_time = self.seen_chunks.insert(key);
+            if !first_time {
+                return;
+            }
+            // Gossip the chunk onward (once, with suppression), reusing the
+            // arrival's shared allocation.
+            self.enqueue_gossip(ctx, Arc::clone(payload), MessageKind::Mapping);
+
+            // Only feed the assembler chunks newer than what we already hold.
+            if StorageIndexId(mc.chunk.version as u32) <= self.newest_index_id() {
+                return;
+            }
+            self.assembling_meta = Some((mc.domain, mc.created_at));
+            if let Some(entries) = self.assembler.accept(&mc.chunk) {
+                let (domain, created_at) = self
+                    .assembling_meta
+                    .take()
+                    .unwrap_or((mc.domain, mc.created_at));
+                let index = StorageIndex::from_entries(
+                    StorageIndexId(mc.chunk.version as u32),
+                    domain,
+                    entries,
+                    created_at,
+                );
+                self.current_index = Some(index);
+            }
+            return;
+        }
+
+        // Multi-sink: everyone (sinks included) assembles everyone's chunk
+        // stream, per issuing rank. A sink recording a peer's assembled index
+        // into its planner is the index-summary exchange that lets any sink
+        // plan queries over the whole domain, not just its owned slice.
         let key = (mc.chunk.version, mc.chunk.index);
-        let first_time = self.seen_chunks.insert(key);
-        if !first_time {
+        if !self.seen_chunks.insert(key) {
             return;
         }
-        // Gossip the chunk onward (once, with suppression), reusing the
-        // arrival's shared allocation.
         self.enqueue_gossip(ctx, Arc::clone(payload), MessageKind::Mapping);
 
-        // Only feed the assembler chunks newer than what we already hold.
-        if StorageIndexId(mc.chunk.version as u32) <= self.newest_index_id() {
+        let rank = (mc.chunk.version % RANK_STRIDE as u64) as usize;
+        if rank >= self.rank_assemblers.len() {
             return;
         }
-        self.assembling_meta = Some((mc.domain, mc.created_at));
-        if let Some(entries) = self.assembler.accept(&mc.chunk) {
-            let (domain, created_at) = self
-                .assembling_meta
-                .take()
-                .unwrap_or((mc.domain, mc.created_at));
+        // A mapping chunk proves its issuing sink was alive recently; it
+        // counts as liveness evidence alongside the SinkAlive beacons.
+        let now = ctx.now();
+        if let Some(m) = self.base.as_mut().and_then(|b| b.multi.as_mut()) {
+            if rank != m.rank {
+                m.last_heard[rank] = Some(now);
+            }
+        }
+        let newest_for_rank = self.sink_indices[rank]
+            .as_ref()
+            .map(|i| i.id())
+            .unwrap_or(StorageIndexId::NONE);
+        if StorageIndexId(mc.chunk.version as u32) <= newest_for_rank {
+            return;
+        }
+        let (assembler, meta_slot) = &mut self.rank_assemblers[rank];
+        *meta_slot = Some((mc.domain, mc.created_at));
+        if let Some(entries) = assembler.accept(&mc.chunk) {
+            let (domain, created_at) = meta_slot.take().unwrap_or((mc.domain, mc.created_at));
             let index = StorageIndex::from_entries(
                 StorageIndexId(mc.chunk.version as u32),
                 domain,
                 entries,
                 created_at,
             );
-            self.current_index = Some(index);
+            if let Some(base) = self.base.as_mut() {
+                base.planner.record_index(index.clone());
+            }
+            self.sink_indices[rank] = Some(index);
+            self.refresh_current_index();
         }
+    }
+
+    /// Multi-sink only: mirrors the newest per-rank index (by creation time,
+    /// then id) into `current_index`, so the unchanged routing rules keep
+    /// re-addressing in-flight data against the freshest mapping.
+    fn refresh_current_index(&mut self) {
+        self.current_index = self
+            .sink_indices
+            .iter()
+            .flatten()
+            .max_by_key(|i| (i.created_at(), i.id()))
+            .cloned();
     }
 
     fn handle_query(
@@ -834,6 +1161,23 @@ impl SimNode {
         payload: &SharedPayload,
     ) {
         if self.base.is_some() {
+            if self.sinks.is_empty() {
+                return;
+            }
+            // A multi-sink sink relays peers' queries onward (they flood by
+            // gossip, and a sink sits on good tree positions) but never
+            // answers them: sinks hold only fallback data, which the issuing
+            // sink already accounts for via its own planner.
+            if !self.seen_queries.insert(query.query_id) {
+                return;
+            }
+            let useful = query
+                .targets
+                .iter()
+                .any(|t| self.routing.is_neighbor(t) || self.routing.is_descendant(t));
+            if useful {
+                self.enqueue_gossip(ctx, Arc::clone(payload), MessageKind::Query);
+            }
             return;
         }
         if !self.seen_queries.insert(query.query_id) {
@@ -861,13 +1205,35 @@ impl SimNode {
                 readings,
             };
             self.metrics.replies_sent += 1;
-            if let Some(parent) = self.routing.parent() {
-                ctx.send_unicast(
-                    parent,
-                    MessageKind::Reply,
-                    Some(parent),
-                    Arc::new(ScoopPayload::Reply(reply)),
-                );
+            if self.sinks.is_empty() {
+                if let Some(parent) = self.routing.parent() {
+                    ctx.send_unicast(
+                        parent,
+                        MessageKind::Reply,
+                        Some(parent),
+                        Arc::new(ScoopPayload::Reply(reply)),
+                    );
+                }
+            } else {
+                // Aim the reply at the issuing sink from the first hop.
+                let sink = self.reply_sink(query.query_id);
+                let hop = match self
+                    .routing
+                    .next_hop_for(sink, self.cfg.policy.scoop.neighbor_shortcut)
+                {
+                    scoop_routing::NextHop::Neighbor(h)
+                    | scoop_routing::NextHop::DownTree(h)
+                    | scoop_routing::NextHop::UpTree(h) => Some(h),
+                    scoop_routing::NextHop::Local | scoop_routing::NextHop::Stuck => None,
+                };
+                if let Some(hop) = hop {
+                    ctx.send_unicast(
+                        hop,
+                        MessageKind::Reply,
+                        self.routing.parent(),
+                        Arc::new(ScoopPayload::Reply(reply)),
+                    );
+                }
             }
         }
     }
@@ -931,6 +1297,17 @@ impl NodeLogic for SimNode {
             // Snooped traffic still feeds gossip suppression and, for
             // beacons, parent selection (beacons are broadcast anyway).
             self.note_gossip_overheard(&packet.payload);
+            // Multi-sink: a promoted sink rarely sits on the unicast path a
+            // summary climbs towards node 0, so it harvests overheard
+            // summaries too — the statistics don't care how a report
+            // arrived. Never taken in single-sink mode.
+            if !self.sinks.is_empty() {
+                if let ScoopPayload::Summary(summary) = &*packet.payload {
+                    if let Some(base) = self.base.as_mut() {
+                        base.stats.record_summary(summary.clone());
+                    }
+                }
+            }
             return;
         }
         self.handle_payload(ctx, packet);
@@ -1135,6 +1512,108 @@ mod tests {
                 assert_eq!(node.metrics.stored, node.metrics.sampled);
             }
         }
+    }
+
+    #[test]
+    fn ownership_partition_is_disjoint_complete_and_collapses_on_failover() {
+        let live = vec![0usize, 1];
+        let domain = ValueRange::new(0, 99);
+        let owners = vec![NodeId(3); 100];
+        let full =
+            StorageIndex::from_owners(StorageIndexId(64), domain, &owners, SimTime::ZERO).unwrap();
+        let a = filter_entries_to_rank(&full, 0, &live);
+        let b = filter_entries_to_rank(&full, 1, &live);
+        let ia = StorageIndex::from_entries(StorageIndexId(64), domain, a, SimTime::ZERO);
+        let ib = StorageIndex::from_entries(StorageIndexId(65), domain, b, SimTime::ZERO);
+        let mut covered = 0;
+        for v in domain.values() {
+            let in_a = ia.lookup(v).is_some();
+            let in_b = ib.lookup(v).is_some();
+            assert!(in_a != in_b, "value {v} must be owned by exactly one rank");
+            covered += 1;
+        }
+        assert_eq!(covered, 100);
+        assert!(!ia.is_complete() && !ib.is_complete());
+        // With rank 1 dead, rank 0 owns the entire domain: that is failover.
+        let solo = filter_entries_to_rank(&full, 0, &[0]);
+        let is0 = StorageIndex::from_entries(StorageIndexId(128), domain, solo, SimTime::ZERO);
+        assert!(is0.is_complete());
+    }
+
+    #[test]
+    fn stale_sinks_drop_out_of_the_live_set_and_reappear_on_contact() {
+        let mut m = MultiSinkState {
+            rank: 0,
+            epoch: 1,
+            last_heard: vec![None, None],
+        };
+        let timeout = SimDuration::from_secs(120);
+        // Grace period: a never-heard peer counts as alive early on.
+        assert_eq!(m.live_ranks(SimTime::from_secs(60), timeout), vec![0, 1]);
+        // Long silence past the timeout kills it.
+        assert_eq!(m.live_ranks(SimTime::from_secs(500), timeout), vec![0]);
+        // One beacon resurrects it.
+        m.last_heard[1] = Some(SimTime::from_secs(450));
+        assert_eq!(m.live_ranks(SimTime::from_secs(500), timeout), vec![0, 1]);
+    }
+
+    #[test]
+    fn multi_sink_federation_splits_indices_and_serves_queries_from_both_sinks() {
+        let mut cfg = tiny_cfg(StoragePolicy::Scoop, DataSourceKind::Gaussian);
+        cfg.policy.basestations = vec![NodeId(0), NodeId(5)];
+        let mut engine = perfect_engine(&cfg, 3);
+        engine.run_until(SimTime::ZERO + cfg.duration);
+
+        // The promoted sink stopped sampling and became a real sink.
+        let promoted = engine.node(NodeId(5));
+        assert_eq!(promoted.metrics.sampled, 0);
+        assert!(
+            promoted.indices_disseminated() > 0,
+            "the promoted sink must disseminate its owned slice"
+        );
+        let root = engine.node(NodeId::BASESTATION);
+        assert!(root.indices_disseminated() > 0);
+
+        // Per-rank ids: rank 0 issues multiples of 64, rank 1 is offset 1.
+        let rank0 = root.sink_indices[0].as_ref().expect("rank-0 index");
+        let rank1 = root.sink_indices[1].as_ref().expect("rank-1 index");
+        assert_eq!(rank0.id().0 % RANK_STRIDE, 0);
+        assert_eq!(rank1.id().0 % RANK_STRIDE, 1);
+        // The two slices never claim the same value.
+        for v in cfg.workload.value_domain.values() {
+            assert!(
+                !(rank0.lookup(v).is_some() && rank1.lookup(v).is_some()),
+                "value {v} claimed by both sinks"
+            );
+        }
+
+        // Sensors merged both chunk streams.
+        let merged = engine
+            .iter_nodes()
+            .filter(|(id, n)| {
+                n.base.is_none()
+                    && !id.is_basestation()
+                    && n.sink_indices.iter().flatten().count() == 2
+            })
+            .count();
+        assert!(
+            merged >= 6,
+            "most sensors should hold both sinks' slices, got {merged}"
+        );
+
+        // Both sinks issue queries (odd/even id split) and replies find
+        // their way back to the issuing sink.
+        let (issued0, _, replies0, _, local0) = root.query_outcomes();
+        let (issued1, _, replies1, _, local1) = promoted.query_outcomes();
+        assert!(issued0 > 2 && issued1 > 2);
+        assert!(
+            replies0 + local0 > 0,
+            "node 0 got {replies0} replies, {local0} local answers"
+        );
+        assert!(
+            replies1 + local1 > 0,
+            "the promoted sink got {replies1} replies, {local1} local answers"
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! emitted as JSON for EXPERIMENTS.md bookkeeping.
 
 use crate::experiments::{
-    AblationRow, Fig3Row, Fig4Row, Fig5Row, LinkCalibrationRow, ReliabilityRow, RootSkewRow,
-    SampleIntervalRow, ScalingRow,
+    AblationRow, ChaosRow, Fig3Row, Fig4Row, Fig5Row, LinkCalibrationRow, ReliabilityRow,
+    RootSkewRow, SampleIntervalRow, ScalingRow,
 };
 use scoop_types::ScoopError;
 use serde::Serialize;
@@ -109,6 +109,27 @@ pub fn reliability_table(rows: &[ReliabilityRow]) -> String {
             r.storage_success * 100.0,
             r.query_success * 100.0,
             r.destination_accuracy * 100.0
+        ));
+    }
+    out
+}
+
+/// Formats the chaos rows: per-phase reliability of a faulted run next to
+/// its unfaulted control.
+pub fn chaos_table(title: &str, rows: &[ChaosRow]) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<18} {:>16} {:>14} {:>18} {:>16}\n",
+        "scenario/phase", "storage success", "query success", "control storage", "control query"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>15.1}% {:>13.1}% {:>17.1}% {:>15.1}%\n",
+            format!("{}/{}", r.scenario, r.phase),
+            r.storage_success * 100.0,
+            r.query_success * 100.0,
+            r.control_storage_success * 100.0,
+            r.control_query_success * 100.0
         ));
     }
     out

@@ -24,6 +24,13 @@ pub fn events_dispatched_total() -> u64 {
     EVENTS_DISPATCHED.load(Ordering::Relaxed)
 }
 
+/// Adds a finished engine's event total to the process-wide counter. For
+/// harnesses (like the phased chaos runner) that drive engines directly
+/// instead of going through [`run_built_experiment`].
+pub(crate) fn record_events_dispatched(events: u64) {
+    EVENTS_DISPATCHED.fetch_add(events, Ordering::Relaxed);
+}
+
 /// Builds the topology, link model, node state machines, and engine for one
 /// experiment run, as described by every axis of the spec.
 pub fn build_engine(config: &ExperimentConfig) -> Result<Engine<SimNode>, ScoopError> {
@@ -107,16 +114,21 @@ pub fn run_built_experiment(
         storage.stored_local_default += m.stored_local_default;
     }
 
-    // Query metrics from the basestation.
-    let base = engine.node(NodeId::BASESTATION);
-    let (issued, targets, replies, readings, local) = base.query_outcomes();
-    let queries = QueryMetrics {
-        issued,
-        targets_total: targets,
-        replies_received: replies,
-        readings_returned: readings,
-        answered_locally: local,
-    };
+    // Query metrics summed over every sink (non-sinks report zeros; a
+    // single-sink run reads exactly the node-0 counters it always did).
+    let mut queries = QueryMetrics::default();
+    let mut indices_disseminated = 0;
+    let mut remaps_suppressed = 0;
+    for (_, node) in engine.iter_nodes() {
+        let (issued, targets, replies, readings, local) = node.query_outcomes();
+        queries.issued += issued;
+        queries.targets_total += targets;
+        queries.replies_received += replies;
+        queries.readings_returned += readings;
+        queries.answered_locally += local;
+        indices_disseminated += node.indices_disseminated();
+        remaps_suppressed += node.remaps_suppressed();
+    }
 
     let events_processed = engine.events_processed();
     EVENTS_DISPATCHED.fetch_add(events_processed, Ordering::Relaxed);
@@ -128,8 +140,8 @@ pub fn run_built_experiment(
         per_node_rx,
         storage,
         queries,
-        indices_disseminated: base.indices_disseminated(),
-        remaps_suppressed: base.remaps_suppressed(),
+        indices_disseminated,
+        remaps_suppressed,
         events_processed,
     })
 }

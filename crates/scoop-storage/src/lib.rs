@@ -23,5 +23,5 @@ pub mod ring;
 
 pub use data_buffer::{DataBuffer, StoredReading};
 pub use flash::{FlashLedger, FlashModel};
-pub use persist::{FlashPersistence, InMemoryBackend, PersistenceBackend};
+pub use persist::{FailpointBackend, FlashPersistence, InMemoryBackend, PersistenceBackend};
 pub use ring::RecentReadings;

@@ -143,6 +143,25 @@ pub struct ScoopParams {
     /// Maximum value-range entries per mapping packet when the index is
     /// chunked for dissemination.
     pub mapping_entries_per_packet: usize,
+    /// Multi-sink only: how long a sink may stay silent before its peers
+    /// treat it as dead and take over its attribute range. Zero — the
+    /// default, skipped during serialization — means "auto": three remap
+    /// intervals (see [`ScoopParams::effective_failover_timeout`]).
+    #[serde(default, skip_serializing_if = "SimDuration::is_zero")]
+    pub failover_timeout: SimDuration,
+}
+
+impl ScoopParams {
+    /// The failover timeout actually used: the configured value, or three
+    /// remap intervals when left at the zero default. Three intervals
+    /// tolerate two consecutive lost liveness beacons before a takeover.
+    pub fn effective_failover_timeout(&self) -> SimDuration {
+        if self.failover_timeout.is_zero() {
+            self.remap_interval.mul(3)
+        } else {
+            self.failover_timeout
+        }
+    }
 }
 
 impl Default for ScoopParams {
@@ -161,6 +180,7 @@ impl Default for ScoopParams {
             suppression_threshold: 0.05,
             neighbor_shortcut: true,
             mapping_entries_per_packet: 8,
+            failover_timeout: SimDuration::ZERO,
         }
     }
 }

@@ -36,8 +36,9 @@ pub use serve::{
     ServeRequest, ServeResponse, ServeRows, SERVE_REQUEST_LEN,
 };
 pub use spec::{
-    axis_help, AxisDoc, FaultSpec, FaultWindow, LinkFamily, LinkSpec, PolicySpec, ScenarioSpec,
-    TopologyKind, TopologySpec, WorkloadSpec, AXES,
+    axis_help, AxisDoc, ChurnEvent, FaultSpec, FaultWindow, LinkFamily, LinkSpec, PartitionWindow,
+    PolicySpec, ScenarioSpec, SinkOutage, TopologyKind, TopologySpec, WorkloadSpec, AXES,
+    MAX_SINKS,
 };
 pub use time::{SimDuration, SimTime};
 pub use value::{Attribute, Value, ValueRange};

@@ -25,7 +25,7 @@
 //! new-axis mapping.
 
 use crate::config::{DataSourceKind, QueryWorkloadConfig, ScoopParams, StoragePolicy};
-use crate::{Attribute, ScoopError, SimDuration, ValueRange, MAX_NODES};
+use crate::{Attribute, NodeId, ScoopError, SimDuration, ValueRange, MAX_NODES};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -374,6 +374,10 @@ impl Default for WorkloadSpec {
     }
 }
 
+/// Upper bound on configured basestations. Index-version encoding reserves
+/// six bits for the issuing sink's rank (see `docs/FAULTS.md`).
+pub const MAX_SINKS: usize = 64;
+
 /// Policy axis: which storage scheme runs and its protocol parameters.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PolicySpec {
@@ -381,6 +385,14 @@ pub struct PolicySpec {
     pub kind: StoragePolicy,
     /// Scoop protocol parameters (ignored by the other policies).
     pub scoop: ScoopParams,
+    /// The basestation role: the node ids running a sink (statistics,
+    /// remapping, queries). Empty — the default, and the only mode the paper
+    /// evaluates — means the classic single sink, node 0. A non-empty list
+    /// must include node 0 and may promote sensor ids to additional sinks;
+    /// attribute ownership is then hash-partitioned across the live sinks
+    /// (see `docs/FAULTS.md`).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub basestations: Vec<NodeId>,
 }
 
 impl PolicySpec {
@@ -389,7 +401,25 @@ impl PolicySpec {
         PolicySpec {
             kind: StoragePolicy::Scoop,
             scoop: ScoopParams::default(),
+            basestations: Vec::new(),
         }
+    }
+
+    /// The effective sink set: `[0]` in the classic single-sink mode, the
+    /// configured list (ascending, deduplicated) otherwise.
+    pub fn sink_ids(&self) -> Vec<NodeId> {
+        if self.basestations.is_empty() {
+            return vec![NodeId::BASESTATION];
+        }
+        let mut sinks = self.basestations.clone();
+        sinks.sort();
+        sinks.dedup();
+        sinks
+    }
+
+    /// Whether more than one basestation is configured.
+    pub fn is_multi_sink(&self) -> bool {
+        self.sink_ids().len() > 1
     }
 }
 
@@ -431,15 +461,119 @@ impl FaultWindow {
     }
 }
 
-/// Fault axis: scheduled node death / churn windows.
+/// One scheduled network partition: for the window, no link delivers across
+/// the cut, in either direction. Nodes on the same side keep communicating.
+///
+/// The isolated side is either an explicit id set or a seeded `fraction` of
+/// sensors; every other node (always including the basestation unless it is
+/// listed explicitly) forms the other side.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// Offset from simulation start at which the cut opens.
+    pub start: SimDuration,
+    /// Offset from simulation start at which the cut heals (exclusive).
+    pub end: SimDuration,
+    /// Fraction of sensor nodes on the isolated side, chosen
+    /// deterministically from the run seed. Ignored when `nodes` is
+    /// non-empty.
+    pub fraction: f64,
+    /// Explicit node ids forming the isolated side instead of a seeded
+    /// sample.
+    pub nodes: Vec<u16>,
+}
+
+impl PartitionWindow {
+    /// A partition isolating a seeded `fraction` of sensors between
+    /// `start_secs` and `end_secs`.
+    pub fn seeded(start_secs: u64, end_secs: u64, fraction: f64) -> Self {
+        PartitionWindow {
+            start: SimDuration::from_secs(start_secs),
+            end: SimDuration::from_secs(end_secs),
+            fraction,
+            nodes: Vec::new(),
+        }
+    }
+}
+
+/// One scheduled basestation (sink) crash-restart window: the sink's CPU
+/// halts — no dispatching, remapping, or query issuing — and its radio is
+/// off. Timers elsewhere keep firing; the sink's own pending timers are
+/// deferred to the window end, so a restarted sink resumes its periodic
+/// duties with state intact.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SinkOutage {
+    /// Offset from simulation start at which the sink dies.
+    pub start: SimDuration,
+    /// Offset from simulation start at which the sink restarts (exclusive).
+    pub end: SimDuration,
+    /// Which sink dies. Must be one of the configured basestations.
+    pub sink: NodeId,
+}
+
+impl SinkOutage {
+    /// A crash-restart of `sink` between `start_secs` and `end_secs`.
+    pub fn new(start_secs: u64, end_secs: u64, sink: u16) -> Self {
+        SinkOutage {
+            start: SimDuration::from_secs(start_secs),
+            end: SimDuration::from_secs(end_secs),
+            sink: NodeId(sink),
+        }
+    }
+}
+
+/// One mass-churn event: at `at`, a seeded `kill_fraction` of the original
+/// sensors dies permanently while `join_fraction` (of the original sensor
+/// count) fresh nodes wake at seeded positions and join the network from
+/// scratch.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Offset from simulation start at which the churn happens.
+    pub at: SimDuration,
+    /// Fraction of the original sensors that dies permanently (seeded
+    /// sample; the basestations survive).
+    pub kill_fraction: f64,
+    /// Fresh joining nodes as a fraction of the original sensor count; they
+    /// are placed by the topology generator and stay dormant until `at`.
+    pub join_fraction: f64,
+}
+
+impl ChurnEvent {
+    /// A churn event at `at_secs` killing `kill_fraction` and joining
+    /// `join_fraction` of the original sensor count.
+    pub fn new(at_secs: u64, kill_fraction: f64, join_fraction: f64) -> Self {
+        ChurnEvent {
+            at: SimDuration::from_secs(at_secs),
+            kill_fraction,
+            join_fraction,
+        }
+    }
+
+    /// Number of fresh nodes this event adds for an original sensor count.
+    pub fn join_count(&self, num_nodes: usize) -> usize {
+        (self.join_fraction * num_nodes as f64).round() as usize
+    }
+}
+
+/// Fault axis: scheduled radio outages, partitions, sink crashes, and mass
+/// churn.
 ///
 /// The default is no faults, which is byte-identical to the pre-redesign
-/// behavior; scenarios with windows exercise a class of run the codebase
-/// could not express before.
+/// behavior; every new kind defaults to empty and is skipped during
+/// serialization, so existing specs, config hashes, and committed artifacts
+/// are untouched until a scenario schedules one.
 #[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
 pub struct FaultSpec {
-    /// The outage windows, applied independently.
+    /// The radio-outage windows, applied independently.
     pub windows: Vec<FaultWindow>,
+    /// Scheduled network partitions.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub partitions: Vec<PartitionWindow>,
+    /// Scheduled basestation crash-restart windows.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub sink_outages: Vec<SinkOutage>,
+    /// Scheduled mass-churn events.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub churn: Vec<ChurnEvent>,
 }
 
 impl FaultSpec {
@@ -448,12 +582,21 @@ impl FaultSpec {
         FaultSpec::default()
     }
 
-    /// Whether any window is scheduled.
+    /// Whether any fault of any kind is scheduled.
     pub fn is_empty(&self) -> bool {
         self.windows.is_empty()
+            && self.partitions.is_empty()
+            && self.sink_outages.is_empty()
+            && self.churn.is_empty()
     }
 
-    /// Validates every window.
+    /// Total fresh nodes the churn schedule adds for an original sensor
+    /// count (they enlarge the generated topology).
+    pub fn total_joins(&self, num_nodes: usize) -> usize {
+        self.churn.iter().map(|c| c.join_count(num_nodes)).sum()
+    }
+
+    /// Validates every scheduled fault.
     pub fn validate(&self) -> Result<(), ScoopError> {
         for w in &self.windows {
             if w.start >= w.end {
@@ -464,6 +607,45 @@ impl FaultSpec {
             if !(0.0..=1.0).contains(&w.fraction) {
                 return Err(ScoopError::InvalidConfig(
                     "fault window fraction must be in [0, 1]".into(),
+                ));
+            }
+        }
+        for p in &self.partitions {
+            if p.start >= p.end {
+                return Err(ScoopError::InvalidConfig(
+                    "partition window must start before it ends".into(),
+                ));
+            }
+            if !(0.0..=1.0).contains(&p.fraction) {
+                return Err(ScoopError::InvalidConfig(
+                    "partition fraction must be in [0, 1]".into(),
+                ));
+            }
+            let mut seen = p.nodes.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != p.nodes.len() {
+                return Err(ScoopError::InvalidConfig(
+                    "partition node set must not contain duplicates".into(),
+                ));
+            }
+        }
+        for s in &self.sink_outages {
+            if s.start >= s.end {
+                return Err(ScoopError::InvalidConfig(
+                    "sink outage must start before it ends".into(),
+                ));
+            }
+        }
+        for c in &self.churn {
+            if !(0.0..=1.0).contains(&c.kill_fraction) {
+                return Err(ScoopError::InvalidConfig(
+                    "churn kill_fraction must be in [0, 1]".into(),
+                ));
+            }
+            if !(0.0..=1.0).contains(&c.join_fraction) {
+                return Err(ScoopError::InvalidConfig(
+                    "churn join_fraction must be in [0, 1]".into(),
                 ));
             }
         }
@@ -534,9 +716,10 @@ impl ScenarioSpec {
     /// warmup shorter than the run, sane fractions, non-zero intervals) and
     /// every component spec.
     pub fn validate(&self) -> Result<(), ScoopError> {
-        if self.num_nodes + 1 > MAX_NODES {
+        let total = self.num_nodes + self.faults.total_joins(self.num_nodes) + 1;
+        if total > MAX_NODES {
             return Err(ScoopError::TooManyNodes {
-                requested: self.num_nodes + 1,
+                requested: total,
                 limit: MAX_NODES,
             });
         }
@@ -577,6 +760,43 @@ impl ScenarioSpec {
             return Err(ScoopError::InvalidConfig(
                 "value domain must contain at least two values".into(),
             ));
+        }
+        if !self.policy.basestations.is_empty() {
+            if self.policy.kind != StoragePolicy::Scoop {
+                return Err(ScoopError::InvalidConfig(
+                    "multi-basestation federation requires the scoop policy".into(),
+                ));
+            }
+            let sinks = self.policy.sink_ids();
+            if sinks.len() != self.policy.basestations.len() {
+                return Err(ScoopError::InvalidConfig(
+                    "basestations must not contain duplicates".into(),
+                ));
+            }
+            if !sinks.contains(&NodeId::BASESTATION) {
+                return Err(ScoopError::InvalidConfig(
+                    "basestations must include node 0 (the root sink)".into(),
+                ));
+            }
+            if sinks.len() > MAX_SINKS {
+                return Err(ScoopError::InvalidConfig(format!(
+                    "at most {MAX_SINKS} basestations are supported"
+                )));
+            }
+            if let Some(bad) = sinks.iter().find(|s| s.0 as usize > self.num_nodes) {
+                return Err(ScoopError::InvalidConfig(format!(
+                    "basestation id {} exceeds the node count {}",
+                    bad.0, self.num_nodes
+                )));
+            }
+        }
+        for outage in &self.faults.sink_outages {
+            if !self.policy.sink_ids().contains(&outage.sink) {
+                return Err(ScoopError::InvalidConfig(format!(
+                    "sink outage targets node {}, which is not a basestation",
+                    outage.sink.0
+                )));
+            }
         }
         self.topology.validate()?;
         self.link.validate()?;
@@ -736,8 +956,28 @@ pub const AXES: &[AxisDoc] = &[
         doc: "append an outage window: START..END@FRACTION (secs, e.g. 600..900@0.1)",
     },
     AxisDoc {
+        key: "fault.partition",
+        doc: "append a partition: START..END@FRACTION or START..END@nodes:1,2 (secs)",
+    },
+    AxisDoc {
+        key: "fault.sink_down",
+        doc: "append a sink crash-restart: START..END@SINK_ID (secs)",
+    },
+    AxisDoc {
+        key: "fault.churn",
+        doc: "append mass churn: AT@KILL_FRAC/JOIN_FRAC (secs; /JOIN_FRAC optional)",
+    },
+    AxisDoc {
         key: "fault.clear",
-        doc: "any value: remove all scheduled fault windows",
+        doc: "any value: remove all scheduled faults (every kind)",
+    },
+    AxisDoc {
+        key: "policy.basestations",
+        doc: "comma-separated sink node ids (must include 0); empty = classic single sink",
+    },
+    AxisDoc {
+        key: "scoop.failover_timeout_secs",
+        doc: "silence before a sink's range is taken over (0 = 3x remap interval)",
     },
 ];
 
@@ -788,6 +1028,66 @@ fn parse_fault_window(key: &str, value: &str) -> Result<FaultWindow, ScoopError>
         window.fraction = parse_num(key, tail, expect)?;
     }
     Ok(window)
+}
+
+/// Parses `START..END@FRACTION` (seconds) or `START..END@nodes:1,2,3` into a
+/// partition window (same grammar as `fault.window`, different fault).
+fn parse_partition(key: &str, value: &str) -> Result<PartitionWindow, ScoopError> {
+    let w = parse_fault_window(key, value)?;
+    Ok(PartitionWindow {
+        start: w.start,
+        end: w.end,
+        fraction: w.fraction,
+        nodes: w.nodes,
+    })
+}
+
+/// Parses `START..END@SINK_ID` (seconds).
+fn parse_sink_outage(key: &str, value: &str) -> Result<SinkOutage, ScoopError> {
+    let expect = "START..END@SINK_ID (seconds)";
+    let (range, sink) = value
+        .split_once('@')
+        .ok_or_else(|| bad_value(key, value, expect))?;
+    let (start, end) = range
+        .split_once("..")
+        .ok_or_else(|| bad_value(key, value, expect))?;
+    Ok(SinkOutage::new(
+        parse_num(key, start, expect)?,
+        parse_num(key, end, expect)?,
+        parse_num(key, sink, expect)?,
+    ))
+}
+
+/// Parses `AT@KILL_FRAC/JOIN_FRAC` (seconds; `/JOIN_FRAC` optional).
+fn parse_churn(key: &str, value: &str) -> Result<ChurnEvent, ScoopError> {
+    let expect = "AT@KILL_FRAC/JOIN_FRAC (seconds; /JOIN_FRAC optional)";
+    let (at, tail) = value
+        .split_once('@')
+        .ok_or_else(|| bad_value(key, value, expect))?;
+    let (kill, join) = match tail.split_once('/') {
+        Some((k, j)) => (k, Some(j)),
+        None => (tail, None),
+    };
+    Ok(ChurnEvent::new(
+        parse_num(key, at, expect)?,
+        parse_num(key, kill, expect)?,
+        match join {
+            Some(j) => parse_num(key, j, expect)?,
+            None => 0.0,
+        },
+    ))
+}
+
+/// Parses a comma-separated sink id list (empty string clears the role).
+fn parse_basestations(key: &str, value: &str) -> Result<Vec<NodeId>, ScoopError> {
+    let expect = "comma-separated node ids, e.g. 0,5,9 (empty clears)";
+    if value.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    value
+        .split(',')
+        .map(|id| parse_num::<u16>(key, id.trim(), expect).map(NodeId))
+        .collect()
 }
 
 impl ScenarioSpec {
@@ -888,7 +1188,18 @@ impl ScenarioSpec {
                 self.policy.scoop.neighbor_shortcut = parse_bool(key, value)?
             }
             "fault.window" => self.faults.windows.push(parse_fault_window(key, value)?),
-            "fault.clear" => self.faults.windows.clear(),
+            "fault.partition" => self.faults.partitions.push(parse_partition(key, value)?),
+            "fault.sink_down" => self
+                .faults
+                .sink_outages
+                .push(parse_sink_outage(key, value)?),
+            "fault.churn" => self.faults.churn.push(parse_churn(key, value)?),
+            "fault.clear" => self.faults = FaultSpec::none(),
+            "policy.basestations" => self.policy.basestations = parse_basestations(key, value)?,
+            "scoop.failover_timeout_secs" => {
+                self.policy.scoop.failover_timeout =
+                    SimDuration::from_secs(parse_num(key, value, "seconds")?)
+            }
             unknown => {
                 return Err(ScoopError::InvalidConfig(format!(
                     "unknown axis `{unknown}`; valid axes:\n{}",
@@ -1047,7 +1358,11 @@ mod tests {
                 "link" => "perfect",
                 "scoop.suppress_unchanged_index" | "scoop.neighbor_shortcut" => "false",
                 "fault.window" => "600..900@0.1",
+                "fault.partition" => "600..900@0.5",
+                "fault.sink_down" => "600..900@0",
+                "fault.churn" => "600@0.25/0.25",
                 "fault.clear" => "1",
+                "policy.basestations" => "0,5",
                 "query.min_width" | "query.max_width" | "topology.jitter" => "0.2",
                 "link.loss_floor" | "link.edge_delivery" | "link.asymmetry_noise" => "0.1",
                 "topology.range_factor" | "link.distance_exponent" => "1.5",
@@ -1106,6 +1421,123 @@ mod tests {
         assert_eq!(spec.faults.windows[1].nodes, vec![3, 7]);
         spec.set_axis("fault.clear", "1").unwrap();
         assert!(spec.faults.is_empty());
+    }
+
+    #[test]
+    fn adversarial_fault_axes_parse_and_clear() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.set_axis("fault.partition", "600..900@0.5").unwrap();
+        spec.set_axis("fault.partition", "100..200@nodes:3,7")
+            .unwrap();
+        spec.set_axis("fault.sink_down", "600..900@5").unwrap();
+        spec.set_axis("fault.churn", "600@0.25/0.1").unwrap();
+        spec.set_axis("fault.churn", "900@0.5").unwrap();
+        assert_eq!(spec.faults.partitions.len(), 2);
+        assert!((spec.faults.partitions[0].fraction - 0.5).abs() < 1e-12);
+        assert_eq!(spec.faults.partitions[1].nodes, vec![3, 7]);
+        assert_eq!(spec.faults.sink_outages[0].sink, NodeId(5));
+        assert!((spec.faults.churn[0].join_fraction - 0.1).abs() < 1e-12);
+        assert!(
+            (spec.faults.churn[1].join_fraction - 0.0).abs() < 1e-12,
+            "join fraction defaults to 0 when omitted"
+        );
+        spec.set_axis("fault.clear", "x").unwrap();
+        assert!(spec.faults.is_empty());
+
+        assert!(spec.set_axis("fault.partition", "900@0.1").is_err());
+        assert!(spec.set_axis("fault.sink_down", "600..900").is_err());
+        assert!(spec.set_axis("fault.churn", "600").is_err());
+    }
+
+    #[test]
+    fn empty_new_fault_kinds_serialize_to_the_legacy_shape() {
+        // Byte-identity of committed artifacts: a spec without the new
+        // faults (or basestations) must serialize exactly as before.
+        let spec = ScenarioSpec::paper_defaults();
+        let json = serde_json::to_string(&spec).unwrap();
+        for key in ["partitions", "sink_outages", "churn", "basestations"] {
+            assert!(!json.contains(key), "`{key}` leaked into default JSON");
+        }
+        assert!(!json.contains("failover_timeout"));
+    }
+
+    #[test]
+    fn adversarial_faults_roundtrip_through_serde() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.policy.basestations = vec![NodeId(0), NodeId(5)];
+        spec.faults
+            .partitions
+            .push(PartitionWindow::seeded(600, 900, 0.5));
+        spec.faults.sink_outages.push(SinkOutage::new(600, 900, 5));
+        spec.faults.churn.push(ChurnEvent::new(700, 0.25, 0.25));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn validation_rejects_bad_adversarial_faults() {
+        let cases: &[fn(&mut ScenarioSpec)] = &[
+            |s| {
+                s.faults
+                    .partitions
+                    .push(PartitionWindow::seeded(900, 600, 0.5))
+            },
+            |s| s.faults.partitions.push(PartitionWindow::seeded(1, 2, 1.5)),
+            |s| {
+                s.faults
+                    .partitions
+                    .push(PartitionWindow::seeded(1, 2, f64::NAN))
+            },
+            |s| {
+                s.faults.partitions.push(PartitionWindow {
+                    start: SimDuration::from_secs(1),
+                    end: SimDuration::from_secs(2),
+                    fraction: 0.0,
+                    nodes: vec![3, 3],
+                })
+            },
+            |s| {
+                s.policy.basestations = vec![NodeId(0), NodeId(5)];
+                s.faults.sink_outages.push(SinkOutage::new(900, 600, 5));
+            },
+            |s| s.faults.sink_outages.push(SinkOutage::new(600, 900, 5)),
+            |s| s.faults.churn.push(ChurnEvent::new(600, -0.1, 0.0)),
+            |s| s.faults.churn.push(ChurnEvent::new(600, 0.0, f64::NAN)),
+            |s| s.policy.basestations = vec![NodeId(5), NodeId(9)],
+            |s| s.policy.basestations = vec![NodeId(0), NodeId(5), NodeId(5)],
+            |s| s.policy.basestations = vec![NodeId(0), NodeId(999)],
+        ];
+        for (i, tweak) in cases.iter().enumerate() {
+            let mut spec = ScenarioSpec::small_test();
+            tweak(&mut spec);
+            assert!(
+                matches!(
+                    spec.validate(),
+                    Err(ScoopError::InvalidConfig(_)) | Err(ScoopError::TooManyNodes { .. })
+                ),
+                "adversarial fault case {i} passed validation"
+            );
+        }
+
+        // Churn joins count against the node-count headroom.
+        let mut spec = ScenarioSpec::small_test();
+        spec.num_nodes = MAX_NODES - 1;
+        spec.faults.churn.push(ChurnEvent::new(600, 0.0, 0.5));
+        assert!(matches!(
+            spec.validate(),
+            Err(ScoopError::TooManyNodes { .. })
+        ));
+
+        // The happy path: a valid multi-sink chaos spec.
+        let mut spec = ScenarioSpec::small_test();
+        spec.policy.basestations = vec![NodeId(0), NodeId(5)];
+        spec.faults
+            .partitions
+            .push(PartitionWindow::seeded(240, 420, 0.5));
+        spec.faults.sink_outages.push(SinkOutage::new(240, 420, 5));
+        spec.faults.churn.push(ChurnEvent::new(300, 0.25, 0.25));
+        spec.validate().unwrap();
     }
 
     #[test]

@@ -60,6 +60,12 @@ impl SimDuration {
     /// The zero-length duration.
     pub const ZERO: SimDuration = SimDuration(0);
 
+    /// Whether this is the zero-length duration (used by serde to skip
+    /// defaulted fields so existing artifacts stay byte-identical).
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
     /// Constructs a duration from whole seconds.
     pub const fn from_secs(s: u64) -> Self {
         SimDuration(s * 1000)
