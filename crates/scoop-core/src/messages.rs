@@ -8,7 +8,10 @@ use crate::index::IndexEntry;
 use crate::summary::SummaryMessage;
 use scoop_routing::Beacon;
 use scoop_trickle::Chunk;
-use scoop_types::{NodeBitmap, NodeId, Reading, SimTime, StorageIndexId, ValueRange};
+use scoop_types::{
+    AggregateSpec, NodeBitmap, NodeId, PartialAggregate, Reading, SimTime, StorageIndexId,
+    ValueRange,
+};
 use serde::{Deserialize, Serialize};
 
 /// A data message carrying one or more readings towards their owner.
@@ -68,6 +71,11 @@ pub struct QueryMessage {
     pub time_hi: SimTime,
     /// Which nodes must answer (one bit per node, Section 5.5).
     pub targets: NodeBitmap,
+    /// Aggregate workloads only: the operator and error budget repliers must
+    /// apply. `None` — the seed point/range behavior — serializes to the
+    /// legacy shape, keeping committed artifacts byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub aggregate: Option<AggregateSpec>,
 }
 
 /// A reply from one queried node back to the basestation. Sent even when no
@@ -78,8 +86,14 @@ pub struct ReplyMessage {
     pub query_id: u32,
     /// The answering node.
     pub node: NodeId,
-    /// The matching readings found in the node's data buffer.
+    /// The matching readings found in the node's data buffer. Empty for
+    /// aggregate replies, which carry `aggregate` instead.
     pub readings: Vec<Reading>,
+    /// Aggregate workloads only: the partial aggregate this subtree
+    /// contributes (merged hop-by-hop under the LOCAL tree-aggregation path,
+    /// forwarded verbatim under value routing).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub aggregate: Option<PartialAggregate>,
 }
 
 /// Multi-sink federation only: a sink's epoch-stamped liveness beacon,
@@ -183,6 +197,7 @@ mod tests {
                 query_id: 0,
                 node: NodeId(1),
                 readings: vec![],
+                aggregate: None,
             }),
             ScoopPayload::Query(QueryMessage {
                 query_id: 0,
@@ -190,6 +205,7 @@ mod tests {
                 time_lo: SimTime::ZERO,
                 time_hi: SimTime::ZERO,
                 targets: NodeBitmap::empty(),
+                aggregate: None,
             }),
         ];
         let names: std::collections::HashSet<_> = payloads.iter().map(|p| p.name()).collect();

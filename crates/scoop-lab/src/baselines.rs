@@ -193,8 +193,9 @@ pub fn paper_baseline(id: ExperimentId) -> Option<BaselineSet> {
         ),
         // No quantitative figure to compare against: the sample-interval /
         // root-skew / scaling studies are prose-only in the paper, and the
-        // link-calibration + large-scale grid scenarios and the chaos fault
-        // family go beyond it by design.
+        // link-calibration + large-scale grid scenarios, the chaos fault
+        // family, and the range/aggregate workload grids go beyond it by
+        // design.
         ExperimentId::SampleInterval
         | ExperimentId::RootSkew
         | ExperimentId::Scaling
@@ -204,7 +205,9 @@ pub fn paper_baseline(id: ExperimentId) -> Option<BaselineSet> {
         | ExperimentId::Scaling32768
         | ExperimentId::ChaosPartition
         | ExperimentId::ChaosSinkFailover
-        | ExperimentId::ChaosChurn => return None,
+        | ExperimentId::ChaosChurn
+        | ExperimentId::RangeWidth
+        | ExperimentId::AggregateOps => return None,
     };
     Some(BaselineSet {
         experiment: id.slug().to_string(),

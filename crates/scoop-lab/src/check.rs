@@ -22,6 +22,10 @@ pub const DEFAULT_BASELINE_PATH: &str = "crates/scoop-lab/baselines/smoke.json";
 /// never perturbs the classic smoke baseline).
 pub const DEFAULT_CHAOS_BASELINE_PATH: &str = "crates/scoop-lab/baselines/chaos.json";
 
+/// Path of the committed workloads baseline (the range/aggregate workload
+/// grids run as their own gate with their own baseline file, like chaos).
+pub const DEFAULT_WORKLOADS_BASELINE_PATH: &str = "crates/scoop-lab/baselines/workloads.json";
+
 /// The outcome of one `scoop-lab check`.
 #[derive(Clone, Debug)]
 pub struct CheckOutcome {
@@ -63,6 +67,13 @@ pub fn run_smoke_suite() -> Result<Vec<Artifact>, ScoopError> {
 /// and returns its artifacts, provenance masked like [`run_smoke_suite`].
 pub fn run_chaos_suite() -> Result<Vec<Artifact>, ScoopError> {
     run_masked(&SuiteOptions::chaos_smoke())
+}
+
+/// Runs the workloads smoke suite (the range and aggregate grids at quick
+/// scale) and returns its artifacts, provenance masked like
+/// [`run_smoke_suite`].
+pub fn run_workloads_suite() -> Result<Vec<Artifact>, ScoopError> {
+    run_masked(&SuiteOptions::workloads_smoke())
 }
 
 fn run_masked(options: &SuiteOptions) -> Result<Vec<Artifact>, ScoopError> {
@@ -171,6 +182,37 @@ pub fn run_chaos_check_with_history(
     if let Some(path) = history {
         if let Some(mut record) = crate::history::HistoryRecord::from_artifacts(&artifacts) {
             record.scale = "chaos".to_string();
+            record.append_to(path)?;
+        }
+    }
+    for artifact in &mut artifacts {
+        artifact.provenance = Provenance::masked();
+    }
+    check_measured(artifacts, baseline_path, preset, bless)
+}
+
+/// Same gate over the workloads suite and its own baseline file.
+pub fn run_workloads_check(
+    baseline_path: &Path,
+    preset: TolerancePreset,
+    bless: bool,
+) -> Result<CheckOutcome, ScoopError> {
+    run_workloads_check_with_history(baseline_path, preset, bless, None)
+}
+
+/// The workloads gate with the same optional perf-history side effect as
+/// [`run_chaos_check_with_history`], stamped `scale:"workload"` so workload
+/// wall clocks only ever gate against earlier workload records.
+pub fn run_workloads_check_with_history(
+    baseline_path: &Path,
+    preset: TolerancePreset,
+    bless: bool,
+    history: Option<&Path>,
+) -> Result<CheckOutcome, ScoopError> {
+    let mut artifacts = run_suite(&SuiteOptions::workloads_smoke(), |_| ())?;
+    if let Some(path) = history {
+        if let Some(mut record) = crate::history::HistoryRecord::from_artifacts(&artifacts) {
+            record.scale = "workload".to_string();
             record.append_to(path)?;
         }
     }
@@ -319,6 +361,39 @@ mod tests {
         assert!(record.total_events_processed > 0);
         // The blessed baseline itself stays masked and machine-independent.
         let blessed = load_baseline(&baseline).unwrap();
+        assert!(blessed
+            .iter()
+            .all(|a| a.provenance.wall_clock_secs == 0.0 && a.provenance.git_rev.is_empty()));
+
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn workloads_gate_appends_a_workload_scale_history_record() {
+        let tmp = std::env::temp_dir().join(format!("scoop-wl-hist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::fs::create_dir_all(&tmp).unwrap();
+        let baseline = tmp.join("workloads-baseline.json");
+        let history = tmp.join("history.jsonl");
+
+        let outcome = run_workloads_check_with_history(
+            &baseline,
+            TolerancePreset::Default,
+            true,
+            Some(&history),
+        )
+        .unwrap();
+        assert!(!outcome.failed(), "{}", outcome.render_text());
+
+        let records = crate::history::load_history(&history).unwrap();
+        assert_eq!(records.len(), 1);
+        let record = &records[0];
+        assert_eq!(record.scale, "workload");
+        assert_eq!(record.experiments.len(), 2, "one timing per grid");
+        assert!(record.total_events_processed > 0);
+        // The blessed baseline itself stays masked and machine-independent.
+        let blessed = load_baseline(&baseline).unwrap();
+        assert_eq!(blessed.len(), 2);
         assert!(blessed
             .iter()
             .all(|a| a.provenance.wall_clock_secs == 0.0 && a.provenance.git_rev.is_empty()));

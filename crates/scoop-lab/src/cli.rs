@@ -22,7 +22,8 @@ use crate::artifact::ArtifactStore;
 use crate::baselines::{paper_baseline, TolerancePreset};
 use crate::calibrate::{run_calibration, save_calibration, CalibrationOptions};
 use crate::check::{
-    run_chaos_check_with_history, run_check, DEFAULT_BASELINE_PATH, DEFAULT_CHAOS_BASELINE_PATH,
+    run_chaos_check_with_history, run_check, run_workloads_check_with_history,
+    DEFAULT_BASELINE_PATH, DEFAULT_CHAOS_BASELINE_PATH, DEFAULT_WORKLOADS_BASELINE_PATH,
 };
 use crate::diff::diff_rows;
 use crate::history::HistoryRecord;
@@ -44,10 +45,12 @@ const USAGE: &str =
          [--set key=value]... [--show-spec] [experiment...]
   report [--results=DIR] [--out=FILE]
   diff   [--results=DIR]
-  check  [--tolerance NAME] [--bless] [--baseline=FILE] [--chaos]
+  check  [--tolerance NAME] [--bless] [--baseline=FILE] [--chaos|--workloads]
          [--history=FILE]
-         (NAME: strict|default|loose; --chaos gates the chaos suite instead
-          and with --history also appends one scale=\"chaos\" perf record)
+         (NAME: strict|default|loose; --chaos gates the chaos suite and
+          --workloads the range/aggregate workload suite, each against its
+          own baseline; with --history each appends one perf record at its
+          scale, \"chaos\" or \"workload\")
   calibrate [--smoke] [--trials=N] [--seed=N] [--out=FILE] [--results=DIR]
   history [--file=FILE] [--max-regression=FRAC] [--gate]
   store  <ingest|query|stats> --db DIR [options]   (durable basestation store)
@@ -55,7 +58,7 @@ const USAGE: &str =
 experiments: fig3-left fig3-middle fig3-right fig4 fig5 ablations sample-interval
              reliability link-calibration root-skew scaling scaling-256
              scaling-4096 scaling-32768 chaos-partition chaos-failover
-             chaos-churn (default: all)
+             chaos-churn range-width aggregate-ops (default: all)
 `--set` (repeatable) overrides one spec axis, e.g. --set topology=grid --set nodes=96
 --set link.loss_floor=0.05; an unknown key lists the valid axes. `--show-spec`
 prints the resolved base spec as JSON and exits without running. `calibrate`
@@ -323,7 +326,7 @@ fn cmd_check(args: &[String]) -> Result<i32, String> {
     let (positional, flags, values) = parse(
         args,
         &["tolerance", "baseline", "history"],
-        &["bless", "chaos"],
+        &["bless", "chaos", "workloads"],
     )?;
     if let Some(extra) = positional.first() {
         return Err(format!("unexpected argument `{extra}`"));
@@ -333,22 +336,30 @@ fn cmd_check(args: &[String]) -> Result<i32, String> {
         .ok_or_else(|| format!("unknown tolerance `{preset_name}` (strict|default|loose)"))?;
     let bless = flags.iter().any(|f| f == "bless");
     let chaos = flags.iter().any(|f| f == "chaos");
+    let workloads = flags.iter().any(|f| f == "workloads");
+    if chaos && workloads {
+        return Err("--chaos and --workloads are mutually exclusive".to_string());
+    }
     let history = lookup(&values, "history").map(PathBuf::from);
-    if history.is_some() && !chaos {
+    if history.is_some() && !chaos && !workloads {
         return Err(
-            "--history only applies to `check --chaos` (the classic smoke \
-                    suite's record is appended by `run --history`)"
+            "--history only applies to `check --chaos` or `check --workloads` \
+                    (the classic smoke suite's record is appended by `run --history`)"
                 .to_string(),
         );
     }
     let default_path = if chaos {
         DEFAULT_CHAOS_BASELINE_PATH
+    } else if workloads {
+        DEFAULT_WORKLOADS_BASELINE_PATH
     } else {
         DEFAULT_BASELINE_PATH
     };
     let baseline_path = PathBuf::from(lookup(&values, "baseline").unwrap_or(default_path));
     let outcome = if chaos {
         run_chaos_check_with_history(&baseline_path, preset, bless, history.as_deref())
+    } else if workloads {
+        run_workloads_check_with_history(&baseline_path, preset, bless, history.as_deref())
     } else {
         run_check(&baseline_path, preset, bless)
     }

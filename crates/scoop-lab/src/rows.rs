@@ -10,8 +10,8 @@
 //! between the paper's testbed and this simulator.
 
 use scoop_sim::experiments::{
-    AblationRow, ChaosRow, Fig3Row, Fig4Row, Fig5Row, LinkCalibrationRow, ReliabilityRow,
-    RootSkewRow, SampleIntervalRow, ScalingRow,
+    AblationRow, AggregateOpsRow, ChaosRow, Fig3Row, Fig4Row, Fig5Row, LinkCalibrationRow,
+    RangeWidthRow, ReliabilityRow, RootSkewRow, SampleIntervalRow, ScalingRow,
 };
 use scoop_sim::report;
 use serde::{Deserialize, Serialize};
@@ -39,6 +39,10 @@ pub enum RowSet {
     LinkCalibration(Vec<LinkCalibrationRow>),
     /// A chaos scenario (per-phase reliability under scheduled faults).
     Chaos(Vec<ChaosRow>),
+    /// The range-workload width sweep.
+    RangeWidth(Vec<RangeWidthRow>),
+    /// The aggregate-operator grid.
+    Aggregate(Vec<AggregateOpsRow>),
 }
 
 /// One row of any experiment, flattened to named numeric metrics.
@@ -74,6 +78,8 @@ impl RowSet {
             RowSet::Scaling(r) => r.len(),
             RowSet::LinkCalibration(r) => r.len(),
             RowSet::Chaos(r) => r.len(),
+            RowSet::RangeWidth(r) => r.len(),
+            RowSet::Aggregate(r) => r.len(),
         }
     }
 
@@ -96,6 +102,8 @@ impl RowSet {
             RowSet::Scaling(rows) => report::scaling_table(title, rows),
             RowSet::LinkCalibration(rows) => report::link_calibration_table(rows),
             RowSet::Chaos(rows) => report::chaos_table(title, rows),
+            RowSet::RangeWidth(rows) => report::range_width_table(rows),
+            RowSet::Aggregate(rows) => report::aggregate_ops_table(rows),
         }
     }
 
@@ -114,6 +122,8 @@ impl RowSet {
             RowSet::Scaling(rows) => report::to_json(rows),
             RowSet::LinkCalibration(rows) => report::to_json(rows),
             RowSet::Chaos(rows) => report::to_json(rows),
+            RowSet::RangeWidth(rows) => report::to_json(rows),
+            RowSet::Aggregate(rows) => report::to_json(rows),
         }
     }
 
@@ -125,9 +135,13 @@ impl RowSet {
     /// reference row is absent) simply omit the ratio metrics.
     pub fn measured_rows(&self, reference_key: Option<&str>) -> Vec<MeasuredRow> {
         let mut rows = self.raw_rows();
-        // Figures 4 and 5 compare policies *pointwise*: normalize each row to
-        // the BASE row at the same sweep point (same width / same interval).
-        if matches!(self, RowSet::Fig4(_) | RowSet::Fig5(_)) {
+        // Figures 4 and 5 (and the range-width sweep, their steady-state
+        // cousin) compare policies *pointwise*: normalize each row to the
+        // BASE row at the same sweep point (same width / same interval).
+        if matches!(
+            self,
+            RowSet::Fig4(_) | RowSet::Fig5(_) | RowSet::RangeWidth(_)
+        ) {
             let base_totals: Vec<(String, f64)> = rows
                 .iter()
                 .filter(|r| r.key.starts_with("base/"))
@@ -273,6 +287,28 @@ impl RowSet {
                         ("query_success".into(), r.query_success),
                         ("control_storage_success".into(), r.control_storage_success),
                         ("control_query_success".into(), r.control_query_success),
+                    ],
+                })
+                .collect(),
+            RowSet::RangeWidth(rows) => rows
+                .iter()
+                .map(|r| MeasuredRow {
+                    key: format!("{}/width-{:.0}%", r.policy, r.width_frac * 100.0),
+                    metrics: vec![
+                        ("total_messages".into(), r.total_messages as f64),
+                        ("fraction_nodes_queried".into(), r.fraction_nodes_queried),
+                        ("query_success".into(), r.query_success),
+                    ],
+                })
+                .collect(),
+            RowSet::Aggregate(rows) => rows
+                .iter()
+                .map(|r| MeasuredRow {
+                    key: format!("{}/{}", r.policy, r.op),
+                    metrics: vec![
+                        ("total_messages".into(), r.total_messages as f64),
+                        ("query_reply_messages".into(), r.query_reply_messages as f64),
+                        ("query_success".into(), r.query_success),
                     ],
                 })
                 .collect(),

@@ -87,11 +87,15 @@ pub enum ExperimentId {
     ChaosSinkFailover,
     /// Chaos: mass churn (25 % killed, 25 % fresh joiners).
     ChaosChurn,
+    /// Range workloads: cost vs. fixed query width per policy.
+    RangeWidth,
+    /// Aggregate workloads: cost per aggregate operator per policy.
+    AggregateOps,
 }
 
 impl ExperimentId {
     /// Every experiment, in the order `run`/`report` process them.
-    pub const ALL: [ExperimentId; 17] = [
+    pub const ALL: [ExperimentId; 19] = [
         ExperimentId::Fig3Left,
         ExperimentId::Fig3Middle,
         ExperimentId::Fig3Right,
@@ -109,7 +113,12 @@ impl ExperimentId {
         ExperimentId::ChaosPartition,
         ExperimentId::ChaosSinkFailover,
         ExperimentId::ChaosChurn,
+        ExperimentId::RangeWidth,
+        ExperimentId::AggregateOps,
     ];
+
+    /// The workload-kind family (range and aggregate queries), in suite order.
+    pub const WORKLOADS: [ExperimentId; 2] = [ExperimentId::RangeWidth, ExperimentId::AggregateOps];
 
     /// The chaos scenario family, in suite order.
     pub const CHAOS: [ExperimentId; 3] = [
@@ -138,6 +147,8 @@ impl ExperimentId {
             ExperimentId::ChaosPartition => "chaos-partition",
             ExperimentId::ChaosSinkFailover => "chaos-failover",
             ExperimentId::ChaosChurn => "chaos-churn",
+            ExperimentId::RangeWidth => "range-width",
+            ExperimentId::AggregateOps => "aggregate-ops",
         }
     }
 
@@ -161,6 +172,8 @@ impl ExperimentId {
             ExperimentId::ChaosPartition => "Chaos: network partition (50 % isolated, healed)",
             ExperimentId::ChaosSinkFailover => "Chaos: basestation failover (2-sink federation)",
             ExperimentId::ChaosChurn => "Chaos: mass churn (25 % killed, 25 % joined)",
+            ExperimentId::RangeWidth => "Range workloads: cost vs. fixed query width",
+            ExperimentId::AggregateOps => "Aggregate workloads: cost per operator",
         }
     }
 
@@ -267,6 +280,21 @@ impl SuiteOptions {
             seed: 1,
             points: PointSet::Smoke,
             experiments: ExperimentId::CHAOS.to_vec(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// The workloads gate suite: the range and aggregate workload grids at
+    /// quick scale, deterministic and single-trial, compared against their
+    /// own committed baseline (`crates/scoop-lab/baselines/workloads.json`)
+    /// so the classic smoke baseline stays untouched by workload work.
+    pub fn workloads_smoke() -> Self {
+        SuiteOptions {
+            scale: Scale::Quick,
+            trials: 1,
+            seed: 1,
+            points: PointSet::Smoke,
+            experiments: ExperimentId::WORKLOADS.to_vec(),
             overrides: Vec::new(),
         }
     }
@@ -420,6 +448,25 @@ pub fn run_experiment(
         }
         ExperimentId::ChaosChurn => {
             experiments::chaos(base, experiments::ChaosScenario::Churn, trials).map(RowSet::Chaos)
+        }
+        ExperimentId::RangeWidth => {
+            let widths = if smoke {
+                vec![0.05, 0.5]
+            } else {
+                experiments::workloads::default_range_widths()
+            };
+            experiments::range_width(base, &widths, trials).map(RowSet::RangeWidth)
+        }
+        ExperimentId::AggregateOps => {
+            let ops = if smoke {
+                vec![
+                    scoop_types::AggregateOp::Min,
+                    scoop_types::AggregateOp::Quantile(0.5),
+                ]
+            } else {
+                experiments::workloads::default_aggregate_ops()
+            };
+            experiments::aggregate_ops(base, &ops, trials).map(RowSet::Aggregate)
         }
     }
 }

@@ -230,6 +230,17 @@ impl ServeServer {
         self.core.stats()
     }
 
+    /// The partial aggregate over every indexed record matching `pred` —
+    /// the serve twin of the in-network aggregation path, see
+    /// [`AnswerCore::aggregate_answer`].
+    pub fn aggregate_answer(
+        &mut self,
+        pred: &scoop_types::QueryPredicate,
+        spec: &scoop_types::AggregateSpec,
+    ) -> scoop_types::PartialAggregate {
+        self.core.aggregate_answer(pred, spec)
+    }
+
     /// Per-node flash accounting, when persistence is configured.
     pub fn flash_ledger(&self) -> Option<&FlashLedger> {
         self.persistence.as_ref().map(|p| p.ledger())

@@ -14,6 +14,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod link_calibration;
 pub mod prose;
+pub mod workloads;
 
 use scoop_types::ExperimentConfig;
 
@@ -40,3 +41,4 @@ pub use prose::{
     reliability, root_skew, sample_interval_sweep, scaling, scaling_with_policy, ReliabilityRow,
     RootSkewRow, SampleIntervalRow, ScalingRow,
 };
+pub use workloads::{aggregate_ops, range_width, AggregateOpsRow, RangeWidthRow};

@@ -30,7 +30,7 @@ impl MessageBreakdown {
             data: stats.data,
             summary: stats.summary,
             mapping: stats.mapping,
-            query_reply: stats.query + stats.reply,
+            query_reply: stats.query + stats.reply + stats.aggregate,
         }
     }
 

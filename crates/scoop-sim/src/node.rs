@@ -44,8 +44,8 @@ use scoop_routing::{RoutingConfig, RoutingState};
 use scoop_storage::{DataBuffer, RecentReadings};
 use scoop_trickle::{ChunkAssembler, Chunker};
 use scoop_types::{
-    ExperimentConfig, MessageKind, NodeBitmap, NodeId, Reading, SimDuration, SimTime,
-    StorageIndexId, StoragePolicy, ValueRange,
+    ExperimentConfig, MessageKind, NodeBitmap, NodeId, PartialAggregate, Reading, SimDuration,
+    SimTime, StorageIndexId, StoragePolicy, ValueRange,
 };
 use scoop_workload::{DataSource, QueryGenerator};
 
@@ -72,6 +72,19 @@ const TICK_GOSSIP: TimerToken = 7;
 /// event in the deterministic stream. Public because the injector lives in a
 /// different crate; nodes never arm it themselves.
 pub const TICK_SERVE: TimerToken = 8;
+/// One-shot hold-and-merge flush for in-network tree aggregation (LOCAL
+/// aggregate workloads only). Armed with a fixed depth-scaled delay — no
+/// jitter — so aggregate runs consume exactly the same RNG stream as the
+/// seed workloads.
+const TICK_AGG: TimerToken = 9;
+
+/// Per-hop step of the aggregation hold timer: a node at depth `d` flushes
+/// its merged partial after `(MAX_FORWARD_HOPS - d) * AGG_HOLD_STEP_MS`, so
+/// deeper nodes flush first and each parent can fold its children's partials
+/// into one upward message (TAG-style epoch scheduling). The worst-case hold
+/// (depth 0 is the sink itself, depth 1 waits ~3.5 s) stays far below the
+/// 15-second query interval.
+const AGG_HOLD_STEP_MS: u64 = 150;
 
 /// Interval between routing-tree beacons.
 const BEACON_INTERVAL: SimDuration = SimDuration::from_secs(25);
@@ -112,11 +125,40 @@ pub struct NodeLocalMetrics {
 }
 
 /// Basestation-side query bookkeeping.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 struct QueryOutcome {
     targets: u64,
     replies: u64,
     readings: u64,
+    /// The issued predicate, kept so model tests can check answers against a
+    /// god's-eye evaluator without replaying the generator.
+    values: ValueRange,
+    time_lo: SimTime,
+    time_hi: SimTime,
+    /// Aggregate queries only: the partials merged at the sink so far.
+    aggregate: Option<PartialAggregate>,
+}
+
+/// One issued query's final outcome, as read out by tests and harnesses
+/// (see [`SimNode::query_records`]).
+#[derive(Clone, Debug)]
+pub struct QueryRecord {
+    /// The query id on the wire.
+    pub query_id: u32,
+    /// Value range the query asked for.
+    pub values: ValueRange,
+    /// Earliest timestamp of interest.
+    pub time_lo: SimTime,
+    /// Latest timestamp of interest.
+    pub time_hi: SimTime,
+    /// Nodes the query targeted.
+    pub targets: u64,
+    /// Replies (or merged partial-aggregate messages) that reached the sink.
+    pub replies: u64,
+    /// Readings returned (for aggregates: readings folded into partials).
+    pub readings: u64,
+    /// Aggregate queries only: the sink's merged answer.
+    pub aggregate: Option<PartialAggregate>,
 }
 
 /// State only a sink (basestation) carries.
@@ -250,6 +292,11 @@ pub struct SimNode {
     sink_indices: Vec<Option<StorageIndex>>,
     /// Sink-liveness beacons already gossiped, keyed by (sink, epoch).
     seen_alive: HashSet<(u16, u64)>,
+    /// In-network tree aggregation (LOCAL aggregate workloads): partials
+    /// held at this node waiting for the depth-scaled flush timer, in arming
+    /// order. All entries share the same fixed hold delay, so the front is
+    /// always the one whose `TICK_AGG` fires next.
+    pending_aggregates: Vec<(u32, PartialAggregate)>,
     /// Counters the harness reads after the run.
     pub metrics: NodeLocalMetrics,
 }
@@ -356,6 +403,7 @@ impl SimNode {
             rank_assemblers,
             sink_indices,
             seen_alive: HashSet::new(),
+            pending_aggregates: Vec::new(),
             metrics: NodeLocalMetrics::default(),
             cfg,
         }
@@ -427,6 +475,31 @@ impl SimNode {
                 )
             }
         }
+    }
+
+    /// Basestation only: every issued query's final outcome, sorted by query
+    /// id. Model tests compare these against a god's-eye evaluator over the
+    /// nodes' data buffers; empty on sensors.
+    pub fn query_records(&self) -> Vec<QueryRecord> {
+        let Some(base) = self.base.as_ref() else {
+            return Vec::new();
+        };
+        let mut records: Vec<QueryRecord> = base
+            .outstanding
+            .iter()
+            .map(|(&query_id, o)| QueryRecord {
+                query_id,
+                values: o.values,
+                time_lo: o.time_lo,
+                time_hi: o.time_hi,
+                targets: o.targets,
+                replies: o.replies,
+                readings: o.readings,
+                aggregate: o.aggregate.clone(),
+            })
+            .collect();
+        records.sort_by_key(|r| r.query_id);
+        records
     }
 
     fn is_sensor(&self) -> bool {
@@ -903,6 +976,10 @@ impl SimNode {
                 targets: targets.len() as u64,
                 replies: 0,
                 readings: 0,
+                values: spec.values,
+                time_lo: spec.time_lo,
+                time_hi: spec.time_hi,
+                aggregate: None,
             },
         );
         let msg = QueryMessage {
@@ -911,6 +988,7 @@ impl SimNode {
             time_lo: spec.time_lo,
             time_hi: spec.time_hi,
             targets,
+            aggregate: self.cfg.workload.kind.aggregate_spec(),
         };
         self.seen_queries.insert(query_id);
         ctx.send_broadcast(MessageKind::Query, None, Arc::new(ScoopPayload::Query(msg)));
@@ -971,13 +1049,37 @@ impl SimNode {
                 if let Some(base) = self.base.as_mut() {
                     if let Some(outcome) = base.outstanding.get_mut(&reply.query_id) {
                         outcome.replies += 1;
-                        outcome.readings += reply.readings.len() as u64;
+                        if let Some(partial) = reply.aggregate.as_ref() {
+                            outcome.readings += partial.count;
+                            match outcome.aggregate.as_mut() {
+                                Some(merged) => merged.merge(partial),
+                                None => outcome.aggregate = Some(partial.clone()),
+                            }
+                        } else {
+                            outcome.readings += reply.readings.len() as u64;
+                        }
                         consumed = true;
                     } else {
                         // Classically an unknown reply at the sink is stale
                         // and dies here; in multi-sink mode it belongs to a
                         // peer and must keep travelling.
                         consumed = self.sinks.is_empty();
+                    }
+                }
+                // In-network tree aggregation: an intermediate still holding
+                // its own partial for this query folds the child's partial in
+                // (arrival order — deterministic) instead of forwarding; the
+                // merged result climbs on this node's own flush.
+                if !consumed {
+                    if let Some(partial) = reply.aggregate.as_ref() {
+                        if let Some((_, held)) = self
+                            .pending_aggregates
+                            .iter_mut()
+                            .find(|(id, _)| *id == reply.query_id)
+                        {
+                            held.merge(partial);
+                            consumed = true;
+                        }
                     }
                 }
                 if !consumed {
@@ -1154,6 +1256,47 @@ impl SimNode {
             .cloned();
     }
 
+    /// Sends one partial aggregate towards the sink that issued `query_id`,
+    /// as a [`MessageKind::Aggregate`] message (counted with query/reply in
+    /// the cost breakdown). Mirrors the reply routing exactly: up the tree in
+    /// single-sink mode, towards the issuing sink in the federation.
+    fn send_aggregate(
+        &mut self,
+        ctx: &mut NodeCtx<'_, SharedPayload>,
+        query_id: u32,
+        partial: PartialAggregate,
+    ) {
+        let reply = ReplyMessage {
+            query_id,
+            node: self.id,
+            readings: Vec::new(),
+            aggregate: Some(partial),
+        };
+        self.metrics.replies_sent += 1;
+        let hop = if self.sinks.is_empty() {
+            self.routing.parent()
+        } else {
+            let sink = self.reply_sink(query_id);
+            match self
+                .routing
+                .next_hop_for(sink, self.cfg.policy.scoop.neighbor_shortcut)
+            {
+                scoop_routing::NextHop::Neighbor(h)
+                | scoop_routing::NextHop::DownTree(h)
+                | scoop_routing::NextHop::UpTree(h) => Some(h),
+                scoop_routing::NextHop::Local | scoop_routing::NextHop::Stuck => None,
+            }
+        };
+        if let Some(hop) = hop {
+            ctx.send_unicast(
+                hop,
+                MessageKind::Aggregate,
+                self.routing.parent(),
+                Arc::new(ScoopPayload::Reply(reply)),
+            );
+        }
+    }
+
     fn handle_query(
         &mut self,
         ctx: &mut NodeCtx<'_, SharedPayload>,
@@ -1199,10 +1342,40 @@ impl SimNode {
             let readings = self
                 .buffer
                 .scan(&query.values, query.time_lo, query.time_hi);
+
+            if let Some(agg_spec) = query.aggregate {
+                // Aggregate path: fold the matching readings into a partial
+                // instead of shipping them.
+                let mut partial =
+                    PartialAggregate::for_spec(&agg_spec, self.cfg.workload.value_domain);
+                for r in &readings {
+                    partial.observe(r.value);
+                }
+                if self.policy() == StoragePolicy::Local && self.sinks.is_empty() {
+                    // Tree aggregation (TAG-style): hold the partial for a
+                    // fixed depth-scaled delay so descendants' partials can
+                    // merge in, then flush one message to the parent. No
+                    // jitter — the RNG stream must match the seed workloads.
+                    let depth = self.routing.hops().min(MAX_FORWARD_HOPS as u16) as u64;
+                    let hold = SimDuration::from_millis(
+                        AGG_HOLD_STEP_MS * (MAX_FORWARD_HOPS as u64 - depth),
+                    );
+                    self.pending_aggregates.push((query.query_id, partial));
+                    ctx.set_timer(hold, TICK_AGG);
+                } else {
+                    // Value routing (SCOOP / HASH): the owner's partial is
+                    // already the whole answer for its bucket — send it
+                    // towards the sink immediately, unmerged.
+                    self.send_aggregate(ctx, query.query_id, partial);
+                }
+                return;
+            }
+
             let reply = ReplyMessage {
                 query_id: query.query_id,
                 node: self.id,
                 readings,
+                aggregate: None,
             };
             self.metrics.replies_sent += 1;
             if self.sinks.is_empty() {
@@ -1347,6 +1520,12 @@ impl NodeLogic for SimNode {
             }
             TICK_GOSSIP => {
                 self.flush_one_gossip(ctx);
+            }
+            // One flush per arming; entries share a fixed hold delay, so the
+            // front is the one this firing belongs to.
+            TICK_AGG if !self.pending_aggregates.is_empty() => {
+                let (query_id, partial) = self.pending_aggregates.remove(0);
+                self.send_aggregate(ctx, query_id, partial);
             }
             TICK_SERVE => {
                 // Injected by the serving tier; the node only acknowledges it

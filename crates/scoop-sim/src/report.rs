@@ -5,8 +5,8 @@
 //! emitted as JSON for EXPERIMENTS.md bookkeeping.
 
 use crate::experiments::{
-    AblationRow, ChaosRow, Fig3Row, Fig4Row, Fig5Row, LinkCalibrationRow, ReliabilityRow,
-    RootSkewRow, SampleIntervalRow, ScalingRow,
+    AblationRow, AggregateOpsRow, ChaosRow, Fig3Row, Fig4Row, Fig5Row, LinkCalibrationRow,
+    RangeWidthRow, ReliabilityRow, RootSkewRow, SampleIntervalRow, ScalingRow,
 };
 use scoop_types::ScoopError;
 use serde::Serialize;
@@ -198,6 +198,46 @@ pub fn scaling_table(title: &str, rows: &[ScalingRow]) -> String {
     out
 }
 
+/// Formats the range-width sweep rows.
+pub fn range_width_table(rows: &[RangeWidthRow]) -> String {
+    let mut out = String::from("Range workloads: cost vs. fixed query width\n");
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>18} {:>12} {:>14}\n",
+        "policy", "width", "% nodes queried", "messages", "query success"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>9.0}% {:>17.1}% {:>12} {:>13.1}%\n",
+            r.policy.to_string(),
+            r.width_frac * 100.0,
+            r.fraction_nodes_queried * 100.0,
+            r.total_messages,
+            r.query_success * 100.0
+        ));
+    }
+    out
+}
+
+/// Formats the aggregate-operator grid rows.
+pub fn aggregate_ops_table(rows: &[AggregateOpsRow]) -> String {
+    let mut out = String::from("Aggregate workloads: cost per operator\n");
+    out.push_str(&format!(
+        "{:<8} {:<6} {:>12} {:>14} {:>14}\n",
+        "policy", "op", "messages", "query/reply", "query success"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<6} {:>12} {:>14} {:>13.1}%\n",
+            r.policy.to_string(),
+            r.op,
+            r.total_messages,
+            r.query_reply_messages,
+            r.query_success * 100.0
+        ));
+    }
+    out
+}
+
 /// Formats the ablation rows.
 pub fn ablation_table(rows: &[AblationRow]) -> String {
     let mut out = String::from("Ablations (SCOOP)\n");
@@ -263,5 +303,7 @@ mod tests {
         assert!(scaling_table("Scaling study", &[]).contains("Scaling"));
         assert!(ablation_table(&[]).contains("Ablations"));
         assert!(sample_interval_table(&[]).contains("Sample-interval"));
+        assert!(range_width_table(&[]).contains("Range workloads"));
+        assert!(aggregate_ops_table(&[]).contains("Aggregate workloads"));
     }
 }

@@ -56,6 +56,7 @@ fn stats_diff(after: &MessageStats, before: &MessageStats) -> MessageStats {
         mapping: after.mapping - before.mapping,
         query: after.query - before.query,
         reply: after.reply - before.reply,
+        aggregate: after.aggregate - before.aggregate,
         heartbeat: after.heartbeat - before.heartbeat,
     }
 }

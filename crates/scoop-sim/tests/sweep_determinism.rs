@@ -108,10 +108,19 @@ fn experiment_rows_are_thread_count_invariant() {
         cfg.warmup = SimDuration::from_mins(2);
         cfg
     };
+    let widths = [0.05, 0.5];
+    let ops = [
+        scoop_types::AggregateOp::Min,
+        scoop_types::AggregateOp::Quantile(0.5),
+    ];
     std::env::set_var("SCOOP_SWEEP_THREADS", "1");
     let rows_seq = scoop_sim::experiments::fig3_left(&base, 2).expect("fig3 sequential");
+    let range_seq = scoop_sim::experiments::range_width(&base, &widths, 1).expect("range seq");
+    let agg_seq = scoop_sim::experiments::aggregate_ops(&base, &ops, 1).expect("agg seq");
     std::env::set_var("SCOOP_SWEEP_THREADS", "4");
     let rows_par = scoop_sim::experiments::fig3_left(&base, 2).expect("fig3 parallel");
+    let range_par = scoop_sim::experiments::range_width(&base, &widths, 1).expect("range par");
+    let agg_par = scoop_sim::experiments::aggregate_ops(&base, &ops, 1).expect("agg par");
     std::env::remove_var("SCOOP_SWEEP_THREADS");
     assert_eq!(rows_seq.len(), rows_par.len());
     for (a, b) in rows_seq.iter().zip(&rows_par) {
@@ -119,5 +128,27 @@ fn experiment_rows_are_thread_count_invariant() {
         assert_eq!(a.source, b.source);
         assert_eq!(a.messages, b.messages, "{}/{}", a.policy, a.source);
         assert_eq!(a.total, b.total);
+    }
+    // The new workload kinds inherit the same invariance: range sweeps and
+    // aggregate grids (q-digest merges included) don't depend on thread count.
+    assert_eq!(range_seq.len(), range_par.len());
+    for (a, b) in range_seq.iter().zip(&range_par) {
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.width_frac, b.width_frac);
+        assert_eq!(
+            a.total_messages, b.total_messages,
+            "{}/width-{}",
+            a.policy, a.width_frac
+        );
+        assert_eq!(a.fraction_nodes_queried, b.fraction_nodes_queried);
+        assert_eq!(a.query_success, b.query_success);
+    }
+    assert_eq!(agg_seq.len(), agg_par.len());
+    for (a, b) in agg_seq.iter().zip(&agg_par) {
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.op, b.op);
+        assert_eq!(a.total_messages, b.total_messages, "{}/{}", a.policy, a.op);
+        assert_eq!(a.query_reply_messages, b.query_reply_messages);
+        assert_eq!(a.query_success, b.query_success);
     }
 }

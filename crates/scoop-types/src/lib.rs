@@ -19,6 +19,7 @@ pub mod ids;
 pub mod message;
 pub mod reading;
 pub mod serve;
+pub mod sketch;
 pub mod spec;
 pub mod time;
 pub mod value;
@@ -35,10 +36,11 @@ pub use serve::{
     append_overloaded_frame, append_rows_frame, append_rows_payload, Overloaded, QueryPredicate,
     ServeRequest, ServeResponse, ServeRows, SERVE_REQUEST_LEN,
 };
+pub use sketch::{AggregateOp, AggregateSpec, PartialAggregate, QDigest};
 pub use spec::{
     axis_help, AxisDoc, ChurnEvent, FaultSpec, FaultWindow, LinkFamily, LinkSpec, PartitionWindow,
-    PolicySpec, ScenarioSpec, SinkOutage, TopologyKind, TopologySpec, WorkloadSpec, AXES,
-    MAX_SINKS,
+    PolicySpec, RangeWorkload, ScenarioSpec, SinkOutage, TopologyKind, TopologySpec, WorkloadKind,
+    WorkloadSpec, AXES, MAX_SINKS,
 };
 pub use time::{SimDuration, SimTime};
 pub use value::{Attribute, Value, ValueRange};

@@ -26,6 +26,9 @@ pub enum MessageKind {
     Query,
     /// A query reply routed back to the basestation.
     Reply,
+    /// A partial aggregate travelling up the aggregation tree (aggregate
+    /// workloads only). Counted with query/reply in the cost breakdown.
+    Aggregate,
     /// Routing-tree maintenance traffic (tree-join beacons / heartbeats).
     /// Present in every policy; excluded from the paper's cost breakdown.
     Heartbeat,
@@ -33,12 +36,13 @@ pub enum MessageKind {
 
 impl MessageKind {
     /// All message kinds, in the order used by reports.
-    pub const ALL: [MessageKind; 6] = [
+    pub const ALL: [MessageKind; 7] = [
         MessageKind::Data,
         MessageKind::Summary,
         MessageKind::Mapping,
         MessageKind::Query,
         MessageKind::Reply,
+        MessageKind::Aggregate,
         MessageKind::Heartbeat,
     ];
 
@@ -56,6 +60,7 @@ impl MessageKind {
             MessageKind::Mapping => "mapping",
             MessageKind::Query => "query",
             MessageKind::Reply => "reply",
+            MessageKind::Aggregate => "aggregate",
             MessageKind::Heartbeat => "heartbeat",
         }
     }
@@ -83,8 +88,17 @@ pub struct MessageStats {
     pub query: u64,
     /// Reply messages sent.
     pub reply: u64,
+    /// Partial-aggregate messages sent (aggregate workloads only; zero — and
+    /// absent from the serialized form — everywhere else, so pre-aggregate
+    /// artifacts keep their byte-identical shape).
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub aggregate: u64,
     /// Heartbeat / tree-maintenance messages sent.
     pub heartbeat: u64,
+}
+
+fn is_zero(n: &u64) -> bool {
+    *n == 0
 }
 
 impl MessageStats {
@@ -111,6 +125,7 @@ impl MessageStats {
             MessageKind::Mapping => self.mapping,
             MessageKind::Query => self.query,
             MessageKind::Reply => self.reply,
+            MessageKind::Aggregate => self.aggregate,
             MessageKind::Heartbeat => self.heartbeat,
         }
     }
@@ -122,6 +137,7 @@ impl MessageStats {
             MessageKind::Mapping => &mut self.mapping,
             MessageKind::Query => &mut self.query,
             MessageKind::Reply => &mut self.reply,
+            MessageKind::Aggregate => &mut self.aggregate,
             MessageKind::Heartbeat => &mut self.heartbeat,
         }
     }
@@ -129,12 +145,13 @@ impl MessageStats {
     /// Total transmissions that count towards the paper's cost metric
     /// (everything except heartbeats).
     pub fn cost(&self) -> u64 {
-        self.data + self.summary + self.mapping + self.query + self.reply
+        self.data + self.summary + self.mapping + self.query + self.reply + self.aggregate
     }
 
-    /// Query plus reply messages, reported as a single series in Figure 3.
+    /// Query plus reply messages (including partial aggregates), reported as
+    /// a single series in Figure 3.
     pub fn query_reply(&self) -> u64 {
-        self.query + self.reply
+        self.query + self.reply + self.aggregate
     }
 
     /// Total transmissions of every kind, including heartbeats.
@@ -152,6 +169,7 @@ impl Add for MessageStats {
             mapping: self.mapping + rhs.mapping,
             query: self.query + rhs.query,
             reply: self.reply + rhs.reply,
+            aggregate: self.aggregate + rhs.aggregate,
             heartbeat: self.heartbeat + rhs.heartbeat,
         }
     }
@@ -180,7 +198,25 @@ mod tests {
         assert!(MessageKind::Mapping.counts_toward_cost());
         assert!(MessageKind::Query.counts_toward_cost());
         assert!(MessageKind::Reply.counts_toward_cost());
+        assert!(MessageKind::Aggregate.counts_toward_cost());
         assert!(!MessageKind::Heartbeat.counts_toward_cost());
+    }
+
+    #[test]
+    fn aggregates_count_with_query_reply_and_hide_when_zero() {
+        let mut s = MessageStats::new();
+        s.record(MessageKind::Query);
+        s.record_n(MessageKind::Aggregate, 3);
+        assert_eq!(s.get(MessageKind::Aggregate), 3);
+        assert_eq!(s.query_reply(), 4);
+        assert_eq!(s.cost(), 4);
+        // Zero aggregates serialize to the pre-aggregate shape.
+        let legacy = serde_json::to_string(&MessageStats::new()).unwrap();
+        assert!(!legacy.contains("aggregate"), "{legacy}");
+        let with = serde_json::to_string(&s).unwrap();
+        assert!(with.contains("\"aggregate\":3"), "{with}");
+        let back: MessageStats = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, MessageStats::new());
     }
 
     #[test]

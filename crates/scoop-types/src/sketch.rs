@@ -1,0 +1,565 @@
+//! Mergeable aggregates: exact min/max/avg partials and a q-digest quantile
+//! sketch with a proven rank-error contract.
+//!
+//! The aggregate query workloads (see `docs/WORKLOADS.md`) combine per-node
+//! partial results hop-by-hop up the routing tree, TAG-style. Min, max, count
+//! and sum merge exactly; quantiles cannot, so the partial carries a q-digest
+//! (Shrivastava et al., "Medians and Beyond"): a multiset over a bounded
+//! integer domain, summarized on the complete binary tree over that domain
+//! with compression factor `k = ceil(log2(sigma) / epsilon)`. Every internal
+//! tree node ever holds at most `n/k` mass, an invariant preserved by insert,
+//! compress, and merge, so any quantile read off the digest has rank error at
+//! most `log2(sigma) * n/k <= epsilon * n` — regardless of stream order,
+//! merge grouping, or how many partials were combined. The property-based
+//! suite in `scoop-workload` checks exactly that contract against a sorted
+//! reference over arbitrary streams and merge orders.
+
+use crate::value::{Value, ValueRange};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The aggregate operator of an aggregate query workload.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AggregateOp {
+    /// Smallest matching value.
+    Min,
+    /// Largest matching value.
+    Max,
+    /// Arithmetic mean of matching values.
+    Avg,
+    /// The `q`-quantile (`0 < q < 1`), answered from a q-digest with rank
+    /// error at most `epsilon * n`.
+    Quantile(f64),
+}
+
+impl AggregateOp {
+    /// Stable label used in experiment row keys and reports (`min`, `max`,
+    /// `avg`, `p50`, ...).
+    pub fn label(self) -> String {
+        match self {
+            AggregateOp::Min => "min".to_string(),
+            AggregateOp::Max => "max".to_string(),
+            AggregateOp::Avg => "avg".to_string(),
+            AggregateOp::Quantile(q) => format!("p{:02}", (q * 100.0).round() as u32),
+        }
+    }
+
+    /// Parses the axis-registry form: `min|max|avg|quantile:Q`.
+    pub fn parse(text: &str) -> Option<AggregateOp> {
+        match text {
+            "min" => Some(AggregateOp::Min),
+            "max" => Some(AggregateOp::Max),
+            "avg" => Some(AggregateOp::Avg),
+            _ => {
+                let q: f64 = text.strip_prefix("quantile:")?.parse().ok()?;
+                Some(AggregateOp::Quantile(q))
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggregateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateOp::Quantile(q) => write!(f, "quantile:{q}"),
+            other => f.write_str(&other.label()),
+        }
+    }
+}
+
+/// The aggregate clause a query carries on the wire: which operator, and the
+/// quantile error budget the repliers must honor when building digests.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AggregateSpec {
+    /// The operator.
+    pub op: AggregateOp,
+    /// Rank-error budget for quantile digests, as a fraction of the stream
+    /// length (`(0, 0.5]`). Ignored by min/max/avg.
+    pub epsilon: f64,
+}
+
+/// A q-digest: a mergeable quantile summary over a bounded integer domain.
+///
+/// Values are offsets into `domain`, laid out on the complete binary tree
+/// over the domain padded to the next power of two (`capacity`). Node ids use
+/// heap numbering: the root is 1, node `i`'s children are `2i` and `2i + 1`,
+/// and the leaf for offset `x` is `capacity + x`. Counts live in a `BTreeMap`
+/// so iteration, equality, and serialization are all deterministic.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QDigest {
+    domain: ValueRange,
+    /// Domain width padded to a power of two.
+    capacity: u64,
+    /// `log2(capacity)` — the tree depth below the root.
+    levels: u32,
+    /// Compression factor `ceil(levels / epsilon)`.
+    k: u64,
+    /// Total mass inserted (exact, never approximated).
+    n: u64,
+    /// Heap-numbered tree node -> count.
+    nodes: BTreeMap<u64, u64>,
+}
+
+impl QDigest {
+    /// An empty digest over `domain` with rank-error budget `epsilon`.
+    ///
+    /// `epsilon` is clamped to `(0, 0.5]`; the compression factor is
+    /// `k = ceil(log2(sigma) / epsilon)` where `sigma` is the padded domain
+    /// width, which yields rank error at most `epsilon * n`.
+    pub fn new(domain: ValueRange, epsilon: f64) -> Self {
+        let epsilon = if epsilon.is_finite() {
+            epsilon.clamp(1e-6, 0.5)
+        } else {
+            0.5
+        };
+        let capacity = domain.width().next_power_of_two().max(2);
+        let levels = capacity.trailing_zeros();
+        let k = ((levels as f64) / epsilon).ceil().max(1.0) as u64;
+        QDigest {
+            domain,
+            capacity,
+            levels,
+            k,
+            n: 0,
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    /// Total mass inserted.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The domain this digest summarizes.
+    pub fn domain(&self) -> ValueRange {
+        self.domain
+    }
+
+    /// Number of tree nodes currently stored (the digest's size).
+    pub fn stored_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Inserts one occurrence of `v` (clamped into the domain).
+    pub fn insert(&mut self, v: Value) {
+        self.insert_n(v, 1);
+    }
+
+    /// Inserts `count` occurrences of `v` (clamped into the domain).
+    pub fn insert_n(&mut self, v: Value, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let v = v.clamp(self.domain.lo, self.domain.hi);
+        let offset = (v - self.domain.lo) as u64;
+        let leaf = self.capacity + offset;
+        *self.nodes.entry(leaf).or_insert(0) += count;
+        self.n += count;
+        // Compress when the digest grows past its size budget (3k nodes is
+        // the classic bound); compressing on every insert would be O(n log n).
+        if self.nodes.len() as u64 > 3 * self.k {
+            self.compress();
+        }
+    }
+
+    /// Merges `other` into `self`. Both must cover the same domain with the
+    /// same compression factor (the workload builds every digest from one
+    /// `AggregateSpec`, so this always holds in-protocol).
+    pub fn merge(&mut self, other: &QDigest) {
+        debug_assert_eq!(self.capacity, other.capacity, "digest domains differ");
+        for (&node, &count) in &other.nodes {
+            *self.nodes.entry(node).or_insert(0) += count;
+        }
+        self.n += other.n;
+        self.compress();
+    }
+
+    /// Restores the q-digest invariant: any child pair whose mass (together
+    /// with the parent's) fits under `floor(n/k)` is folded into the parent.
+    /// Mass only ever moves to an internal node while respecting the current
+    /// threshold, which is what bounds the rank error. While `n < k` the
+    /// threshold is zero and nothing folds: the digest stays exact, which is
+    /// what keeps the error under `epsilon * n` when `epsilon * n < 1`.
+    pub fn compress(&mut self) {
+        let threshold = self.n / self.k;
+        if threshold == 0 {
+            return;
+        }
+        // Bottom-up, so freshly-merged parents can keep folding upward.
+        for level in (1..=self.levels).rev() {
+            let lo = 1u64 << level;
+            let hi = (1u64 << (level + 1)) - 1;
+            let ids: Vec<u64> = self
+                .nodes
+                .range(lo..=hi)
+                .map(|(&id, _)| id)
+                .filter(|id| id % 2 == 0)
+                .collect();
+            for left in ids {
+                let right = left + 1;
+                let parent = left / 2;
+                let pair = self.nodes.get(&left).copied().unwrap_or(0)
+                    + self.nodes.get(&right).copied().unwrap_or(0);
+                if pair == 0 {
+                    continue;
+                }
+                let held = self.nodes.get(&parent).copied().unwrap_or(0);
+                if pair + held <= threshold {
+                    self.nodes.remove(&left);
+                    self.nodes.remove(&right);
+                    *self.nodes.entry(parent).or_insert(0) += pair;
+                }
+            }
+            // Odd-numbered nodes whose even sibling is absent: try them too.
+            let ids: Vec<u64> = self
+                .nodes
+                .range(lo..=hi)
+                .map(|(&id, _)| id)
+                .filter(|id| id % 2 == 1)
+                .collect();
+            for right in ids {
+                let left = right - 1;
+                if self.nodes.contains_key(&left) || !self.nodes.contains_key(&right) {
+                    continue; // pairs were handled above / already folded
+                }
+                let parent = right / 2;
+                let mass = self.nodes.get(&right).copied().unwrap_or(0);
+                let held = self.nodes.get(&parent).copied().unwrap_or(0);
+                if mass + held <= threshold {
+                    self.nodes.remove(&right);
+                    *self.nodes.entry(parent).or_insert(0) += mass;
+                }
+            }
+        }
+    }
+
+    /// The inclusive offset range `[lo, hi]` a heap-numbered node covers.
+    fn node_range(&self, id: u64) -> (u64, u64) {
+        let level = 63 - id.leading_zeros() as u64;
+        let width = self.capacity >> level;
+        let offset = (id - (1 << level)) * width;
+        (offset, offset + width - 1)
+    }
+
+    /// The `q`-quantile: the smallest stored boundary whose accumulated mass
+    /// reaches rank `ceil(q * n)`, scanning tree nodes in ascending order of
+    /// their range's upper end (ties: narrower node first). `None` when the
+    /// digest is empty.
+    pub fn quantile(&self, q: f64) -> Option<Value> {
+        if self.n == 0 {
+            return None;
+        }
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            0.5
+        };
+        let rank = ((q * self.n as f64).ceil() as u64).clamp(1, self.n);
+        let mut ordered: Vec<(u64, u64, u64)> = self
+            .nodes
+            .iter()
+            .map(|(&id, &count)| {
+                let (lo, hi) = self.node_range(id);
+                (hi, hi - lo, count)
+            })
+            .collect();
+        ordered.sort_unstable_by_key(|&(hi, width, _)| (hi, width));
+        let mut acc = 0u64;
+        for (hi, _, count) in ordered {
+            acc += count;
+            if acc >= rank {
+                let offset = hi.min(self.domain.width() - 1);
+                return Some(self.domain.lo + offset as Value);
+            }
+        }
+        Some(self.domain.hi)
+    }
+}
+
+/// A mergeable partial aggregate: exact count/min/max/sum, plus an optional
+/// q-digest when the operator needs quantiles. This is what travels up the
+/// aggregation tree and what the basestation folds replies into.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PartialAggregate {
+    /// Number of readings aggregated.
+    pub count: u64,
+    /// Smallest value seen (`Value::MAX` while empty).
+    pub min: Value,
+    /// Largest value seen (`Value::MIN` while empty).
+    pub max: Value,
+    /// Sum of values (i64: no overflow for any feasible run).
+    pub sum: i64,
+    /// Quantile sketch; `None` for min/max/avg workloads.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub digest: Option<QDigest>,
+}
+
+impl PartialAggregate {
+    /// An empty partial with no digest (min/max/avg workloads).
+    pub fn empty() -> Self {
+        PartialAggregate {
+            count: 0,
+            min: Value::MAX,
+            max: Value::MIN,
+            sum: 0,
+            digest: None,
+        }
+    }
+
+    /// An empty partial shaped for `spec`: quantile operators get a digest
+    /// over `domain` at the spec's epsilon, everything else stays exact-only.
+    pub fn for_spec(spec: &AggregateSpec, domain: ValueRange) -> Self {
+        let mut p = PartialAggregate::empty();
+        if matches!(spec.op, AggregateOp::Quantile(_)) {
+            p.digest = Some(QDigest::new(domain, spec.epsilon));
+        }
+        p
+    }
+
+    /// Folds one value in.
+    pub fn observe(&mut self, v: Value) {
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v as i64;
+        if let Some(d) = self.digest.as_mut() {
+            d.insert(v);
+        }
+    }
+
+    /// Merges another partial in. Exact fields combine exactly; digests merge
+    /// within the q-digest error contract. A digest on either side survives.
+    pub fn merge(&mut self, other: &PartialAggregate) {
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        match (self.digest.as_mut(), other.digest.as_ref()) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.digest = Some(theirs.clone()),
+            _ => {}
+        }
+    }
+
+    /// The mean, when anything was aggregated.
+    pub fn avg(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The final scalar answer for `op`, when anything was aggregated.
+    /// Quantiles require the digest (`None` without one).
+    pub fn answer(&self, op: AggregateOp) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        match op {
+            AggregateOp::Min => Some(self.min as f64),
+            AggregateOp::Max => Some(self.max as f64),
+            AggregateOp::Avg => self.avg(),
+            AggregateOp::Quantile(q) => self.digest.as_ref()?.quantile(q).map(|v| v as f64),
+        }
+    }
+}
+
+impl Default for PartialAggregate {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOMAIN: ValueRange = ValueRange { lo: 0, hi: 149 };
+
+    fn exact_rank_bounds(sorted: &[Value], v: Value) -> (u64, u64) {
+        let below = sorted.iter().filter(|&&x| x < v).count() as u64;
+        let at_most = sorted.iter().filter(|&&x| x <= v).count() as u64;
+        (below + 1, at_most)
+    }
+
+    /// Shared assertion: `v`'s true rank interval must intersect the target
+    /// rank's epsilon-ball.
+    fn assert_rank_within(sorted: &[Value], v: Value, q: f64, epsilon: f64) {
+        let n = sorted.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let slack = (epsilon * n as f64).ceil() as u64;
+        let (lo, hi) = exact_rank_bounds(sorted, v);
+        assert!(
+            lo <= rank + slack && hi + slack >= rank,
+            "value {v}: rank interval [{lo}, {hi}] vs target {rank} ± {slack} (n={n})"
+        );
+    }
+
+    #[test]
+    fn exact_when_uncompressed() {
+        let mut d = QDigest::new(DOMAIN, 0.1);
+        let mut vals: Vec<Value> = vec![3, 9, 9, 20, 77, 142];
+        for &v in &vals {
+            d.insert(v);
+        }
+        vals.sort_unstable();
+        assert_eq!(d.count(), 6);
+        for (q, want) in [(0.01, 3), (0.5, 9), (0.99, 142)] {
+            let got = d.quantile(q).unwrap();
+            assert_rank_within(&vals, got, q, 0.1);
+            let _ = want; // representative targets; the contract is the rank bound
+        }
+        assert_eq!(d.quantile(0.0), Some(3));
+        assert_eq!(d.quantile(1.0), Some(142));
+    }
+
+    #[test]
+    fn empty_digest_has_no_quantile() {
+        let d = QDigest::new(DOMAIN, 0.1);
+        assert_eq!(d.quantile(0.5), None);
+        assert_eq!(d.count(), 0);
+    }
+
+    #[test]
+    fn heavy_stream_respects_epsilon_after_compression() {
+        let eps = 0.05;
+        let mut d = QDigest::new(DOMAIN, eps);
+        let mut vals = Vec::new();
+        // A skewed deterministic stream with repeats.
+        for i in 0..5_000u64 {
+            let v = ((i * i * 31 + i * 7) % 150) as Value;
+            let v = (v / 3) * 3; // cluster into 50 distinct values
+            vals.push(v);
+            d.insert(v);
+        }
+        vals.sort_unstable();
+        assert!(
+            d.stored_nodes() as u64 <= 3 * ((8.0 / eps).ceil() as u64) + 8,
+            "digest failed to compress: {} nodes",
+            d.stored_nodes()
+        );
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let got = d.quantile(q).unwrap();
+            assert_rank_within(&vals, got, q, eps);
+        }
+    }
+
+    #[test]
+    fn merge_preserves_count_and_error_bound() {
+        let eps = 0.1;
+        let mut parts: Vec<QDigest> = Vec::new();
+        let mut vals = Vec::new();
+        for p in 0..7u64 {
+            let mut d = QDigest::new(DOMAIN, eps);
+            for i in 0..300u64 {
+                let v = ((p * 1_000 + i * 13) % 150) as Value;
+                vals.push(v);
+                d.insert(v);
+            }
+            parts.push(d);
+        }
+        // Unbalanced left fold.
+        let mut folded = QDigest::new(DOMAIN, eps);
+        for p in &parts {
+            folded.merge(p);
+        }
+        // Pairwise tree fold.
+        let mut layer = parts.clone();
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                let mut m = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    m.merge(b);
+                }
+                next.push(m);
+            }
+            layer = next;
+        }
+        let tree = layer.pop().unwrap();
+        vals.sort_unstable();
+        assert_eq!(folded.count(), vals.len() as u64);
+        assert_eq!(tree.count(), vals.len() as u64);
+        for q in [0.05, 0.5, 0.95] {
+            assert_rank_within(&vals, folded.quantile(q).unwrap(), q, eps);
+            assert_rank_within(&vals, tree.quantile(q).unwrap(), q, eps);
+        }
+        // Merging an empty digest is the identity on the answers.
+        let before = folded.quantile(0.5);
+        folded.merge(&QDigest::new(DOMAIN, eps));
+        assert_eq!(folded.quantile(0.5), before);
+    }
+
+    #[test]
+    fn partial_aggregate_merges_exact_fields_exactly() {
+        let spec = AggregateSpec {
+            op: AggregateOp::Quantile(0.5),
+            epsilon: 0.1,
+        };
+        let mut a = PartialAggregate::for_spec(&spec, DOMAIN);
+        let mut b = PartialAggregate::for_spec(&spec, DOMAIN);
+        for v in [5, 10, 15] {
+            a.observe(v);
+        }
+        for v in [1, 100] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, 5);
+        assert_eq!(a.min, 1);
+        assert_eq!(a.max, 100);
+        assert_eq!(a.sum, 131);
+        assert!((a.avg().unwrap() - 26.2).abs() < 1e-9);
+        assert_eq!(a.answer(AggregateOp::Min), Some(1.0));
+        assert_eq!(a.answer(AggregateOp::Max), Some(100.0));
+        let median = a.answer(AggregateOp::Quantile(0.5)).unwrap();
+        assert!((1.0..=100.0).contains(&median));
+        // Merging an empty partial changes nothing.
+        let snapshot = a.clone();
+        a.merge(&PartialAggregate::empty());
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn empty_partial_answers_nothing() {
+        let p = PartialAggregate::empty();
+        for op in [
+            AggregateOp::Min,
+            AggregateOp::Max,
+            AggregateOp::Avg,
+            AggregateOp::Quantile(0.5),
+        ] {
+            assert_eq!(p.answer(op), None);
+        }
+    }
+
+    #[test]
+    fn aggregate_op_labels_and_parsing() {
+        assert_eq!(AggregateOp::parse("min"), Some(AggregateOp::Min));
+        assert_eq!(AggregateOp::parse("max"), Some(AggregateOp::Max));
+        assert_eq!(AggregateOp::parse("avg"), Some(AggregateOp::Avg));
+        assert_eq!(
+            AggregateOp::parse("quantile:0.5"),
+            Some(AggregateOp::Quantile(0.5))
+        );
+        assert_eq!(AggregateOp::parse("median"), None);
+        assert_eq!(AggregateOp::Quantile(0.5).label(), "p50");
+        assert_eq!(AggregateOp::Quantile(0.99).label(), "p99");
+        assert_eq!(AggregateOp::Min.label(), "min");
+        assert_eq!(AggregateOp::Quantile(0.25).to_string(), "quantile:0.25");
+        assert_eq!(
+            AggregateOp::parse(&AggregateOp::Quantile(0.25).to_string()),
+            Some(AggregateOp::Quantile(0.25))
+        );
+    }
+
+    #[test]
+    fn digest_serde_round_trips() {
+        let mut d = QDigest::new(DOMAIN, 0.05);
+        for i in 0..500 {
+            d.insert((i * 7 % 150) as Value);
+        }
+        let json = serde_json::to_string(&d).unwrap();
+        let back: QDigest = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(back.quantile(0.5), d.quantile(0.5));
+    }
+}

@@ -25,6 +25,7 @@
 //! new-axis mapping.
 
 use crate::config::{DataSourceKind, QueryWorkloadConfig, ScoopParams, StoragePolicy};
+use crate::sketch::{AggregateOp, AggregateSpec};
 use crate::{Attribute, NodeId, ScoopError, SimDuration, ValueRange, MAX_NODES};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -338,6 +339,66 @@ impl Default for LinkSpec {
     }
 }
 
+/// Which query shape the basestation's workload issues.
+///
+/// `Point` is the seed behavior: narrow value queries drawn from the
+/// `queries` width band. The two newer kinds exercise the query shapes the
+/// paper's competitors were built for — fixed-width range queries and
+/// whole-domain aggregates (see `docs/WORKLOADS.md` for the full contract,
+/// including how each policy routes each kind).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// The seed behavior: value queries drawn from the configured
+    /// `min_width_frac..=max_width_frac` band.
+    #[default]
+    Point,
+    /// Fixed-width range queries: every query covers exactly `width_frac` of
+    /// the value domain, with a uniformly drawn lower bound.
+    Range(RangeWorkload),
+    /// Whole-domain aggregate queries, answered in-network by merging
+    /// partial aggregates hop-by-hop up the routing tree.
+    Aggregate(AggregateSpec),
+}
+
+/// Knobs of the fixed-width range workload.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RangeWorkload {
+    /// Query width as a fraction of the value domain, `(0, 1]`.
+    pub width_frac: f64,
+}
+
+impl WorkloadKind {
+    /// Default range width when an axis flips the kind without supplying it.
+    pub const DEFAULT_RANGE_WIDTH: f64 = 0.05;
+    /// Default quantile error budget.
+    pub const DEFAULT_EPSILON: f64 = 0.05;
+
+    /// A range workload of the given width.
+    pub fn range(width_frac: f64) -> Self {
+        WorkloadKind::Range(RangeWorkload { width_frac })
+    }
+
+    /// An aggregate workload with the given operator and error budget.
+    pub fn aggregate(op: AggregateOp, epsilon: f64) -> Self {
+        WorkloadKind::Aggregate(AggregateSpec { op, epsilon })
+    }
+
+    /// Whether this is the seed point-query workload (the serde skip
+    /// predicate: a `Point` spec serializes exactly as before the kind
+    /// existed).
+    pub fn is_point(&self) -> bool {
+        matches!(self, WorkloadKind::Point)
+    }
+
+    /// The aggregate clause queries of this kind carry, if any.
+    pub fn aggregate_spec(&self) -> Option<AggregateSpec> {
+        match *self {
+            WorkloadKind::Aggregate(spec) => Some(spec),
+            _ => None,
+        }
+    }
+}
+
 /// Workload axis: what the sensors produce and what the basestation asks.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
@@ -352,6 +413,11 @@ pub struct WorkloadSpec {
     pub value_domain: ValueRange,
     /// Query workload parameters.
     pub queries: QueryWorkloadConfig,
+    /// The query shape (point / range / aggregate). Defaults to the seed
+    /// point workload and is skipped when serializing it, so every committed
+    /// artifact keeps its byte-identical shape.
+    #[serde(default, skip_serializing_if = "WorkloadKind::is_point")]
+    pub kind: WorkloadKind,
 }
 
 impl WorkloadSpec {
@@ -364,6 +430,7 @@ impl WorkloadSpec {
             attribute: Attribute::Light,
             value_domain: ValueRange::new(0, 149),
             queries: QueryWorkloadConfig::default(),
+            kind: WorkloadKind::Point,
         }
     }
 }
@@ -761,6 +828,31 @@ impl ScenarioSpec {
                 "value domain must contain at least two values".into(),
             ));
         }
+        match self.workload.kind {
+            WorkloadKind::Point => {}
+            WorkloadKind::Range(range) => {
+                // NaN fails both comparisons and lands in the error arm.
+                if !(range.width_frac > 0.0 && range.width_frac <= 1.0) {
+                    return Err(ScoopError::InvalidConfig(
+                        "range workload width_frac must be in (0, 1]".into(),
+                    ));
+                }
+            }
+            WorkloadKind::Aggregate(agg) => {
+                if !(agg.epsilon > 0.0 && agg.epsilon <= 0.5) {
+                    return Err(ScoopError::InvalidConfig(
+                        "aggregate workload epsilon must be in (0, 0.5]".into(),
+                    ));
+                }
+                if let AggregateOp::Quantile(q) = agg.op {
+                    if !(q > 0.0 && q < 1.0) {
+                        return Err(ScoopError::InvalidConfig(
+                            "quantile q must be in (0, 1)".into(),
+                        ));
+                    }
+                }
+            }
+        }
         if !self.policy.basestations.is_empty() {
             if self.policy.kind != StoragePolicy::Scoop {
                 return Err(ScoopError::InvalidConfig(
@@ -978,6 +1070,22 @@ pub const AXES: &[AxisDoc] = &[
     AxisDoc {
         key: "scoop.failover_timeout_secs",
         doc: "silence before a sink's range is taken over (0 = 3x remap interval)",
+    },
+    AxisDoc {
+        key: "workload.kind",
+        doc: "query shape: point|range|aggregate",
+    },
+    AxisDoc {
+        key: "workload.range_width",
+        doc: "range query width as a domain fraction (0,1]; implies kind=range",
+    },
+    AxisDoc {
+        key: "workload.agg_op",
+        doc: "aggregate operator: min|max|avg|quantile:Q; implies kind=aggregate",
+    },
+    AxisDoc {
+        key: "workload.epsilon",
+        doc: "quantile rank-error budget (0,0.5]; implies kind=aggregate",
     },
 ];
 
@@ -1200,6 +1308,48 @@ impl ScenarioSpec {
                 self.policy.scoop.failover_timeout =
                     SimDuration::from_secs(parse_num(key, value, "seconds")?)
             }
+            // The workload-kind axes compose in any order: knob axes flip the
+            // kind and keep the other knob's current (or default) value, so
+            // `workload.agg_op=quantile:0.9 workload.epsilon=0.02` works
+            // regardless of ordering. Validation of the knobs themselves
+            // happens in `validate`, like every other axis.
+            "workload.kind" => {
+                self.workload.kind = match value {
+                    "point" => WorkloadKind::Point,
+                    "range" => match self.workload.kind {
+                        k @ WorkloadKind::Range(_) => k,
+                        _ => WorkloadKind::range(WorkloadKind::DEFAULT_RANGE_WIDTH),
+                    },
+                    "aggregate" => match self.workload.kind {
+                        k @ WorkloadKind::Aggregate(_) => k,
+                        _ => {
+                            WorkloadKind::aggregate(AggregateOp::Avg, WorkloadKind::DEFAULT_EPSILON)
+                        }
+                    },
+                    _ => return Err(bad_value(key, value, "point|range|aggregate")),
+                }
+            }
+            "workload.range_width" => {
+                self.workload.kind =
+                    WorkloadKind::range(parse_num(key, value, "a fraction in (0, 1]")?)
+            }
+            "workload.agg_op" => {
+                let op = AggregateOp::parse(value)
+                    .ok_or_else(|| bad_value(key, value, "min|max|avg|quantile:Q"))?;
+                let epsilon = match self.workload.kind {
+                    WorkloadKind::Aggregate(agg) => agg.epsilon,
+                    _ => WorkloadKind::DEFAULT_EPSILON,
+                };
+                self.workload.kind = WorkloadKind::aggregate(op, epsilon);
+            }
+            "workload.epsilon" => {
+                let epsilon = parse_num(key, value, "a fraction in (0, 0.5]")?;
+                let op = match self.workload.kind {
+                    WorkloadKind::Aggregate(agg) => agg.op,
+                    _ => AggregateOp::Avg,
+                };
+                self.workload.kind = WorkloadKind::aggregate(op, epsilon);
+            }
             unknown => {
                 return Err(ScoopError::InvalidConfig(format!(
                     "unknown axis `{unknown}`; valid axes:\n{}",
@@ -1363,8 +1513,16 @@ mod tests {
                 "fault.churn" => "600@0.25/0.25",
                 "fault.clear" => "1",
                 "policy.basestations" => "0,5",
-                "query.min_width" | "query.max_width" | "topology.jitter" => "0.2",
-                "link.loss_floor" | "link.edge_delivery" | "link.asymmetry_noise" => "0.1",
+                "workload.kind" => "range",
+                "workload.agg_op" => "quantile:0.5",
+                "query.min_width"
+                | "query.max_width"
+                | "topology.jitter"
+                | "workload.range_width" => "0.2",
+                "link.loss_floor"
+                | "link.edge_delivery"
+                | "link.asymmetry_noise"
+                | "workload.epsilon" => "0.1",
                 "topology.range_factor" | "link.distance_exponent" => "1.5",
                 "topology.area_per_node" | "topology.spacing" => "12.5",
                 _ => "30",
@@ -1459,6 +1617,111 @@ mod tests {
             assert!(!json.contains(key), "`{key}` leaked into default JSON");
         }
         assert!(!json.contains("failover_timeout"));
+        // The workload kind is skipped while it's the seed Point shape
+        // ("kind" itself appears via the policy kind and "width_frac" via the
+        // query band, so probe markers only the new enum can contribute).
+        for key in ["Point", "epsilon", "Aggregate"] {
+            assert!(!json.contains(key), "`{key}` leaked into default JSON");
+        }
+    }
+
+    #[test]
+    fn workload_kinds_roundtrip_through_serde() {
+        for kind in [
+            WorkloadKind::range(0.25),
+            WorkloadKind::aggregate(AggregateOp::Quantile(0.9), 0.02),
+            WorkloadKind::aggregate(AggregateOp::Min, 0.05),
+        ] {
+            let mut spec = ScenarioSpec::paper_defaults();
+            spec.workload.kind = kind;
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+        }
+        // A pre-kind spec (no `kind` key) deserializes to Point.
+        let legacy = serde_json::to_string(&ScenarioSpec::paper_defaults()).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.workload.kind, WorkloadKind::Point);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_workload_kinds() {
+        let cases: &[(WorkloadKind, &str)] = &[
+            (WorkloadKind::range(0.0), "zero-width range"),
+            (WorkloadKind::range(-0.5), "negative width"),
+            (WorkloadKind::range(1.5), "width > 1"),
+            (WorkloadKind::range(f64::NAN), "NaN width"),
+            (
+                WorkloadKind::aggregate(AggregateOp::Avg, 0.0),
+                "zero epsilon",
+            ),
+            (
+                WorkloadKind::aggregate(AggregateOp::Avg, 0.6),
+                "epsilon > 0.5",
+            ),
+            (
+                WorkloadKind::aggregate(AggregateOp::Avg, f64::NAN),
+                "NaN epsilon",
+            ),
+            (
+                WorkloadKind::aggregate(AggregateOp::Quantile(0.0), 0.05),
+                "q = 0",
+            ),
+            (
+                WorkloadKind::aggregate(AggregateOp::Quantile(1.0), 0.05),
+                "q = 1",
+            ),
+            (
+                WorkloadKind::aggregate(AggregateOp::Quantile(f64::NAN), 0.05),
+                "NaN q",
+            ),
+        ];
+        for (kind, what) in cases {
+            let mut spec = ScenarioSpec::paper_defaults();
+            spec.workload.kind = *kind;
+            assert!(
+                matches!(spec.validate(), Err(ScoopError::InvalidConfig(_))),
+                "{what} passed validation"
+            );
+        }
+        // The boundary values themselves are accepted.
+        for kind in [
+            WorkloadKind::range(1.0),
+            WorkloadKind::aggregate(AggregateOp::Quantile(0.5), 0.5),
+        ] {
+            let mut spec = ScenarioSpec::paper_defaults();
+            spec.workload.kind = kind;
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn workload_axes_compose_in_any_order() {
+        let mut spec = ScenarioSpec::paper_defaults();
+        spec.set_axis("workload.kind", "range").unwrap();
+        assert_eq!(
+            spec.workload.kind,
+            WorkloadKind::range(WorkloadKind::DEFAULT_RANGE_WIDTH)
+        );
+        spec.set_axis("workload.range_width", "0.3").unwrap();
+        assert_eq!(spec.workload.kind, WorkloadKind::range(0.3));
+        // Setting the kind again after the width keeps the width.
+        spec.set_axis("workload.kind", "range").unwrap();
+        assert_eq!(spec.workload.kind, WorkloadKind::range(0.3));
+
+        // epsilon before op, then op: epsilon survives.
+        spec.set_axis("workload.epsilon", "0.02").unwrap();
+        spec.set_axis("workload.agg_op", "quantile:0.9").unwrap();
+        assert_eq!(
+            spec.workload.kind,
+            WorkloadKind::aggregate(AggregateOp::Quantile(0.9), 0.02)
+        );
+        spec.set_axis("workload.kind", "point").unwrap();
+        assert_eq!(spec.workload.kind, WorkloadKind::Point);
+
+        assert!(spec.set_axis("workload.kind", "median").is_err());
+        assert!(spec.set_axis("workload.agg_op", "median").is_err());
+        assert!(spec.set_axis("workload.range_width", "wide").is_err());
     }
 
     #[test]

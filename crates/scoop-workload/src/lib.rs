@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod evaluate;
 pub mod queries;
 pub mod real_trace;
 pub mod sources;

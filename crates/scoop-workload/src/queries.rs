@@ -72,17 +72,28 @@ impl QueryGenerator {
     }
 
     /// Creates a generator from a [`WorkloadSpec`](scoop_types::WorkloadSpec):
-    /// its attribute, domain, query distribution, and sampling cadence. The
-    /// spec-driven twin of [`QueryGenerator::new`] used by the simulation
-    /// nodes.
+    /// its attribute, domain, query distribution, sampling cadence, and
+    /// workload kind. The spec-driven twin of [`QueryGenerator::new`] used by
+    /// the simulation nodes.
+    ///
+    /// The kind shapes the value ranges drawn: `Point` keeps the seed width
+    /// band, `Range` pins every query to its fixed width fraction, and
+    /// `Aggregate` covers the whole domain (an aggregate asks about all
+    /// values; full-width draws also consume zero RNG, so the stream matches
+    /// a by-hand full-width generator exactly).
     pub fn from_spec(workload: &scoop_types::WorkloadSpec, seed: u64) -> Self {
-        Self::new(
+        let gen = Self::new(
             workload.attribute,
             workload.value_domain,
             workload.queries.clone(),
             workload.sample_interval,
             seed,
-        )
+        );
+        match workload.kind {
+            scoop_types::WorkloadKind::Point => gen,
+            scoop_types::WorkloadKind::Range(range) => gen.with_fixed_width(range.width_frac),
+            scoop_types::WorkloadKind::Aggregate(_) => gen.with_fixed_width(1.0),
+        }
     }
 
     /// Forces every query to cover exactly `frac` of the value domain
@@ -218,6 +229,42 @@ mod tests {
         assert_eq!(times.len(), 10);
         assert_eq!(times[0], SimTime::from_secs(600));
         assert_eq!(times[9], SimTime::from_secs(600 + 135));
+    }
+
+    #[test]
+    fn from_spec_applies_the_workload_kind() {
+        use scoop_types::{AggregateOp, WorkloadKind, WorkloadSpec};
+        let mut spec = WorkloadSpec::paper_defaults();
+
+        spec.kind = WorkloadKind::range(0.25);
+        let mut g = QueryGenerator::from_spec(&spec, 11);
+        for i in 0..20u64 {
+            let q = g.next_query(SimTime::from_secs(600 + i * 15));
+            let frac = q.width_fraction(&spec.value_domain);
+            assert!((frac - 0.25).abs() < 0.02, "range width drifted: {frac}");
+        }
+
+        spec.kind = WorkloadKind::aggregate(AggregateOp::Quantile(0.5), 0.05);
+        let mut g = QueryGenerator::from_spec(&spec, 11);
+        for i in 0..5u64 {
+            let q = g.next_query(SimTime::from_secs(600 + i * 15));
+            assert_eq!(q.values, spec.value_domain, "aggregates span the domain");
+        }
+
+        // Point keeps the seed behavior bit-for-bit.
+        spec.kind = WorkloadKind::Point;
+        let mut from_spec = QueryGenerator::from_spec(&spec, 11);
+        let mut by_hand = QueryGenerator::new(
+            spec.attribute,
+            spec.value_domain,
+            spec.queries.clone(),
+            spec.sample_interval,
+            11,
+        );
+        for i in 0..20u64 {
+            let t = SimTime::from_secs(600 + i * 15);
+            assert_eq!(from_spec.next_query(t), by_hand.next_query(t));
+        }
     }
 
     #[test]

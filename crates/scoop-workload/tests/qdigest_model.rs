@@ -1,0 +1,222 @@
+//! The q-digest contract, model-tested against the exact evaluator: for
+//! arbitrary streams, arbitrary partitionings into per-node partials, and
+//! arbitrary merge orders (left fold, pairwise tree, reversed), every
+//! quantile read off the digest has rank error at most `epsilon * n`, and the
+//! exact fields of a [`PartialAggregate`] (count/min/max/sum) survive any
+//! merge grouping bit-for-bit. A lossy-delivery property checks the same
+//! against the subset of partials that actually arrived.
+
+use proptest::prelude::*;
+use scoop_types::{AggregateOp, AggregateSpec, PartialAggregate, QDigest, Value, ValueRange};
+use scoop_workload::evaluate::ExactAggregate;
+
+const DOMAIN: ValueRange = ValueRange { lo: 0, hi: 149 };
+
+/// Epsilons and quantile targets are drawn from fixed grids (the shim has no
+/// float strategies); together they cover loose, paper-typical, and maximal
+/// compression.
+const EPSILONS: [f64; 3] = [0.05, 0.1, 0.5];
+const QS: [f64; 5] = [0.05, 0.25, 0.5, 0.75, 0.95];
+
+fn clamp_into_domain(v: i32) -> Value {
+    v.rem_euclid(DOMAIN.width() as i32)
+}
+
+/// Splits `values` into `parts` per-node digests (round-robin), mirroring
+/// readings scattered across sensor nodes.
+fn partials_of(values: &[Value], parts: usize, epsilon: f64) -> Vec<QDigest> {
+    let parts = parts.clamp(1, values.len().max(1));
+    let mut digests: Vec<QDigest> = (0..parts).map(|_| QDigest::new(DOMAIN, epsilon)).collect();
+    for (i, &v) in values.iter().enumerate() {
+        digests[i % parts].insert(v);
+    }
+    digests
+}
+
+fn left_fold(parts: &[QDigest], epsilon: f64) -> QDigest {
+    let mut acc = QDigest::new(DOMAIN, epsilon);
+    for p in parts {
+        acc.merge(p);
+    }
+    acc
+}
+
+fn tree_fold(parts: &[QDigest], epsilon: f64) -> QDigest {
+    let mut layer: Vec<QDigest> = parts.to_vec();
+    if layer.is_empty() {
+        return QDigest::new(DOMAIN, epsilon);
+    }
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            let mut m = pair[0].clone();
+            if let Some(b) = pair.get(1) {
+                m.merge(b);
+            }
+            next.push(m);
+        }
+        layer = next;
+    }
+    layer.pop().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A single digest over an arbitrary stream answers every grid quantile
+    /// within `epsilon * n` rank error, at every epsilon.
+    #[test]
+    fn single_stream_respects_the_rank_bound(
+        raw in proptest::collection::vec(-300i32..300, 1..400),
+        eps_i in 0usize..3,
+    ) {
+        let epsilon = EPSILONS[eps_i];
+        let values: Vec<Value> = raw.iter().map(|&v| clamp_into_domain(v)).collect();
+        let exact = ExactAggregate::over(values.iter().copied());
+        let mut d = QDigest::new(DOMAIN, epsilon);
+        for &v in &values {
+            d.insert(v);
+        }
+        prop_assert_eq!(d.count(), exact.count);
+        for &q in &QS {
+            prop_assert!(
+                exact.quantile_within(q, epsilon, d.quantile(q)),
+                "q={} eps={} got={:?} n={}", q, epsilon, d.quantile(q), exact.count
+            );
+        }
+    }
+
+    /// Arbitrary partitioning + arbitrary merge shape: left fold, pairwise
+    /// tree, and reversed order all keep the exact count and the rank bound.
+    /// (Merge is commutative/associative up to the error contract — the
+    /// answers need not be identical across orders, but every order must be
+    /// within epsilon of the truth.)
+    #[test]
+    fn any_merge_order_respects_the_rank_bound(
+        raw in proptest::collection::vec(-300i32..300, 1..300),
+        parts in 1usize..12,
+        eps_i in 0usize..3,
+    ) {
+        let epsilon = EPSILONS[eps_i];
+        let values: Vec<Value> = raw.iter().map(|&v| clamp_into_domain(v)).collect();
+        let exact = ExactAggregate::over(values.iter().copied());
+        let partials = partials_of(&values, parts, epsilon);
+
+        let folded = left_fold(&partials, epsilon);
+        let tree = tree_fold(&partials, epsilon);
+        let mut reversed_parts = partials.clone();
+        reversed_parts.reverse();
+        let reversed = left_fold(&reversed_parts, epsilon);
+
+        for d in [&folded, &tree, &reversed] {
+            prop_assert_eq!(d.count(), exact.count, "merge never loses mass");
+            for &q in &QS {
+                prop_assert!(
+                    exact.quantile_within(q, epsilon, d.quantile(q)),
+                    "q={} eps={} parts={} got={:?}", q, epsilon, parts, d.quantile(q)
+                );
+            }
+        }
+    }
+
+    /// PartialAggregate: the exact fields (count, min, max, sum — hence avg)
+    /// equal the reference evaluator under any partitioning and both merge
+    /// shapes, and the digest-backed quantile answer stays within epsilon.
+    #[test]
+    fn partial_aggregates_match_the_exact_evaluator(
+        raw in proptest::collection::vec(-300i32..300, 0..250),
+        parts in 1usize..10,
+        eps_i in 0usize..3,
+        q_i in 0usize..5,
+    ) {
+        let epsilon = EPSILONS[eps_i];
+        let q = QS[q_i];
+        let spec = AggregateSpec { op: AggregateOp::Quantile(q), epsilon };
+        let values: Vec<Value> = raw.iter().map(|&v| clamp_into_domain(v)).collect();
+        let exact = ExactAggregate::over(values.iter().copied());
+
+        let n_parts = parts.clamp(1, values.len().max(1));
+        let mut partials: Vec<PartialAggregate> =
+            (0..n_parts).map(|_| PartialAggregate::for_spec(&spec, DOMAIN)).collect();
+        for (i, &v) in values.iter().enumerate() {
+            partials[i % n_parts].observe(v);
+        }
+
+        let mut folded = PartialAggregate::for_spec(&spec, DOMAIN);
+        for p in &partials {
+            folded.merge(p);
+        }
+        let mut layer = partials.clone();
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                let mut m = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    m.merge(b);
+                }
+                next.push(m);
+            }
+            layer = next;
+        }
+        let tree = layer.pop().unwrap();
+
+        for merged in [&folded, &tree] {
+            prop_assert_eq!(merged.count, exact.count);
+            prop_assert_eq!(merged.sum, exact.sum);
+            if exact.count > 0 {
+                prop_assert_eq!(Some(merged.min), exact.min);
+                prop_assert_eq!(Some(merged.max), exact.max);
+                let avg = merged.avg().unwrap();
+                prop_assert!((avg - exact.avg().unwrap()).abs() < 1e-9);
+                let got = merged.answer(AggregateOp::Quantile(q)).map(|v| v as Value);
+                prop_assert!(exact.quantile_within(q, epsilon, got));
+            } else {
+                prop_assert_eq!(merged.answer(AggregateOp::Quantile(q)), None);
+                prop_assert_eq!(merged.avg(), None);
+            }
+        }
+    }
+
+    /// Lossy delivery: when only a subset of partials reaches the collector,
+    /// the merged answer is exact (and epsilon-correct) over exactly the
+    /// values that arrived — losses never corrupt what did get through.
+    #[test]
+    fn lossy_subsets_aggregate_exactly_what_arrived(
+        raw in proptest::collection::vec(-300i32..300, 1..200),
+        parts in 2usize..10,
+        drop_mask in 0u32..1024,
+        eps_i in 0usize..3,
+    ) {
+        let epsilon = EPSILONS[eps_i];
+        let values: Vec<Value> = raw.iter().map(|&v| clamp_into_domain(v)).collect();
+        let spec = AggregateSpec { op: AggregateOp::Quantile(0.5), epsilon };
+
+        let n_parts = parts.clamp(1, values.len());
+        let mut partials: Vec<PartialAggregate> =
+            (0..n_parts).map(|_| PartialAggregate::for_spec(&spec, DOMAIN)).collect();
+        let mut per_part: Vec<Vec<Value>> = vec![Vec::new(); n_parts];
+        for (i, &v) in values.iter().enumerate() {
+            partials[i % n_parts].observe(v);
+            per_part[i % n_parts].push(v);
+        }
+
+        let mut survivors = Vec::new();
+        let mut merged = PartialAggregate::for_spec(&spec, DOMAIN);
+        for (i, p) in partials.iter().enumerate() {
+            if drop_mask & (1 << (i as u32 % 10)) != 0 {
+                continue; // this node's reply was lost
+            }
+            survivors.extend(per_part[i].iter().copied());
+            merged.merge(p);
+        }
+        let exact = ExactAggregate::over(survivors.iter().copied());
+        prop_assert_eq!(merged.count, exact.count);
+        prop_assert_eq!(merged.sum, exact.sum);
+        if exact.count > 0 {
+            prop_assert_eq!(Some(merged.min), exact.min);
+            prop_assert_eq!(Some(merged.max), exact.max);
+        }
+        let got = merged.answer(AggregateOp::Quantile(0.5)).map(|v| v as Value);
+        prop_assert!(exact.quantile_within(0.5, epsilon, got));
+    }
+}
